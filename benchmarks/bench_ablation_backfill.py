@@ -1,0 +1,66 @@
+"""Ablation: EASY backfilling vs strict FCFS on the failure timeline.
+
+Not a paper artifact — a scheduler-substrate ablation showing the
+sched package is a usable mini-scheduler.  On a mixed workload with
+occasional wide jobs, EASY backfilling cuts waiting time without
+delaying the queue head, and composes with reliability-aware placement.
+"""
+
+import datetime as dt
+
+from repro.records.timeutils import SECONDS_PER_DAY, from_datetime
+from repro.report.tables import format_table
+from repro.sched import (
+    BackfillSchedulerSimulation,
+    ClusterTimeline,
+    JobGenerator,
+    RandomPolicy,
+    ReliabilityAwarePolicy,
+    SchedulerSimulation,
+)
+
+TRAIN_START = from_datetime(dt.datetime(2000, 1, 1))
+T0 = from_datetime(dt.datetime(2002, 1, 1))
+T1 = from_datetime(dt.datetime(2002, 7, 1))
+
+
+def test_backfill_ablation(benchmark, system20):
+    timeline = ClusterTimeline(system20, 20)
+    # Denser arrivals + wide jobs: queueing actually happens.
+    jobs = JobGenerator(
+        seed=13, mean_interarrival=2.0 * 3600.0, max_nodes=24
+    ).generate(T0, T1 - 20 * SECONDS_PER_DAY)
+    trained = timeline.failure_rates(TRAIN_START, T0)
+
+    def run_backfill():
+        return BackfillSchedulerSimulation(
+            timeline, ReliabilityAwarePolicy(trained), (T0, T1)
+        ).run(jobs)
+
+    easy_aware = benchmark(run_backfill)
+    fcfs_aware = SchedulerSimulation(
+        timeline, ReliabilityAwarePolicy(trained), (T0, T1)
+    ).run(jobs)
+    fcfs_random = SchedulerSimulation(
+        timeline, RandomPolicy(seed=3), (T0, T1)
+    ).run(jobs)
+
+    rows = [
+        (name, r.jobs_completed, f"{r.mean_wait / 3600:.2f}",
+         f"{r.mean_slowdown:.2f}", r.kills, f"{100 * r.utilization:.1f}%")
+        for name, r in (
+            ("FCFS + random", fcfs_random),
+            ("FCFS + reliability", fcfs_aware),
+            ("EASY + reliability", easy_aware),
+        )
+    ]
+    print("\n" + format_table(
+        ("scheduler", "completed", "mean wait (h)", "slowdown", "kills", "utilization"),
+        rows, title="Backfilling ablation, system 20, H1 2002",
+    ))
+
+    # Backfilling reduces waiting without losing completions.
+    assert easy_aware.jobs_completed >= fcfs_aware.jobs_completed
+    assert easy_aware.mean_wait <= fcfs_aware.mean_wait
+    # And reliability-aware placement still cuts kills under EASY.
+    assert easy_aware.kills <= fcfs_random.kills

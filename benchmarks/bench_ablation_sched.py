@@ -1,0 +1,59 @@
+"""Ablation: does per-node failure heterogeneity matter for scheduling?
+
+Figure 3 shows per-node failure rates are genuinely heterogeneous.
+Section 5.1 suggests exploiting that by assigning jobs to more reliable
+nodes.  This bench schedules an identical workload on system 20's
+failure timeline under three placement policies and compares work lost
+to failure kills.
+"""
+
+import datetime as dt
+
+from repro.records.timeutils import SECONDS_PER_DAY, from_datetime
+from repro.report.tables import format_table
+from repro.sched.cluster import ClusterTimeline
+from repro.sched.jobs import JobGenerator
+from repro.sched.policies import (
+    LeastFailuresPolicy,
+    RandomPolicy,
+    ReliabilityAwarePolicy,
+)
+from repro.sched.simulator import SchedulerSimulation
+
+TRAIN_START = from_datetime(dt.datetime(2000, 1, 1))
+T0 = from_datetime(dt.datetime(2002, 1, 1))
+T1 = from_datetime(dt.datetime(2003, 1, 1))
+
+
+def test_reliability_aware_scheduling(benchmark, system20):
+    timeline = ClusterTimeline(system20, 20)
+    jobs = JobGenerator(seed=7).generate(T0, T1 - 30 * SECONDS_PER_DAY)
+    trained_rates = timeline.failure_rates(TRAIN_START, T0)
+
+    def run_aware():
+        policy = ReliabilityAwarePolicy(trained_rates)
+        return SchedulerSimulation(timeline, policy, (T0, T1)).run(jobs)
+
+    aware = benchmark(run_aware)
+    random = SchedulerSimulation(timeline, RandomPolicy(seed=3), (T0, T1)).run(jobs)
+    online = SchedulerSimulation(timeline, LeastFailuresPolicy(), (T0, T1)).run(jobs)
+
+    rows = [
+        (name, r.jobs_completed, r.kills, f"{100 * r.waste_fraction:.2f}%",
+         f"{r.mean_slowdown:.3f}")
+        for name, r in (("random", random), ("reliability-aware", aware),
+                        ("least-failures-online", online))
+    ]
+    print("\n" + format_table(
+        ("policy", "completed", "kills", "waste", "slowdown"),
+        rows, title="Scheduling ablation on system 20 (year 2002)",
+    ))
+
+    # Everyone finishes the workload; the difference is waste.
+    assert aware.jobs_completed == random.jobs_completed == len(jobs)
+    # Training on history buys a large reduction in kills and waste.
+    assert aware.kills < 0.75 * random.kills
+    assert aware.waste_fraction < random.waste_fraction
+    # The online learner also beats random on kills (it converges on
+    # the same bad nodes without a training window).
+    assert online.kills <= random.kills

@@ -1,0 +1,85 @@
+"""Ablation: two-level recovery vs the correlated-failure structure.
+
+The intro cites two-level recovery schemes [21]; Figure 6(c) documents
+the correlated multi-node failures that motivate them.  This bench runs
+a long job on system 20's failure sequence under
+
+* single-level global checkpointing, and
+* two-level checkpointing (cheap local checkpoints; global fallback
+  for correlated failures),
+
+in both the early correlated era (1997-99) and the late independent
+era (2000-05).  Two-level wins outright when failures are mostly
+single; in the burst era its local checkpoints are frequently
+invalidated, shrinking (but not erasing) the advantage — quantifying
+*why* correlation statistics matter for recovery design.
+"""
+
+import datetime as dt
+
+from repro.checkpoint.simulator import CheckpointSimulation
+from repro.checkpoint.twolevel import TwoLevelCheckpointSimulation
+from repro.records.timeutils import SECONDS_PER_DAY, from_datetime
+from repro.report.tables import format_table
+
+ERA = from_datetime(dt.datetime(2000, 1, 1))
+
+WORK = 40 * SECONDS_PER_DAY
+INTERVAL = 3600.0
+LOCAL_COST, GLOBAL_COST = 30.0, 600.0
+LOCAL_RESTART, GLOBAL_RESTART = 120.0, 1800.0
+
+
+def run_both(failure_offsets):
+    horizon = float(failure_offsets[-1])
+    two = TwoLevelCheckpointSimulation(
+        work=WORK, interval=INTERVAL, local_cost=LOCAL_COST,
+        global_cost=GLOBAL_COST, global_every=10,
+        local_restart=LOCAL_RESTART, global_restart=GLOBAL_RESTART,
+    ).run(failure_offsets, horizon=horizon)
+    single = CheckpointSimulation(
+        work=WORK, interval=INTERVAL, checkpoint_cost=GLOBAL_COST,
+        restart_cost=GLOBAL_RESTART,
+    ).run(failure_offsets, horizon=horizon)
+    return two, single
+
+
+def test_twolevel_vs_correlation(benchmark, system20):
+    starts = system20.start_times()
+    early = starts[starts < ERA]
+    late = starts[starts >= ERA]
+    early_offsets = early - early[0]
+    late_offsets = late - late[0]
+
+    def run_late():
+        return run_both(late_offsets)
+
+    two_late, single_late = benchmark(run_late)
+    two_early, single_early = run_both(early_offsets)
+
+    rows = []
+    for era, two, single in (
+        ("early (correlated)", two_early, single_early),
+        ("late (independent)", two_late, single_late),
+    ):
+        rows.append((
+            era, f"{two.efficiency:.4f}", f"{single.efficiency:.4f}",
+            two.local_recoveries, two.global_recoveries,
+        ))
+    print("\n" + format_table(
+        ("era", "two-level eff", "single eff", "local recoveries", "global recoveries"),
+        rows, title="Two-level recovery vs failure correlation (system 20)",
+    ))
+
+    assert two_late.completed and single_late.completed
+    assert two_early.completed and single_early.completed
+    # Late era: almost every failure is single => local recovery
+    # dominates and two-level clearly wins.
+    assert two_late.global_recoveries <= 0.2 * two_late.local_recoveries
+    assert two_late.efficiency > single_late.efficiency
+    # Early era: bursts force real global recoveries...
+    assert two_early.global_recoveries > 0.3 * two_early.local_recoveries
+    # ...and the two-level advantage shrinks relative to the late era.
+    late_gain = two_late.efficiency - single_late.efficiency
+    early_gain = two_early.efficiency - single_early.efficiency
+    assert early_gain < late_gain + 0.02

@@ -1,0 +1,50 @@
+"""Figure 1: breakdown of failures (a) and downtime (b) by root cause.
+
+Paper shape claims asserted:
+
+* hardware is the single largest category in every group, 30-60%+;
+* software is second, 5-24%;
+* unknown is 20-30% except type E (< 5%);
+* type D has hardware ~ software;
+* unknown downtime share is < 5% except for types D and G.
+"""
+
+from repro.analysis.rootcause import (
+    breakdown_by_hardware_type,
+    downtime_breakdown_by_hardware_type,
+)
+from repro.records.record import RootCause
+from repro.report import render_figure1
+
+
+def test_figure1(benchmark, trace):
+    counts = benchmark(breakdown_by_hardware_type, trace)
+    downtime = downtime_breakdown_by_hardware_type(trace)
+    print("\n" + render_figure1(trace))
+
+    for label, breakdown in counts.items():
+        hardware = breakdown.percent(RootCause.HARDWARE)
+        software = breakdown.percent(RootCause.SOFTWARE)
+        unknown = breakdown.percent(RootCause.UNKNOWN)
+        # Hardware the single largest component, 30% to > 60%.
+        assert hardware == max(breakdown.percentages.values()), label
+        assert 25 <= hardware <= 70, label
+        # Software the second largest contributor, 5-30%.
+        assert 5 <= software <= 35, label
+        # Hardware always exceeds the undetermined fraction.
+        assert hardware > unknown, label
+
+    # Type E: fewer than ~5% unknown root causes.
+    assert counts["E"].percent(RootCause.UNKNOWN) < 6
+    # Other multi-system types: 15-35% unknown.
+    for label in ("D", "F", "G"):
+        assert 15 <= counts[label].percent(RootCause.UNKNOWN) <= 35, label
+    # Type D: hardware and software almost equally frequent.
+    d = counts["D"]
+    assert abs(d.percent(RootCause.HARDWARE) - d.percent(RootCause.SOFTWARE)) < 8
+
+    # Figure 1(b): unknown downtime < 5% except types D and G.
+    for label in ("E", "F", "H"):
+        assert downtime[label].percent(RootCause.UNKNOWN) < 5, label
+    for label in ("D", "G"):
+        assert downtime[label].percent(RootCause.UNKNOWN) > 5, label

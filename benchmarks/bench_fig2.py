@@ -1,0 +1,44 @@
+"""Figure 2: failures per year per system, raw (a) and per processor (b).
+
+Paper shape claims asserted:
+
+* yearly rates span roughly 17 to ~1159 across systems (two orders of
+  magnitude), with system 7 the peak;
+* normalizing by processors collapses the variability, especially
+  within hardware types E and F;
+* rates grow roughly linearly with system size (high log-log
+  correlation).
+"""
+
+from repro.analysis.rates import (
+    failure_rates,
+    normalized_variability,
+    rate_size_correlation,
+)
+from repro.report import render_figure2
+
+
+def test_figure2(benchmark, trace):
+    rates = benchmark(failure_rates, trace)
+    print("\n" + render_figure2(trace))
+
+    nonzero = [r for r in rates if r.failures > 0]
+    per_year = {r.system_id: r.per_year for r in nonzero}
+    # Wide raw range: smallest vs largest differ by > 50x
+    # (paper: 17 vs 1159).
+    assert max(per_year.values()) / min(per_year.values()) > 50
+    # System 7 is the tallest bar, near the paper's 1159/year.
+    assert per_year[7] == max(per_year.values())
+    assert 900 < per_year[7] < 2200
+
+    # Normalized rates are tighter, especially within a type.
+    cv = normalized_variability(trace)
+    assert cv["normalized"] < cv["raw"]
+    assert cv["normalized[F]"] < 0.3
+    # Type E systems span 128-1024 nodes yet stay comparable.
+    e_rates = [r.per_year_per_proc for r in nonzero
+               if r.hardware_type.value == "E" and r.system_id not in (5, 6)]
+    assert max(e_rates) / min(e_rates) < 2.0
+
+    # Roughly linear growth with size.
+    assert rate_size_correlation(trace) > 0.8

@@ -1,0 +1,31 @@
+"""Figure 3: failures per node of system 20 and the count-CDF fits.
+
+Paper shape claims asserted:
+
+* graphics nodes 21-23 (6% of nodes) account for ~20% of failures;
+* the per-node count CDF of compute-only nodes is fit poorly by a
+  Poisson and far better by normal/lognormal (overdispersion).
+"""
+
+from repro.analysis.pernode import node_count_study, node_share
+from repro.report import render_figure3
+
+
+def test_figure3(benchmark, trace):
+    study = benchmark(node_count_study, trace, 20)
+    print("\n" + render_figure3(trace))
+
+    # 3 of 49 nodes carry ~20% of the failures.
+    share = node_share(trace, 20, [21, 22, 23])
+    assert 0.10 < share < 0.30
+
+    # Poisson is the worst fit; normal/lognormal much better.
+    assert study.poisson_is_poor
+    assert study.best.name in ("normal", "lognormal")
+    poisson = next(fit for fit in study.fits if fit.name == "poisson")
+    assert poisson.nll > study.best.nll + 10  # decisively worse
+    # Strong overdispersion vs the equal-rate Poisson model.
+    assert study.overdispersion > 2.0
+    # Compute-only population: graphics nodes and short-lived node 0
+    # excluded.
+    assert len(study.counts) == 45

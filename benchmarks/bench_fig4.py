@@ -1,0 +1,49 @@
+"""Figure 4: failure rate as a function of system age.
+
+Paper shape claims asserted:
+
+* system 5 (type E) decays from an early high — infant mortality;
+* system 19 (type G) *grows* toward a peak near 20 months before
+  declining;
+* the classifier agrees with the paper's type assignment on every
+  long-lived system with enough data.
+"""
+
+import numpy as np
+
+from repro.analysis.lifecycle import classify_lifecycle, monthly_failures
+from repro.report import render_figure4
+from repro.synth.lifecycle import LifecycleShape
+
+
+def test_figure4(benchmark, trace):
+    curve5 = benchmark(monthly_failures, trace, 5)
+    curve19 = monthly_failures(trace, 19)
+    print("\n" + render_figure4(trace))
+
+    # Figure 4(a): infant-mortality decay for system 5.
+    assert classify_lifecycle(curve5) is LifecycleShape.INFANT_DECAY
+    smoothed5 = curve5.smoothed(4)
+    assert smoothed5[0] > 1.5 * np.mean(smoothed5[12:24])
+
+    # Figure 4(b): ramp to a peak near 20 months for system 19.
+    assert classify_lifecycle(curve19) is LifecycleShape.RAMP_PEAK
+    smoothed19 = curve19.smoothed(6)
+    early = float(np.mean(smoothed19[:8]))
+    peak = float(np.max(smoothed19[12:36]))
+    late = float(np.mean(smoothed19[48:]))
+    assert peak > 2 * early    # grows for ~20 months
+    assert peak > 1.5 * late   # ... then drops
+
+    # The big ramp-era systems classify as ramps; established clusters
+    # as decays (matching Section 5.2's type assignment).
+    expected = {
+        4: LifecycleShape.RAMP_PEAK,
+        5: LifecycleShape.INFANT_DECAY,
+        7: LifecycleShape.INFANT_DECAY,
+        8: LifecycleShape.INFANT_DECAY,
+        19: LifecycleShape.RAMP_PEAK,
+        20: LifecycleShape.RAMP_PEAK,
+    }
+    for system_id, shape in expected.items():
+        assert classify_lifecycle(monthly_failures(trace, system_id)) is shape, system_id

@@ -1,0 +1,28 @@
+"""Figure 5: failures by hour of day and day of week.
+
+Paper shape claims asserted:
+
+* the peak-hour failure rate is about twice the overnight trough;
+* weekday rates are nearly twice weekend rates;
+* there is no Monday spike (which rules out delayed detection and
+  supports the workload-correlation interpretation).
+"""
+
+from repro.analysis.periodicity import periodicity_study
+from repro.report import render_figure5
+
+
+def test_figure5(benchmark, trace):
+    study = benchmark(periodicity_study, trace)
+    print("\n" + render_figure5(trace))
+
+    # Peak/trough ~2 (paper: "two times higher").
+    assert 1.6 < study.peak_trough_ratio < 2.6
+    assert 10 <= study.peak_hour <= 18
+    assert study.trough_hour <= 6 or study.trough_hour >= 22
+
+    # Weekday/weekend ~2 (paper: "nearly two times as high").
+    assert 1.5 < study.weekday_weekend_ratio < 2.3
+
+    # No Monday spike: each weekday within 10% of the weekday mean.
+    assert study.monday_spike < 1.10

@@ -1,0 +1,42 @@
+"""Figure 7: repair-time distribution and per-system repair times.
+
+Paper shape claims asserted:
+
+* (a) lognormal is the best of the four standard fits; Weibull and
+  gamma are weaker but far better than the exponential (worst);
+* (b, c) mean repair varies from under an hour to more than a day
+  across systems; systems of the same hardware type look alike
+  (type effect) while type E's 128-1024-node systems look alike
+  (size insensitivity).
+"""
+
+from repro.analysis.repair import repair_by_system, repair_fit_study
+from repro.report import render_figure7
+
+
+def test_figure7(benchmark, trace):
+    fits = benchmark(repair_fit_study, trace)
+    print("\n" + render_figure7(trace))
+
+    # Panel (a): fit ranking lognormal > {weibull, gamma} > exponential.
+    assert fits[0].name == "lognormal"
+    assert fits[-1].name == "exponential"
+    assert {fits[1].name, fits[2].name} == {"weibull", "gamma"}
+    # The exponential is *very* poor: KS several times the lognormal's.
+    exponential = fits[-1]
+    assert exponential.ks > 3 * fits[0].ks
+
+    # Panels (b, c): per-system means span < 1 hour to > 1 day.
+    per_system = repair_by_system(trace)
+    means = {sid: row.mean for sid, row in per_system.items()}
+    assert min(means.values()) < 150       # well under 2.5 hours
+    assert max(means.values()) > 1440      # more than a day
+
+    # Type effect: type F systems (13-18) all faster than type G (19-21).
+    assert max(means[s] for s in range(13, 19)) < min(means[s] for s in (19, 20, 21))
+    # Size insensitivity: type E systems range 128-1024 nodes with
+    # similar medians; the largest (7-8) are NOT the slowest.
+    medians = {sid: row.median for sid, row in per_system.items()}
+    e_systems = list(range(5, 12))
+    assert max(medians[s] for s in e_systems) / min(medians[s] for s in e_systems) < 3
+    assert medians[7] < 1.5 * min(medians[s] for s in e_systems)

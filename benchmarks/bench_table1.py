@@ -1,0 +1,19 @@
+"""Table 1: overview of the 22 LANL systems.
+
+Regenerates the systems-inventory table and checks the published
+totals (4750 nodes; processors within 0.5% of 24101).
+"""
+
+from repro.records.inventory import total_nodes, total_processors
+from repro.report import render_table1
+
+
+def test_table1(benchmark, trace):
+    text = benchmark(render_table1, trace)
+    print("\n" + text)
+    assert total_nodes() == 4750
+    assert abs(total_processors() - 24101) / 24101 < 0.005
+    assert "Table 1" in text
+    # All 22 systems present.
+    for system_id in range(1, 23):
+        assert f"\n{system_id} " in text or text.startswith(f"{system_id} ")

@@ -1,0 +1,44 @@
+"""Table 2: statistical properties of time to repair by root cause.
+
+Paper reference values (minutes):
+
+    cause        mean  median  C^2
+    unknown       398      32  234
+    human         163      44    6
+    environment   572     269    2
+    network       247      70    8
+    software      369      33  293
+    hardware      342      64  151
+    all           355      54  187
+
+We assert the *shape*: ordering of medians, the mean >> median skew,
+extreme C^2 everywhere except environment/human, and the aggregate
+mean within the hours range the paper reports.
+"""
+
+from repro.analysis.repair import repair_statistics_by_cause
+from repro.report import render_table2
+
+
+def test_table2(benchmark, trace):
+    rows = benchmark(repair_statistics_by_cause, trace)
+    print("\n" + render_table2(trace))
+    by_label = {row.label: row for row in rows}
+
+    # Environment repairs are the longest by median (paper: 269 min)...
+    per_cause = [row for row in rows if row.cause is not None]
+    assert by_label["environment"].median == max(row.median for row in per_cause)
+    # ...and the least variable (paper: C^2 = 2 vs up to ~300).
+    assert by_label["environment"].squared_cv == min(
+        row.squared_cv for row in per_cause
+    )
+    # Human error is the quickest to repair by mean (paper: 163 min ~ 3 h).
+    assert by_label["human"].mean == min(row.mean for row in per_cause)
+    # Software: median ~10x below the mean (paper: 33 vs 369).
+    assert by_label["software"].mean / by_label["software"].median > 5
+    # Hardware/software dominate counts and have extreme variability.
+    assert by_label["hardware"].squared_cv > 20
+    assert by_label["software"].squared_cv > 20
+    # Aggregate mean near six hours (paper: 355 min).
+    assert 150 < by_label["All"].mean < 900
+    assert 30 < by_label["All"].median < 120

@@ -1,0 +1,25 @@
+"""Shared bench fixtures.
+
+Every bench consumes the same full synthetic LANL trace (seed 1),
+generated once per session.  Benches print the reproduced paper
+artifact (run with ``-s`` to see it) and assert the paper's *shape*
+claims — fit rankings, hazard directions, ratios — not absolute counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def trace():
+    """The full 22-system synthetic LANL trace."""
+    return TraceGenerator(seed=1).generate()
+
+
+@pytest.fixture(scope="session")
+def system20(trace):
+    """System 20, the paper's reference system for Figures 3 and 6."""
+    return trace.filter_systems([20])

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Checkpoint-interval selection on real failure statistics.
+
+The paper's motivation: checkpoint-strategy design depends on the
+statistical properties of failures, and the classic analysis assumes
+Poisson failures — which Section 5.3 shows is wrong (Weibull, shape
+0.7-0.8, decreasing hazard).
+
+This example:
+
+1. extracts the system-wide time-between-failures of system 20's
+   mature era and fits the four standard distributions;
+2. compares the checkpoint interval chosen by Young's formula (Poisson
+   assumption) against the renewal-reward optimum under the fitted
+   distribution, sweeping the checkpoint cost;
+3. replays both choices against the actual failure sequence with the
+   trace-driven simulator.
+
+Usage::
+
+    python examples/checkpoint_optimization.py
+"""
+
+import datetime as dt
+
+from repro import generate_lanl_trace
+from repro.analysis.interarrival import split_eras, system_interarrivals
+from repro.checkpoint import (
+    CheckpointSimulation,
+    expected_efficiency,
+    optimal_interval,
+    young_interval,
+)
+from repro.records.timeutils import SECONDS_PER_DAY, from_datetime
+from repro.report import format_table
+
+
+def main() -> int:
+    print("Generating system 20 ...")
+    trace = generate_lanl_trace(seed=1).filter_systems([20])
+    era = from_datetime(dt.datetime(2000, 1, 1))
+    _early, late = split_eras(trace, era)
+    study = system_interarrivals(late, 20)
+    fitted = study.best.distribution
+    mtbf = study.summary.mean
+    print(f"  {study.n} interarrivals, MTBF {mtbf / 3600:.1f} h")
+    print(f"  best fit: {fitted.describe()} (hazard {study.hazard})\n")
+
+    # Sweep checkpoint cost: Poisson-assumed vs distribution-aware.
+    rows = []
+    for cost in (60.0, 300.0, 600.0, 1800.0, 3600.0):
+        tau_young = young_interval(cost, mtbf)
+        tau_optimal = optimal_interval(fitted, cost)
+        eff_young = expected_efficiency(fitted, tau_young, cost)
+        eff_optimal = expected_efficiency(fitted, tau_optimal, cost)
+        rows.append(
+            (
+                f"{cost:.0f}",
+                f"{tau_young:.0f}",
+                f"{tau_optimal:.0f}",
+                f"{eff_young:.4f}",
+                f"{eff_optimal:.4f}",
+                f"{100 * (eff_optimal - eff_young):.3f}",
+            )
+        )
+    print(
+        format_table(
+            ("ckpt cost (s)", "Young tau (s)", "optimal tau (s)",
+             "eff (Young)", "eff (optimal)", "gap (pp)"),
+            rows,
+            title="Analytic comparison under the fitted TBF distribution",
+        )
+    )
+
+    # Trace replay: a 60-day job against the real failure sequence.
+    cost = 600.0
+    starts = late.start_times()
+    offsets = starts - starts[0]
+    print("\nTrace replay (60-day job, 10-min checkpoints, 30-min restarts):")
+    for name, tau in (
+        ("young", young_interval(cost, mtbf)),
+        ("optimal", optimal_interval(fitted, cost)),
+    ):
+        sim = CheckpointSimulation(
+            work=60 * SECONDS_PER_DAY, interval=tau,
+            checkpoint_cost=cost, restart_cost=1800.0,
+        )
+        result = sim.run(offsets, horizon=float(offsets[-1]))
+        print(
+            f"  {name:<8} tau={tau:7.0f}s  efficiency={result.efficiency:.4f}  "
+            f"failures={result.failures_hit}  lost={result.lost_work / 3600:.1f}h"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Deep dive: hazard rates, censoring, and node outliers.
+
+Three questions an operator asks after reading the paper, answered on
+the synthetic trace with the toolkit's extended statistics:
+
+1. *Is the decreasing hazard statistically real, or a fitting artifact?*
+   — likelihood-ratio test of exponential (constant hazard) nested in
+   Weibull, plus the empirical life-table hazard.
+2. *Do my sparse nodes bias the per-node MTBF estimates?* — compare the
+   naive Weibull fit against the right-censored fit that accounts for
+   the unobserved gap after each node's last failure.
+3. *Which nodes are statistically anomalous?* — robust outlier
+   detection on per-node counts (the analysis that uncovered system
+   20's visualization nodes).
+
+Usage::
+
+    python examples/hazard_deep_dive.py
+"""
+
+import datetime as dt
+
+import numpy as np
+
+from repro import generate_lanl_trace
+from repro.analysis import find_node_outliers, hazard_study
+from repro.records.timeutils import from_datetime
+from repro.stats import fit_weibull, fit_weibull_censored
+
+
+def main() -> int:
+    print("Generating system 20 ...")
+    trace = generate_lanl_trace(seed=1).filter_systems([20])
+    late = trace.between(from_datetime(dt.datetime(2000, 1, 1)), trace.data_end)
+
+    # 1. Hazard study -------------------------------------------------------
+    study = hazard_study(late)
+    print("\n== Is the decreasing hazard real? ==")
+    print(study.describe())
+    print("\n  time-since-failure   empirical h   Weibull h")
+    for mid, emp, fit in list(zip(study.bin_midpoints, study.empirical, study.fitted))[2:-2]:
+        print(f"  {mid / 3600:12.1f} h      {emp:.3e}    {fit:.3e}")
+
+    # 2. Censoring ----------------------------------------------------------
+    print("\n== Censored vs naive per-node fits ==")
+    observed = []
+    censored = []
+    for (sid, node), sub in late.by_node().items():
+        starts = sub.start_times()
+        gaps = np.diff(starts)
+        observed.extend(gaps[gaps > 0].tolist())
+        # The time from each node's last failure to the window end is
+        # a right-censored gap.
+        censored.append(late.data_end - float(starts[-1]))
+    naive = fit_weibull(observed)
+    corrected = fit_weibull_censored(observed, censored)
+    print(f"  naive:    {naive.distribution.describe()}")
+    print(f"  censored: {corrected.distribution.describe()}")
+    naive_mean = naive.distribution.mean / 3600
+    corrected_mean = corrected.distribution.mean / 3600
+    print(
+        f"  node-level MTBF estimate: {naive_mean:.1f} h naive vs "
+        f"{corrected_mean:.1f} h censoring-corrected "
+        f"(+{100 * (corrected_mean / naive_mean - 1):.0f}%)"
+    )
+
+    # 3. Outliers -----------------------------------------------------------
+    print("\n== Node outliers (system 20, lifetime) ==")
+    outliers, bulk = find_node_outliers(trace, 20, threshold=0.995)
+    print(f"  bulk model: {bulk.describe()} (median {bulk.median:.0f} failures)")
+    for outlier in outliers:
+        print(
+            f"  node {outlier.node_id:>2}: {outlier.count} failures "
+            f"({outlier.excess_ratio:.1f}x the bulk median, "
+            f"tail p = {outlier.tail_probability:.1e})"
+        )
+    print("  (the paper identified nodes 21-23 as the visualization nodes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

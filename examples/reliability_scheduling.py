@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Reliability-aware job placement on a failure trace.
+
+Section 5.1: "Knowledge on how failure rates vary across the nodes in a
+system can be utilized in job scheduling, for instance by assigning
+critical jobs or jobs with high recovery time to more reliable nodes."
+
+This example schedules one year of jobs on system 20's failure timeline
+under three placement policies and reports kills, wasted node-hours and
+slowdown.  The reliability-aware policy trains on the preceding two
+years of failure history.
+
+Usage::
+
+    python examples/reliability_scheduling.py
+"""
+
+import datetime as dt
+
+from repro import generate_lanl_trace
+from repro.records.timeutils import SECONDS_PER_DAY, from_datetime
+from repro.report import format_table
+from repro.sched import (
+    ClusterTimeline,
+    JobGenerator,
+    LeastFailuresPolicy,
+    RandomPolicy,
+    ReliabilityAwarePolicy,
+    SchedulerSimulation,
+)
+
+
+def main() -> int:
+    print("Generating system 20 ...")
+    trace = generate_lanl_trace(seed=1).filter_systems([20])
+    timeline = ClusterTimeline(trace, 20)
+
+    train_start = from_datetime(dt.datetime(2000, 1, 1))
+    t0 = from_datetime(dt.datetime(2002, 1, 1))
+    t1 = from_datetime(dt.datetime(2003, 1, 1))
+    jobs = JobGenerator(seed=7).generate(t0, t1 - 30 * SECONDS_PER_DAY)
+    print(f"  workload: {len(jobs)} jobs over 2002; training window 2000-2001\n")
+
+    trained_rates = timeline.failure_rates(train_start, t0)
+    worst = sorted(trained_rates, key=trained_rates.get, reverse=True)[:5]
+    print(f"least reliable nodes by training history: {worst}")
+    print("  (nodes 21-23 are the graphics nodes of Figure 3(a))\n")
+
+    policies = (
+        RandomPolicy(seed=3),
+        ReliabilityAwarePolicy(trained_rates),
+        LeastFailuresPolicy(),
+    )
+    rows = []
+    for policy in policies:
+        result = SchedulerSimulation(timeline, policy, (t0, t1)).run(jobs)
+        rows.append(
+            (
+                policy.name,
+                f"{result.jobs_completed}/{result.jobs_submitted}",
+                result.kills,
+                f"{result.lost_node_seconds / 3600:.0f}",
+                f"{100 * result.waste_fraction:.2f}%",
+                f"{result.mean_slowdown:.3f}",
+            )
+        )
+    print(
+        format_table(
+            ("policy", "completed", "kills", "lost node-hours", "waste", "slowdown"),
+            rows,
+            title="One year of scheduling on system 20's failure timeline",
+        )
+    )
+    print(
+        "\nThe reliability-aware policy exploits exactly the per-node\n"
+        "heterogeneity of Figure 3: most failures hide in a few nodes."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

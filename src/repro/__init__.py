@@ -1,0 +1,74 @@
+"""repro — an HPC failure-data analysis toolkit.
+
+A production-quality reproduction of *"A large-scale study of failures
+in high-performance computing systems"* (Schroeder & Gibson, DSN 2006):
+the LANL failure-trace data model, a calibrated synthetic trace
+generator, the paper's complete statistical methodology, and downstream
+applications (checkpoint-interval selection, reliability-aware
+scheduling) that consume failure characteristics.
+
+Quickstart
+----------
+>>> import repro
+>>> trace = repro.generate_lanl_trace(seed=1)           # doctest: +SKIP
+>>> fits = repro.fit_all(trace.repair_minutes(), zero_policy="drop")  # doctest: +SKIP
+>>> fits[0].name                                        # doctest: +SKIP
+'lognormal'
+
+Subpackages
+-----------
+records, io, stats, synth, analysis, simulate, checkpoint, sched, report.
+"""
+
+from repro.records import (
+    DATA_END,
+    DATA_START,
+    FailureRecord,
+    FailureTrace,
+    HardwareType,
+    LANL_SYSTEMS,
+    RootCause,
+    Workload,
+)
+from repro.stats import (
+    EmpiricalDistribution,
+    Exponential,
+    FitResult,
+    Gamma,
+    LogNormal,
+    Weibull,
+    fit_all,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FailureRecord",
+    "FailureTrace",
+    "RootCause",
+    "Workload",
+    "HardwareType",
+    "LANL_SYSTEMS",
+    "DATA_START",
+    "DATA_END",
+    "EmpiricalDistribution",
+    "FitResult",
+    "Exponential",
+    "Weibull",
+    "Gamma",
+    "LogNormal",
+    "fit_all",
+    "generate_lanl_trace",
+    "__version__",
+]
+
+
+def generate_lanl_trace(seed: int = 0, **kwargs):
+    """Generate the full synthetic LANL trace (all 22 systems).
+
+    Convenience wrapper around :class:`repro.synth.TraceGenerator`; see
+    that class for the configuration knobs.
+    """
+    from repro.synth import TraceGenerator
+
+    return TraceGenerator(seed=seed, **kwargs).generate()

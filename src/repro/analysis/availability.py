@@ -1,0 +1,147 @@
+"""Availability, MTBF and MTTR metrics.
+
+The natural operational summary of a failure trace: for each system (or
+node), the mean time between failures, mean time to repair, and the
+resulting availability ``MTBF / (MTBF + MTTR)``.  Downtime is computed
+from actual outage intervals with overlapping repairs merged, so a
+burst of simultaneous failures does not double-count node-downtime into
+system downtime.
+
+Two availability notions are provided:
+
+* **node availability** — expected fraction of time a single node is
+  up (downtime summed over node-outages, normalized by node-time);
+* **system availability** — fraction of wall-clock time *all* observed
+  outage intervals leave at least one node down, reported as its
+  complement (any-node-down fraction), which is the quantity a
+  capacity planner tracks for allocation headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.records.timeutils import SECONDS_PER_HOUR
+from repro.records.trace import FailureTrace
+
+__all__ = [
+    "merge_intervals",
+    "SystemAvailability",
+    "system_availability",
+    "availability_report",
+]
+
+
+def merge_intervals(intervals: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge overlapping [start, end) intervals.
+
+    Returns a sorted, disjoint list covering the same points.
+    """
+    cleaned = sorted((float(s), float(e)) for s, e in intervals if e > s)
+    merged: List[Tuple[float, float]] = []
+    for start, end in cleaned:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass(frozen=True)
+class SystemAvailability:
+    """Availability summary for one system.
+
+    Attributes
+    ----------
+    system_id:
+        The system.
+    failures:
+        Failure-record count.
+    mtbf_seconds:
+        System-wide mean time between failures (production time /
+        failures).
+    mttr_seconds:
+        Mean repair duration per failure record.
+    node_downtime_fraction:
+        Expected single-node downtime fraction: total node-outage
+        seconds / total node-production seconds.
+    any_node_down_fraction:
+        Fraction of the production window during which at least one
+        node was down (outage intervals merged).
+    """
+
+    system_id: int
+    failures: int
+    mtbf_seconds: float
+    mttr_seconds: float
+    node_downtime_fraction: float
+    any_node_down_fraction: float
+
+    @property
+    def node_availability(self) -> float:
+        """1 - node_downtime_fraction."""
+        return 1.0 - self.node_downtime_fraction
+
+    @property
+    def mtbf_hours(self) -> float:
+        """MTBF in hours."""
+        return self.mtbf_seconds / SECONDS_PER_HOUR
+
+    @property
+    def mttr_hours(self) -> float:
+        """MTTR in hours."""
+        return self.mttr_seconds / SECONDS_PER_HOUR
+
+
+def system_availability(trace: FailureTrace, system_id: int) -> SystemAvailability:
+    """Availability metrics for one system of the trace.
+
+    Raises
+    ------
+    ValueError
+        If the system has no failure records (its MTBF would be
+        unbounded — report "no failures observed" instead).
+    """
+    config = trace.systems.get(system_id)
+    if config is None:
+        raise KeyError(f"system {system_id} not in the trace inventory")
+    records = trace.filter_systems([system_id])
+    if len(records) == 0:
+        raise ValueError(f"system {system_id} has no failure records")
+    start, end = config.production_window(trace.data_start, trace.data_end)
+    window = end - start
+    nodes = config.expand_nodes(trace.data_start, trace.data_end)
+    node_seconds = sum(node.production_seconds for node in nodes)
+
+    # Clip outages to the production window (a repair can run past the
+    # end of the data; a record just at the boundary must not go
+    # negative).
+    intervals = [
+        (max(record.start_time, start), min(record.end_time, end))
+        for record in records
+    ]
+    node_outage_seconds = float(sum(max(0.0, e - s) for s, e in intervals))
+    merged = merge_intervals(intervals)
+    any_down_seconds = float(sum(e - s for s, e in merged))
+
+    repair_times = records.repair_times()
+    return SystemAvailability(
+        system_id=system_id,
+        failures=len(records),
+        mtbf_seconds=window / len(records),
+        mttr_seconds=float(np.mean(repair_times)),
+        node_downtime_fraction=node_outage_seconds / node_seconds,
+        any_node_down_fraction=any_down_seconds / window,
+    )
+
+
+def availability_report(trace: FailureTrace, minimum_records: int = 5) -> Dict[int, SystemAvailability]:
+    """Availability metrics for every system with enough records."""
+    report: Dict[int, SystemAvailability] = {}
+    for system_id, sub in sorted(trace.by_system().items()):
+        if len(sub) >= minimum_records:
+            report[system_id] = system_availability(trace, system_id)
+    return report

@@ -1,0 +1,145 @@
+"""Compare two failure traces metric by metric.
+
+The question behind the whole substitution argument (DESIGN.md §2):
+*how close is trace A to trace B statistically?*  Typical uses:
+
+* synthetic trace vs the real CFDR data (validate the generator),
+* two eras of one system (did behaviour change?),
+* two sites' logs (is my cluster like LANL?).
+
+:func:`compare_traces` computes a panel of scale-free metrics on both
+traces and reports relative differences plus a two-sample KS distance
+on the repair-time and interarrival distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.periodicity import periodicity_study
+from repro.records.record import HIGH_LEVEL_CAUSES
+from repro.records.trace import FailureTrace
+from repro.stats.empirical import EmpiricalDistribution
+
+__all__ = ["MetricComparison", "compare_traces", "two_sample_ks"]
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric measured on both traces."""
+
+    name: str
+    value_a: float
+    value_b: float
+
+    @property
+    def relative_difference(self) -> float:
+        """|a - b| / max(|a|, |b|); 0 for identical, <= 1 mostly."""
+        denominator = max(abs(self.value_a), abs(self.value_b))
+        if denominator == 0:
+            return 0.0
+        return abs(self.value_a - self.value_b) / denominator
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        return (
+            f"{self.name:<36} {self.value_a:>12.4g} {self.value_b:>12.4g} "
+            f"(diff {100 * self.relative_difference:5.1f}%)"
+        )
+
+
+def two_sample_ks(a, b) -> float:
+    """Two-sample Kolmogorov-Smirnov distance sup |F_a - F_b|."""
+    xa = np.sort(np.asarray(a, dtype=float))
+    xb = np.sort(np.asarray(b, dtype=float))
+    if xa.size == 0 or xb.size == 0:
+        raise ValueError("both samples must be non-empty")
+    grid = np.concatenate([xa, xb])
+    fa = np.searchsorted(xa, grid, side="right") / xa.size
+    fb = np.searchsorted(xb, grid, side="right") / xb.size
+    return float(np.max(np.abs(fa - fb)))
+
+
+def _safe_ratio(values: np.ndarray) -> Optional[EmpiricalDistribution]:
+    if values.size < 2:
+        return None
+    return EmpiricalDistribution.from_data(values)
+
+
+def compare_traces(
+    trace_a: FailureTrace,
+    trace_b: FailureTrace,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> List[MetricComparison]:
+    """The comparison panel; see the module docstring.
+
+    Both traces need at least ~10 records; periodicity metrics are
+    skipped when either trace has empty hour/day bins.
+    """
+    if len(trace_a) < 10 or len(trace_b) < 10:
+        raise ValueError("both traces need at least 10 records")
+    rows: List[MetricComparison] = []
+
+    def add(name: str, value_a: float, value_b: float) -> None:
+        rows.append(MetricComparison(name=name, value_a=value_a, value_b=value_b))
+
+    # Volume normalized by observation window.
+    for_label = {}
+    for label, trace in ((label_a, trace_a), (label_b, trace_b)):
+        years = (trace.data_end - trace.data_start) / (365.25 * 86400.0)
+        for_label[label] = len(trace) / years
+    add("failures per year", for_label[label_a], for_label[label_b])
+
+    # Root-cause shares.
+    for cause in HIGH_LEVEL_CAUSES:
+        share_a = trace_a.counts_by_cause().get(cause, 0) / len(trace_a)
+        share_b = trace_b.counts_by_cause().get(cause, 0) / len(trace_b)
+        add(f"share[{cause.value}]", share_a, share_b)
+
+    # Repair-time distribution.
+    repairs_a = trace_a.repair_minutes()
+    repairs_b = trace_b.repair_minutes()
+    summary_a = EmpiricalDistribution.from_data(repairs_a)
+    summary_b = EmpiricalDistribution.from_data(repairs_b)
+    add("repair median (min)", summary_a.median, summary_b.median)
+    add("repair mean (min)", summary_a.mean, summary_b.mean)
+    add("repair KS distance", two_sample_ks(repairs_a, repairs_b), 0.0)
+
+    # Interarrival distribution, normalized by each trace's own mean so
+    # the comparison is about *shape*, not absolute rate.
+    gaps_a = trace_a.interarrival_times()
+    gaps_b = trace_b.interarrival_times()
+    if len(gaps_a) >= 10 and len(gaps_b) >= 10:
+        add(
+            "interarrival C^2",
+            EmpiricalDistribution.from_data(gaps_a).squared_cv,
+            EmpiricalDistribution.from_data(gaps_b).squared_cv,
+        )
+        add(
+            "zero-gap fraction",
+            float(np.mean(gaps_a == 0.0)),
+            float(np.mean(gaps_b == 0.0)),
+        )
+        add(
+            "interarrival KS (mean-normalized)",
+            two_sample_ks(gaps_a / max(gaps_a.mean(), 1e-12),
+                          gaps_b / max(gaps_b.mean(), 1e-12)),
+            0.0,
+        )
+
+    # Periodicity ratios, when computable.
+    try:
+        periodicity_a = periodicity_study(trace_a)
+        periodicity_b = periodicity_study(trace_b)
+    except ValueError:
+        pass
+    else:
+        add("peak/trough ratio", periodicity_a.peak_trough_ratio,
+            periodicity_b.peak_trough_ratio)
+        add("weekday/weekend ratio", periodicity_a.weekday_weekend_ratio,
+            periodicity_b.weekday_weekend_ratio)
+    return rows

@@ -1,0 +1,94 @@
+"""Correlation analyses: simultaneous failures and workload effects.
+
+Two findings of Section 5:
+
+* early in the NUMA era, a large fraction of system-wide interarrivals
+  are exactly zero — simultaneous failures of multiple nodes
+  (Figure 6(c));
+* failure rates correlate with the type and intensity of the workload:
+  graphics and front-end nodes fail far more often than compute nodes
+  running on identical hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.records.record import Workload
+from repro.records.trace import FailureTrace
+
+__all__ = ["simultaneous_fraction", "WorkloadRate", "workload_rates"]
+
+
+def simultaneous_fraction(trace: FailureTrace, tolerance: float = 0.0) -> float:
+    """Fraction of interarrival gaps that are <= ``tolerance`` seconds.
+
+    With the default tolerance of zero this counts exact simultaneous
+    failures, the paper's Figure 6(c) measure.
+    """
+    gaps = trace.interarrival_times()
+    if len(gaps) == 0:
+        raise ValueError("trace has fewer than 2 records")
+    return float(np.mean(gaps <= tolerance))
+
+
+@dataclass(frozen=True)
+class WorkloadRate:
+    """Failure intensity of one workload class within a system."""
+
+    workload: Workload
+    nodes: int
+    failures: int
+
+    @property
+    def failures_per_node(self) -> float:
+        """Lifetime failures per node of this class."""
+        return self.failures / self.nodes
+
+
+def workload_rates(
+    trace: FailureTrace, system_id: Optional[int] = None
+) -> Dict[Workload, WorkloadRate]:
+    """Per-node failure intensity by workload class.
+
+    Node membership is inferred from the workload label on the node's
+    records; nodes with no failures count as compute (the default
+    class).  Restrict to one system with ``system_id``.
+
+    Returns only classes that have at least one node.
+    """
+    sub = trace if system_id is None else trace.filter_systems([system_id])
+    system_ids = [system_id] if system_id is not None else sorted(
+        {record.system_id for record in sub}
+    )
+    node_class: Dict[tuple, Workload] = {}
+    failures: Dict[tuple, int] = {}
+    for record in sub:
+        key = (record.system_id, record.node_id)
+        node_class[key] = record.workload
+        failures[key] = failures.get(key, 0) + 1
+    # Nodes with zero failures: compute class.
+    for sid in system_ids:
+        config = sub.systems.get(sid)
+        if config is None:
+            continue
+        for node_id in range(config.node_count):
+            key = (sid, node_id)
+            node_class.setdefault(key, Workload.COMPUTE)
+            failures.setdefault(key, 0)
+    grouped_nodes: Dict[Workload, int] = {}
+    grouped_failures: Dict[Workload, int] = {}
+    for key, workload in node_class.items():
+        grouped_nodes[workload] = grouped_nodes.get(workload, 0) + 1
+        grouped_failures[workload] = grouped_failures.get(workload, 0) + failures[key]
+    return {
+        workload: WorkloadRate(
+            workload=workload,
+            nodes=grouped_nodes[workload],
+            failures=grouped_failures[workload],
+        )
+        for workload in grouped_nodes
+    }

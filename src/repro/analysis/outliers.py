@@ -1,0 +1,107 @@
+"""Node outlier detection.
+
+Figure 3(a)'s story started as a discovery: three nodes of system 20
+stuck out of the per-node failure distribution, and asking LANL about
+them revealed they ran a different (visualization) workload.  This
+module automates that discovery step for any system: fit the count
+distribution to the bulk, flag nodes whose counts are implausible
+under it.
+
+Method: fit a lognormal to the per-node counts robustly (median /
+MAD-in-log-space, so the outliers themselves cannot inflate the fit),
+then flag nodes whose count exceeds the fitted ``threshold`` quantile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.records.trace import FailureTrace
+from repro.stats.distributions import LogNormal
+
+__all__ = ["NodeOutlier", "find_node_outliers"]
+
+#: MAD -> sigma consistency constant for the normal distribution.
+_MAD_TO_SIGMA = 1.4826
+
+
+@dataclass(frozen=True)
+class NodeOutlier:
+    """One flagged node.
+
+    Attributes
+    ----------
+    node_id / count:
+        The node and its failure count.
+    expected_median:
+        The robust-fit median count across nodes.
+    tail_probability:
+        P(count >= observed) under the robust bulk fit — how
+        implausible the node is if it were ordinary.
+    """
+
+    node_id: int
+    count: int
+    expected_median: float
+    tail_probability: float
+
+    @property
+    def excess_ratio(self) -> float:
+        """Observed count / bulk median."""
+        return self.count / self.expected_median
+
+
+def find_node_outliers(
+    trace: FailureTrace,
+    system_id: int,
+    threshold: float = 0.999,
+    min_nodes: int = 8,
+) -> Tuple[List[NodeOutlier], LogNormal]:
+    """Flag nodes failing far more than the system's bulk.
+
+    Parameters
+    ----------
+    trace / system_id:
+        The system to inspect.
+    threshold:
+        Bulk-fit quantile above which a node is flagged (0.999 flags
+        ~0.1% false positives per node under the bulk model).
+    min_nodes:
+        Minimum nodes with at least one failure.
+
+    Returns
+    -------
+    (outliers, bulk_fit):
+        Flagged nodes sorted by descending count, and the robust
+        lognormal fitted to the bulk.
+    """
+    if not 0.5 < threshold < 1.0:
+        raise ValueError(f"threshold must be in (0.5, 1), got {threshold}")
+    counts = trace.failures_per_node(system_id)
+    positive = {node: count for node, count in counts.items() if count > 0}
+    if len(positive) < min_nodes:
+        raise ValueError(
+            f"system {system_id}: only {len(positive)} nodes with failures"
+        )
+    logs = np.log(np.array(list(positive.values()), dtype=float))
+    mu = float(np.median(logs))
+    mad = float(np.median(np.abs(logs - mu)))
+    sigma = max(_MAD_TO_SIGMA * mad, 1e-6)
+    bulk = LogNormal(mu=mu, sigma=sigma)
+    cut = float(bulk.ppf(threshold))
+    outliers = [
+        NodeOutlier(
+            node_id=node,
+            count=count,
+            expected_median=math.exp(mu),
+            tail_probability=float(bulk.survival(count)),
+        )
+        for node, count in positive.items()
+        if count > cut
+    ]
+    outliers.sort(key=lambda outlier: -outlier.count)
+    return outliers, bulk

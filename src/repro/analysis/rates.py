@@ -1,0 +1,135 @@
+"""Failure rates across systems (Figure 2, Section 5.1).
+
+Figure 2(a): average failures per year for each system during its
+production time — varying wildly (17 to ~1150 in the paper), mostly
+because systems vary wildly in size.  Figure 2(b): the same rates
+normalized by processor count — much less variable, especially within
+a hardware type, implying failure rates grow roughly linearly with
+system size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.records.system import HardwareType
+from repro.records.trace import FailureTrace
+
+__all__ = [
+    "SystemRate",
+    "failure_rates",
+    "normalized_variability",
+    "rate_size_correlation",
+]
+
+
+@dataclass(frozen=True)
+class SystemRate:
+    """Failure-rate summary for one system.
+
+    Attributes
+    ----------
+    system_id / hardware_type:
+        Identity.
+    failures:
+        Total failures recorded for the system.
+    production_years:
+        Length of the production window in average years.
+    per_year:
+        Figure 2(a): failures / production year.
+    per_year_per_proc:
+        Figure 2(b): per_year / processor count.
+    processors / nodes:
+        System size.
+    """
+
+    system_id: int
+    hardware_type: HardwareType
+    failures: int
+    production_years: float
+    per_year: float
+    per_year_per_proc: float
+    processors: int
+    nodes: int
+
+
+def failure_rates(trace: FailureTrace) -> List[SystemRate]:
+    """Figure 2: per-system failure rates, raw and per-processor.
+
+    Systems present in the inventory but absent from the records get a
+    rate of zero (they existed; they just did not fail in the window).
+    """
+    by_system = trace.by_system()
+    rates: List[SystemRate] = []
+    for system_id in sorted(trace.systems.keys()):
+        config = trace.systems[system_id]
+        years = config.production_years(trace.data_start, trace.data_end)
+        failures = len(by_system.get(system_id, ()))
+        per_year = failures / years
+        rates.append(
+            SystemRate(
+                system_id=system_id,
+                hardware_type=config.hardware_type,
+                failures=failures,
+                production_years=years,
+                per_year=per_year,
+                per_year_per_proc=per_year / config.processor_count,
+                processors=config.processor_count,
+                nodes=config.node_count,
+            )
+        )
+    return rates
+
+
+def _coefficient_of_variation(values: np.ndarray) -> float:
+    mean = float(np.mean(values))
+    if mean == 0:
+        raise ValueError("zero-mean rate group")
+    return float(np.std(values) / mean)
+
+
+def normalized_variability(trace: FailureTrace) -> Dict[str, float]:
+    """Coefficient of variation of rates, raw vs normalized.
+
+    Quantifies Figure 2's visual claim: normalizing by processor count
+    shrinks the across-system variability dramatically.  Returns CVs
+    for raw rates, normalized rates, and normalized rates within each
+    hardware type with >= 2 systems.
+    """
+    rates = [rate for rate in failure_rates(trace) if rate.failures > 0]
+    if len(rates) < 2:
+        raise ValueError("need at least 2 systems with failures")
+    raw = np.array([rate.per_year for rate in rates])
+    normalized = np.array([rate.per_year_per_proc for rate in rates])
+    result = {
+        "raw": _coefficient_of_variation(raw),
+        "normalized": _coefficient_of_variation(normalized),
+    }
+    by_type: Dict[HardwareType, List[float]] = {}
+    for rate in rates:
+        by_type.setdefault(rate.hardware_type, []).append(rate.per_year_per_proc)
+    for hardware_type, values in sorted(by_type.items(), key=lambda kv: kv[0].value):
+        if len(values) >= 2:
+            result[f"normalized[{hardware_type.value}]"] = _coefficient_of_variation(
+                np.array(values)
+            )
+    return result
+
+
+def rate_size_correlation(trace: FailureTrace) -> float:
+    """Pearson correlation of log(failures/year) vs log(processors).
+
+    A slope/correlation near 1 on the log-log scale supports the
+    paper's conclusion that failure rates grow roughly linearly (not
+    super-linearly) with system size.
+    """
+    rates = [rate for rate in failure_rates(trace) if rate.failures > 0]
+    if len(rates) < 3:
+        raise ValueError("need at least 3 systems with failures")
+    x = np.array([math.log(rate.processors) for rate in rates])
+    y = np.array([math.log(rate.per_year) for rate in rates])
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,160 @@
+"""Root-cause breakdowns (Figure 1, Section 4).
+
+Figure 1(a) breaks the *number* of failures into the six high-level
+root-cause categories per hardware type; Figure 1(b) does the same for
+*downtime*.  Section 4 additionally examines low-level causes: memory
+is the most common low-level cause everywhere except type E (CPU design
+flaw), and the dominant software cause differs per type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.records.record import HIGH_LEVEL_CAUSES, LowLevelCause, RootCause
+from repro.records.system import HardwareType
+from repro.records.trace import FailureTrace
+
+__all__ = [
+    "CauseBreakdown",
+    "breakdown_by_hardware_type",
+    "downtime_breakdown_by_hardware_type",
+    "low_level_shares",
+    "memory_share",
+    "top_software_cause",
+]
+
+#: The hardware types Figure 1 plots (A-C are single-node systems and
+#: are shown only in the all-systems aggregate).
+FIGURE1_TYPES: Tuple[HardwareType, ...] = (
+    HardwareType.D,
+    HardwareType.E,
+    HardwareType.F,
+    HardwareType.G,
+    HardwareType.H,
+)
+
+
+@dataclass(frozen=True)
+class CauseBreakdown:
+    """Percentages per root cause for one group of systems.
+
+    Attributes
+    ----------
+    label:
+        Group label ("D" ... "H" or "All systems").
+    total:
+        Denominator: number of failures (Figure 1(a)) or total downtime
+        in seconds (Figure 1(b)).
+    percentages:
+        Root cause -> percentage of the total (sums to 100).
+    """
+
+    label: str
+    total: float
+    percentages: Dict[RootCause, float]
+
+    def percent(self, cause: RootCause) -> float:
+        """The percentage for one cause (0 if absent)."""
+        return self.percentages.get(cause, 0.0)
+
+
+def _breakdown(label: str, weights: Dict[RootCause, float]) -> CauseBreakdown:
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError(f"group {label!r} has no failures")
+    percentages = {
+        cause: 100.0 * weights.get(cause, 0.0) / total for cause in HIGH_LEVEL_CAUSES
+    }
+    return CauseBreakdown(label=label, total=total, percentages=percentages)
+
+
+def breakdown_by_hardware_type(
+    trace: FailureTrace,
+    hardware_types: Sequence[HardwareType] = FIGURE1_TYPES,
+) -> Dict[str, CauseBreakdown]:
+    """Figure 1(a): failure-count breakdown per hardware type + overall.
+
+    Returns a dict keyed by the type letter plus ``"All systems"``,
+    each value holding percentages per root cause.
+    """
+    result: Dict[str, CauseBreakdown] = {}
+    for hardware_type in hardware_types:
+        sub = trace.filter_hardware(hardware_type)
+        if len(sub) == 0:
+            continue
+        counts = {cause: float(n) for cause, n in sub.counts_by_cause().items()}
+        result[hardware_type.value] = _breakdown(hardware_type.value, counts)
+    overall = {cause: float(n) for cause, n in trace.counts_by_cause().items()}
+    result["All systems"] = _breakdown("All systems", overall)
+    return result
+
+
+def downtime_breakdown_by_hardware_type(
+    trace: FailureTrace,
+    hardware_types: Sequence[HardwareType] = FIGURE1_TYPES,
+) -> Dict[str, CauseBreakdown]:
+    """Figure 1(b): downtime breakdown per hardware type + overall."""
+    result: Dict[str, CauseBreakdown] = {}
+    for hardware_type in hardware_types:
+        sub = trace.filter_hardware(hardware_type)
+        if len(sub) == 0:
+            continue
+        result[hardware_type.value] = _breakdown(
+            hardware_type.value, sub.downtime_by_cause()
+        )
+    result["All systems"] = _breakdown("All systems", trace.downtime_by_cause())
+    return result
+
+
+def low_level_shares(
+    trace: FailureTrace, hardware_type: Optional[HardwareType] = None
+) -> Dict[LowLevelCause, float]:
+    """Share of *all* failures per low-level cause (Section 4).
+
+    Records without a low-level cause (all UNKNOWN records, plus any
+    under-specified ones) are part of the denominator but appear under
+    no key — matching the paper's "X% of all failures were due to
+    memory" phrasing.
+    """
+    sub = trace if hardware_type is None else trace.filter_hardware(hardware_type)
+    if len(sub) == 0:
+        raise ValueError("no failures in the selected group")
+    shares: Dict[LowLevelCause, float] = {}
+    for record in sub:
+        if record.low_level_cause is not None:
+            shares[record.low_level_cause] = shares.get(record.low_level_cause, 0.0) + 1.0
+    total = float(len(sub))
+    return {cause: count / total for cause, count in shares.items()}
+
+
+def memory_share(trace: FailureTrace, hardware_type: Optional[HardwareType] = None) -> float:
+    """Fraction of all failures attributed to memory (Section 4)."""
+    return low_level_shares(trace, hardware_type).get(LowLevelCause.MEMORY, 0.0)
+
+
+def top_software_cause(
+    trace: FailureTrace, hardware_type: HardwareType
+) -> Tuple[LowLevelCause, float]:
+    """The most common low-level *software* cause for a hardware type.
+
+    Section 4: parallel filesystem for F, scheduler for H, OS for E,
+    unspecified for D and G.
+
+    Returns
+    -------
+    (cause, share):
+        The winning software cause and its share of software failures.
+    """
+    sub = trace.filter_hardware(hardware_type).filter_cause(RootCause.SOFTWARE)
+    if len(sub) == 0:
+        raise ValueError(f"no software failures for type {hardware_type}")
+    counts: Dict[LowLevelCause, int] = {}
+    for record in sub:
+        if record.low_level_cause is not None:
+            counts[record.low_level_cause] = counts.get(record.low_level_cause, 0) + 1
+    if not counts:
+        raise ValueError(f"software failures for type {hardware_type} lack detail")
+    winner = max(counts, key=lambda cause: counts[cause])
+    return winner, counts[winner] / len(sub)

@@ -1,0 +1,132 @@
+"""The whole paper in one call.
+
+:func:`summarize` runs every analysis of Sections 4-6 on a trace and
+returns a :class:`PaperSummary` with the headline findings of the
+paper's Section 8 summary, each as a checkable quantity.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.interarrival import (
+    InterarrivalStudy,
+    interarrival_study,
+    split_eras,
+    system_interarrivals,
+)
+from repro.analysis.lifecycle import classify_lifecycle, monthly_failures
+from repro.analysis.periodicity import PeriodicityStudy, periodicity_study
+from repro.analysis.rates import SystemRate, failure_rates, normalized_variability
+from repro.analysis.repair import (
+    RepairByCauseRow,
+    repair_by_system,
+    repair_fit_study,
+    repair_statistics_by_cause,
+)
+from repro.analysis.rootcause import (
+    CauseBreakdown,
+    breakdown_by_hardware_type,
+    downtime_breakdown_by_hardware_type,
+)
+from repro.records.timeutils import from_datetime
+from repro.records.trace import FailureTrace
+from repro.stats.fitting import FitResult
+from repro.synth.lifecycle import LifecycleShape
+
+__all__ = ["PaperSummary", "summarize"]
+
+#: The paper's era boundary for the Figure 6 early/late split.
+ERA_BOUNDARY = from_datetime(_dt.datetime(2000, 1, 1))
+
+
+@dataclass(frozen=True)
+class PaperSummary:
+    """Headline results of the paper, computed from a trace.
+
+    Attributes map to the bullet list of the paper's Section 8.
+    """
+
+    n_records: int
+    # Failure rates vary widely, 20 to > 1000 per year.
+    rates: Tuple[SystemRate, ...]
+    rate_range: Tuple[float, float]
+    # Rates ~ proportional to processor count.
+    variability: Dict[str, float]
+    # Root-cause breakdowns.
+    cause_breakdown: Dict[str, CauseBreakdown]
+    downtime_breakdown: Dict[str, CauseBreakdown]
+    # Lifecycle shapes per long-lived system.
+    lifecycle_shapes: Dict[int, LifecycleShape]
+    # Workload correlation (Figure 5).
+    periodicity: PeriodicityStudy
+    # TBF: Weibull/gamma with decreasing hazard, shape 0.7-0.8.
+    tbf_system_late: Optional[InterarrivalStudy]
+    tbf_all: InterarrivalStudy
+    # Repair times.
+    repair_rows: Tuple[RepairByCauseRow, ...]
+    repair_fits: Tuple[FitResult, ...]
+    repair_system_range: Tuple[float, float]
+
+    @property
+    def repair_best_fit(self) -> str:
+        """Name of the winning repair-time distribution (lognormal)."""
+        return self.repair_fits[0].name
+
+
+def summarize(
+    trace: FailureTrace,
+    reference_system: int = 20,
+    era_boundary: float = ERA_BOUNDARY,
+    min_lifecycle_months: int = 30,
+) -> PaperSummary:
+    """Run the paper's full analysis suite on a trace.
+
+    Parameters
+    ----------
+    trace:
+        The trace to analyze.
+    reference_system:
+        System used for the Figure 6 interarrival studies (20 in the
+        paper).
+    era_boundary:
+        Early/late split timestamp (2000-01-01 in the paper).
+    min_lifecycle_months:
+        Only classify lifecycle shapes of systems at least this old.
+    """
+    rates = tuple(failure_rates(trace))
+    nonzero = [rate.per_year for rate in rates if rate.failures > 0]
+    if not nonzero:
+        raise ValueError("trace has no failures")
+    lifecycle_shapes: Dict[int, LifecycleShape] = {}
+    for system_id in sorted(trace.systems.keys()):
+        curve = monthly_failures(trace, system_id)
+        if curve.months >= min_lifecycle_months and sum(curve.totals) >= 100:
+            lifecycle_shapes[system_id] = classify_lifecycle(curve)
+    tbf_system_late: Optional[InterarrivalStudy] = None
+    if reference_system in trace.by_system():
+        reference = trace.filter_systems([reference_system])
+        _early, late = split_eras(reference, era_boundary)
+        if len(late) >= 10:
+            tbf_system_late = system_interarrivals(
+                late, reference_system, label=f"system {reference_system} late era"
+            )
+    per_system_repair = repair_by_system(trace)
+    repair_means = [row.mean for row in per_system_repair.values()]
+    return PaperSummary(
+        n_records=len(trace),
+        rates=rates,
+        rate_range=(min(nonzero), max(nonzero)),
+        variability=normalized_variability(trace),
+        cause_breakdown=breakdown_by_hardware_type(trace),
+        downtime_breakdown=downtime_breakdown_by_hardware_type(trace),
+        lifecycle_shapes=lifecycle_shapes,
+        periodicity=periodicity_study(trace),
+        tbf_system_late=tbf_system_late,
+        tbf_all=interarrival_study(trace, label="all systems pooled"),
+        repair_rows=tuple(repair_statistics_by_cause(trace)),
+        repair_fits=repair_fit_study(trace),
+        repair_system_range=(min(repair_means), max(repair_means)),
+    )

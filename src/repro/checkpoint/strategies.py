@@ -1,0 +1,106 @@
+"""Checkpoint-interval selection strategies.
+
+A strategy maps what is known about the failure process to a
+checkpoint interval.  The ablation bench compares:
+
+* :class:`FixedIntervalStrategy` — a hand-picked interval;
+* :class:`YoungStrategy` — Young's formula from the observed MTBF
+  (implicitly assumes Poisson failures);
+* :class:`DistributionAwareStrategy` — numerically optimal interval
+  for a *fitted* failure distribution (e.g. the Weibull the paper
+  finds), via the exact renewal-reward model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.checkpoint.models import daly_interval, optimal_interval, young_interval
+from repro.stats.distributions import Distribution
+from repro.stats.fitting import fit_all
+
+__all__ = [
+    "CheckpointStrategy",
+    "FixedIntervalStrategy",
+    "YoungStrategy",
+    "DalyStrategy",
+    "DistributionAwareStrategy",
+]
+
+
+class CheckpointStrategy(ABC):
+    """Maps observed interarrival data to a checkpoint interval."""
+
+    #: Short name for result tables.
+    name: str = "strategy"
+
+    @abstractmethod
+    def interval(self, interarrivals: Sequence[float], checkpoint_cost: float) -> float:
+        """The checkpoint interval (seconds) for the observed failures."""
+
+
+class FixedIntervalStrategy(CheckpointStrategy):
+    """Always the same interval, regardless of the data."""
+
+    def __init__(self, fixed_interval: float) -> None:
+        if fixed_interval <= 0:
+            raise ValueError(f"interval must be positive, got {fixed_interval}")
+        self._interval = fixed_interval
+        self.name = f"fixed({fixed_interval:g}s)"
+
+    def interval(self, interarrivals: Sequence[float], checkpoint_cost: float) -> float:
+        return self._interval
+
+
+class YoungStrategy(CheckpointStrategy):
+    """Young's formula on the empirical MTBF (Poisson assumption)."""
+
+    name = "young"
+
+    def interval(self, interarrivals: Sequence[float], checkpoint_cost: float) -> float:
+        values = np.asarray(interarrivals, dtype=float)
+        if values.size == 0:
+            raise ValueError("no interarrival observations")
+        return young_interval(checkpoint_cost, float(np.mean(values)))
+
+
+class DalyStrategy(CheckpointStrategy):
+    """Daly's higher-order formula on the empirical MTBF."""
+
+    name = "daly"
+
+    def interval(self, interarrivals: Sequence[float], checkpoint_cost: float) -> float:
+        values = np.asarray(interarrivals, dtype=float)
+        if values.size == 0:
+            raise ValueError("no interarrival observations")
+        return daly_interval(checkpoint_cost, float(np.mean(values)))
+
+
+class DistributionAwareStrategy(CheckpointStrategy):
+    """Numerically optimal interval for the best-fitting distribution.
+
+    Fits the paper's four candidates to the interarrival data, takes
+    the NLL winner, and optimizes the renewal-reward efficiency under
+    it.  With Weibull-shaped (decreasing-hazard) failures this selects
+    noticeably shorter intervals than Young's formula and wastes less
+    work — the quantitative version of the paper's warning that the
+    Poisson assumption "is suspect".
+    """
+
+    name = "distribution-aware"
+
+    def __init__(self, restart_cost: float = 0.0) -> None:
+        if restart_cost < 0:
+            raise ValueError(f"restart_cost must be >= 0, got {restart_cost}")
+        self._restart_cost = restart_cost
+
+    def fitted(self, interarrivals: Sequence[float]) -> Distribution:
+        """The best-fitting distribution for the observations."""
+        return fit_all(interarrivals, zero_policy="clamp")[0].distribution
+
+    def interval(self, interarrivals: Sequence[float], checkpoint_cost: float) -> float:
+        distribution = self.fitted(interarrivals)
+        return optimal_interval(distribution, checkpoint_cost, self._restart_cost)

@@ -1,0 +1,274 @@
+"""Command-line interface.
+
+::
+
+    python -m repro generate --seed 1 --out trace.csv
+    python -m repro generate --systems 19,20 --format jsonl --out g.jsonl
+    python -m repro report trace.csv --artifact fig6
+    python -m repro report --synthetic --artifact table2
+    python -m repro summary trace.csv
+    python -m repro availability trace.csv
+    python -m repro validate trace.csv
+    python -m repro schema
+
+Every subcommand that reads a trace accepts either a CSV/JSONL path or
+``--synthetic`` (with ``--seed``) to generate the LANL trace in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.records.trace import FailureTrace
+
+__all__ = ["main", "build_parser"]
+
+ARTIFACTS = (
+    "table1", "table2", "table3",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPC failure-data analysis toolkit (Schroeder & Gibson, DSN 2006)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic LANL trace")
+    generate.add_argument("--seed", type=int, default=0, help="generator seed")
+    generate.add_argument(
+        "--systems", type=str, default="",
+        help="comma-separated system IDs (default: all 22)",
+    )
+    generate.add_argument("--out", type=str, required=True, help="output path")
+    generate.add_argument(
+        "--format", choices=("csv", "jsonl"), default="csv", help="output format"
+    )
+
+    for name, help_text in (
+        ("report", "render a paper table/figure from a trace"),
+        ("summary", "print the whole-paper summary"),
+        ("availability", "per-system MTBF/MTTR/availability"),
+        ("validate", "check a trace file against the data model"),
+        ("outliers", "flag statistically anomalous nodes of a system"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("trace", nargs="?", default=None, help="CSV/JSONL path")
+        command.add_argument(
+            "--synthetic", action="store_true",
+            help="use the synthetic trace instead of a file",
+        )
+        command.add_argument("--seed", type=int, default=1, help="synthetic seed")
+        if name == "report":
+            command.add_argument(
+                "--artifact", choices=ARTIFACTS, required=True,
+                help="which table/figure to render",
+            )
+        if name == "outliers":
+            command.add_argument(
+                "--system", type=int, default=20, help="system ID to inspect"
+            )
+            command.add_argument(
+                "--threshold", type=float, default=0.995,
+                help="bulk-quantile flagging threshold",
+            )
+
+    compare = sub.add_parser("compare", help="compare two traces metric by metric")
+    compare.add_argument("trace_a", help="first CSV/JSONL path")
+    compare.add_argument("trace_b", help="second CSV/JSONL path")
+
+    sub.add_parser("schema", help="print the trace CSV schema")
+    return parser
+
+
+def _load_trace(args: argparse.Namespace) -> FailureTrace:
+    if args.synthetic:
+        from repro.synth import TraceGenerator
+
+        return TraceGenerator(seed=args.seed).generate()
+    if not args.trace:
+        raise SystemExit("error: provide a trace path or --synthetic")
+    from repro.io import read_jsonl, read_lanl_csv
+
+    if args.trace.endswith(".jsonl"):
+        return read_jsonl(args.trace)
+    return read_lanl_csv(args.trace)
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from repro.io import write_jsonl, write_lanl_csv
+    from repro.synth import TraceGenerator
+
+    system_ids = None
+    if args.systems:
+        system_ids = [int(part) for part in args.systems.split(",") if part]
+    trace = TraceGenerator(seed=args.seed).generate(system_ids)
+    if args.format == "jsonl":
+        count = write_jsonl(trace, args.out)
+    else:
+        count = write_lanl_csv(trace, args.out)
+    print(f"wrote {count} records to {args.out}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from repro import report
+
+    trace = _load_trace(args)
+    renderers = {
+        "table1": lambda: report.render_table1(trace),
+        "table2": lambda: report.render_table2(trace),
+        "table3": report.render_table3,
+        "fig1": lambda: report.render_figure1(trace),
+        "fig2": lambda: report.render_figure2(trace),
+        "fig3": lambda: report.render_figure3(trace),
+        "fig4": lambda: report.render_figure4(trace),
+        "fig5": lambda: report.render_figure5(trace),
+        "fig6": lambda: report.render_figure6(trace.filter_systems([20])),
+        "fig7": lambda: report.render_figure7(trace),
+    }
+    print(renderers[args.artifact]())
+    return 0
+
+
+def _command_summary(args: argparse.Namespace) -> int:
+    from repro.analysis import summarize
+    from repro.records.record import RootCause
+
+    trace = _load_trace(args)
+    summary = summarize(trace)
+    print(f"records: {summary.n_records}")
+    low, high = summary.rate_range
+    print(f"failure rates: {low:.0f} .. {high:.0f} per year")
+    overall = summary.cause_breakdown["All systems"]
+    causes = "  ".join(
+        f"{cause.value}={overall.percent(cause):.0f}%" for cause in RootCause
+    )
+    print(f"root causes: {causes}")
+    if summary.tbf_system_late is not None:
+        tbf = summary.tbf_system_late
+        print(
+            f"TBF (system 20, late): best={tbf.best.name} "
+            f"shape={tbf.weibull_shape:.2f} hazard={tbf.hazard}"
+        )
+    print(f"TTR: best={summary.repair_best_fit}; per-system mean "
+          f"{summary.repair_system_range[0]:.0f}..{summary.repair_system_range[1]:.0f} min")
+    print(
+        f"periodicity: peak/trough={summary.periodicity.peak_trough_ratio:.2f} "
+        f"weekday/weekend={summary.periodicity.weekday_weekend_ratio:.2f}"
+    )
+    shapes = ", ".join(
+        f"{system_id}:{shape}" for system_id, shape in sorted(summary.lifecycle_shapes.items())
+    )
+    print(f"lifecycle shapes: {shapes}")
+    return 0
+
+
+def _command_availability(args: argparse.Namespace) -> int:
+    from repro.analysis import availability_report
+    from repro.report import format_table
+
+    trace = _load_trace(args)
+    rows = [
+        (
+            system_id,
+            availability.failures,
+            f"{availability.mtbf_hours:.1f}",
+            f"{availability.mttr_hours:.1f}",
+            f"{100 * availability.node_availability:.3f}%",
+            f"{100 * availability.any_node_down_fraction:.1f}%",
+        )
+        for system_id, availability in availability_report(trace).items()
+    ]
+    print(format_table(
+        ("system", "failures", "MTBF (h)", "MTTR (h)", "node avail", "any node down"),
+        rows, title="Availability report",
+    ))
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    from repro.records.validation import validate_trace
+
+    trace = _load_trace(args)
+    problems = validate_trace(trace)
+    if problems:
+        for problem in problems:
+            print(problem)
+        print(f"INVALID: {len(problems)} problem(s) in {len(trace)} records")
+        return 1
+    print(f"OK: {len(trace)} records valid")
+    return 0
+
+
+def _command_outliers(args: argparse.Namespace) -> int:
+    from repro.analysis import find_node_outliers
+    from repro.report import format_table
+
+    trace = _load_trace(args)
+    outliers, bulk = find_node_outliers(trace, args.system, threshold=args.threshold)
+    print(f"bulk model: {bulk.describe()} (median {bulk.median:.0f} failures/node)")
+    if not outliers:
+        print(f"system {args.system}: no outlier nodes at threshold {args.threshold}")
+        return 0
+    rows = [
+        (o.node_id, o.count, f"{o.excess_ratio:.1f}x", f"{o.tail_probability:.1e}")
+        for o in outliers
+    ]
+    print(format_table(
+        ("node", "failures", "vs bulk median", "tail p"),
+        rows, title=f"Outlier nodes of system {args.system}",
+    ))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_traces
+    from repro.io import read_jsonl, read_lanl_csv
+
+    def load(path: str):
+        return read_jsonl(path) if path.endswith(".jsonl") else read_lanl_csv(path)
+
+    rows = compare_traces(load(args.trace_a), load(args.trace_b))
+    print(f"{'metric':<36} {'A':>12} {'B':>12}")
+    for row in rows:
+        print(row.describe())
+    worst = max(rows, key=lambda row: row.relative_difference)
+    print(f"\nlargest relative difference: {worst.name} "
+          f"({100 * worst.relative_difference:.1f}%)")
+    return 0
+
+
+def _command_schema(_args: argparse.Namespace) -> int:
+    from repro.io import describe_schema
+
+    print(describe_schema())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "generate": _command_generate,
+        "report": _command_report,
+        "summary": _command_summary,
+        "availability": _command_availability,
+        "validate": _command_validate,
+        "outliers": _command_outliers,
+        "compare": _command_compare,
+        "schema": _command_schema,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

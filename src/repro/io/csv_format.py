@@ -1,0 +1,138 @@
+"""CSV reader/writer for failure traces.
+
+See :mod:`repro.io.schema` for the column definitions.  The reader is
+tolerant of column order (it uses the header) but strict about values:
+a malformed row raises :class:`~repro.io.schema.SchemaError` with the
+row number, rather than silently skewing downstream statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.io.schema import CSV_COLUMNS, SchemaError
+from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
+from repro.records.system import SystemConfig
+from repro.records.trace import FailureTrace
+
+__all__ = ["read_lanl_csv", "write_lanl_csv"]
+
+PathLike = Union[str, Path]
+
+_WORKLOADS = {workload.value: workload for workload in Workload}
+_CAUSES = {cause.value: cause for cause in RootCause}
+_LOW_LEVEL = {cause.value: cause for cause in LowLevelCause}
+
+
+def _open_text(path: Path, mode: str):
+    """Open a text file, transparently gzipped when the name ends .gz."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", newline="")
+    return path.open(mode, newline="")
+
+
+def _parse_row(row: Mapping[str, str], line: int) -> FailureRecord:
+    try:
+        record_id_text = row.get("record_id", "") or ""
+        record_id = int(record_id_text) if record_id_text else None
+        workload_text = (row.get("workload") or "compute").strip().lower()
+        cause_text = (row.get("root_cause") or "unknown").strip().lower()
+        low_text = (row.get("low_level_cause") or "").strip().lower()
+        if workload_text not in _WORKLOADS:
+            raise SchemaError(f"unknown workload {workload_text!r}")
+        if cause_text not in _CAUSES:
+            raise SchemaError(f"unknown root cause {cause_text!r}")
+        low_level = None
+        if low_text:
+            if low_text not in _LOW_LEVEL:
+                raise SchemaError(f"unknown low-level cause {low_text!r}")
+            low_level = _LOW_LEVEL[low_text]
+        return FailureRecord(
+            start_time=float(row["start_time"]),
+            end_time=float(row["end_time"]),
+            system_id=int(row["system_id"]),
+            node_id=int(row["node_id"]),
+            workload=_WORKLOADS[workload_text],
+            root_cause=_CAUSES[cause_text],
+            low_level_cause=low_level,
+            record_id=record_id,
+        )
+    except SchemaError:
+        raise
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SchemaError(f"line {line}: malformed row: {exc}") from exc
+
+
+def read_lanl_csv(
+    path: PathLike,
+    systems: Optional[Mapping[int, SystemConfig]] = None,
+    data_start: Optional[float] = None,
+    data_end: Optional[float] = None,
+) -> FailureTrace:
+    """Load a failure trace from a CSV file.
+
+    Parameters
+    ----------
+    path:
+        The CSV file.  The first row must be a header naming at least
+        ``system_id, node_id, start_time, end_time``.
+    systems:
+        Inventory to attach; defaults to the LANL Table 1 inventory.
+    data_start / data_end:
+        Observation window; defaults to the LANL data window.
+
+    Raises
+    ------
+    SchemaError
+        On a missing header or any malformed row.
+    """
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SchemaError(f"{path}: empty file (no header)")
+        missing = {"system_id", "node_id", "start_time", "end_time"} - set(
+            reader.fieldnames
+        )
+        if missing:
+            raise SchemaError(
+                f"{path}: header missing required columns {sorted(missing)}"
+            )
+        records = [
+            _parse_row(row, line)
+            for line, row in enumerate(reader, start=2)
+        ]
+    kwargs = {}
+    if data_start is not None:
+        kwargs["data_start"] = data_start
+    if data_end is not None:
+        kwargs["data_end"] = data_end
+    if systems is not None:
+        kwargs["systems"] = systems
+    return FailureTrace(records, **kwargs)
+
+
+def write_lanl_csv(trace: Union[FailureTrace, Iterable[FailureRecord]], path: PathLike) -> int:
+    """Write a trace to a CSV file; returns the number of rows written."""
+    path = Path(path)
+    records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
+    with _open_text(path, "w") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for index, record in enumerate(records):
+            writer.writerow(
+                (
+                    record.record_id if record.record_id is not None else index,
+                    record.system_id,
+                    record.node_id,
+                    repr(record.start_time),
+                    repr(record.end_time),
+                    record.workload.value,
+                    record.root_cause.value,
+                    record.low_level_cause.value if record.low_level_cause else "",
+                )
+            )
+    return len(records)

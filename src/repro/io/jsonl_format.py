@@ -1,0 +1,95 @@
+"""JSON-lines reader/writer for failure traces.
+
+One JSON object per line, using the same field names as the CSV schema.
+JSONL is convenient for streaming pipelines and for appending records
+incrementally; the CSV format remains the interchange format with the
+real CFDR data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.io.schema import SchemaError
+from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
+from repro.records.system import SystemConfig
+from repro.records.trace import FailureTrace
+
+__all__ = ["read_jsonl", "write_jsonl"]
+
+PathLike = Union[str, Path]
+
+
+def _record_to_dict(record: FailureRecord) -> dict:
+    payload = {
+        "system_id": record.system_id,
+        "node_id": record.node_id,
+        "start_time": record.start_time,
+        "end_time": record.end_time,
+        "workload": record.workload.value,
+        "root_cause": record.root_cause.value,
+    }
+    if record.low_level_cause is not None:
+        payload["low_level_cause"] = record.low_level_cause.value
+    if record.record_id is not None:
+        payload["record_id"] = record.record_id
+    return payload
+
+
+def _record_from_dict(payload: Mapping, line: int) -> FailureRecord:
+    try:
+        low_text = payload.get("low_level_cause")
+        return FailureRecord(
+            start_time=float(payload["start_time"]),
+            end_time=float(payload["end_time"]),
+            system_id=int(payload["system_id"]),
+            node_id=int(payload["node_id"]),
+            workload=Workload(payload.get("workload", "compute")),
+            root_cause=RootCause(payload.get("root_cause", "unknown")),
+            low_level_cause=LowLevelCause(low_text) if low_text else None,
+            record_id=payload.get("record_id"),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SchemaError(f"line {line}: malformed record: {exc}") from exc
+
+
+def write_jsonl(trace: Union[FailureTrace, Iterable[FailureRecord]], path: PathLike) -> int:
+    """Write a trace as JSON lines; returns the number of lines written."""
+    path = Path(path)
+    records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(_record_to_dict(record), sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+
+def read_jsonl(
+    path: PathLike,
+    systems: Optional[Mapping[int, SystemConfig]] = None,
+    data_start: Optional[float] = None,
+    data_end: Optional[float] = None,
+) -> FailureTrace:
+    """Load a failure trace from a JSON-lines file."""
+    path = Path(path)
+    records = []
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {line_number}: invalid JSON: {exc}") from exc
+            records.append(_record_from_dict(payload, line_number))
+    kwargs = {}
+    if data_start is not None:
+        kwargs["data_start"] = data_start
+    if data_end is not None:
+        kwargs["data_end"] = data_end
+    if systems is not None:
+        kwargs["systems"] = systems
+    return FailureTrace(records, **kwargs)

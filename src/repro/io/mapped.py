@@ -1,0 +1,184 @@
+"""Import arbitrary failure logs via a column mapping.
+
+Real failure logs rarely match our schema: the LANL/CFDR release, Blue
+Gene RAS logs and site-specific remedy exports all use different column
+names, date formats and cause vocabularies.  :func:`read_mapped_csv`
+converts any row-per-failure CSV to a :class:`FailureTrace` given a
+:class:`ColumnMapping` describing where each field lives and how to
+parse it.
+
+Example
+-------
+>>> mapping = ColumnMapping(
+...     system_id="System",
+...     node_id="nodenum",
+...     start_time="Prob Started",
+...     end_time="Prob Fixed",
+...     time_format="%m/%d/%Y %H:%M",
+...     cause_column="Facilities",
+...     cause_map={"Hardware": RootCause.HARDWARE},
+... )                                              # doctest: +SKIP
+>>> trace = read_mapped_csv("lanl_raw.csv", mapping)   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime as _dt
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from repro.io.schema import SchemaError
+from repro.records.record import FailureRecord, RootCause, Workload
+from repro.records.system import SystemConfig
+from repro.records.timeutils import from_datetime
+from repro.records.trace import FailureTrace
+
+__all__ = ["ColumnMapping", "read_mapped_csv"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ColumnMapping:
+    """Describes how to read one site's failure-log CSV.
+
+    Attributes
+    ----------
+    system_id / node_id / start_time / end_time:
+        Source column names for the required fields.
+    time_format:
+        ``datetime.strptime`` format for the time columns; None means
+        the columns already hold float seconds since the toolkit epoch.
+    duration_column / duration_unit:
+        Alternative to ``end_time``: a downtime column plus its unit
+        ("seconds", "minutes" or "hours").  Used when ``end_time`` is
+        None.
+    cause_column / cause_map:
+        Optional root-cause column and a source-value -> RootCause
+        mapping; unmapped values become UNKNOWN.
+    workload_column / workload_map:
+        Same for workloads; unmapped values become COMPUTE.
+    system_id_map:
+        Optional mapping of source system labels to integer IDs (for
+        logs keyed by hostname or machine name).
+    """
+
+    system_id: str
+    node_id: str
+    start_time: str
+    end_time: Optional[str] = None
+    time_format: Optional[str] = None
+    duration_column: Optional[str] = None
+    duration_unit: str = "minutes"
+    cause_column: Optional[str] = None
+    cause_map: Dict[str, RootCause] = field(default_factory=dict)
+    workload_column: Optional[str] = None
+    workload_map: Dict[str, Workload] = field(default_factory=dict)
+    system_id_map: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end_time is None and self.duration_column is None:
+            raise ValueError("need either end_time or duration_column")
+        if self.duration_unit not in ("seconds", "minutes", "hours"):
+            raise ValueError(f"unknown duration unit {self.duration_unit!r}")
+
+
+_DURATION_SECONDS = {"seconds": 1.0, "minutes": 60.0, "hours": 3600.0}
+
+
+def _parse_time(text: str, time_format: Optional[str], line: int) -> float:
+    text = text.strip()
+    try:
+        if time_format is None:
+            return float(text)
+        return from_datetime(_dt.datetime.strptime(text, time_format))
+    except (ValueError, TypeError) as exc:
+        raise SchemaError(f"line {line}: bad timestamp {text!r}: {exc}") from exc
+
+
+def read_mapped_csv(
+    path: PathLike,
+    mapping: ColumnMapping,
+    systems: Optional[Mapping[int, SystemConfig]] = None,
+    data_start: Optional[float] = None,
+    data_end: Optional[float] = None,
+) -> FailureTrace:
+    """Load a foreign failure log as a :class:`FailureTrace`.
+
+    Raises
+    ------
+    SchemaError
+        On a missing column or an unparseable row (with line number).
+    """
+    path = Path(path)
+    records = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SchemaError(f"{path}: empty file (no header)")
+        required = {mapping.system_id, mapping.node_id, mapping.start_time}
+        if mapping.end_time:
+            required.add(mapping.end_time)
+        if mapping.duration_column:
+            required.add(mapping.duration_column)
+        missing = required - set(reader.fieldnames)
+        if missing:
+            raise SchemaError(f"{path}: header missing columns {sorted(missing)}")
+        for line, row in enumerate(reader, start=2):
+            system_text = (row[mapping.system_id] or "").strip()
+            if system_text in mapping.system_id_map:
+                system_id = mapping.system_id_map[system_text]
+            else:
+                try:
+                    system_id = int(system_text)
+                except ValueError as exc:
+                    raise SchemaError(
+                        f"line {line}: system {system_text!r} is neither an "
+                        "integer nor in system_id_map"
+                    ) from exc
+            try:
+                node_id = int(row[mapping.node_id])
+            except (ValueError, TypeError) as exc:
+                raise SchemaError(f"line {line}: bad node id: {exc}") from exc
+            start = _parse_time(row[mapping.start_time], mapping.time_format, line)
+            if mapping.end_time is not None:
+                end = _parse_time(row[mapping.end_time], mapping.time_format, line)
+            else:
+                try:
+                    duration = float(row[mapping.duration_column])
+                except (ValueError, TypeError) as exc:
+                    raise SchemaError(f"line {line}: bad duration: {exc}") from exc
+                end = start + duration * _DURATION_SECONDS[mapping.duration_unit]
+            cause = RootCause.UNKNOWN
+            if mapping.cause_column is not None:
+                cause = mapping.cause_map.get(
+                    (row.get(mapping.cause_column) or "").strip(), RootCause.UNKNOWN
+                )
+            workload = Workload.COMPUTE
+            if mapping.workload_column is not None:
+                workload = mapping.workload_map.get(
+                    (row.get(mapping.workload_column) or "").strip(), Workload.COMPUTE
+                )
+            try:
+                records.append(
+                    FailureRecord(
+                        start_time=start,
+                        end_time=end,
+                        system_id=system_id,
+                        node_id=node_id,
+                        root_cause=cause,
+                        workload=workload,
+                    )
+                )
+            except ValueError as exc:
+                raise SchemaError(f"line {line}: {exc}") from exc
+    kwargs = {}
+    if systems is not None:
+        kwargs["systems"] = systems
+    if data_start is not None:
+        kwargs["data_start"] = data_start
+    if data_end is not None:
+        kwargs["data_end"] = data_end
+    return FailureTrace(records, **kwargs)

@@ -1,0 +1,55 @@
+"""The on-disk schema for failure traces.
+
+The CSV layout mirrors the fields of a remedy-database record as
+described in Section 2.3 of the paper: when the failure started, when it
+was resolved, the system and node affected, the workload, and the root
+cause at two levels of detail.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["CSV_COLUMNS", "SchemaError", "describe_schema"]
+
+
+class SchemaError(ValueError):
+    """Raised when a file does not conform to the trace schema."""
+
+
+#: Column order of the CSV trace format.
+CSV_COLUMNS: Tuple[str, ...] = (
+    "record_id",        # integer; stable identifier within the file
+    "system_id",        # integer, 1-22 for the LANL inventory
+    "node_id",          # integer, zero-based within the system
+    "start_time",       # float seconds since 1996-01-01 00:00
+    "end_time",         # float seconds since 1996-01-01 00:00
+    "workload",         # compute | graphics | fe
+    "root_cause",       # hardware | software | network | environment | human | unknown
+    "low_level_cause",  # detailed cause string, or empty
+)
+
+_DESCRIPTIONS = {
+    "record_id": "Stable integer identifier of the record within the file.",
+    "system_id": "Paper system ID (1-22 for the LANL inventory).",
+    "node_id": "Zero-based node index within the system.",
+    "start_time": "Failure start, float seconds since 1996-01-01 00:00.",
+    "end_time": "Repair completion, float seconds since 1996-01-01 00:00.",
+    "workload": "Workload on the node: compute, graphics or fe.",
+    "root_cause": (
+        "High-level root cause: hardware, software, network, environment, "
+        "human or unknown."
+    ),
+    "low_level_cause": (
+        "Detailed cause (e.g. 'memory', 'parallel filesystem'); empty when "
+        "only the high-level cause is known."
+    ),
+}
+
+
+def describe_schema() -> str:
+    """A human-readable description of the CSV columns."""
+    lines = ["Failure-trace CSV schema (one row per failure):", ""]
+    for column in CSV_COLUMNS:
+        lines.append(f"  {column:<16} {_DESCRIPTIONS[column]}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Node-level configuration schema for the Table 1 inventory.
+
+A system's nodes are not identical: Table 1's right half groups them
+into *categories* differing in processors per node, memory, NICs and
+production window.  :class:`NodeCategory` captures one such row;
+:class:`NodeConfig` is the expansion to a concrete node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.records.record import Workload
+
+__all__ = ["NodeCategory", "NodeConfig"]
+
+
+@dataclass(frozen=True)
+class NodeCategory:
+    """One row of the right half of Table 1.
+
+    Attributes
+    ----------
+    node_count:
+        Number of nodes in this category.
+    procs_per_node:
+        Processors per node.
+    memory_gb:
+        Main memory per node in GB.
+    nics:
+        Number of network interfaces per node.
+    production_start / production_end:
+        Table 1 production window strings (``MM/YY``, ``"N/A"`` or
+        ``"now"``); resolved against the data window by the inventory.
+    workload:
+        Predominant workload of nodes in this category.  Graphics and
+        front-end nodes exhibit markedly higher failure rates
+        (Section 5.1), so the category records it.
+    """
+
+    node_count: int
+    procs_per_node: int
+    memory_gb: float
+    nics: int
+    production_start: str = "N/A"
+    production_end: str = "now"
+    workload: Workload = Workload.COMPUTE
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {self.node_count}")
+        if self.procs_per_node < 1:
+            raise ValueError(
+                f"procs_per_node must be >= 1, got {self.procs_per_node}"
+            )
+        if self.memory_gb <= 0:
+            raise ValueError(f"memory_gb must be positive, got {self.memory_gb}")
+        if self.nics < 0:
+            raise ValueError(f"nics must be >= 0, got {self.nics}")
+
+    @property
+    def total_processors(self) -> int:
+        """Processors contributed by this category."""
+        return self.node_count * self.procs_per_node
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """A concrete node: a category row expanded to one node ID.
+
+    Attributes
+    ----------
+    system_id:
+        Owning system's paper ID.
+    node_id:
+        Zero-based node index within the system.
+    category:
+        The :class:`NodeCategory` this node belongs to.
+    production_start / production_end:
+        Resolved production window in toolkit seconds.
+    """
+
+    system_id: int
+    node_id: int
+    category: NodeCategory
+    production_start: float
+    production_end: float
+
+    def __post_init__(self) -> None:
+        if self.production_end <= self.production_start:
+            raise ValueError(
+                f"node {self.system_id}/{self.node_id}: empty production window"
+            )
+
+    @property
+    def procs(self) -> int:
+        """Processors on this node."""
+        return self.category.procs_per_node
+
+    @property
+    def workload(self) -> Workload:
+        """Predominant workload of this node."""
+        return self.category.workload
+
+    @property
+    def production_seconds(self) -> float:
+        """Length of the production window in seconds."""
+        return self.production_end - self.production_start
+
+    def in_production(self, timestamp: float) -> bool:
+        """Whether the node was in production at ``timestamp``."""
+        return self.production_start <= timestamp < self.production_end

@@ -1,0 +1,208 @@
+"""The failure record and its categorical vocabulary.
+
+A record mirrors one row of LANL's remedy database as described in
+Section 2.3 of the paper: start time, end time, system and node
+affected, workload type, and root cause (a high-level category plus an
+optional low-level detail such as the hardware component).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+__all__ = [
+    "RootCause",
+    "LowLevelCause",
+    "Workload",
+    "HIGH_LEVEL_CAUSES",
+    "FailureRecord",
+]
+
+
+class RootCause(enum.Enum):
+    """High-level root-cause categories (Section 2.3).
+
+    The failure classification was developed jointly by LANL hardware
+    engineers, administrators and operations staff; a failure whose
+    cause was never determined is recorded as UNKNOWN.
+    """
+
+    HARDWARE = "hardware"
+    SOFTWARE = "software"
+    NETWORK = "network"
+    ENVIRONMENT = "environment"
+    HUMAN = "human"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Display/iteration order used by the paper's figures.
+HIGH_LEVEL_CAUSES: Tuple[RootCause, ...] = (
+    RootCause.HARDWARE,
+    RootCause.SOFTWARE,
+    RootCause.NETWORK,
+    RootCause.ENVIRONMENT,
+    RootCause.HUMAN,
+    RootCause.UNKNOWN,
+)
+
+
+class LowLevelCause(enum.Enum):
+    """Detailed root-cause information (Section 4, detailed breakdown).
+
+    The real data distinguishes 99 hardware categories; we model the
+    ones the paper's analysis names plus coarse catch-alls.  Values are
+    grouped by their high-level parent.
+    """
+
+    # Hardware details -------------------------------------------------------
+    MEMORY = "memory"                    # DIMMs; >10% of ALL failures everywhere
+    CPU = "cpu"                          # >50% on type E (design flaw)
+    NODE_INTERCONNECT = "node interconnect"
+    DISK = "disk"
+    POWER_SUPPLY = "power supply"
+    FAN = "fan"
+    NODE_BOARD = "node board"
+    OTHER_HARDWARE = "other hardware"
+    # Software details -------------------------------------------------------
+    PARALLEL_FILESYSTEM = "parallel filesystem"   # dominant SW cause on type F
+    SCHEDULER_SOFTWARE = "scheduler software"     # dominant SW cause on type H
+    OPERATING_SYSTEM = "operating system"         # dominant SW cause on type E
+    USER_CODE = "user code"
+    UNSPECIFIED_SOFTWARE = "unspecified software" # dominant on types D and G
+    # Network details --------------------------------------------------------
+    SWITCH = "switch"
+    CABLE = "cable"
+    NIC = "nic"
+    # Environment details ----------------------------------------------------
+    POWER_OUTAGE = "power outage"
+    AC_FAILURE = "a/c failure"
+    # Human details ----------------------------------------------------------
+    CONFIGURATION = "configuration"
+    PROCEDURE = "procedure"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Mapping from a low-level cause to its high-level parent category.
+LOW_LEVEL_PARENT = {
+    LowLevelCause.MEMORY: RootCause.HARDWARE,
+    LowLevelCause.CPU: RootCause.HARDWARE,
+    LowLevelCause.NODE_INTERCONNECT: RootCause.HARDWARE,
+    LowLevelCause.DISK: RootCause.HARDWARE,
+    LowLevelCause.POWER_SUPPLY: RootCause.HARDWARE,
+    LowLevelCause.FAN: RootCause.HARDWARE,
+    LowLevelCause.NODE_BOARD: RootCause.HARDWARE,
+    LowLevelCause.OTHER_HARDWARE: RootCause.HARDWARE,
+    LowLevelCause.PARALLEL_FILESYSTEM: RootCause.SOFTWARE,
+    LowLevelCause.SCHEDULER_SOFTWARE: RootCause.SOFTWARE,
+    LowLevelCause.OPERATING_SYSTEM: RootCause.SOFTWARE,
+    LowLevelCause.USER_CODE: RootCause.SOFTWARE,
+    LowLevelCause.UNSPECIFIED_SOFTWARE: RootCause.SOFTWARE,
+    LowLevelCause.SWITCH: RootCause.NETWORK,
+    LowLevelCause.CABLE: RootCause.NETWORK,
+    LowLevelCause.NIC: RootCause.NETWORK,
+    LowLevelCause.POWER_OUTAGE: RootCause.ENVIRONMENT,
+    LowLevelCause.AC_FAILURE: RootCause.ENVIRONMENT,
+    LowLevelCause.CONFIGURATION: RootCause.HUMAN,
+    LowLevelCause.PROCEDURE: RootCause.HUMAN,
+}
+
+
+class Workload(enum.Enum):
+    """Workload type running on the affected node (Section 2.3)."""
+
+    COMPUTE = "compute"
+    GRAPHICS = "graphics"
+    FRONTEND = "fe"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class FailureRecord:
+    """One failure that required a system administrator's attention.
+
+    Records order by ``(start_time, system_id, node_id)``, so a sorted
+    list of records is a chronological trace.
+
+    Attributes
+    ----------
+    start_time:
+        When the failure started (seconds since the toolkit epoch;
+        see :mod:`repro.records.timeutils`).
+    end_time:
+        When the node returned to the job mix.  Must be >= start_time.
+    system_id:
+        The paper's system ID, 1-22.
+    node_id:
+        Zero-based node index within the system.
+    root_cause:
+        High-level root-cause category.
+    low_level_cause:
+        Optional detailed cause (e.g. memory); when present, must be a
+        child of ``root_cause``.
+    workload:
+        Workload type running on the node at failure time.
+    record_id:
+        Optional stable identifier (assigned by the generator or
+        loaded from a file); not used in comparisons beyond ordering.
+    """
+
+    start_time: float
+    system_id: int = field(compare=True)
+    node_id: int = field(compare=True)
+    end_time: float = field(compare=False, default=0.0)
+    root_cause: RootCause = field(compare=False, default=RootCause.UNKNOWN)
+    low_level_cause: Optional[LowLevelCause] = field(compare=False, default=None)
+    workload: Workload = field(compare=False, default=Workload.COMPUTE)
+    record_id: Optional[int] = field(compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        # Coerce to plain Python scalars so numpy types never leak into
+        # serialization (repr of np.float64 is not a CSV-safe number).
+        object.__setattr__(self, "start_time", float(self.start_time))
+        object.__setattr__(self, "end_time", float(self.end_time))
+        object.__setattr__(self, "system_id", int(self.system_id))
+        object.__setattr__(self, "node_id", int(self.node_id))
+        if self.end_time < self.start_time:
+            raise ValueError(
+                f"end_time {self.end_time} precedes start_time {self.start_time}"
+            )
+        if self.system_id < 1:
+            raise ValueError(f"system_id must be >= 1, got {self.system_id}")
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        if self.low_level_cause is not None:
+            parent = LOW_LEVEL_PARENT[self.low_level_cause]
+            if parent is not self.root_cause:
+                raise ValueError(
+                    f"low-level cause {self.low_level_cause} belongs to "
+                    f"{parent}, not {self.root_cause}"
+                )
+
+    @property
+    def repair_time(self) -> float:
+        """Downtime in seconds (end_time - start_time)."""
+        return self.end_time - self.start_time
+
+    @property
+    def repair_minutes(self) -> float:
+        """Downtime in minutes — the unit Table 2 and Figure 7 use."""
+        return self.repair_time / 60.0
+
+    def with_end_time(self, end_time: float) -> "FailureRecord":
+        """A copy of this record with a different end time."""
+        return replace(self, end_time=end_time)
+
+    def with_cause(
+        self, root_cause: RootCause, low_level_cause: Optional[LowLevelCause] = None
+    ) -> "FailureRecord":
+        """A copy with an amended root cause (remedy-DB follow-up flow)."""
+        return replace(self, root_cause=root_cause, low_level_cause=low_level_cause)

@@ -1,0 +1,216 @@
+"""The :class:`FailureTrace` container.
+
+A trace is an immutable, chronologically sorted sequence of
+:class:`~repro.records.record.FailureRecord` plus the system inventory
+it refers to.  Every analysis in :mod:`repro.analysis` consumes a trace;
+the synthetic generator and the CSV loader both produce one.
+
+Filtering methods return new traces sharing the same inventory, so
+analysis code composes naturally::
+
+    early = trace.filter_systems([20]).between(t0, t1)
+    node_view = early.filter_nodes([22])
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
+from repro.records.record import FailureRecord, RootCause, Workload
+from repro.records.system import HardwareType, SystemConfig
+
+__all__ = ["FailureTrace"]
+
+
+class FailureTrace:
+    """An immutable, sorted collection of failure records.
+
+    Parameters
+    ----------
+    records:
+        Failure records in any order; they are sorted by start time.
+    systems:
+        Inventory mapping system ID to :class:`SystemConfig`.  Defaults
+        to the LANL Table 1 inventory.
+    data_start / data_end:
+        The observation window in toolkit seconds.  Defaults to the
+        LANL data-collection window (June 1996 - November 2005).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[FailureRecord],
+        systems: Optional[Mapping[int, SystemConfig]] = None,
+        data_start: float = DATA_START,
+        data_end: float = DATA_END,
+    ) -> None:
+        self._records: Tuple[FailureRecord, ...] = tuple(
+            sorted(records, key=lambda record: (record.start_time, record.system_id, record.node_id))
+        )
+        self._systems: Dict[int, SystemConfig] = dict(systems if systems is not None else LANL_SYSTEMS)
+        self._data_start = float(data_start)
+        self._data_end = float(data_end)
+
+    # Basic protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FailureRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> FailureRecord:
+        return self._records[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FailureTrace({len(self._records)} records, "
+            f"{len(self._systems)} systems)"
+        )
+
+    @property
+    def records(self) -> Tuple[FailureRecord, ...]:
+        """The sorted records."""
+        return self._records
+
+    @property
+    def systems(self) -> Dict[int, SystemConfig]:
+        """The inventory (copy-on-read is not needed; treat as read-only)."""
+        return self._systems
+
+    @property
+    def data_start(self) -> float:
+        """Start of the observation window."""
+        return self._data_start
+
+    @property
+    def data_end(self) -> float:
+        """End of the observation window."""
+        return self._data_end
+
+    # Derived vectors ----------------------------------------------------------
+
+    def start_times(self) -> np.ndarray:
+        """Start times of all records as a float array (sorted)."""
+        return np.array([record.start_time for record in self._records], dtype=float)
+
+    def repair_times(self) -> np.ndarray:
+        """Repair durations (seconds) of all records."""
+        return np.array([record.repair_time for record in self._records], dtype=float)
+
+    def repair_minutes(self) -> np.ndarray:
+        """Repair durations in minutes (the paper's repair-time unit)."""
+        return self.repair_times() / 60.0
+
+    def interarrival_times(self) -> np.ndarray:
+        """Differences between consecutive failure start times (seconds).
+
+        For a single-node filtered trace this is the node view of time
+        between failures; for a whole-system trace it is the system-wide
+        view (Section 5.3).  Zero interarrivals indicate simultaneous
+        failures on different nodes.
+        """
+        starts = self.start_times()
+        if len(starts) < 2:
+            return np.empty(0, dtype=float)
+        return np.diff(starts)
+
+    # Filters ------------------------------------------------------------------
+
+    def _derive(self, records: Iterable[FailureRecord]) -> "FailureTrace":
+        return FailureTrace(
+            records, systems=self._systems, data_start=self._data_start, data_end=self._data_end
+        )
+
+    def filter(self, predicate: Callable[[FailureRecord], bool]) -> "FailureTrace":
+        """A new trace with the records satisfying ``predicate``."""
+        return self._derive(record for record in self._records if predicate(record))
+
+    def filter_systems(self, system_ids: Sequence[int]) -> "FailureTrace":
+        """Restrict to the given system IDs."""
+        wanted = frozenset(system_ids)
+        return self._derive(record for record in self._records if record.system_id in wanted)
+
+    def filter_nodes(self, node_ids: Sequence[int]) -> "FailureTrace":
+        """Restrict to the given node IDs (across all systems present)."""
+        wanted = frozenset(node_ids)
+        return self._derive(record for record in self._records if record.node_id in wanted)
+
+    def filter_hardware(self, hardware_type: HardwareType) -> "FailureTrace":
+        """Restrict to systems of the given hardware type."""
+        wanted = frozenset(
+            system_id
+            for system_id, config in self._systems.items()
+            if config.hardware_type is hardware_type
+        )
+        return self._derive(record for record in self._records if record.system_id in wanted)
+
+    def filter_cause(self, root_cause: RootCause) -> "FailureTrace":
+        """Restrict to records with the given high-level root cause."""
+        return self._derive(
+            record for record in self._records if record.root_cause is root_cause
+        )
+
+    def filter_workload(self, workload: Workload) -> "FailureTrace":
+        """Restrict to records whose node ran the given workload."""
+        return self._derive(
+            record for record in self._records if record.workload is workload
+        )
+
+    def between(self, start: float, end: float) -> "FailureTrace":
+        """Restrict to records starting within ``[start, end)``."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        return self._derive(
+            record for record in self._records if start <= record.start_time < end
+        )
+
+    def merge(self, other: "FailureTrace") -> "FailureTrace":
+        """Union of two traces over the same inventory."""
+        return self._derive(list(self._records) + list(other.records))
+
+    # Grouping -----------------------------------------------------------------
+
+    def by_system(self) -> Dict[int, "FailureTrace"]:
+        """Split into per-system traces (only systems with records)."""
+        buckets: Dict[int, List[FailureRecord]] = {}
+        for record in self._records:
+            buckets.setdefault(record.system_id, []).append(record)
+        return {system_id: self._derive(records) for system_id, records in buckets.items()}
+
+    def by_node(self) -> Dict[Tuple[int, int], "FailureTrace"]:
+        """Split into per-(system, node) traces."""
+        buckets: Dict[Tuple[int, int], List[FailureRecord]] = {}
+        for record in self._records:
+            buckets.setdefault((record.system_id, record.node_id), []).append(record)
+        return {key: self._derive(records) for key, records in buckets.items()}
+
+    def counts_by_cause(self) -> Dict[RootCause, int]:
+        """Number of records per high-level root cause."""
+        counts: Dict[RootCause, int] = {}
+        for record in self._records:
+            counts[record.root_cause] = counts.get(record.root_cause, 0) + 1
+        return counts
+
+    def downtime_by_cause(self) -> Dict[RootCause, float]:
+        """Total downtime (seconds) per high-level root cause."""
+        downtime: Dict[RootCause, float] = {}
+        for record in self._records:
+            downtime[record.root_cause] = (
+                downtime.get(record.root_cause, 0.0) + record.repair_time
+            )
+        return downtime
+
+    def failures_per_node(self, system_id: int) -> Dict[int, int]:
+        """Failure count for every node of ``system_id`` (zeros included)."""
+        config = self._systems.get(system_id)
+        if config is None:
+            raise KeyError(f"system {system_id} not in inventory")
+        counts = {node_id: 0 for node_id in range(config.node_count)}
+        for record in self._records:
+            if record.system_id == system_id:
+                counts[record.node_id] = counts.get(record.node_id, 0) + 1
+        return counts

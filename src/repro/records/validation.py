@@ -1,0 +1,83 @@
+"""Trace and record validation.
+
+The CSV loader and the synthetic generator both validate their output;
+user-supplied traces can be validated explicitly before analysis so
+that malformed data fails loudly rather than skewing statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.records.record import FailureRecord
+from repro.records.trace import FailureTrace
+
+__all__ = ["TraceValidationError", "validate_record", "validate_trace"]
+
+
+class TraceValidationError(ValueError):
+    """Raised when a record or trace violates the data-model invariants."""
+
+
+def validate_record(record: FailureRecord, trace: Optional[FailureTrace] = None) -> None:
+    """Validate one record, optionally against a trace's inventory.
+
+    Checks beyond the dataclass's own invariants:
+
+    * the system exists in the inventory and the node ID is in range,
+    * the failure falls inside the trace's observation window.
+
+    Raises
+    ------
+    TraceValidationError
+        On the first violation found.
+    """
+    if trace is None:
+        return
+    config = trace.systems.get(record.system_id)
+    if config is None:
+        raise TraceValidationError(
+            f"record references unknown system {record.system_id}"
+        )
+    if record.node_id >= config.node_count:
+        raise TraceValidationError(
+            f"record references node {record.node_id} but system "
+            f"{record.system_id} has only {config.node_count} nodes"
+        )
+    if not trace.data_start <= record.start_time < trace.data_end:
+        raise TraceValidationError(
+            f"record start time {record.start_time} outside observation "
+            f"window [{trace.data_start}, {trace.data_end})"
+        )
+
+
+def validate_trace(trace: FailureTrace, max_errors: int = 20) -> List[str]:
+    """Validate every record of a trace.
+
+    Parameters
+    ----------
+    trace:
+        The trace to validate.
+    max_errors:
+        Stop collecting after this many problems (the trace may hold
+        tens of thousands of records).
+
+    Returns
+    -------
+    list of str
+        Human-readable problem descriptions; empty if the trace is valid.
+    """
+    problems: List[str] = []
+    previous_start = float("-inf")
+    for index, record in enumerate(trace):
+        if record.start_time < previous_start:
+            problems.append(f"record {index}: trace not sorted by start time")
+        previous_start = record.start_time
+        try:
+            validate_record(record, trace)
+        except TraceValidationError as exc:
+            problems.append(f"record {index}: {exc}")
+        if len(problems) >= max_errors:
+            problems.append("... (further problems suppressed)")
+            break
+    return problems

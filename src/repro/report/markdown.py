@@ -1,0 +1,95 @@
+"""GitHub-flavored markdown rendering.
+
+Mirrors :mod:`repro.report.tables` for pipelines that publish results
+as markdown (CI summaries, READMEs, experiment logs).  Includes a
+one-call markdown report of the whole-paper summary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.records.record import HIGH_LEVEL_CAUSES
+from repro.records.trace import FailureTrace
+
+__all__ = ["markdown_table", "markdown_summary"]
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align: Optional[str] = None,
+) -> str:
+    """Render rows as a GitHub-flavored markdown table.
+
+    Parameters mirror :func:`repro.report.tables.format_table`:
+    ``align`` is a string of ``"l"``/``"r"`` per column (default:
+    first left, rest right).
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    n_columns = len(headers)
+    if align is None:
+        align = "l" + "r" * (n_columns - 1)
+    if len(align) != n_columns or any(c not in "lr" for c in align):
+        raise ValueError(f"align must be {n_columns} 'l'/'r' characters, got {align!r}")
+
+    def escape(cell: object) -> str:
+        return str(cell).replace("|", "\\|")
+
+    lines = ["| " + " | ".join(escape(h) for h in headers) + " |"]
+    separators = []
+    for column in range(n_columns):
+        separators.append(":---" if align[column] == "l" else "---:")
+    lines.append("| " + " | ".join(separators) + " |")
+    for row in rows:
+        if len(row) != n_columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {n_columns}")
+        lines.append("| " + " | ".join(escape(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def markdown_summary(trace: FailureTrace, title: str = "Failure-trace summary") -> str:
+    """A compact markdown report of the headline statistics."""
+    from repro.analysis.rates import failure_rates
+    from repro.analysis.repair import repair_statistics_by_cause
+
+    sections = [f"# {title}", "", f"**Records:** {len(trace)}", ""]
+
+    rates = [r for r in failure_rates(trace) if r.failures > 0]
+    sections.append("## Failure rates")
+    sections.append("")
+    sections.append(markdown_table(
+        ("System", "HW", "Failures/yr", "Failures/yr/proc"),
+        [
+            (r.system_id, r.hardware_type.value, f"{r.per_year:.1f}",
+             f"{r.per_year_per_proc:.3f}")
+            for r in rates
+        ],
+    ))
+    sections.append("")
+
+    sections.append("## Root causes")
+    sections.append("")
+    counts = trace.counts_by_cause()
+    sections.append(markdown_table(
+        ("Cause", "Failures", "Share"),
+        [
+            (cause.value, counts.get(cause, 0),
+             f"{100 * counts.get(cause, 0) / len(trace):.1f}%")
+            for cause in HIGH_LEVEL_CAUSES
+        ],
+    ))
+    sections.append("")
+
+    sections.append("## Repair times (minutes)")
+    sections.append("")
+    sections.append(markdown_table(
+        ("Cause", "n", "Mean", "Median", "C^2"),
+        [
+            (row.label, row.n, f"{row.mean:.0f}", f"{row.median:.0f}",
+             f"{row.squared_cv:.0f}")
+            for row in repair_statistics_by_cause(trace)
+        ],
+    ))
+    return "\n".join(sections)

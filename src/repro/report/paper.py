@@ -1,0 +1,317 @@
+"""One renderer per paper artifact.
+
+Each ``render_*`` function takes a trace (and options), runs the
+corresponding analysis and returns the printable reproduction of the
+paper's table or figure.  The bench for each artifact calls exactly one
+of these.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import numpy as np
+
+from repro.analysis.interarrival import (
+    node_interarrivals,
+    split_eras,
+    system_interarrivals,
+)
+from repro.analysis.lifecycle import classify_lifecycle, monthly_failures
+from repro.analysis.pernode import failures_per_node, node_count_study, node_share
+from repro.analysis.periodicity import WEEKDAY_NAMES, periodicity_study
+from repro.analysis.rates import failure_rates, normalized_variability
+from repro.analysis.related import RELATED_STUDIES
+from repro.analysis.repair import (
+    repair_by_system,
+    repair_fit_study,
+    repair_statistics_by_cause,
+)
+from repro.analysis.rootcause import (
+    breakdown_by_hardware_type,
+    downtime_breakdown_by_hardware_type,
+)
+from repro.records.record import HIGH_LEVEL_CAUSES
+from repro.records.timeutils import from_datetime
+from repro.records.trace import FailureTrace
+from repro.report.charts import bar_chart, cdf_plot, series_plot, stacked_bars
+from repro.report.tables import format_table
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_figure1",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+]
+
+ERA_BOUNDARY = from_datetime(_dt.datetime(2000, 1, 1))
+
+
+def render_table1(trace: FailureTrace) -> str:
+    """Table 1: overview of the systems in the trace's inventory."""
+    rows = []
+    total_nodes = 0
+    total_procs = 0
+    for system_id in sorted(trace.systems.keys()):
+        config = trace.systems[system_id]
+        total_nodes += config.node_count
+        total_procs += config.processor_count
+        for index, category in enumerate(config.categories):
+            rows.append(
+                (
+                    system_id if index == 0 else "",
+                    config.hardware_type.value if index == 0 else "",
+                    config.architecture.value.upper() if index == 0 else "",
+                    config.node_count if index == 0 else "",
+                    config.processor_count if index == 0 else "",
+                    category.node_count,
+                    category.procs_per_node,
+                    f"{category.production_start} - {category.production_end}",
+                    f"{category.memory_gb:g}",
+                    category.nics,
+                )
+            )
+    table = format_table(
+        ("ID", "HW", "Arch", "Nodes", "Procs", "Cat nodes", "Procs/node",
+         "Production", "Mem (GB)", "NICs"),
+        rows,
+        title="Table 1: overview of systems",
+    )
+    return f"{table}\n\nTotals: {total_nodes} nodes, {total_procs} processors"
+
+
+def render_table2(trace: FailureTrace) -> str:
+    """Table 2: repair-time statistics by root cause (minutes)."""
+    rows = [
+        (
+            row.label,
+            row.n,
+            f"{row.mean:.0f}",
+            f"{row.median:.0f}",
+            f"{row.std:.0f}",
+            f"{row.squared_cv:.0f}",
+        )
+        for row in repair_statistics_by_cause(trace)
+    ]
+    return format_table(
+        ("Root cause", "n", "Mean (min)", "Median (min)", "Std dev (min)", "C^2"),
+        rows,
+        title="Table 2: time to repair as a function of root cause",
+    )
+
+
+def render_table3() -> str:
+    """Table 3: overview of related studies (literature metadata)."""
+    rows = [
+        (
+            study.reference,
+            study.date,
+            study.length,
+            study.environment,
+            study.data_type,
+            study.n_failures if study.n_failures is not None else "N/A",
+            study.statistics,
+        )
+        for study in RELATED_STUDIES
+    ]
+    return format_table(
+        ("Study", "Date", "Length", "Environment", "Type of data", "# Failures", "Statistics"),
+        rows,
+        title="Table 3: overview of related studies",
+        align="lrlllll",
+    )
+
+
+def render_figure1(trace: FailureTrace) -> str:
+    """Figure 1: root-cause breakdown of failures (a) and downtime (b)."""
+    sections = []
+    for panel, breakdowns in (
+        ("(a) failures by root cause (%)", breakdown_by_hardware_type(trace)),
+        ("(b) downtime by root cause (%)", downtime_breakdown_by_hardware_type(trace)),
+    ):
+        groups = {
+            label: {
+                cause.value: breakdown.percent(cause) for cause in HIGH_LEVEL_CAUSES
+            }
+            for label, breakdown in breakdowns.items()
+        }
+        rows = [
+            (label,) + tuple(f"{breakdown.percent(c):.1f}" for c in HIGH_LEVEL_CAUSES)
+            for label, breakdown in breakdowns.items()
+        ]
+        table = format_table(
+            ("Group",) + tuple(c.value for c in HIGH_LEVEL_CAUSES),
+            rows,
+            title=f"Figure 1{panel}",
+        )
+        sections.append(table + "\n\n" + stacked_bars(groups))
+    return "\n\n".join(sections)
+
+
+def render_figure2(trace: FailureTrace) -> str:
+    """Figure 2: failures/year per system, raw (a) and per processor (b)."""
+    rates = failure_rates(trace)
+    chart_a = bar_chart(
+        [f"{rate.system_id} ({rate.hardware_type.value})" for rate in rates],
+        [rate.per_year for rate in rates],
+        title="Figure 2(a): average failures per year per system",
+    )
+    chart_b = bar_chart(
+        [f"{rate.system_id} ({rate.hardware_type.value})" for rate in rates],
+        [rate.per_year_per_proc for rate in rates],
+        title="Figure 2(b): failures per year per processor",
+        value_format="{:.3f}",
+    )
+    variability = normalized_variability(trace)
+    footer = "\n".join(
+        f"  CV[{name}] = {value:.3f}" for name, value in variability.items()
+    )
+    return f"{chart_a}\n\n{chart_b}\n\nRate variability (coefficient of variation):\n{footer}"
+
+
+def render_figure3(
+    trace: FailureTrace, system_id: int = 20, graphics_nodes=(21, 22, 23)
+) -> str:
+    """Figure 3: failures per node of system 20 and count-CDF fits."""
+    counts = failures_per_node(trace, system_id)
+    chart = bar_chart(
+        [str(node_id) for node_id in sorted(counts.keys())],
+        [counts[node_id] for node_id in sorted(counts.keys())],
+        width=40,
+        title=f"Figure 3(a): failures per node, system {system_id}",
+        value_format="{:.0f}",
+    )
+    share = node_share(trace, system_id, graphics_nodes)
+    study = node_count_study(trace, system_id)
+    fit_lines = "\n".join("  " + fit.describe() for fit in study.fits)
+    plot = cdf_plot(
+        np.asarray(study.counts, dtype=float),
+        {fit.name: fit.distribution for fit in study.fits},
+        log_x=False,
+        title="Figure 3(b): CDF of failures per compute node, with fits",
+    )
+    return (
+        f"{chart}\n\n"
+        f"Graphics nodes {list(graphics_nodes)}: "
+        f"{100 * len(graphics_nodes) / len(counts):.0f}% of nodes, "
+        f"{100 * share:.0f}% of failures\n\n"
+        f"Figure 3(b) fits (ranked by negative log-likelihood):\n{fit_lines}\n\n{plot}"
+    )
+
+
+def render_figure4(trace: FailureTrace, system_ids=(5, 19)) -> str:
+    """Figure 4: failures per month vs system age for two systems."""
+    sections = []
+    for system_id in system_ids:
+        curve = monthly_failures(trace, system_id)
+        if sum(curve.totals) == 0:
+            sections.append(
+                f"Figure 4: system {system_id} has no failures in this trace"
+            )
+            continue
+        shape = classify_lifecycle(curve)
+        plot = series_plot(
+            curve.totals,
+            title=(
+                f"Figure 4: system {system_id} failures/month "
+                f"(classified: {shape})"
+            ),
+            x_label=f"months in production (0..{curve.months - 1})",
+        )
+        top_causes = sorted(
+            curve.by_cause.items(), key=lambda kv: -sum(kv[1])
+        )[:3]
+        cause_lines = "\n".join(
+            f"  {cause.value}: {sum(values)} failures" for cause, values in top_causes
+        )
+        sections.append(f"{plot}\nTop causes:\n{cause_lines}")
+    return "\n\n".join(sections)
+
+
+def render_figure5(trace: FailureTrace) -> str:
+    """Figure 5: failures by hour of day and day of week."""
+    study = periodicity_study(trace)
+    hours = bar_chart(
+        [f"{hour:02d}" for hour in range(24)],
+        list(study.hourly),
+        width=40,
+        title="Figure 5 (left): failures by hour of day",
+        value_format="{:.0f}",
+    )
+    days = bar_chart(
+        list(WEEKDAY_NAMES),
+        list(study.weekday),
+        width=40,
+        title="Figure 5 (right): failures by day of week",
+        value_format="{:.0f}",
+    )
+    return (
+        f"{hours}\n\n{days}\n\n"
+        f"peak/trough ratio: {study.peak_trough_ratio:.2f} "
+        f"(peak {study.peak_hour}:00, trough {study.trough_hour}:00)\n"
+        f"weekday/weekend ratio: {study.weekday_weekend_ratio:.2f}\n"
+        f"Monday spike (delayed-detection check): {study.monday_spike:.2f}"
+    )
+
+
+def render_figure6(
+    trace: FailureTrace,
+    system_id: int = 20,
+    node_id: int = 22,
+    era_boundary: float = ERA_BOUNDARY,
+) -> str:
+    """Figure 6: interarrival CDFs, node/system x early/late."""
+    reference = trace.filter_systems([system_id])
+    early, late = split_eras(reference, era_boundary)
+    sections = []
+    for panel, study in (
+        ("(a) node view, early era", node_interarrivals(early, system_id, node_id)),
+        ("(b) node view, late era", node_interarrivals(late, system_id, node_id)),
+        ("(c) system view, early era", system_interarrivals(early, system_id)),
+        ("(d) system view, late era", system_interarrivals(late, system_id)),
+    ):
+        fit_lines = "\n".join("  " + fit.describe() for fit in study.fits)
+        gaps = np.maximum(np.asarray(study.gaps), 1.0)  # clamp zeros for log-x
+        plot = cdf_plot(
+            gaps,
+            {fit.name: fit.distribution for fit in study.fits},
+            title=f"Figure 6{panel}: time between failures (s)",
+        )
+        sections.append(
+            f"Figure 6{panel}: n={study.n}  C^2={study.summary.squared_cv:.2f}  "
+            f"zero gaps={100 * study.zero_fraction:.1f}%\n{fit_lines}\n{plot}"
+        )
+    return "\n\n".join(sections)
+
+
+def render_figure7(trace: FailureTrace) -> str:
+    """Figure 7: repair-time CDF with fits; mean/median per system."""
+    fits = repair_fit_study(trace)
+    fit_lines = "\n".join("  " + fit.describe() for fit in fits)
+    minutes = np.maximum(trace.repair_minutes(), 0.1)
+    plot = cdf_plot(
+        minutes,
+        {fit.name: fit.distribution for fit in fits},
+        title="Figure 7(a): CDF of repair time (minutes) with fits",
+    )
+    per_system = repair_by_system(trace)
+    mean_chart = bar_chart(
+        [str(system_id) for system_id in per_system],
+        [row.mean for row in per_system.values()],
+        width=40,
+        title="Figure 7(b): mean repair time per system (min)",
+        value_format="{:.0f}",
+    )
+    median_chart = bar_chart(
+        [str(system_id) for system_id in per_system],
+        [row.median for row in per_system.values()],
+        width=40,
+        title="Figure 7(c): median repair time per system (min)",
+        value_format="{:.0f}",
+    )
+    return f"Figure 7(a) fits:\n{fit_lines}\n\n{plot}\n\n{mean_chart}\n\n{median_chart}"

@@ -1,0 +1,70 @@
+"""Aligned ASCII tables."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    align: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row cells; rendered with ``str``.  Floats should be
+        pre-formatted by the caller (the table does not guess
+        precision).
+    title:
+        Optional title line printed above the table.
+    align:
+        Per-column alignment string of ``"l"``/``"r"`` characters;
+        default: first column left, the rest right.
+
+    Returns
+    -------
+    str
+        The rendered table (no trailing newline).
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    n_columns = len(headers)
+    if align is None:
+        align = "l" + "r" * (n_columns - 1)
+    if len(align) != n_columns or any(c not in "lr" for c in align):
+        raise ValueError(f"align must be {n_columns} 'l'/'r' characters, got {align!r}")
+    text_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != n_columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {n_columns}"
+            )
+        text_rows.append([str(cell) for cell in row])
+    widths = [
+        max(len(text_rows[r][c]) for r in range(len(text_rows)))
+        for c in range(n_columns)
+    ]
+    def render_row(cells: List[str]) -> str:
+        parts = []
+        for column, cell in enumerate(cells):
+            if align[column] == "l":
+                parts.append(cell.ljust(widths[column]))
+            else:
+                parts.append(cell.rjust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(text_rows[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in text_rows[1:])
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Reliability-aware job scheduling on a failure trace.
+
+The paper's introduction cites resource allocation using failure
+characteristics [5, 25], and Section 5.1 suggests assigning critical
+or long jobs to more reliable nodes.  This package quantifies that:
+
+* :mod:`~repro.sched.jobs` — synthetic job workloads.
+* :mod:`~repro.sched.cluster` — node up/down timelines derived from a
+  failure trace.
+* :mod:`~repro.sched.policies` — placement policies: random,
+  least-loaded, and reliability-aware (estimated per-node failure
+  rates from a training window).
+* :mod:`~repro.sched.simulator` — an event-driven scheduler simulation
+  measuring completion times and work lost to failures under each
+  policy.
+"""
+
+from repro.sched.jobs import DiurnalJobGenerator, Job, JobGenerator
+from repro.sched.cluster import ClusterTimeline, NodeOutage
+from repro.sched.policies import (
+    LeastFailuresPolicy,
+    PlacementPolicy,
+    RandomPolicy,
+    ReliabilityAwarePolicy,
+)
+from repro.sched.simulator import SchedulerResult, SchedulerSimulation
+from repro.sched.backfill import (
+    BackfillSchedulerSimulation,
+    earliest_start,
+    pick_backfill_job,
+)
+
+__all__ = [
+    "BackfillSchedulerSimulation",
+    "earliest_start",
+    "pick_backfill_job",
+    "Job",
+    "JobGenerator",
+    "DiurnalJobGenerator",
+    "ClusterTimeline",
+    "NodeOutage",
+    "PlacementPolicy",
+    "RandomPolicy",
+    "LeastFailuresPolicy",
+    "ReliabilityAwarePolicy",
+    "SchedulerResult",
+    "SchedulerSimulation",
+]

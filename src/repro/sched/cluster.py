@@ -1,0 +1,120 @@
+"""Node outage timelines derived from a failure trace.
+
+The scheduler simulation needs, for every node, the failure instants
+and repair windows.  :class:`ClusterTimeline` extracts them from a
+:class:`~repro.records.trace.FailureTrace` for one system, and answers
+"which failures hit node n in [t0, t1)" queries via binary search.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.records.trace import FailureTrace
+
+__all__ = ["NodeOutage", "ClusterTimeline"]
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One node-down window: [start, end)."""
+
+    node_id: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"outage ends before it starts: {self}")
+
+
+class ClusterTimeline:
+    """Per-node failure/repair timeline for one system.
+
+    Parameters
+    ----------
+    trace:
+        The failure trace (any systems; filtered internally).
+    system_id:
+        The system to extract.
+    """
+
+    def __init__(self, trace: FailureTrace, system_id: int) -> None:
+        config = trace.systems.get(system_id)
+        if config is None:
+            raise KeyError(f"system {system_id} not in the trace inventory")
+        self.system_id = system_id
+        self.node_count = config.node_count
+        outages: Dict[int, List[NodeOutage]] = {
+            node_id: [] for node_id in range(config.node_count)
+        }
+        for record in trace.filter_systems([system_id]):
+            outages[record.node_id].append(
+                NodeOutage(
+                    node_id=record.node_id,
+                    start=record.start_time,
+                    end=record.end_time,
+                )
+            )
+        self._outages = {
+            node_id: sorted(windows, key=lambda o: o.start)
+            for node_id, windows in outages.items()
+        }
+        self._starts = {
+            node_id: [outage.start for outage in windows]
+            for node_id, windows in self._outages.items()
+        }
+
+    def outages(self, node_id: int) -> Sequence[NodeOutage]:
+        """All outages of one node, sorted by start."""
+        return self._outages[node_id]
+
+    def failure_count(self, node_id: int, start: float, end: float) -> int:
+        """Number of failures of ``node_id`` starting in [start, end)."""
+        starts = self._starts[node_id]
+        return bisect.bisect_left(starts, end) - bisect.bisect_left(starts, start)
+
+    def next_failure(self, node_id: int, after: float) -> Optional[NodeOutage]:
+        """The first outage of ``node_id`` starting at or after ``after``."""
+        starts = self._starts[node_id]
+        index = bisect.bisect_left(starts, after)
+        if index >= len(starts):
+            return None
+        return self._outages[node_id][index]
+
+    def next_failure_any(
+        self, node_ids: Sequence[int], after: float
+    ) -> Optional[NodeOutage]:
+        """The earliest outage on any of ``node_ids`` at or after ``after``."""
+        best: Optional[NodeOutage] = None
+        for node_id in node_ids:
+            outage = self.next_failure(node_id, after)
+            if outage is not None and (best is None or outage.start < best.start):
+                best = outage
+        return best
+
+    def is_down(self, node_id: int, timestamp: float) -> bool:
+        """Whether the node is inside an outage window at ``timestamp``."""
+        starts = self._starts[node_id]
+        index = bisect.bisect_right(starts, timestamp) - 1
+        if index < 0:
+            return False
+        outage = self._outages[node_id][index]
+        return outage.start <= timestamp < outage.end
+
+    def failure_rates(
+        self, start: float, end: float
+    ) -> Dict[int, float]:
+        """Failures per second for every node over [start, end).
+
+        The reliability-aware policy trains on these.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        length = end - start
+        return {
+            node_id: self.failure_count(node_id, start, end) / length
+            for node_id in range(self.node_count)
+        }

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel and deterministic RNG streams.
+
+This subpackage provides the substrate shared by the synthetic trace
+generator (:mod:`repro.synth`), the checkpoint/restart simulator
+(:mod:`repro.checkpoint`) and the scheduling simulator
+(:mod:`repro.sched`):
+
+* :class:`~repro.simulate.rng.RngStream` — hierarchical, reproducible
+  random-number streams.  Child streams are derived by hashing a label,
+  so independent subsystems never perturb each other's randomness.
+* :class:`~repro.simulate.engine.Simulator` — a minimal event-queue
+  simulator with a monotonic clock, event scheduling/cancellation and
+  run-until semantics.
+"""
+
+from repro.simulate.engine import Event, EventQueue, Simulator, SimulationError
+from repro.simulate.process import Process, Interrupt
+from repro.simulate.rng import RngStream, derive_seed
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Interrupt",
+    "RngStream",
+    "derive_seed",
+]

@@ -1,0 +1,188 @@
+"""A minimal discrete-event simulation (DES) kernel.
+
+The kernel is intentionally small: a priority queue of timestamped
+events, a monotonic clock, and a run loop.  It is the engine underneath
+the checkpoint/restart simulator (:mod:`repro.checkpoint.simulator`) and
+the scheduling simulator (:mod:`repro.sched.simulator`).
+
+Events are callbacks.  Ordering is total and deterministic: events fire
+in (time, sequence-number) order, so two events scheduled for the same
+instant fire in scheduling order.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(5.0, lambda sim: fired.append(sim.now))
+>>> _ = sim.schedule(2.0, lambda sim: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[2.0, 5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, List, Optional
+
+__all__ = ["SimulationError", "Event", "EventQueue", "Simulator"]
+
+EventCallback = Callable[["Simulator"], None]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule`; hold on to one
+    to :meth:`cancel` it.  Events compare by (time, sequence number) so
+    the queue ordering is deterministic.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: EventCallback) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the run loop skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: EventCallback) -> Event:
+        """Insert a new event and return its handle."""
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+class Simulator:
+    """Event-queue simulator with a monotonic clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (default 0).
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    def schedule(self, time: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` to fire at absolute ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is in the past or not finite.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        return self._queue.push(time, callback)
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Execute events in order until the queue drains or ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier, and any events
+        scheduled after ``until`` remain pending.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self._now = event.time
+                self._events_fired += 1
+                event.callback(self)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute a single event; return False if the queue was empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_fired += 1
+        event.callback(self)
+        return True

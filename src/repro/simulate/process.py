@@ -1,0 +1,104 @@
+"""Generator-based processes on top of the DES kernel.
+
+A :class:`Process` wraps a Python generator that yields delays.  After
+each yielded delay the generator is resumed at the new simulation time.
+Another process (or external code) may :meth:`Process.interrupt` it, in
+which case an :class:`Interrupt` is thrown into the generator at the
+current time — this is how the checkpoint simulator models a failure
+striking a running computation.
+
+Example
+-------
+>>> from repro.simulate import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(("start", 0.0))
+...     yield 10.0
+...     log.append(("done", 10.0))
+>>> p = Process(sim, worker())
+>>> sim.run()
+>>> log
+[('start', 0.0), ('done', 10.0)]
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.simulate.engine import Event, SimulationError, Simulator
+
+__all__ = ["Interrupt", "Process"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator when it is interrupted.
+
+    Attributes
+    ----------
+    cause:
+        Arbitrary payload describing why the process was interrupted
+        (e.g. the failure record that struck the node).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Process:
+    """Drive a generator of delays through a :class:`Simulator`.
+
+    The generator yields non-negative floats (delays).  The process
+    starts immediately: its first segment runs at construction time's
+    scheduled instant (time ``sim.now``).
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[float, None, None]) -> None:
+        self._sim = sim
+        self._generator = generator
+        self._alive = True
+        self._pending_event: Optional[Event] = None
+        # Kick off the process at the current time.
+        self._pending_event = sim.schedule(sim.now, self._resume)
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns or raises."""
+        return self._alive
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A dead process cannot be interrupted.
+        """
+        if not self._alive:
+            raise SimulationError("cannot interrupt a completed process")
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._step(interrupt_cause=cause, interrupted=True)
+
+    # Internal ----------------------------------------------------------------
+
+    def _resume(self, _sim: Simulator) -> None:
+        self._pending_event = None
+        self._step(interrupt_cause=None, interrupted=False)
+
+    def _step(self, interrupt_cause: object, interrupted: bool) -> None:
+        try:
+            if interrupted:
+                delay = self._generator.throw(Interrupt(interrupt_cause))
+            else:
+                delay = next(self._generator)
+        except StopIteration:
+            self._alive = False
+            return
+        except Interrupt:
+            # The generator chose not to handle the interrupt: it dies.
+            self._alive = False
+            return
+        if delay < 0:
+            self._alive = False
+            raise SimulationError(f"process yielded negative delay {delay}")
+        self._pending_event = self._sim.schedule_after(delay, self._resume)

@@ -1,0 +1,497 @@
+"""Parametric distributions used in reliability theory.
+
+The four continuous distributions the paper fits (exponential, Weibull,
+gamma, lognormal), plus the normal and Poisson used in the per-node
+failure-count analysis (Figure 3(b)).
+
+Each distribution exposes a uniform interface:
+
+* ``pdf`` / ``logpdf`` (``pmf`` / ``logpmf`` for Poisson),
+* ``cdf`` and ``survival``,
+* ``hazard`` — the hazard rate h(t) = pdf(t) / survival(t), central to
+  the paper's decreasing-hazard finding,
+* analytic ``mean``, ``variance``, ``median`` and ``squared_cv``,
+* ``sample(generator, size)`` for simulation.
+
+Parameter conventions
+---------------------
+* Exponential(scale): mean = scale.
+* Weibull(shape, scale): hazard decreasing iff shape < 1.
+* Gamma(shape, scale): mean = shape * scale.
+* LogNormal(mu, sigma): median = exp(mu).
+* Normal(mu, sigma).
+* Poisson(rate).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+from scipy import special
+
+__all__ = [
+    "Distribution",
+    "Exponential",
+    "Weibull",
+    "Gamma",
+    "LogNormal",
+    "Normal",
+    "Poisson",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+_SQRT2 = math.sqrt(2.0)
+_LOG_SQRT_2PI = 0.5 * math.log(2.0 * math.pi)
+
+
+def _as_array(x: ArrayLike) -> np.ndarray:
+    return np.asarray(x, dtype=float)
+
+
+class Distribution(ABC):
+    """Common interface of all parametric distributions."""
+
+    #: Number of free parameters (used for AIC/BIC).
+    n_params: int = 2
+
+    #: Short name used in fit tables and figures.
+    name: str = "distribution"
+
+    @abstractmethod
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        """Log density (log mass for discrete distributions)."""
+
+    @abstractmethod
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        """Cumulative distribution function."""
+
+    @abstractmethod
+    def sample(self, generator: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` iid samples."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean."""
+
+    @property
+    @abstractmethod
+    def variance(self) -> float:
+        """Analytic variance."""
+
+    @property
+    @abstractmethod
+    def median(self) -> float:
+        """Analytic or numerically inverted median."""
+
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        """Quantile function (inverse CDF).
+
+        Subclasses override with closed forms where they exist; the
+        base implementation bisects the CDF.
+        """
+        qs = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((qs < 0) | (qs > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        out = np.empty_like(qs)
+        for i, p in enumerate(qs):
+            out[i] = self._invert_cdf(float(p))
+        return out if np.ndim(q) else out.reshape(())
+
+    def _invert_cdf(self, p: float) -> float:
+        if p >= 1.0:
+            return math.inf
+        spread = max(abs(self.median), math.sqrt(self.variance), 1.0)
+        low = self.median - spread
+        high = self.median + spread
+        for _ in range(200):
+            if float(self.cdf(low)) < p or low <= 0 and float(self.cdf(low)) == 0.0:
+                break
+            low -= spread
+            spread *= 2.0
+        if p <= 0.0:
+            # Smallest point of the (numeric) support bracket.
+            return max(low, 0.0) if float(self.cdf(0.0)) == 0.0 else low
+        spread = max(abs(self.median), 1.0)
+        for _ in range(200):
+            if float(self.cdf(high)) >= p:
+                break
+            high += spread
+            spread *= 2.0
+        for _ in range(200):
+            mid = 0.5 * (low + high)
+            if float(self.cdf(mid)) < p:
+                low = mid
+            else:
+                high = mid
+            if high - low <= 1e-12 * max(1.0, abs(high)):
+                break
+        return 0.5 * (low + high)
+
+    # Shared derived quantities -------------------------------------------------
+
+    def pdf(self, x: ArrayLike) -> np.ndarray:
+        """Density, exp(logpdf)."""
+        return np.exp(self.logpdf(x))
+
+    def survival(self, x: ArrayLike) -> np.ndarray:
+        """Survival function 1 - CDF."""
+        return 1.0 - self.cdf(x)
+
+    def hazard(self, x: ArrayLike) -> np.ndarray:
+        """Hazard rate pdf / survival (inf where survival is 0)."""
+        pdf = self.pdf(x)
+        survival = self.survival(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(survival > 0, pdf / survival, np.inf)
+
+    @property
+    def squared_cv(self) -> float:
+        """Analytic squared coefficient of variation."""
+        return self.variance / self.mean**2
+
+    def nll(self, data: ArrayLike) -> float:
+        """Negative log-likelihood of ``data`` under this distribution."""
+        return -float(np.sum(self.logpdf(data)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short parameter rendering, e.g. ``Weibull(shape=0.7, scale=8.6e4)``."""
+
+
+@dataclass(frozen=True, repr=False)
+class Exponential(Distribution):
+    """Exponential distribution with the given ``scale`` (= mean).
+
+    C² is exactly 1 and the hazard rate is constant — the benchmark the
+    paper measures everything else against.
+    """
+
+    scale: float
+    n_params = 1
+    name = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        out = -np.log(self.scale) - x / self.scale
+        return np.where(x >= 0, out, -np.inf)
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        return np.where(x > 0, -np.expm1(-x / self.scale), 0.0)
+
+    def sample(self, generator: np.random.Generator, size: int) -> np.ndarray:
+        return generator.exponential(self.scale, size)
+
+    @property
+    def mean(self) -> float:
+        return self.scale
+
+    @property
+    def variance(self) -> float:
+        return self.scale**2
+
+    @property
+    def median(self) -> float:
+        return self.scale * math.log(2.0)
+
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        qs = np.asarray(q, dtype=float)
+        if np.any((qs < 0) | (qs > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            return -self.scale * np.log1p(-qs)
+
+    def describe(self) -> str:
+        return f"Exponential(scale={self.scale:.4g})"
+
+
+@dataclass(frozen=True, repr=False)
+class Weibull(Distribution):
+    """Weibull distribution with ``shape`` k and ``scale`` lambda.
+
+    The hazard rate is decreasing for k < 1, constant for k = 1
+    (exponential), increasing for k > 1.  The paper finds k = 0.7-0.8
+    for time between failures.
+    """
+
+    shape: float
+    scale: float
+    n_params = 2
+    name = "weibull"
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale <= 0:
+            raise ValueError(
+                f"shape and scale must be positive, got {self.shape}, {self.scale}"
+            )
+
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = x / self.scale
+            out = (
+                math.log(self.shape / self.scale)
+                + (self.shape - 1.0) * np.log(z)
+                - z**self.shape
+            )
+        return np.where(x > 0, out, -np.inf)
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        z = np.where(x > 0, x / self.scale, 0.0)
+        return np.where(x > 0, -np.expm1(-(z**self.shape)), 0.0)
+
+    def sample(self, generator: np.random.Generator, size: int) -> np.ndarray:
+        return self.scale * generator.weibull(self.shape, size)
+
+    @property
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    @property
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1**2)
+
+    @property
+    def median(self) -> float:
+        return self.scale * math.log(2.0) ** (1.0 / self.shape)
+
+    def ppf(self, q: ArrayLike) -> np.ndarray:
+        qs = np.asarray(q, dtype=float)
+        if np.any((qs < 0) | (qs > 1)):
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            return self.scale * (-np.log1p(-qs)) ** (1.0 / self.shape)
+
+    @property
+    def hazard_decreasing(self) -> bool:
+        """True iff the hazard rate is strictly decreasing (shape < 1)."""
+        return self.shape < 1.0
+
+    def describe(self) -> str:
+        return f"Weibull(shape={self.shape:.4g}, scale={self.scale:.4g})"
+
+
+@dataclass(frozen=True, repr=False)
+class Gamma(Distribution):
+    """Gamma distribution with ``shape`` k and ``scale`` theta.
+
+    Like the Weibull, the hazard is decreasing for k < 1.  The paper
+    finds gamma and Weibull fits are often equally good for TBF.
+    """
+
+    shape: float
+    scale: float
+    n_params = 2
+    name = "gamma"
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale <= 0:
+            raise ValueError(
+                f"shape and scale must be positive, got {self.shape}, {self.scale}"
+            )
+
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = (
+                (self.shape - 1.0) * np.log(x)
+                - x / self.scale
+                - special.gammaln(self.shape)
+                - self.shape * math.log(self.scale)
+            )
+        return np.where(x > 0, out, -np.inf)
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        return np.where(x > 0, special.gammainc(self.shape, np.maximum(x, 0) / self.scale), 0.0)
+
+    def sample(self, generator: np.random.Generator, size: int) -> np.ndarray:
+        return generator.gamma(self.shape, self.scale, size)
+
+    @property
+    def mean(self) -> float:
+        return self.shape * self.scale
+
+    @property
+    def variance(self) -> float:
+        return self.shape * self.scale**2
+
+    @property
+    def median(self) -> float:
+        return float(special.gammaincinv(self.shape, 0.5) * self.scale)
+
+    @property
+    def hazard_decreasing(self) -> bool:
+        """True iff the hazard rate is strictly decreasing (shape < 1)."""
+        return self.shape < 1.0
+
+    def describe(self) -> str:
+        return f"Gamma(shape={self.shape:.4g}, scale={self.scale:.4g})"
+
+
+@dataclass(frozen=True, repr=False)
+class LogNormal(Distribution):
+    """Lognormal distribution: log X ~ Normal(mu, sigma²).
+
+    The paper's best model for repair times.  Median = exp(mu);
+    mean/median = exp(sigma²/2) quantifies the skew.
+    """
+
+    mu: float
+    sigma: float
+    n_params = 2
+    name = "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_x = np.log(x)
+            z = (log_x - self.mu) / self.sigma
+            out = -log_x - math.log(self.sigma) - _LOG_SQRT_2PI - 0.5 * z**2
+        return np.where(x > 0, out, -np.inf)
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = (np.log(np.maximum(x, np.finfo(float).tiny)) - self.mu) / self.sigma
+        return np.where(x > 0, 0.5 * (1.0 + special.erf(z / _SQRT2)), 0.0)
+
+    def sample(self, generator: np.random.Generator, size: int) -> np.ndarray:
+        return generator.lognormal(self.mu, self.sigma, size)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    @property
+    def variance(self) -> float:
+        return (math.exp(self.sigma**2) - 1.0) * math.exp(2.0 * self.mu + self.sigma**2)
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.mu)
+
+    def describe(self) -> str:
+        return f"LogNormal(mu={self.mu:.4g}, sigma={self.sigma:.4g})"
+
+
+@dataclass(frozen=True, repr=False)
+class Normal(Distribution):
+    """Normal distribution (used for the per-node failure-count CDF)."""
+
+    mu: float
+    sigma: float
+    n_params = 2
+    name = "normal"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        z = (x - self.mu) / self.sigma
+        return -math.log(self.sigma) - _LOG_SQRT_2PI - 0.5 * z**2
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        x = _as_array(x)
+        z = (x - self.mu) / self.sigma
+        return 0.5 * (1.0 + special.erf(z / _SQRT2))
+
+    def sample(self, generator: np.random.Generator, size: int) -> np.ndarray:
+        return generator.normal(self.mu, self.sigma, size)
+
+    @property
+    def mean(self) -> float:
+        return self.mu
+
+    @property
+    def variance(self) -> float:
+        return self.sigma**2
+
+    @property
+    def median(self) -> float:
+        return self.mu
+
+    def describe(self) -> str:
+        return f"Normal(mu={self.mu:.4g}, sigma={self.sigma:.4g})"
+
+
+@dataclass(frozen=True, repr=False)
+class Poisson(Distribution):
+    """Poisson distribution (counts).
+
+    The null model for failures-per-node under the classic assumption
+    of iid exponential interarrivals with equal rates across nodes —
+    which Figure 3(b) shows is a poor fit.
+    """
+
+    rate: float
+    n_params = 1
+    name = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def logpdf(self, x: ArrayLike) -> np.ndarray:
+        """Log pmf at integer counts (named logpdf for interface parity)."""
+        k = _as_array(x)
+        out = k * math.log(self.rate) - self.rate - special.gammaln(k + 1.0)
+        integral = np.isclose(k, np.round(k)) & (k >= 0)
+        return np.where(integral, out, -np.inf)
+
+    logpmf = logpdf
+
+    def pmf(self, x: ArrayLike) -> np.ndarray:
+        """Probability mass at integer counts."""
+        return np.exp(self.logpdf(x))
+
+    def cdf(self, x: ArrayLike) -> np.ndarray:
+        k = np.floor(_as_array(x))
+        return np.where(k >= 0, special.gammaincc(k + 1.0, self.rate), 0.0)
+
+    def sample(self, generator: np.random.Generator, size: int) -> np.ndarray:
+        return generator.poisson(self.rate, size).astype(float)
+
+    @property
+    def mean(self) -> float:
+        return self.rate
+
+    @property
+    def variance(self) -> float:
+        return self.rate
+
+    @property
+    def median(self) -> float:
+        # Standard approximation, exact for all practical rate values
+        # (verified against the CDF in tests).
+        k = math.floor(self.rate + 1.0 / 3.0 - 0.02 / self.rate)
+        while special.gammaincc(k + 1.0, self.rate) < 0.5:
+            k += 1
+        while k > 0 and special.gammaincc(k, self.rate) >= 0.5:
+            k -= 1
+        return float(k)
+
+    def describe(self) -> str:
+        return f"Poisson(rate={self.rate:.4g})"

@@ -1,0 +1,122 @@
+"""Kaplan-Meier survival estimation.
+
+The nonparametric counterpart to the censored MLE fitters: estimate the
+survival function of time-between-failures directly, honoring
+right-censored observations (the open gap after each node's last
+failure), without committing to a parametric family.  Comparing the KM
+curve against a fitted Weibull's survival is the standard reliability
+diagnostic for "is the family adequate?".
+
+Includes Greenwood's variance formula for pointwise confidence bands
+and a restricted-mean-survival-time helper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["KaplanMeier", "kaplan_meier"]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class KaplanMeier:
+    """A fitted Kaplan-Meier curve.
+
+    Attributes
+    ----------
+    times:
+        Distinct event times, ascending.
+    survival:
+        S(t) just after each event time.
+    std_error:
+        Greenwood standard errors of S(t).
+    n_events / n_censored:
+        Sample composition.
+    """
+
+    times: Tuple[float, ...]
+    survival: Tuple[float, ...]
+    std_error: Tuple[float, ...]
+    n_events: int
+    n_censored: int
+
+    def survival_at(self, t: float) -> float:
+        """S(t): right-continuous step evaluation (1.0 before the first event)."""
+        index = np.searchsorted(np.asarray(self.times), t, side="right") - 1
+        if index < 0:
+            return 1.0
+        return self.survival[index]
+
+    def median(self) -> float:
+        """Smallest event time with S(t) <= 0.5 (inf if never reached)."""
+        for time, s in zip(self.times, self.survival):
+            if s <= 0.5:
+                return time
+        return math.inf
+
+    def confidence_band(self, z: float = 1.96) -> Tuple[np.ndarray, np.ndarray]:
+        """Pointwise normal-approximation band (lower, upper), clipped to [0, 1]."""
+        s = np.asarray(self.survival)
+        se = np.asarray(self.std_error)
+        return np.clip(s - z * se, 0.0, 1.0), np.clip(s + z * se, 0.0, 1.0)
+
+    def restricted_mean(self, horizon: float) -> float:
+        """Mean survival time restricted to [0, horizon] (area under S)."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        area = 0.0
+        previous_time = 0.0
+        previous_s = 1.0
+        for time, s in zip(self.times, self.survival):
+            if time >= horizon:
+                break
+            area += previous_s * (time - previous_time)
+            previous_time, previous_s = time, s
+        area += previous_s * (horizon - previous_time)
+        return area
+
+
+def kaplan_meier(observed: ArrayLike, censored: ArrayLike = ()) -> KaplanMeier:
+    """Fit a Kaplan-Meier curve.
+
+    Parameters
+    ----------
+    observed:
+        Uncensored event durations (> 0).
+    censored:
+        Right-censored durations (> 0): the true value exceeds these.
+    """
+    events = np.asarray(observed, dtype=float)
+    losses = np.asarray(censored, dtype=float)
+    if events.size == 0:
+        raise ValueError("kaplan_meier requires at least one event")
+    if np.any(events <= 0) or np.any(losses <= 0):
+        raise ValueError("durations must be strictly positive")
+    # Pool and sort; censored observations tied with events are
+    # conventionally considered at risk through the event.
+    event_times, event_counts = np.unique(events, return_counts=True)
+    n = events.size + losses.size
+    survival = []
+    errors = []
+    greenwood_sum = 0.0
+    s = 1.0
+    for time, deaths in zip(event_times, event_counts):
+        at_risk = int(np.sum(events >= time) + np.sum(losses >= time))
+        s *= 1.0 - deaths / at_risk
+        if at_risk > deaths:
+            greenwood_sum += deaths / (at_risk * (at_risk - deaths))
+        survival.append(s)
+        errors.append(s * math.sqrt(greenwood_sum))
+    return KaplanMeier(
+        times=tuple(float(t) for t in event_times),
+        survival=tuple(survival),
+        std_error=tuple(errors),
+        n_events=int(events.size),
+        n_censored=int(losses.size),
+    )

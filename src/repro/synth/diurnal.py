@@ -1,0 +1,152 @@
+"""Diurnal and weekly rate modulation (Figure 5).
+
+The paper observes the failure rate during peak daytime hours is about
+twice the overnight rate, and weekday rates are nearly twice weekend
+rates — interpreted as correlation with workload intensity/variety.
+
+We model the combined modulation W(t) as the product of
+
+* a daily sinusoid ``1 + a * cos(2*pi*(h - peak)/24)`` with amplitude
+  ``a`` (peak/trough ratio ``(1+a)/(1-a)``; the default a = 1/3 gives
+  the paper's factor of 2), and
+* a weekday/weekend step, normalized so the *weekly mean of W is
+  exactly 1* — modulation redistributes failures within the week
+  without changing a system's total failure count.
+
+:class:`WeeklyProfile` precomputes the cumulative integral of W over
+one week on an hourly grid.  The arrival sampler uses it to map
+operational time to wall-clock time in O(log 168) per event
+(:mod:`repro.synth.arrivals`).
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from repro.records.timeutils import SECONDS_PER_HOUR, SECONDS_PER_WEEK
+
+__all__ = ["diurnal_multiplier", "weekly_multiplier", "WeeklyProfile"]
+
+HOURS_PER_WEEK = 168
+
+
+def diurnal_multiplier(
+    hour: float, amplitude: float = 1.0 / 3.0, peak_hour: float = 14.0
+) -> float:
+    """Daily modulation at a (possibly fractional) hour of day.
+
+    Mean over a day is exactly 1; peak/trough ratio is
+    ``(1 + amplitude) / (1 - amplitude)``.
+    """
+    if not 0 <= amplitude < 1:
+        raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+    return 1.0 + amplitude * math.cos(2.0 * math.pi * (hour - peak_hour) / 24.0)
+
+
+def weekly_multiplier(weekday: int, weekend_factor: float = 0.55) -> float:
+    """Weekday/weekend modulation, normalized to weekly mean 1.
+
+    Parameters
+    ----------
+    weekday:
+        Monday=0 ... Sunday=6.
+    weekend_factor:
+        Raw weekend/weekday ratio before normalization.
+    """
+    if not 0 <= weekday <= 6:
+        raise ValueError(f"weekday must be in 0..6, got {weekday}")
+    mean = (5.0 + 2.0 * weekend_factor) / 7.0
+    raw = weekend_factor if weekday >= 5 else 1.0
+    return raw / mean
+
+
+class WeeklyProfile:
+    """Hourly modulation profile over one week with cumulative integral.
+
+    The profile is periodic with period one week, anchored at the
+    toolkit epoch (1996-01-01, a Monday).  ``cumulative[i]`` is the
+    integral of W over the first ``i`` hours of the week in *effective
+    seconds* (so ``cumulative[-1] == 604800`` exactly, because W has
+    weekly mean 1).
+
+    Parameters
+    ----------
+    amplitude / peak_hour / weekend_factor:
+        See :func:`diurnal_multiplier` / :func:`weekly_multiplier`.
+    enabled:
+        When False the profile is identically 1 (ablation switch).
+    """
+
+    def __init__(
+        self,
+        amplitude: float = 1.0 / 3.0,
+        peak_hour: float = 14.0,
+        weekend_factor: float = 0.55,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        if not enabled:
+            hourly = np.ones(HOURS_PER_WEEK)
+        else:
+            hourly = np.empty(HOURS_PER_WEEK)
+            for hour_index in range(HOURS_PER_WEEK):
+                weekday = hour_index // 24
+                hour_mid = (hour_index % 24) + 0.5
+                hourly[hour_index] = diurnal_multiplier(
+                    hour_mid, amplitude, peak_hour
+                ) * weekly_multiplier(weekday, weekend_factor)
+            # Force the weekly mean to exactly 1 (the hourly midpoint rule
+            # is already within 0.1%, but exactness simplifies reasoning).
+            hourly /= hourly.mean()
+        self._hourly = hourly
+        cumulative = np.concatenate(
+            ([0.0], np.cumsum(hourly) * SECONDS_PER_HOUR)
+        )
+        self._cumulative = cumulative
+
+    @property
+    def hourly(self) -> np.ndarray:
+        """The 168 hourly multipliers (weekly mean exactly 1)."""
+        return self._hourly
+
+    @property
+    def total(self) -> float:
+        """Integral of W over one week = 604800 effective seconds."""
+        return float(self._cumulative[-1])
+
+    def value_at(self, timestamp: float) -> float:
+        """The modulation multiplier at an absolute timestamp."""
+        position = float(timestamp) % SECONDS_PER_WEEK
+        hour_index = int(position // SECONDS_PER_HOUR)
+        return float(self._hourly[min(hour_index, HOURS_PER_WEEK - 1)])
+
+    def cumulative_at(self, position_in_week: float) -> float:
+        """Integral of W over ``[week start, position_in_week)``.
+
+        Piecewise linear between hour boundaries (W is constant within
+        an hour).
+        """
+        if not 0 <= position_in_week <= SECONDS_PER_WEEK:
+            raise ValueError(
+                f"position must be within one week, got {position_in_week}"
+            )
+        hour_index = min(int(position_in_week // SECONDS_PER_HOUR), HOURS_PER_WEEK - 1)
+        within = position_in_week - hour_index * SECONDS_PER_HOUR
+        return float(self._cumulative[hour_index] + self._hourly[hour_index] * within)
+
+    def invert(self, effective_target: float) -> float:
+        """Position in the week at which the cumulative reaches ``target``.
+
+        Inverse of :meth:`cumulative_at`; ``target`` must lie in
+        ``[0, total]``.
+        """
+        if not 0 <= effective_target <= self.total * (1 + 1e-12):
+            raise ValueError(
+                f"target {effective_target} outside [0, {self.total}]"
+            )
+        effective_target = min(effective_target, self.total)
+        hour_index = int(np.searchsorted(self._cumulative, effective_target, side="right")) - 1
+        hour_index = min(max(hour_index, 0), HOURS_PER_WEEK - 1)
+        remainder = effective_target - self._cumulative[hour_index]
+        return hour_index * SECONDS_PER_HOUR + remainder / self._hourly[hour_index]

@@ -1,0 +1,91 @@
+"""Per-node workload assignment and rate heterogeneity (Figure 3).
+
+Two mechanisms make nodes of one system fail at different rates:
+
+* **Workload.** Graphics/visualization nodes (nodes 21-23 of system 20)
+  and front-end nodes of the cluster systems run more varied,
+  interactive workloads and fail several times more often
+  (Section 5.1).
+* **Residual heterogeneity.** Even compute-only nodes are
+  overdispersed relative to a Poisson model with a common mean —
+  Figure 3(b) shows the per-node failure-count CDF is fit far better
+  by a lognormal than a Poisson.  We give every node a lognormal rate
+  multiplier with unit mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.records.node import NodeConfig
+from repro.records.record import Workload
+from repro.records.system import HardwareType, SystemConfig
+from repro.simulate.rng import RngStream
+
+__all__ = ["assign_workload", "node_rate_multiplier", "workload_multiplier"]
+
+#: System 20's visualization nodes (Section 5.1: 6% of nodes, 20% of
+#: failures).
+GRAPHICS_NODES_SYSTEM_20 = frozenset({21, 22, 23})
+
+#: Cluster types whose node 0 serves as a front-end (Section 5.1 calls
+#: out much higher front-end failure rates for types E and F).
+FRONTEND_TYPES = frozenset({HardwareType.D, HardwareType.E, HardwareType.F})
+
+#: Minimum cluster size for a dedicated front-end node.
+FRONTEND_MIN_NODES = 32
+
+
+def assign_workload(system: SystemConfig, node_id: int) -> Workload:
+    """The workload a node runs, per the paper's description.
+
+    * System 20, nodes 21-23: graphics (plus compute; we record the
+      node as a graphics node since that is what distinguishes it).
+    * Node 0 of every D/E/F cluster with >= 32 nodes: front-end.
+    * Everything else: compute.
+    """
+    if system.system_id == 20 and node_id in GRAPHICS_NODES_SYSTEM_20:
+        return Workload.GRAPHICS
+    if (
+        system.hardware_type in FRONTEND_TYPES
+        and system.node_count >= FRONTEND_MIN_NODES
+        and node_id == 0
+    ):
+        return Workload.FRONTEND
+    return Workload.COMPUTE
+
+
+def workload_multiplier(
+    workload: Workload,
+    graphics_multiplier: float = 3.8,
+    frontend_multiplier: float = 2.5,
+) -> float:
+    """Rate multiplier for a node's workload type.
+
+    The graphics default of 3.8 makes 3 of system 20's 49 nodes carry
+    ~20% of its failures, matching Section 5.1 exactly:
+    ``3 * 3.8 / (46 + 3 * 3.8) = 0.199``.
+    """
+    if workload is Workload.GRAPHICS:
+        return graphics_multiplier
+    if workload is Workload.FRONTEND:
+        return frontend_multiplier
+    return 1.0
+
+
+def node_rate_multiplier(node: NodeConfig, rng_root: RngStream, sigma: float) -> float:
+    """The node's residual lognormal rate multiplier (unit mean).
+
+    Deterministic per (seed, system, node): derived from a child RNG
+    stream keyed by the node's identity, so adding nodes or systems
+    never perturbs another node's multiplier.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if sigma == 0:
+        return 1.0
+    stream = rng_root.child(
+        "node-multiplier", str(node.system_id), str(node.node_id)
+    )
+    mu = -0.5 * sigma**2  # unit mean: E[exp(N(mu, sigma^2))] = 1
+    return math.exp(mu + sigma * stream.generator.standard_normal())

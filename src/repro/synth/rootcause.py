@@ -1,0 +1,91 @@
+"""Root-cause sampling (Figure 1, Section 4).
+
+Each failure gets a high-level cause drawn from the hardware type's
+mixture, then a low-level detail drawn from the cause's detail mixture.
+Two refinements match the paper:
+
+* **Unknown-cause era** (Section 4): for types D and G — the first
+  large SMP cluster and the first NUMA clusters — the fraction of
+  failures with unknown root cause started above 90% and dropped below
+  10% within ~2 years as administrators learned the systems.  Modeled
+  as an age-dependent probability that a failure's diagnosis is lost
+  (cause replaced by UNKNOWN).
+* **Burst causes**: correlated simultaneous failures share their
+  parent's cause (a power outage hits many nodes at once); handled in
+  :mod:`repro.synth.correlated`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.records.record import LowLevelCause, RootCause
+from repro.records.system import HardwareType
+from repro.records.timeutils import SECONDS_PER_MONTH
+from repro.synth.config import GeneratorConfig
+
+__all__ = ["CauseModel"]
+
+
+class CauseModel:
+    """Samples (root cause, low-level cause) pairs for one system."""
+
+    def __init__(self, config: GeneratorConfig, hardware_type: HardwareType) -> None:
+        self._config = config
+        self._hardware_type = hardware_type
+        mix = config.cause_mix[hardware_type]
+        self._causes = tuple(mix.keys())
+        self._cause_probs = np.array([mix[cause] for cause in self._causes])
+        self._detail_tables: Dict[RootCause, Tuple[Tuple[LowLevelCause, ...], np.ndarray]] = {}
+        for cause, table in (
+            (RootCause.HARDWARE, config.hardware_detail[hardware_type]),
+            (RootCause.SOFTWARE, config.software_detail[hardware_type]),
+            (RootCause.NETWORK, config.network_detail),
+            (RootCause.ENVIRONMENT, config.environment_detail),
+            (RootCause.HUMAN, config.human_detail),
+        ):
+            details = tuple(table.keys())
+            self._detail_tables[cause] = (
+                details,
+                np.array([table[detail] for detail in details]),
+            )
+        self._unknown_era = hardware_type in config.unknown_era_types
+
+    def unknown_probability(self, age_seconds: float) -> float:
+        """Extra probability that a failure's diagnosis is lost at ``age``.
+
+        Zero for types outside the unknown era; otherwise decays
+        exponentially from ``unknown_era_initial`` so the *total*
+        unknown fraction starts above 90% and falls under 10% within
+        about two years.
+        """
+        if not self._unknown_era:
+            return 0.0
+        tau = self._config.unknown_era_decay_months * SECONDS_PER_MONTH
+        return self._config.unknown_era_initial * math.exp(-max(age_seconds, 0.0) / tau)
+
+    def sample(
+        self, generator: np.random.Generator, age_seconds: float
+    ) -> Tuple[RootCause, Optional[LowLevelCause]]:
+        """Draw a (root cause, low-level cause) pair for a failure.
+
+        Parameters
+        ----------
+        generator:
+            RNG to draw from.
+        age_seconds:
+            System age at failure time (drives the unknown-cause era).
+        """
+        cause = self._causes[int(generator.choice(len(self._causes), p=self._cause_probs))]
+        lost = self.unknown_probability(age_seconds)
+        if lost > 0.0 and cause is not RootCause.UNKNOWN:
+            if generator.random() < lost:
+                return RootCause.UNKNOWN, None
+        if cause is RootCause.UNKNOWN:
+            return cause, None
+        details, probs = self._detail_tables[cause]
+        detail = details[int(generator.choice(len(details), p=probs))]
+        return cause, detail

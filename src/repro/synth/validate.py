@@ -1,0 +1,173 @@
+"""Generator self-validation: does a trace match its configuration?
+
+A calibration harness for the synthetic generator: given a generated
+trace and the configuration that produced it, check that the emergent
+statistics are within tolerance of the configured targets — failure
+rates per system, root-cause mixtures, repair medians, zero-gap
+fractions.  Returns a list of human-readable deviations (empty when the
+trace is well calibrated), so regressions in the generator show up as
+named numbers rather than silently skewed benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.records.record import RootCause
+from repro.records.timeutils import SECONDS_PER_MONTH, SECONDS_PER_YEAR
+from repro.records.trace import FailureTrace
+from repro.synth.config import GeneratorConfig
+from repro.synth.lifecycle import lifecycle_multiplier, lifecycle_shape_for
+from repro.synth.repair import RepairModel
+
+__all__ = ["CalibrationCheck", "check_calibration", "expected_rate_multiplier"]
+
+
+def expected_rate_multiplier(
+    config: GeneratorConfig,
+    system_id: int,
+    hardware_type,
+    window_seconds: float,
+    steps: int = 400,
+) -> float:
+    """Expected rate inflation over a system's window.
+
+    Two deterministic effects move a system's average rate off its base:
+
+    * the lifecycle multiplier's window average (infant excess dominates
+      short windows; the ramp floor suppresses early D/G rates);
+    * correlated bursts, which clone ``burst_prob * burst_mean_extra``
+      extra failures per event during the early era.
+    """
+    shape = lifecycle_shape_for(
+        hardware_type,
+        system_id,
+        ramp_types=config.ramp_types,
+        ramp_exempt_systems=config.ramp_exempt_systems,
+    )
+    ages = np.linspace(0.0, window_seconds, steps, endpoint=False) + window_seconds / (2 * steps)
+    levels = np.array([lifecycle_multiplier(shape, float(age)) for age in ages])
+    multiplier = float(np.mean(levels))
+    if config.bursts_enabled and system_id in config.burst_systems:
+        era_end = config.burst_era_months * SECONDS_PER_MONTH
+        era_mass = float(np.sum(levels[ages < era_end])) / float(np.sum(levels))
+        multiplier *= 1.0 + config.burst_prob * config.burst_mean_extra * era_mass
+    return multiplier
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One calibration comparison."""
+
+    name: str
+    target: float
+    measured: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measurement is within the relative tolerance."""
+        if self.target == 0:
+            return abs(self.measured) <= self.tolerance
+        return abs(self.measured - self.target) <= self.tolerance * abs(self.target)
+
+    def describe(self) -> str:
+        """One-line rendering."""
+        status = "ok  " if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.name}: target {self.target:.4g}, "
+            f"measured {self.measured:.4g} (tol {100 * self.tolerance:.0f}%)"
+        )
+
+
+def check_calibration(
+    trace: FailureTrace,
+    config: Optional[GeneratorConfig] = None,
+    rate_tolerance: float = 0.60,
+    mix_tolerance: float = 0.30,
+    repair_tolerance: float = 0.35,
+    min_records: int = 200,
+) -> List[CalibrationCheck]:
+    """Compare a generated trace against its configuration targets.
+
+    Tolerances are generous by design: lifecycle excess, bursts and
+    monthly jitter legitimately move averages; the harness exists to
+    catch order-of-magnitude regressions and sign errors, not seed
+    noise.  Systems with fewer than ``min_records`` records are skipped
+    for mixture and repair checks.
+
+    Returns every check performed; filter with ``[c for c in checks if
+    not c.ok]`` for failures.
+    """
+    config = config if config is not None else GeneratorConfig()
+    repair_model = RepairModel(config)
+    checks: List[CalibrationCheck] = []
+    by_system = trace.by_system()
+
+    for system_id, system in sorted(trace.systems.items()):
+        sub = by_system.get(system_id)
+        if sub is None or len(sub) == 0:
+            continue
+        hardware_type = system.hardware_type
+        years = system.production_years(trace.data_start, trace.data_end)
+        target_rate = (
+            config.rate_per_proc_year[hardware_type]
+            * config.early_system_boost.get(system_id, 1.0)
+            * system.processor_count
+            * expected_rate_multiplier(
+                config, system_id, hardware_type, years * SECONDS_PER_YEAR
+            )
+        )
+        checks.append(
+            CalibrationCheck(
+                name=f"system {system_id} failures/year",
+                target=target_rate,
+                measured=len(sub) / years,
+                tolerance=rate_tolerance,
+            )
+        )
+        if len(sub) < min_records:
+            continue
+        # Root-cause mixture (bursts and the unknown era shift it, so
+        # only the dominant hardware share is checked).
+        mix = config.cause_mix[hardware_type]
+        counts = sub.counts_by_cause()
+        hardware_share = counts.get(RootCause.HARDWARE, 0) / len(sub)
+        checks.append(
+            CalibrationCheck(
+                name=f"system {system_id} hardware share",
+                target=mix[RootCause.HARDWARE],
+                measured=hardware_share,
+                tolerance=mix_tolerance,
+            )
+        )
+        # Repair median scales with the type factor (medians are robust
+        # to the heavy tail, unlike means).
+        causes = [record.root_cause for record in sub]
+        dominant = max(set(causes), key=causes.count)
+        target_median = (
+            np.exp(repair_model.parameters(dominant)[0])
+            * config.repair_type_factor[hardware_type]
+        )
+        if (
+            dominant is RootCause.UNKNOWN
+            and hardware_type not in config.unknown_era_types
+        ):
+            target_median *= config.repair_unknown_short_factor
+        measured_median = float(
+            np.median(sub.filter_cause(dominant).repair_minutes())
+        )
+        checks.append(
+            CalibrationCheck(
+                name=f"system {system_id} {dominant.value} repair median (min)",
+                target=target_median,
+                measured=measured_median,
+                tolerance=repair_tolerance,
+            )
+        )
+    if not checks:
+        raise ValueError("trace has no records to check")
+    return checks

@@ -1,0 +1,111 @@
+"""Tests for availability/MTBF/MTTR analysis."""
+
+import pytest
+
+from repro.analysis.availability import (
+    availability_report,
+    merge_intervals,
+    system_availability,
+)
+from repro.records.record import FailureRecord, RootCause
+from repro.records.trace import FailureTrace
+
+
+def record(start, duration, system=22, node=0):
+    return FailureRecord(
+        start_time=start, end_time=start + duration, system_id=system,
+        node_id=node, root_cause=RootCause.HARDWARE,
+    )
+
+
+class TestMergeIntervals:
+    def test_disjoint_untouched(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlap_merges(self):
+        assert merge_intervals([(0, 5), (3, 8)]) == [(0, 8)]
+
+    def test_touching_merges(self):
+        assert merge_intervals([(0, 5), (5, 8)]) == [(0, 8)]
+
+    def test_containment(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_empty_and_degenerate(self):
+        assert merge_intervals([]) == []
+        assert merge_intervals([(3, 3)]) == []
+
+
+class TestSystemAvailability:
+    def test_arithmetic_single_node_system(self):
+        # System 22: 1 node, 256 procs, production 11/04 - 11/05.
+        trace = FailureTrace([
+            record(2.85e8, 3600.0),
+            record(2.90e8, 7200.0),
+        ])
+        availability = system_availability(trace, 22)
+        assert availability.failures == 2
+        assert availability.mttr_seconds == pytest.approx(5400.0)
+        # One node => node downtime fraction == any-node-down fraction.
+        assert availability.node_downtime_fraction == pytest.approx(
+            availability.any_node_down_fraction
+        )
+        assert 0.999 < availability.node_availability < 1.0
+
+    def test_overlapping_outages_not_double_counted(self):
+        # Two nodes down simultaneously on system 20: any-node-down
+        # counts the window once, node downtime counts it twice.
+        trace = FailureTrace([
+            record(3.0e8, 3600.0, system=20, node=1),
+            record(3.0e8, 3600.0, system=20, node=2),
+        ])
+        availability = system_availability(trace, 20)
+        window = trace.systems[20].production_window(trace.data_start, trace.data_end)
+        window_seconds = window[1] - window[0]
+        assert availability.any_node_down_fraction == pytest.approx(
+            3600.0 / window_seconds
+        )
+
+    def test_no_failures_rejected(self):
+        with pytest.raises(ValueError):
+            system_availability(FailureTrace([]), 22)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            system_availability(FailureTrace([]), 99)
+
+
+class TestOnSyntheticTrace:
+    def test_report_covers_active_systems(self, full_trace):
+        report = availability_report(full_trace)
+        assert set(report.keys()) >= set(range(4, 22))
+
+    def test_node_availability_realistic(self, full_trace):
+        # Node availability is high: repairs are hours, failures per
+        # node a handful per year.  (System 2 — a single node with
+        # ~40-hour repairs — is the worst at ~0.93.)
+        for availability in availability_report(full_trace).values():
+            assert 0.90 < availability.node_availability <= 1.0
+
+    def test_mtbf_matches_rate_inverse(self, full_trace):
+        from repro.analysis.rates import failure_rates
+        from repro.records.timeutils import SECONDS_PER_YEAR
+
+        rates = {r.system_id: r for r in failure_rates(full_trace)}
+        report = availability_report(full_trace)
+        for system_id, availability in report.items():
+            per_year = rates[system_id].per_year
+            assert availability.mtbf_seconds == pytest.approx(
+                SECONDS_PER_YEAR / per_year, rel=0.01
+            )
+
+    def test_big_systems_often_degraded(self, full_trace):
+        # System 20 (long repairs, many nodes): a node is down a large
+        # fraction of the time, matching LANL operational reality.
+        report = availability_report(full_trace)
+        assert report[20].any_node_down_fraction > 0.2
+        # But each individual node is fine.
+        assert report[20].node_availability > 0.97

@@ -1,0 +1,71 @@
+"""Tests for trace comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import compare_traces, two_sample_ks
+from repro.synth import TraceGenerator
+
+
+class TestTwoSampleKs:
+    def test_identical_samples_zero(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert two_sample_ks(data, data) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert two_sample_ks([1.0, 2.0], [10.0, 20.0]) == 1.0
+
+    def test_known_value(self):
+        # F_a jumps to 1 at 1; F_b jumps 0.5 at 1, 1.0 at 2.
+        assert two_sample_ks([1.0, 1.0], [1.0, 2.0]) == pytest.approx(0.5)
+
+    def test_same_distribution_small(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        a = generator.exponential(10.0, 5000)
+        b = generator.exponential(10.0, 5000)
+        assert two_sample_ks(a, b) < 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            two_sample_ks([], [1.0])
+
+
+class TestCompareTraces:
+    def test_same_seed_nearly_identical(self, small_trace):
+        rows = compare_traces(small_trace, small_trace)
+        for row in rows:
+            assert row.relative_difference == pytest.approx(0.0, abs=1e-12), row.name
+
+    def test_different_seeds_similar_shape(self):
+        a = TraceGenerator(seed=1).generate([13])
+        b = TraceGenerator(seed=2).generate([13])
+        rows = {row.name: row for row in compare_traces(a, b)}
+        # Same configuration, different randomness: shares and medians
+        # agree within tens of percent.
+        assert rows["failures per year"].relative_difference < 0.35
+        assert rows["share[hardware]"].relative_difference < 0.2
+        assert rows["repair median (min)"].relative_difference < 0.4
+        assert rows["interarrival KS (mean-normalized)"].value_a < 0.1
+
+    def test_different_configs_detected(self):
+        from repro.synth import GeneratorConfig
+
+        a = TraceGenerator(seed=1).generate([19])
+        b = TraceGenerator(
+            seed=1, config=GeneratorConfig(bursts_enabled=False)
+        ).generate([19])
+        rows = {row.name: row for row in compare_traces(a, b)}
+        assert rows["zero-gap fraction"].relative_difference > 0.9
+
+    def test_minimum_records(self, small_trace):
+        from repro.records.trace import FailureTrace
+
+        with pytest.raises(ValueError):
+            compare_traces(small_trace, FailureTrace(list(small_trace)[:3]))
+
+    def test_describe_renders(self, small_trace):
+        rows = compare_traces(small_trace, small_trace, "x", "y")
+        for row in rows:
+            text = row.describe()
+            assert row.name in text
+            assert "diff" in text

@@ -1,0 +1,79 @@
+"""Tests for the hazard study."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.analysis.hazard_study import HazardStudy, hazard_study
+from repro.records.timeutils import from_datetime
+from repro.stats.distributions import Exponential, Weibull
+
+
+def draw(dist, n=20_000, seed=0):
+    generator = np.random.Generator(np.random.PCG64(seed))
+    return dist.sample(generator, n)
+
+
+class TestConstructedSamples:
+    def test_decreasing_hazard_detected(self):
+        study = hazard_study(draw(Weibull(shape=0.6, scale=1e4)))
+        assert study.decreasing
+        assert study.weibull.shape == pytest.approx(0.6, abs=0.05)
+        assert study.lr_pvalue < 1e-10
+        assert study.spearman < -0.5
+
+    def test_constant_hazard_not_flagged(self):
+        study = hazard_study(draw(Exponential(scale=1e4), seed=1))
+        assert not study.decreasing
+        assert study.lr_pvalue > 0.001
+        assert abs(study.spearman) < 0.7
+
+    def test_increasing_hazard(self):
+        study = hazard_study(draw(Weibull(shape=2.0, scale=1e4), seed=2))
+        assert not study.decreasing
+        assert study.weibull.shape > 1.5
+        assert study.spearman > 0.5
+
+    def test_fitted_tracks_empirical_for_true_weibull(self):
+        study = hazard_study(draw(Weibull(shape=0.7, scale=1e4), seed=3), bins=12)
+        empirical = np.array(study.empirical)
+        fitted = np.array(study.fitted)
+        # Within a factor of 2 in the well-populated central bins.
+        middle = slice(2, -3)
+        ratio = empirical[middle] / fitted[middle]
+        assert np.all((ratio > 0.5) & (ratio < 2.0))
+
+    def test_zeros_dropped(self):
+        data = np.concatenate([np.zeros(100), draw(Weibull(0.7, 1e4), 5000)])
+        study = hazard_study(data)
+        assert study.n == 5000
+
+    def test_minimum_sample(self):
+        with pytest.raises(ValueError):
+            hazard_study(draw(Exponential(1.0), n=20))
+
+    def test_describe(self):
+        study = hazard_study(draw(Weibull(0.6, 1e4), 2000, seed=4))
+        text = study.describe()
+        assert "decreasing hazard" in text
+        assert "LR test" in text
+
+
+class TestOnSyntheticTrace:
+    def test_system20_late_era_decreasing(self, system20_trace):
+        late = system20_trace.between(
+            from_datetime(dt.datetime(2000, 1, 1)), system20_trace.data_end
+        )
+        study = hazard_study(late)
+        # The paper's central claim, with significance attached.
+        assert study.decreasing
+        assert 0.6 < study.weibull.shape < 0.9
+        assert study.spearman < 0
+
+    def test_trace_input_equivalent_to_array_input(self, system20_trace):
+        gaps = system20_trace.interarrival_times()
+        from_trace = hazard_study(system20_trace)
+        from_array = hazard_study(gaps)
+        assert from_trace.weibull.shape == from_array.weibull.shape
+        assert from_trace.n == from_array.n

@@ -1,0 +1,105 @@
+"""Tests for interarrival studies (Figure 6)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.analysis.interarrival import (
+    interarrival_study,
+    node_interarrivals,
+    split_eras,
+    system_interarrivals,
+)
+from repro.records.record import FailureRecord, RootCause
+from repro.records.timeutils import from_datetime
+from repro.records.trace import FailureTrace
+from repro.stats.hazard import HazardDirection
+
+ERA = from_datetime(dt.datetime(2000, 1, 1))
+
+
+def record(start, node=0, system=20):
+    return FailureRecord(
+        start_time=start, end_time=start + 60.0, system_id=system, node_id=node,
+        root_cause=RootCause.HARDWARE,
+    )
+
+
+class TestConstructed:
+    def test_study_counts_zero_gaps(self):
+        starts = [1e8, 1e8, 1e8 + 50.0, 1e8 + 150.0] + [1e8 + 200.0 * i for i in range(2, 10)]
+        study = interarrival_study(FailureTrace([record(s, node=i % 3) for i, s in enumerate(starts)]))
+        assert study.n == len(starts) - 1
+        assert study.zero_fraction == pytest.approx(1 / study.n)
+
+    def test_minimum_sample_enforced(self):
+        with pytest.raises(ValueError):
+            interarrival_study(FailureTrace([record(1e8), record(2e8)]))
+
+    def test_exponential_rank_property(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        starts = 1e8 + np.cumsum(generator.exponential(1e4, 500))
+        study = interarrival_study(FailureTrace([record(s) for s in starts]))
+        assert 0 <= study.exponential_rank <= 3
+
+    def test_split_eras(self):
+        trace = FailureTrace([record(1e8), record(ERA + 10.0)])
+        early, late = split_eras(trace, ERA)
+        assert len(early) == 1 and len(late) == 1
+
+    def test_node_and_system_views_differ(self, system20_trace):
+        node = node_interarrivals(system20_trace, 20, 22)
+        system = system_interarrivals(system20_trace, 20)
+        assert system.n > node.n
+        assert system.summary.mean < node.summary.mean
+
+
+class TestPaperFindings:
+    """Figure 6's four panels, asserted on the synthetic trace."""
+
+    @pytest.fixture(scope="class")
+    def eras(self, system20_trace):
+        return split_eras(system20_trace, ERA)
+
+    def test_panel_b_node_late_weibull(self, eras):
+        _early, late = eras
+        study = node_interarrivals(late, 20, 22)
+        # Paper: Weibull/gamma best, shape ~0.7, decreasing hazard,
+        # exponential poor.
+        assert study.best.name in ("weibull", "gamma")
+        assert 0.55 <= study.weibull_shape <= 0.85
+        assert study.hazard is HazardDirection.DECREASING
+        assert study.exponential_rank >= 2
+
+    def test_panel_b_c2_near_paper(self, eras):
+        _early, late = eras
+        study = node_interarrivals(late, 20, 22)
+        # Paper: C^2 = 1.9 (exponential would be 1).
+        assert 1.3 < study.summary.squared_cv < 3.5
+
+    def test_panel_a_node_early_lognormal_high_c2(self, eras):
+        early, _late = eras
+        study = node_interarrivals(early, 20, 22)
+        # Paper: C^2 = 3.9, lognormal best.
+        assert study.summary.squared_cv > 2.0
+        assert study.best.name in ("lognormal", "weibull")
+
+    def test_panel_c_system_early_zero_gaps(self, eras):
+        early, _late = eras
+        study = system_interarrivals(early, 20)
+        # Paper: > 30% simultaneous failures.
+        assert study.zero_fraction > 0.30
+
+    def test_panel_d_system_late_weibull_078(self, eras):
+        _early, late = eras
+        study = system_interarrivals(late, 20)
+        assert study.best.name in ("weibull", "gamma")
+        assert 0.65 <= study.weibull_shape <= 0.9
+        assert study.zero_fraction < 0.05
+        assert study.hazard is HazardDirection.DECREASING
+
+    def test_gaps_stored_for_plotting(self, eras):
+        early, _late = eras
+        study = system_interarrivals(early, 20)
+        assert len(study.gaps) == study.n

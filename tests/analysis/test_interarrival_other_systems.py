@@ -1,0 +1,86 @@
+"""Figure 6 generality: the TBF findings hold beyond system 20.
+
+Section 5.3 focuses on system 20 "as an illustrative example" and notes
+similar observations hold elsewhere.  These tests verify the Weibull-
+with-decreasing-hazard finding on the big type-E and type-F clusters,
+and the utilization/goodput metrics of the scheduling result.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.interarrival import (
+    node_interarrivals,
+    system_interarrivals,
+)
+from repro.records.timeutils import from_datetime
+from repro.stats.hazard import HazardDirection
+from repro.synth import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def e_and_f_traces():
+    generator = TraceGenerator(seed=1)
+    return generator.generate([7, 14])
+
+
+class TestOtherSystems:
+    @pytest.mark.parametrize("system_id", [7, 14])
+    def test_system_wide_weibull_decreasing(self, e_and_f_traces, system_id):
+        study = system_interarrivals(
+            e_and_f_traces.filter_systems([system_id]), system_id
+        )
+        assert study.best.name in ("weibull", "gamma")
+        assert study.weibull_shape < 1.0
+        from repro.stats.distributions import Weibull
+
+        weibull_fit = next(
+            fit for fit in study.fits if isinstance(fit.distribution, Weibull)
+        )
+        assert 0.5 < weibull_fit.distribution.shape < 0.95
+
+    def test_exponential_never_best(self, e_and_f_traces):
+        for system_id in (7, 14):
+            study = system_interarrivals(
+                e_and_f_traces.filter_systems([system_id]), system_id
+            )
+            assert study.exponential_rank >= 1
+
+    def test_busy_node_view_also_decreasing(self, e_and_f_traces):
+        # Take system 7's most failure-prone node: enough records for a
+        # meaningful node-level fit.
+        counts = e_and_f_traces.failures_per_node(7)
+        busiest = max(counts, key=counts.get)
+        # E-type nodes fail only a few times a year (4 processors), so
+        # even the busiest node yields a small sample — which is why
+        # the paper does its node-level fits on system 20's fat NUMA
+        # nodes.  This is a smoke check of the node view elsewhere.
+        study = node_interarrivals(e_and_f_traces, 7, busiest)
+        assert study.n >= 15
+        assert study.best.name in ("weibull", "gamma", "lognormal")
+        assert study.weibull_shape < 1.05
+        if study.best.name in ("weibull", "gamma"):
+            assert study.hazard is HazardDirection.DECREASING
+
+
+class TestSchedulerUtilizationMetrics:
+    def test_utilization_and_goodput(self, system20_trace):
+        from repro.records.timeutils import SECONDS_PER_DAY
+        from repro.sched import (
+            ClusterTimeline,
+            JobGenerator,
+            RandomPolicy,
+            SchedulerSimulation,
+        )
+
+        timeline = ClusterTimeline(system20_trace, 20)
+        t0 = from_datetime(dt.datetime(2002, 1, 1))
+        t1 = from_datetime(dt.datetime(2002, 7, 1))
+        jobs = JobGenerator(seed=5).generate(t0, t1 - 20 * SECONDS_PER_DAY)
+        result = SchedulerSimulation(timeline, RandomPolicy(seed=1), (t0, t1)).run(jobs)
+        assert result.capacity_node_seconds == pytest.approx(49 * (t1 - t0))
+        assert 0.0 < result.goodput <= result.utilization <= 1.0
+        assert result.utilization == pytest.approx(
+            result.goodput / (1.0 - result.waste_fraction), rel=1e-9
+        )

@@ -1,0 +1,115 @@
+"""Tests for lifecycle curves (Figure 4) and periodicity (Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifecycle import classify_lifecycle, monthly_failures
+from repro.analysis.periodicity import (
+    failures_by_hour,
+    failures_by_weekday,
+    periodicity_study,
+)
+from repro.records.record import FailureRecord, RootCause
+from repro.records.timeutils import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.records.trace import FailureTrace
+from repro.synth.lifecycle import LifecycleShape
+
+
+def record(start, system=20, cause=RootCause.HARDWARE):
+    return FailureRecord(
+        start_time=start, end_time=start + 60.0, system_id=system, node_id=0,
+        root_cause=cause,
+    )
+
+
+class TestMonthlyFailures:
+    def test_bins_sum_to_total(self, system20_trace):
+        curve = monthly_failures(system20_trace, 20)
+        assert sum(curve.totals) == len(system20_trace)
+
+    def test_by_cause_sums_to_totals(self, system20_trace):
+        curve = monthly_failures(system20_trace, 20)
+        for month in range(curve.months):
+            cause_sum = sum(curve.by_cause[c][month] for c in curve.by_cause)
+            assert cause_sum == curve.totals[month]
+
+    def test_smoothed_window_validation(self, system20_trace):
+        curve = monthly_failures(system20_trace, 20)
+        with pytest.raises(ValueError):
+            curve.smoothed(window=0)
+
+
+class TestClassification:
+    def test_system5_infant_decay(self, full_trace):
+        # Figure 4(a): system 5 decays from an early high.
+        curve = monthly_failures(full_trace, 5)
+        assert classify_lifecycle(curve) is LifecycleShape.INFANT_DECAY
+
+    def test_system19_ramp(self, full_trace):
+        # Figure 4(b): system 19 ramps to a peak near 20 months.
+        curve = monthly_failures(full_trace, 19)
+        assert classify_lifecycle(curve) is LifecycleShape.RAMP_PEAK
+
+    def test_system20_ramp(self, full_trace):
+        curve = monthly_failures(full_trace, 20)
+        assert classify_lifecycle(curve) is LifecycleShape.RAMP_PEAK
+
+    def test_short_curve_rejected(self):
+        # System 22 is in production ~13 months: too short to classify.
+        trace = FailureTrace([record(3.15e8 + i * 1e5, system=22) for i in range(50)])
+        with pytest.raises(ValueError):
+            classify_lifecycle(monthly_failures(trace, 22))
+
+
+class TestPeriodicityConstructed:
+    def test_hour_binning(self):
+        # Two failures at 03:xx, one at 15:xx.
+        base = 100 * SECONDS_PER_DAY
+        trace = FailureTrace(
+            [
+                record(base + 3 * SECONDS_PER_HOUR + 60),
+                record(base + 3 * SECONDS_PER_HOUR + 120),
+                record(base + 15 * SECONDS_PER_HOUR),
+            ]
+        )
+        hours = failures_by_hour(trace)
+        assert hours[3] == 2
+        assert hours[15] == 1
+        assert hours.sum() == 3
+
+    def test_weekday_binning(self):
+        # Day 0 of toolkit time is a Monday.
+        trace = FailureTrace(
+            [record(100 * SECONDS_PER_DAY + 60)]  # day 100 % 7 = 2 => Wednesday
+        )
+        weekdays = failures_by_weekday(trace)
+        assert weekdays[2] == 1
+
+    def test_uniform_trace_has_flat_ratios(self):
+        # Records every 7.1 hours for ~2 years: no periodicity.
+        trace = FailureTrace(
+            [record(1e8 + i * 7.1 * SECONDS_PER_HOUR) for i in range(2500)]
+        )
+        study = periodicity_study(trace)
+        assert study.peak_trough_ratio < 1.4
+        assert 0.8 < study.weekday_weekend_ratio < 1.25
+
+
+class TestPeriodicityOnSynthetic:
+    def test_peak_trough_near_two(self, full_trace):
+        study = periodicity_study(full_trace)
+        assert 1.6 < study.peak_trough_ratio < 2.6
+
+    def test_weekday_weekend_near_two(self, full_trace):
+        study = periodicity_study(full_trace)
+        assert 1.5 < study.weekday_weekend_ratio < 2.3
+
+    def test_peak_in_working_hours_trough_at_night(self, full_trace):
+        study = periodicity_study(full_trace)
+        assert 10 <= study.peak_hour <= 18
+        assert study.trough_hour <= 6 or study.trough_hour >= 22
+
+    def test_no_monday_spike(self, full_trace):
+        # Rules out the delayed-detection explanation (Section 5.2).
+        study = periodicity_study(full_trace)
+        assert study.monday_spike < 1.15

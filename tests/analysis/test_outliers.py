@@ -1,0 +1,73 @@
+"""Tests for node outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.outliers import find_node_outliers
+from repro.records.record import FailureRecord, RootCause
+from repro.records.trace import FailureTrace
+
+
+def build_trace(counts, system=20):
+    """counts: node_id -> failure count."""
+    records = []
+    t = 1.0e8
+    for node, n in counts.items():
+        for _ in range(n):
+            records.append(
+                FailureRecord(
+                    start_time=t, end_time=t + 60.0, system_id=system,
+                    node_id=node, root_cause=RootCause.HARDWARE,
+                )
+            )
+            t += 1000.0
+    return FailureTrace(records)
+
+
+class TestConstructed:
+    def test_clear_outlier_found(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        counts = {node: int(c) for node, c in
+                  enumerate(generator.poisson(50, 40) + 1)}
+        counts[40] = 500  # one node fails 10x the bulk
+        outliers, bulk = find_node_outliers(build_trace(counts), 20)
+        assert [o.node_id for o in outliers] == [40]
+        assert outliers[0].excess_ratio > 5
+        assert outliers[0].tail_probability < 1e-6
+
+    def test_homogeneous_population_clean(self):
+        generator = np.random.Generator(np.random.PCG64(1))
+        counts = {node: int(c) for node, c in
+                  enumerate(generator.poisson(80, 45) + 1)}
+        outliers, _bulk = find_node_outliers(build_trace(counts), 20)
+        assert outliers == []
+
+    def test_outliers_do_not_contaminate_the_fit(self):
+        # Robust fit: even 5 huge outliers leave the bulk median intact.
+        generator = np.random.Generator(np.random.PCG64(2))
+        counts = {node: int(c) for node, c in
+                  enumerate(generator.poisson(50, 40) + 1)}
+        for node in range(40, 45):
+            counts[node] = 2000
+        outliers, bulk = find_node_outliers(build_trace(counts), 20)
+        assert {o.node_id for o in outliers} == {40, 41, 42, 43, 44}
+        assert bulk.median == pytest.approx(50, rel=0.25)
+
+    def test_min_nodes_enforced(self):
+        with pytest.raises(ValueError):
+            find_node_outliers(build_trace({0: 5, 1: 6}), 20)
+
+    def test_threshold_validated(self):
+        counts = {node: 10 for node in range(20)}
+        with pytest.raises(ValueError):
+            find_node_outliers(build_trace(counts), 20, threshold=0.3)
+
+
+class TestOnSyntheticTrace:
+    def test_finds_the_graphics_nodes(self, system20_trace):
+        # The paper's discovery, automated: nodes 21-23 stick out.
+        outliers, _bulk = find_node_outliers(system20_trace, 20, threshold=0.995)
+        flagged = {outlier.node_id for outlier in outliers}
+        assert flagged & {21, 22, 23}, f"flagged {flagged}"
+        # And the flagged set is small — not half the machine.
+        assert len(flagged) <= 6

@@ -1,0 +1,61 @@
+"""Tests for per-node analyses (Figure 3)."""
+
+import pytest
+
+from repro.analysis.pernode import failures_per_node, node_count_study, node_share
+from repro.records.record import FailureRecord, RootCause, Workload
+from repro.records.trace import FailureTrace
+
+
+def record(start, node, system=20, workload=Workload.COMPUTE):
+    return FailureRecord(
+        start_time=start, end_time=start + 60.0, system_id=system, node_id=node,
+        root_cause=RootCause.HARDWARE, workload=workload,
+    )
+
+
+class TestCountsSmall:
+    def test_counts_with_zeros(self):
+        trace = FailureTrace([record(3e8, 1), record(3.1e8, 1), record(3.2e8, 5)])
+        counts = failures_per_node(trace, 20)
+        assert counts[1] == 2
+        assert counts[5] == 1
+        assert counts[0] == 0
+
+    def test_node_share(self):
+        trace = FailureTrace([record(3e8, 1), record(3.1e8, 1), record(3.2e8, 5)])
+        assert node_share(trace, 20, [1]) == pytest.approx(2 / 3)
+
+    def test_node_share_empty_system(self):
+        trace = FailureTrace([record(3e8, 1)])
+        with pytest.raises(ValueError):
+            node_share(trace, 19, [0])
+
+
+class TestStudyOnSynthetic:
+    def test_graphics_nodes_concentrate_failures(self, system20_trace):
+        # Paper: nodes 21-23 are 6% of nodes but ~20% of failures.
+        share = node_share(system20_trace, 20, [21, 22, 23])
+        assert 0.10 < share < 0.30
+
+    def test_poisson_is_poor(self, system20_trace):
+        study = node_count_study(system20_trace, 20)
+        assert study.poisson_is_poor
+        assert study.best.name in ("normal", "lognormal")
+
+    def test_overdispersion_above_one(self, system20_trace):
+        study = node_count_study(system20_trace, 20)
+        assert study.overdispersion > 2.0
+
+    def test_excludes_graphics_and_short_nodes(self, system20_trace):
+        study = node_count_study(system20_trace, 20)
+        # 49 nodes - 3 graphics - node 0 (short production) = 45.
+        assert len(study.counts) == 45
+
+    def test_explicit_exclusions(self, system20_trace):
+        study = node_count_study(system20_trace, 20, exclude_nodes=range(24, 49))
+        assert len(study.counts) == 20  # 24 low nodes - 3 graphics - node 0
+
+    def test_too_few_nodes_rejected(self, system20_trace):
+        with pytest.raises(ValueError):
+            node_count_study(system20_trace, 20, exclude_nodes=range(46))

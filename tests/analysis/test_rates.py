@@ -1,0 +1,87 @@
+"""Tests for failure-rate analyses (Figure 2)."""
+
+import pytest
+
+from repro.analysis.rates import (
+    failure_rates,
+    normalized_variability,
+    rate_size_correlation,
+)
+from repro.records.record import FailureRecord, RootCause
+from repro.records.trace import FailureTrace
+
+
+def record(start, system, node=0):
+    return FailureRecord(
+        start_time=start, end_time=start + 60.0, system_id=system, node_id=node,
+        root_cause=RootCause.HARDWARE,
+    )
+
+
+class TestFailureRatesSmall:
+    def test_rate_arithmetic(self):
+        # 10 failures on system 22 (in production ~1.08 years).
+        records = [record(3.0e8 + i * 1e5, system=22) for i in range(10)]
+        trace = FailureTrace(records)
+        rates = {r.system_id: r for r in failure_rates(trace)}
+        sys22 = rates[22]
+        assert sys22.failures == 10
+        assert sys22.per_year == pytest.approx(10 / sys22.production_years)
+        assert sys22.per_year_per_proc == pytest.approx(sys22.per_year / 256)
+
+    def test_zero_rate_systems_included(self):
+        trace = FailureTrace([record(3.0e8, system=22)])
+        rates = failure_rates(trace)
+        assert len(rates) == 22
+        assert sum(1 for r in rates if r.failures > 0) == 1
+
+    def test_sorted_by_system_id(self):
+        trace = FailureTrace([record(3.0e8, system=22)])
+        ids = [r.system_id for r in failure_rates(trace)]
+        assert ids == sorted(ids)
+
+
+class TestOnSyntheticTrace:
+    def test_rate_range_wide(self, full_trace):
+        # Paper: 17 to 1159 failures/year across systems — two orders
+        # of magnitude.
+        rates = [r.per_year for r in failure_rates(full_trace) if r.failures > 0]
+        assert max(rates) / min(rates) > 50
+
+    def test_normalization_shrinks_variability(self, full_trace):
+        # Normalized rates are less variable overall; the single-node
+        # type-C system stays an outlier, exactly as in Figure 2(b).
+        cv = normalized_variability(full_trace)
+        assert cv["normalized"] < cv["raw"]
+
+    def test_within_type_consistency(self, full_trace):
+        # Figure 2(b): systems of the same hardware type have similar
+        # normalized rates.  Type E includes the deliberately boosted
+        # first-deployment systems 5-6 (the paper's footnote 3), so its
+        # spread is wider than type F's.
+        cv = normalized_variability(full_trace)
+        assert cv["normalized[F]"] < 0.30
+        assert cv["normalized[E]"] < 0.60
+
+    def test_rates_roughly_linear_in_size(self, full_trace):
+        # Strong log-log correlation between failures/year and
+        # processor count supports "not growing faster than linearly".
+        assert rate_size_correlation(full_trace) > 0.8
+
+    def test_system7_is_the_peak(self, full_trace):
+        # System 7 (4096 procs, type E) is the paper's 1159/year peak.
+        rates = {r.system_id: r.per_year for r in failure_rates(full_trace)}
+        assert rates[7] == max(rates.values())
+        assert 900 < rates[7] < 1900
+
+
+class TestErrors:
+    def test_variability_needs_two_systems(self):
+        trace = FailureTrace([record(3.0e8, system=22)])
+        with pytest.raises(ValueError):
+            normalized_variability(trace)
+
+    def test_correlation_needs_three_systems(self):
+        trace = FailureTrace([record(3.0e8, system=22), record(3.0e8, system=2)])
+        with pytest.raises(ValueError):
+            rate_size_correlation(trace)

@@ -1,0 +1,73 @@
+"""Tests for Table 3 data and the whole-paper summary."""
+
+import pytest
+
+from repro.analysis.related import RELATED_STUDIES, literature_ranges
+from repro.analysis.summary import summarize
+from repro.stats.hazard import HazardDirection
+from repro.synth.lifecycle import LifecycleShape
+
+
+class TestRelatedStudies:
+    def test_thirteen_studies(self):
+        assert len(RELATED_STUDIES) == 13
+
+    def test_known_rows(self):
+        by_ref = {study.reference: study for study in RELATED_STUDIES}
+        gray = by_ref["[3, 4] Gray"]
+        assert gray.n_failures == 800
+        assert gray.environment == "Tandem systems"
+        sahoo = by_ref["[18] Sahoo et al."]
+        assert sahoo.n_failures == 1285
+
+    def test_failure_counts_non_negative(self):
+        for study in RELATED_STUDIES:
+            if study.n_failures is not None:
+                assert study.n_failures > 0
+
+    def test_literature_ranges_ordered(self):
+        for name, (low, high) in literature_ranges().items():
+            assert low <= high, name
+
+    def test_this_paper_shape_range(self):
+        low, high = literature_ranges()["weibull_shape_this_paper"]
+        assert (low, high) == (0.70, 0.80)
+
+
+class TestPaperSummary:
+    @pytest.fixture(scope="class")
+    def summary(self, full_trace):
+        return summarize(full_trace)
+
+    def test_headline_rate_range(self, summary):
+        low, high = summary.rate_range
+        assert low < 30
+        assert high > 900
+
+    def test_lifecycle_shapes_match_types(self, summary):
+        assert summary.lifecycle_shapes[5] is LifecycleShape.INFANT_DECAY
+        assert summary.lifecycle_shapes[19] is LifecycleShape.RAMP_PEAK
+        assert summary.lifecycle_shapes[20] is LifecycleShape.RAMP_PEAK
+
+    def test_tbf_late_decreasing_hazard(self, summary):
+        assert summary.tbf_system_late is not None
+        assert summary.tbf_system_late.hazard is HazardDirection.DECREASING
+
+    def test_repair_best_fit_lognormal(self, summary):
+        assert summary.repair_best_fit == "lognormal"
+
+    def test_repair_system_range_hour_to_day(self, summary):
+        low, high = summary.repair_system_range
+        assert low < 150          # under ~2.5 hours
+        assert high > 1000        # over ~17 hours
+
+    def test_periodicity_embedded(self, summary):
+        assert summary.periodicity.peak_trough_ratio > 1.5
+
+    def test_record_count(self, summary, full_trace):
+        assert summary.n_records == len(full_trace)
+
+    def test_summary_without_reference_system(self, small_trace):
+        result = summarize(small_trace, reference_system=20)
+        assert result.tbf_system_late is None
+        assert result.n_records == len(small_trace)

@@ -1,0 +1,61 @@
+"""Tests for job-size scaling of the failure process."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.models import interval_vs_job_size, time_to_first_failure
+from repro.stats.distributions import Exponential, Gamma, Weibull
+
+
+class TestTimeToFirstFailure:
+    def test_exponential_scales_inversely(self):
+        node = Exponential(scale=1000.0)
+        job = time_to_first_failure(node, 10)
+        assert isinstance(job, Exponential)
+        assert job.scale == pytest.approx(100.0)
+
+    def test_weibull_preserves_shape(self):
+        node = Weibull(shape=0.7, scale=1000.0)
+        job = time_to_first_failure(node, 16)
+        assert isinstance(job, Weibull)
+        assert job.shape == 0.7
+        assert job.scale == pytest.approx(1000.0 / 16 ** (1 / 0.7))
+
+    def test_matches_sampled_minimum(self):
+        node = Weibull(shape=0.8, scale=500.0)
+        job = time_to_first_failure(node, 8)
+        generator = np.random.Generator(np.random.PCG64(0))
+        samples = node.sample(generator, (100_000 // 8) * 8).reshape(-1, 8).min(axis=1)
+        assert np.mean(samples) == pytest.approx(job.mean, rel=0.03)
+        assert np.median(samples) == pytest.approx(job.median, rel=0.03)
+
+    def test_single_node_identity(self):
+        node = Weibull(shape=0.7, scale=1000.0)
+        job = time_to_first_failure(node, 1)
+        assert job.scale == pytest.approx(node.scale)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_to_first_failure(Exponential(scale=1.0), 0)
+        with pytest.raises(TypeError):
+            time_to_first_failure(Gamma(shape=2.0, scale=1.0), 4)
+
+
+class TestIntervalVsJobSize:
+    def test_bigger_jobs_checkpoint_more_often(self):
+        node = Weibull(shape=0.7, scale=2e6)
+        table = interval_vs_job_size(node, checkpoint_cost=600.0,
+                                     node_counts=(1, 16, 256))
+        intervals = [table[n][0] for n in (1, 16, 256)]
+        assert intervals == sorted(intervals, reverse=True)
+        # And efficiency degrades with size.
+        efficiencies = [table[n][1] for n in (1, 16, 256)]
+        assert efficiencies == sorted(efficiencies, reverse=True)
+
+    def test_table_keys(self):
+        node = Exponential(scale=1e6)
+        table = interval_vs_job_size(node, 600.0, (2, 4))
+        assert set(table.keys()) == {2, 4}
+        for interval, efficiency in table.values():
+            assert interval > 0
+            assert 0 < efficiency <= 1

@@ -1,0 +1,116 @@
+"""Tests for checkpoint-interval models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.models import (
+    daly_interval,
+    expected_efficiency,
+    optimal_interval,
+    young_interval,
+)
+from repro.stats.distributions import Exponential, Weibull
+
+
+class TestClassicFormulas:
+    def test_young_formula(self):
+        assert young_interval(600.0, 86400.0) == pytest.approx(
+            math.sqrt(2 * 600.0 * 86400.0)
+        )
+
+    def test_daly_close_to_young_for_small_cost(self):
+        mtbf = 1e6
+        cost = 10.0
+        assert daly_interval(cost, mtbf) == pytest.approx(
+            young_interval(cost, mtbf), rel=0.02
+        )
+
+    def test_daly_caps_at_mtbf(self):
+        assert daly_interval(500.0, 100.0) == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 100.0)
+        with pytest.raises(ValueError):
+            young_interval(10.0, -1.0)
+        with pytest.raises(ValueError):
+            daly_interval(-1.0, 100.0)
+
+
+class TestExpectedEfficiency:
+    def test_matches_monte_carlo_exponential(self):
+        dist = Exponential(scale=86400.0)
+        tau, cost, restart = 9000.0, 600.0, 1800.0
+        analytic = expected_efficiency(dist, tau, cost, restart)
+        generator = np.random.Generator(np.random.PCG64(0))
+        period = tau + cost
+        samples = dist.sample(generator, 200_000)
+        useful = tau * np.floor(samples / period)
+        simulated = useful.mean() / (samples.mean() + restart)
+        assert analytic == pytest.approx(simulated, rel=0.01)
+
+    def test_matches_monte_carlo_weibull(self):
+        dist = Weibull(shape=0.7, scale=50_000.0)
+        tau, cost = 5000.0, 300.0
+        analytic = expected_efficiency(dist, tau, cost)
+        generator = np.random.Generator(np.random.PCG64(1))
+        samples = dist.sample(generator, 200_000)
+        useful = tau * np.floor(samples / (tau + cost))
+        simulated = useful.mean() / samples.mean()
+        assert analytic == pytest.approx(simulated, rel=0.02)
+
+    def test_efficiency_below_segment_bound(self):
+        # Even with no failures the efficiency can't beat tau/(tau+C).
+        dist = Exponential(scale=1e9)
+        tau, cost = 1000.0, 100.0
+        eff = expected_efficiency(dist, tau, cost)
+        assert eff <= tau / (tau + cost) + 1e-9
+        assert eff == pytest.approx(tau / (tau + cost), rel=1e-3)
+
+    def test_zero_when_interval_exceeds_failures(self):
+        # Failures always strike before the first checkpoint completes.
+        dist = Exponential(scale=10.0)
+        assert expected_efficiency(dist, 1e6, 1.0) < 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_efficiency(Exponential(scale=1.0), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_efficiency(Exponential(scale=1.0), 1.0, -1.0)
+
+
+class TestOptimalInterval:
+    def test_near_young_for_exponential(self):
+        mtbf, cost = 86400.0, 600.0
+        dist = Exponential(scale=mtbf)
+        optimal = optimal_interval(dist, cost)
+        young = young_interval(cost, mtbf)
+        # Young's approximation is within ~10% of the true optimum.
+        assert optimal == pytest.approx(young, rel=0.15)
+
+    def test_optimal_beats_or_ties_young_under_weibull(self):
+        shape = 0.5
+        mtbf = 43200.0
+        scale = mtbf / math.gamma(1 + 1 / shape)
+        dist = Weibull(shape=shape, scale=scale)
+        cost = 1200.0
+        optimal = optimal_interval(dist, cost)
+        eff_optimal = expected_efficiency(dist, optimal, cost)
+        eff_young = expected_efficiency(dist, young_interval(cost, mtbf), cost)
+        assert eff_optimal >= eff_young - 1e-9
+
+    def test_unimodal_scan_agrees(self):
+        dist = Weibull(shape=0.7, scale=30_000.0)
+        cost = 500.0
+        optimal = optimal_interval(dist, cost)
+        taus = np.linspace(optimal * 0.3, optimal * 3.0, 60)
+        best_scanned = max(
+            taus, key=lambda t: expected_efficiency(dist, t, cost)
+        )
+        assert optimal == pytest.approx(best_scanned, rel=0.1)
+
+    def test_bracket_validation(self):
+        with pytest.raises(ValueError):
+            optimal_interval(Exponential(scale=1e4), 10.0, bracket=(100.0, 10.0))

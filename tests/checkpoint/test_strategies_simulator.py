@@ -1,0 +1,155 @@
+"""Tests for checkpoint strategies and the trace-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.simulator import CheckpointSimulation
+from repro.checkpoint.strategies import (
+    DistributionAwareStrategy,
+    FixedIntervalStrategy,
+    YoungStrategy,
+)
+from repro.stats.distributions import Weibull
+
+
+class TestStrategies:
+    INTERARRIVALS = [3600.0 * k for k in (1, 2, 5, 10, 3, 8, 2, 1, 6, 4)]
+
+    def test_fixed(self):
+        strategy = FixedIntervalStrategy(1234.0)
+        assert strategy.interval(self.INTERARRIVALS, 600.0) == 1234.0
+        with pytest.raises(ValueError):
+            FixedIntervalStrategy(0.0)
+
+    def test_young_uses_empirical_mtbf(self):
+        strategy = YoungStrategy()
+        mtbf = float(np.mean(self.INTERARRIVALS))
+        expected = np.sqrt(2 * 600.0 * mtbf)
+        assert strategy.interval(self.INTERARRIVALS, 600.0) == pytest.approx(expected)
+
+    def test_young_empty_rejected(self):
+        with pytest.raises(ValueError):
+            YoungStrategy().interval([], 600.0)
+
+    def test_distribution_aware_fits_weibull(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        gaps = Weibull(shape=0.7, scale=40_000.0).sample(generator, 3000)
+        strategy = DistributionAwareStrategy()
+        fitted = strategy.fitted(gaps)
+        assert fitted.name == "weibull"
+        interval = strategy.interval(gaps, 600.0)
+        assert interval > 0
+
+    def test_distribution_aware_restart_cost_validation(self):
+        with pytest.raises(ValueError):
+            DistributionAwareStrategy(restart_cost=-1.0)
+
+
+class TestCheckpointSimulation:
+    def test_no_failures_exact_makespan(self):
+        sim = CheckpointSimulation(
+            work=10_000.0, interval=1000.0, checkpoint_cost=50.0, restart_cost=0.0
+        )
+        result = sim.run([])
+        assert result.completed
+        # 10 segments, 9 checkpoints (none after the last segment).
+        assert result.makespan == pytest.approx(10_000.0 + 9 * 50.0)
+        assert result.checkpoints_written == 9
+        assert result.failures_hit == 0
+        assert result.lost_work == 0.0
+
+    def test_single_failure_rollback_arithmetic(self):
+        sim = CheckpointSimulation(
+            work=3000.0, interval=1000.0, checkpoint_cost=100.0, restart_cost=200.0
+        )
+        # Failure at t=1500: one checkpoint done (work 1000 banked at
+        # t=1100), 400 s of segment 2 lost, restart 200 s, then segments
+        # 2 and 3 rerun: 1000 + 100 + 1000 = finish.
+        result = sim.run([1500.0])
+        assert result.completed
+        assert result.failures_hit == 1
+        assert result.lost_work == pytest.approx(400.0)
+        assert result.makespan == pytest.approx(1500.0 + 200.0 + 1000.0 + 100.0 + 1000.0)
+
+    def test_failure_during_checkpoint_loses_segment(self):
+        sim = CheckpointSimulation(
+            work=2000.0, interval=1000.0, checkpoint_cost=100.0, restart_cost=0.0
+        )
+        # Failure at t=1050, mid-checkpoint: the whole 1000 s segment is
+        # lost (roll back to zero banked work).
+        result = sim.run([1050.0])
+        assert result.completed
+        assert result.lost_work == pytest.approx(1000.0)
+        assert result.makespan == pytest.approx(1050.0 + 1000.0 + 100.0 + 1000.0)
+
+    def test_failure_during_restart_restarts_again(self):
+        sim = CheckpointSimulation(
+            work=1000.0, interval=1000.0, checkpoint_cost=0.0, restart_cost=500.0
+        )
+        # First failure at 100; restart runs 100-600; second failure at
+        # 300 interrupts the restart; restart again 300-800; then the
+        # full 1000 s segment reruns.
+        result = sim.run([100.0, 300.0])
+        assert result.completed
+        assert result.failures_hit == 2
+        assert result.makespan == pytest.approx(300.0 + 500.0 + 1000.0)
+
+    def test_incomplete_when_failures_too_dense(self):
+        sim = CheckpointSimulation(
+            work=10_000.0, interval=1000.0, checkpoint_cost=100.0, restart_cost=0.0
+        )
+        # A failure every 500 s up to the horizon: a segment plus its
+        # checkpoint needs 1100 s of quiet, so nothing ever banks.
+        failures = [500.0 * k for k in range(1, 1000)]
+        result = sim.run(failures, horizon=400_000.0)
+        assert not result.completed
+        assert result.useful_work == 0.0
+        assert result.efficiency == 0.0
+        assert result.makespan == pytest.approx(400_000.0)
+
+    def test_horizon_cuts_off_slow_job(self):
+        sim = CheckpointSimulation(work=10_000.0, interval=1000.0, checkpoint_cost=100.0)
+        result = sim.run([], horizon=5000.0)
+        assert not result.completed
+        # 4 full segments banked by t=4400; the 5th is in flight.
+        assert result.useful_work == pytest.approx(4000.0)
+
+    def test_horizon_validation(self):
+        sim = CheckpointSimulation(work=100.0, interval=50.0, checkpoint_cost=1.0)
+        with pytest.raises(ValueError):
+            sim.run([], horizon=0.0)
+
+    def test_efficiency_definition(self):
+        sim = CheckpointSimulation(work=1000.0, interval=500.0, checkpoint_cost=0.0)
+        result = sim.run([])
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_negative_failure_time_rejected(self):
+        sim = CheckpointSimulation(work=100.0, interval=50.0, checkpoint_cost=1.0)
+        with pytest.raises(ValueError):
+            sim.run([-5.0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointSimulation(work=0.0, interval=1.0, checkpoint_cost=1.0)
+        with pytest.raises(ValueError):
+            CheckpointSimulation(work=1.0, interval=0.0, checkpoint_cost=1.0)
+        with pytest.raises(ValueError):
+            CheckpointSimulation(work=1.0, interval=1.0, checkpoint_cost=-1.0)
+
+    def test_simulation_tracks_analytic_efficiency(self):
+        # Long-run simulated efficiency ~ the renewal-reward model.
+        from repro.checkpoint.models import expected_efficiency
+        from repro.stats.distributions import Exponential
+
+        mtbf, tau, cost = 50_000.0, 7000.0, 300.0
+        dist = Exponential(scale=mtbf)
+        generator = np.random.Generator(np.random.PCG64(4))
+        failures = np.cumsum(dist.sample(generator, 5000))
+        sim = CheckpointSimulation(
+            work=30 * 86400.0, interval=tau, checkpoint_cost=cost
+        )
+        result = sim.run(failures)
+        assert result.completed
+        analytic = expected_efficiency(dist, tau, cost)
+        assert result.efficiency == pytest.approx(analytic, rel=0.05)

@@ -1,0 +1,136 @@
+"""Tests for two-level checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.simulator import CheckpointSimulation
+from repro.checkpoint.twolevel import TwoLevelCheckpointSimulation
+
+
+def make(**overrides):
+    defaults = dict(
+        work=10_000.0, interval=1000.0, local_cost=10.0, global_cost=200.0,
+        global_every=5, local_restart=50.0, global_restart=1000.0,
+        correlation_window=1.0,
+    )
+    defaults.update(overrides)
+    return TwoLevelCheckpointSimulation(**defaults)
+
+
+class TestFailureFree:
+    def test_checkpoint_mix(self):
+        result = make().run([])
+        assert result.completed
+        # 10 segments; 9 intermediate checkpoints: every 5th global.
+        assert result.local_checkpoints + result.global_checkpoints == 9
+        assert result.global_checkpoints == 1  # the 5th; the 10th is final
+        assert result.makespan == pytest.approx(10_000.0 + 8 * 10.0 + 200.0)
+
+    def test_global_every_one_is_all_global(self):
+        result = make(global_every=1).run([])
+        assert result.local_checkpoints == 0
+        assert result.global_checkpoints == 9
+
+
+class TestSingleFailureRecovery:
+    def test_local_recovery_rolls_back_one_segment(self):
+        # Failure at t=1500: 1 checkpoint banked at 1010; 490 s of
+        # segment 2 lost; local restart 50 s.
+        result = make().run([1500.0])
+        assert result.completed
+        assert result.local_recoveries == 1
+        assert result.global_recoveries == 0
+        assert result.lost_work == pytest.approx(490.0)
+
+    def test_correlated_failure_forces_global_rollback(self):
+        # Two failures 0.5 s apart at ~t=6600: by then the global
+        # checkpoint at segment 5 protects 5000; local checkpoints
+        # protect 6000.  Correlated => roll back to 5000.
+        result = make().run([6600.0, 6600.5])
+        assert result.completed
+        assert result.global_recoveries == 1
+        # Lost: partial segment (6600 - segment start) + (6000 - 5000).
+        assert result.lost_work > 1000.0
+
+    def test_simultaneous_failures_one_recovery(self):
+        result = make().run([6600.0, 6600.0])
+        assert result.global_recoveries == 1
+        assert result.local_recoveries == 0
+        assert result.completed
+
+
+class TestVsSingleLevel:
+    def run_pair(self, failure_times, horizon):
+        """Two-level vs single-level-global with matched costs."""
+        two = make(work=40 * 86400.0, interval=3600.0, local_cost=30.0,
+                   global_cost=600.0, global_every=10,
+                   local_restart=120.0, global_restart=1800.0)
+        single = CheckpointSimulation(
+            work=40 * 86400.0, interval=3600.0, checkpoint_cost=600.0,
+            restart_cost=1800.0,
+        )
+        return (
+            two.run(failure_times, horizon=horizon),
+            single.run(failure_times, horizon=horizon),
+        )
+
+    def test_two_level_wins_under_independent_failures(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        failures = np.cumsum(generator.exponential(40_000.0, 400))
+        two, single = self.run_pair(failures, horizon=float(failures[-1]))
+        assert two.completed and single.completed
+        # Cheap local checkpoints + cheap local recovery beat paying
+        # the global cost everywhere.
+        assert two.efficiency > single.efficiency
+
+    def test_two_level_survives_correlated_bursts(self):
+        generator = np.random.Generator(np.random.PCG64(1))
+        independent = np.cumsum(generator.exponential(60_000.0, 300))
+        # Make a third of them bursts (duplicate timestamps).
+        bursts = independent[::3]
+        failures = np.sort(np.concatenate([independent, bursts]))
+        two, single = self.run_pair(failures, horizon=float(failures[-1]))
+        assert two.completed
+        assert two.global_recoveries > 0
+        assert two.local_recoveries > 0
+        # Even with forced global rollbacks, still at least competitive.
+        assert two.efficiency > 0.8 * single.efficiency
+
+
+class TestOnSyntheticTrace:
+    def test_early_system20_exercises_both_recovery_paths(self, system20_trace):
+        starts = system20_trace.start_times()
+        offsets = starts - starts[0]
+        sim = make(work=30 * 86400.0, interval=7200.0, local_cost=60.0,
+                   global_cost=600.0)
+        result = sim.run(offsets[:4000], horizon=float(offsets[3999]))
+        # The early burst era produces real correlated failures.
+        assert result.global_recoveries > 10
+        assert result.local_recoveries > 10
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"work": 0.0},
+            {"interval": -1.0},
+            {"local_cost": -1.0},
+            {"global_cost": 1.0, "local_cost": 10.0},
+            {"global_every": 0},
+            {"local_restart": -1.0},
+            {"correlation_window": -1.0},
+        ],
+    )
+    def test_bad_parameters(self, overrides):
+        with pytest.raises(ValueError):
+            make(**overrides)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            make().run([], horizon=0.0)
+
+    def test_incomplete_at_horizon(self):
+        result = make().run([], horizon=500.0)
+        assert not result.completed
+        assert result.useful_work == 0.0

@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+Trace generation is the expensive step (~3 s for the full 22-system
+trace), so traces are session-scoped and shared by every test that can
+tolerate sharing.  Tests that mutate nothing may use them freely;
+FailureTrace is immutable by design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import GeneratorConfig, TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def full_trace():
+    """The full 22-system synthetic LANL trace (seed 1)."""
+    return TraceGenerator(seed=1).generate()
+
+
+@pytest.fixture(scope="session")
+def system20_trace():
+    """System 20 alone (the paper's reference system for Figures 3/6)."""
+    return TraceGenerator(seed=1).generate([20])
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small, fast trace: systems 2 (tiny) and 13 (128-node type F)."""
+    return TraceGenerator(seed=5).generate([2, 13])
+
+
+@pytest.fixture(scope="session")
+def plain_config():
+    """A generator config with every stochastic extra disabled."""
+    return GeneratorConfig(
+        diurnal_enabled=False,
+        jitter_enabled=False,
+        bursts_enabled=False,
+        node_sigma=0.0,
+    )

@@ -1,0 +1,117 @@
+"""Tests for the CSV trace format."""
+
+import pytest
+
+from repro.io.csv_format import read_lanl_csv, write_lanl_csv
+from repro.io.schema import CSV_COLUMNS, SchemaError, describe_schema
+from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
+from repro.records.trace import FailureTrace
+
+
+def sample_records():
+    return [
+        FailureRecord(
+            start_time=1.5e8, end_time=1.5e8 + 3600.0, system_id=20, node_id=22,
+            root_cause=RootCause.HARDWARE, low_level_cause=LowLevelCause.MEMORY,
+            workload=Workload.GRAPHICS, record_id=0,
+        ),
+        FailureRecord(
+            start_time=1.6e8, end_time=1.6e8 + 60.0, system_id=5, node_id=0,
+            root_cause=RootCause.UNKNOWN, workload=Workload.FRONTEND, record_id=1,
+        ),
+    ]
+
+
+class TestRoundtrip:
+    def test_records_survive_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        original = FailureTrace(sample_records())
+        assert write_lanl_csv(original, path) == 2
+        loaded = read_lanl_csv(path)
+        assert len(loaded) == 2
+        for before, after in zip(original, loaded):
+            assert after.start_time == before.start_time
+            assert after.end_time == before.end_time
+            assert after.system_id == before.system_id
+            assert after.node_id == before.node_id
+            assert after.root_cause is before.root_cause
+            assert after.low_level_cause is before.low_level_cause
+            assert after.workload is before.workload
+
+    def test_float_precision_preserved(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        record = FailureRecord(
+            start_time=123456789.123456, end_time=123456789.623456,
+            system_id=1, node_id=0,
+        )
+        write_lanl_csv([record], path)
+        loaded = read_lanl_csv(path)
+        assert loaded[0].start_time == record.start_time
+        assert loaded[0].repair_time == pytest.approx(0.5)
+
+    def test_synthetic_trace_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "synth.csv"
+        write_lanl_csv(small_trace, path)
+        loaded = read_lanl_csv(path)
+        assert len(loaded) == len(small_trace)
+        assert loaded.counts_by_cause() == small_trace.counts_by_cause()
+
+    def test_custom_window_kwargs(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_lanl_csv(sample_records(), path)
+        loaded = read_lanl_csv(path, data_start=0.0, data_end=9e8)
+        assert loaded.data_start == 0.0
+        assert loaded.data_end == 9e8
+
+
+class TestErrors:
+    def test_missing_header_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("system_id,node_id\n20,1\n")
+        with pytest.raises(SchemaError, match="missing required columns"):
+            read_lanl_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty file"):
+            read_lanl_csv(path)
+
+    def test_malformed_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "system_id,node_id,start_time,end_time\n20,1,notanumber,5\n"
+        )
+        with pytest.raises(SchemaError, match="line 2"):
+            read_lanl_csv(path)
+
+    def test_unknown_cause(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "system_id,node_id,start_time,end_time,root_cause\n20,1,1,5,gremlins\n"
+        )
+        with pytest.raises(SchemaError, match="unknown root cause"):
+            read_lanl_csv(path)
+
+    def test_unknown_workload(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "system_id,node_id,start_time,end_time,workload\n20,1,1,5,gaming\n"
+        )
+        with pytest.raises(SchemaError, match="unknown workload"):
+            read_lanl_csv(path)
+
+    def test_defaults_for_optional_columns(self, tmp_path):
+        # Only the four required columns: workload/cause default.
+        path = tmp_path / "minimal.csv"
+        path.write_text("system_id,node_id,start_time,end_time\n20,1,1000,2000\n")
+        loaded = read_lanl_csv(path)
+        assert loaded[0].root_cause is RootCause.UNKNOWN
+        assert loaded[0].workload is Workload.COMPUTE
+
+
+class TestSchema:
+    def test_columns_documented(self):
+        text = describe_schema()
+        for column in CSV_COLUMNS:
+            assert column in text

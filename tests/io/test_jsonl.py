@@ -1,0 +1,70 @@
+"""Tests for the JSONL trace format."""
+
+import pytest
+
+from repro.io.jsonl_format import read_jsonl, write_jsonl
+from repro.io.schema import SchemaError
+from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
+from repro.records.trace import FailureTrace
+
+
+def sample_records():
+    return [
+        FailureRecord(
+            start_time=1.5e8, end_time=1.5e8 + 3600.0, system_id=20, node_id=22,
+            root_cause=RootCause.SOFTWARE,
+            low_level_cause=LowLevelCause.PARALLEL_FILESYSTEM,
+            workload=Workload.COMPUTE, record_id=7,
+        ),
+        FailureRecord(
+            start_time=1.6e8, end_time=1.6e8 + 60.0, system_id=5, node_id=0,
+        ),
+    ]
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    assert write_jsonl(sample_records(), path) == 2
+    loaded = read_jsonl(path)
+    assert len(loaded) == 2
+    first = loaded[0]
+    assert first.low_level_cause is LowLevelCause.PARALLEL_FILESYSTEM
+    assert first.record_id == 7
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(sample_records(), path)
+    path.write_text(path.read_text() + "\n\n")
+    assert len(read_jsonl(path)) == 2
+
+
+def test_invalid_json_reports_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    good = '{"system_id": 1, "node_id": 0, "start_time": 1.0, "end_time": 2.0}'
+    path.write_text(good + "\nnot json\n")
+    with pytest.raises(SchemaError, match="line 2"):
+        read_jsonl(path)
+
+
+def test_missing_field_reports_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"system_id": 1, "node_id": 0}\n')
+    with pytest.raises(SchemaError, match="line 1"):
+        read_jsonl(path)
+
+
+def test_csv_and_jsonl_agree(small_trace, tmp_path):
+    from repro.io.csv_format import read_lanl_csv, write_lanl_csv
+
+    csv_path = tmp_path / "t.csv"
+    jsonl_path = tmp_path / "t.jsonl"
+    write_lanl_csv(small_trace, csv_path)
+    write_jsonl(small_trace, jsonl_path)
+    from_csv = read_lanl_csv(csv_path)
+    from_jsonl = read_jsonl(jsonl_path)
+    assert len(from_csv) == len(from_jsonl) == len(small_trace)
+    for a, b in zip(from_csv, from_jsonl):
+        assert a.start_time == b.start_time
+        assert a.root_cause is b.root_cause
+        assert a.low_level_cause is b.low_level_cause

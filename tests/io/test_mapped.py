@@ -1,0 +1,138 @@
+"""Tests for the column-mapping importer."""
+
+import pytest
+
+from repro.io.mapped import ColumnMapping, read_mapped_csv
+from repro.io.schema import SchemaError
+from repro.records.record import RootCause, Workload
+from repro.records.timeutils import from_datetime
+import datetime as dt
+
+
+CFDR_STYLE = """System,nodenum,Prob Started,Prob Fixed,Facilities,node usage
+2,0,06/15/1999 10:30,06/15/1999 14:30,Hardware,compute
+2,0,07/01/1999 08:00,07/01/1999 08:45,DST Error,graphics
+20,22,01/02/2000 23:15,01/03/2000 03:00,,fe
+"""
+
+
+@pytest.fixture
+def cfdr_csv(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text(CFDR_STYLE)
+    return path
+
+
+def cfdr_mapping(**overrides):
+    defaults = dict(
+        system_id="System",
+        node_id="nodenum",
+        start_time="Prob Started",
+        end_time="Prob Fixed",
+        time_format="%m/%d/%Y %H:%M",
+        cause_column="Facilities",
+        cause_map={"Hardware": RootCause.HARDWARE, "DST Error": RootCause.SOFTWARE},
+        workload_column="node usage",
+        workload_map={"compute": Workload.COMPUTE, "graphics": Workload.GRAPHICS,
+                      "fe": Workload.FRONTEND},
+    )
+    defaults.update(overrides)
+    return ColumnMapping(**defaults)
+
+
+class TestReadMappedCsv:
+    def test_basic_import(self, cfdr_csv):
+        trace = read_mapped_csv(cfdr_csv, cfdr_mapping())
+        assert len(trace) == 3
+        first = trace[0]
+        assert first.system_id == 2
+        assert first.start_time == from_datetime(dt.datetime(1999, 6, 15, 10, 30))
+        assert first.repair_minutes == pytest.approx(240.0)
+        assert first.root_cause is RootCause.HARDWARE
+
+    def test_cause_and_workload_mapping(self, cfdr_csv):
+        trace = read_mapped_csv(cfdr_csv, cfdr_mapping())
+        assert trace[1].root_cause is RootCause.SOFTWARE
+        assert trace[1].workload is Workload.GRAPHICS
+        # Empty cause value maps to UNKNOWN.
+        assert trace[2].root_cause is RootCause.UNKNOWN
+        assert trace[2].workload is Workload.FRONTEND
+
+    def test_duration_column_instead_of_end(self, tmp_path):
+        path = tmp_path / "dur.csv"
+        path.write_text("sys,node,start,down\n1,0,1000.5,30\n")
+        mapping = ColumnMapping(
+            system_id="sys", node_id="node", start_time="start",
+            duration_column="down", duration_unit="minutes",
+        )
+        trace = read_mapped_csv(path, mapping)
+        assert trace[0].end_time == pytest.approx(1000.5 + 1800.0)
+
+    def test_system_id_map_for_hostnames(self, tmp_path):
+        path = tmp_path / "hosts.csv"
+        path.write_text("host,node,start,end\nbluemountain,3,100.0,200.0\n")
+        mapping = ColumnMapping(
+            system_id="host", node_id="node", start_time="start", end_time="end",
+            system_id_map={"bluemountain": 20},
+        )
+        trace = read_mapped_csv(path, mapping)
+        assert trace[0].system_id == 20
+
+    def test_unmappable_system_rejected(self, tmp_path):
+        path = tmp_path / "hosts.csv"
+        path.write_text("host,node,start,end\nmystery,3,100.0,200.0\n")
+        mapping = ColumnMapping(
+            system_id="host", node_id="node", start_time="start", end_time="end",
+        )
+        with pytest.raises(SchemaError, match="mystery"):
+            read_mapped_csv(path, mapping)
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("sys,node\n1,0\n")
+        mapping = ColumnMapping(
+            system_id="sys", node_id="node", start_time="start", end_time="end",
+        )
+        with pytest.raises(SchemaError, match="missing columns"):
+            read_mapped_csv(path, mapping)
+
+    def test_bad_timestamp_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("sys,node,start,end\n1,0,yesterday,2000.0\n")
+        mapping = ColumnMapping(
+            system_id="sys", node_id="node", start_time="start", end_time="end",
+        )
+        with pytest.raises(SchemaError, match="line 2"):
+            read_mapped_csv(path, mapping)
+
+    def test_end_before_start_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("sys,node,start,end\n1,0,2000.0,1000.0\n")
+        mapping = ColumnMapping(
+            system_id="sys", node_id="node", start_time="start", end_time="end",
+        )
+        with pytest.raises(SchemaError, match="line 2"):
+            read_mapped_csv(path, mapping)
+
+
+class TestColumnMappingValidation:
+    def test_needs_end_or_duration(self):
+        with pytest.raises(ValueError):
+            ColumnMapping(system_id="a", node_id="b", start_time="c")
+
+    def test_duration_unit_validated(self):
+        with pytest.raises(ValueError):
+            ColumnMapping(
+                system_id="a", node_id="b", start_time="c",
+                duration_column="d", duration_unit="fortnights",
+            )
+
+
+class TestRoundtripThroughAnalysis:
+    def test_mapped_trace_feeds_analyses(self, cfdr_csv):
+        from repro.analysis import repair_statistics_by_cause
+
+        trace = read_mapped_csv(cfdr_csv, cfdr_mapping())
+        rows = repair_statistics_by_cause(trace)
+        assert rows[-1].label == "All"
+        assert rows[-1].n == 3

@@ -1,0 +1,103 @@
+"""Tests for NodeCategory/NodeConfig/SystemConfig."""
+
+import pytest
+
+from repro.records.inventory import DATA_END, DATA_START
+from repro.records.node import NodeCategory, NodeConfig
+from repro.records.system import HardwareArchitecture, HardwareType, SystemConfig
+
+
+def category(**overrides):
+    defaults = dict(node_count=4, procs_per_node=2, memory_gb=8.0, nics=1)
+    defaults.update(overrides)
+    return NodeCategory(**defaults)
+
+
+class TestNodeCategory:
+    def test_total_processors(self):
+        assert category(node_count=4, procs_per_node=2).total_processors == 8
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("node_count", 0), ("procs_per_node", 0), ("memory_gb", 0.0), ("nics", -1)],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            category(**{field: value})
+
+
+class TestSystemConfig:
+    def make_system(self):
+        return SystemConfig(
+            system_id=9,
+            hardware_type=HardwareType.E,
+            architecture=HardwareArchitecture.SMP,
+            categories=(
+                category(node_count=2, production_start="04/01", production_end="now"),
+                category(node_count=3, production_start="12/02", production_end="now"),
+            ),
+        )
+
+    def test_counts(self):
+        system = self.make_system()
+        assert system.node_count == 5
+        assert system.processor_count == 10
+
+    def test_expand_nodes_assigns_sequential_ids(self):
+        nodes = self.make_system().expand_nodes(DATA_START, DATA_END)
+        assert [node.node_id for node in nodes] == [0, 1, 2, 3, 4]
+
+    def test_expand_nodes_category_windows(self):
+        nodes = self.make_system().expand_nodes(DATA_START, DATA_END)
+        # First category starts 04/01; second starts 12/02 (later).
+        assert nodes[0].production_start < nodes[2].production_start
+        assert all(node.production_end == DATA_END for node in nodes)
+
+    def test_production_window_is_union(self):
+        system = self.make_system()
+        start, end = system.production_window(DATA_START, DATA_END)
+        nodes = system.expand_nodes(DATA_START, DATA_END)
+        assert start == min(node.production_start for node in nodes)
+        assert end == max(node.production_end for node in nodes)
+
+    def test_production_years_positive(self):
+        assert self.make_system().production_years(DATA_START, DATA_END) > 3.0
+
+    def test_no_categories_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                system_id=1,
+                hardware_type=HardwareType.A,
+                architecture=HardwareArchitecture.SMP,
+                categories=(),
+            )
+
+    def test_bad_system_id_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                system_id=23,
+                hardware_type=HardwareType.A,
+                architecture=HardwareArchitecture.SMP,
+                categories=(category(),),
+            )
+
+
+class TestNodeConfig:
+    def test_in_production(self):
+        node = NodeConfig(
+            system_id=1, node_id=0, category=category(),
+            production_start=100.0, production_end=200.0,
+        )
+        assert node.in_production(100.0)
+        assert node.in_production(150.0)
+        assert not node.in_production(200.0)
+        assert not node.in_production(50.0)
+        assert node.production_seconds == 100.0
+        assert node.procs == 2
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            NodeConfig(
+                system_id=1, node_id=0, category=category(),
+                production_start=200.0, production_end=100.0,
+            )

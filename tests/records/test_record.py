@@ -1,0 +1,99 @@
+"""Tests for FailureRecord and its vocabulary."""
+
+import pytest
+
+from repro.records.record import (
+    HIGH_LEVEL_CAUSES,
+    LOW_LEVEL_PARENT,
+    FailureRecord,
+    LowLevelCause,
+    RootCause,
+    Workload,
+)
+
+
+def make(**overrides):
+    defaults = dict(
+        start_time=1000.0, end_time=2000.0, system_id=20, node_id=3,
+        root_cause=RootCause.HARDWARE, low_level_cause=LowLevelCause.MEMORY,
+    )
+    defaults.update(overrides)
+    return FailureRecord(**defaults)
+
+
+class TestInvariants:
+    def test_valid_record(self):
+        record = make()
+        assert record.repair_time == 1000.0
+        assert record.repair_minutes == pytest.approx(1000.0 / 60.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            make(end_time=500.0)
+
+    def test_zero_duration_allowed(self):
+        assert make(end_time=1000.0).repair_time == 0.0
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(ValueError):
+            make(system_id=0)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            make(node_id=-1)
+
+    def test_low_level_must_match_parent(self):
+        with pytest.raises(ValueError):
+            make(root_cause=RootCause.SOFTWARE, low_level_cause=LowLevelCause.MEMORY)
+
+    def test_unknown_with_detail_rejected(self):
+        with pytest.raises(ValueError):
+            make(root_cause=RootCause.UNKNOWN, low_level_cause=LowLevelCause.MEMORY)
+
+    def test_no_detail_allowed_for_any_cause(self):
+        for cause in RootCause:
+            record = make(root_cause=cause, low_level_cause=None)
+            assert record.root_cause is cause
+
+
+class TestVocabulary:
+    def test_six_high_level_causes(self):
+        assert len(HIGH_LEVEL_CAUSES) == 6
+        assert set(HIGH_LEVEL_CAUSES) == set(RootCause)
+
+    def test_every_low_level_cause_has_parent(self):
+        for cause in LowLevelCause:
+            assert cause in LOW_LEVEL_PARENT
+            assert LOW_LEVEL_PARENT[cause] is not RootCause.UNKNOWN
+
+    def test_environment_has_exactly_two_details(self):
+        # Section 6: only power outage and A/C failure.
+        details = [c for c, p in LOW_LEVEL_PARENT.items() if p is RootCause.ENVIRONMENT]
+        assert len(details) == 2
+
+    def test_workload_values_match_paper(self):
+        assert Workload.FRONTEND.value == "fe"
+        assert {w.value for w in Workload} == {"compute", "graphics", "fe"}
+
+
+class TestOrderingAndCopies:
+    def test_sorts_by_start_time(self):
+        early = make(start_time=10.0, end_time=20.0)
+        late = make(start_time=30.0, end_time=40.0)
+        assert sorted([late, early]) == [early, late]
+
+    def test_with_end_time(self):
+        record = make().with_end_time(5000.0)
+        assert record.end_time == 5000.0
+        assert record.start_time == 1000.0
+
+    def test_with_cause_amendment(self):
+        # The remedy-DB follow-up flow: unknown cause amended later.
+        record = make(root_cause=RootCause.UNKNOWN, low_level_cause=None)
+        amended = record.with_cause(RootCause.NETWORK, LowLevelCause.SWITCH)
+        assert amended.root_cause is RootCause.NETWORK
+        assert amended.low_level_cause is LowLevelCause.SWITCH
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make().start_time = 0.0

@@ -1,0 +1,134 @@
+"""Tests for FailureTrace."""
+
+import numpy as np
+import pytest
+
+from repro.records.record import FailureRecord, RootCause, Workload
+from repro.records.system import HardwareType
+from repro.records.trace import FailureTrace
+
+
+def record(start, system=20, node=0, cause=RootCause.HARDWARE,
+           workload=Workload.COMPUTE, duration=600.0):
+    return FailureRecord(
+        start_time=start, end_time=start + duration, system_id=system,
+        node_id=node, root_cause=cause, workload=workload,
+    )
+
+
+@pytest.fixture
+def trace():
+    return FailureTrace(
+        [
+            record(3000.0, system=20, node=1, cause=RootCause.SOFTWARE),
+            record(1000.0, system=20, node=0),
+            record(2000.0, system=19, node=2, cause=RootCause.NETWORK, duration=120.0),
+            record(2000.0, system=20, node=5, workload=Workload.GRAPHICS),
+            record(9000.0, system=5, node=7, cause=RootCause.HUMAN),
+        ]
+    )
+
+
+class TestBasics:
+    def test_sorted_on_construction(self, trace):
+        starts = [r.start_time for r in trace]
+        assert starts == sorted(starts)
+
+    def test_len_and_indexing(self, trace):
+        assert len(trace) == 5
+        assert trace[0].start_time == 1000.0
+
+    def test_start_times_vector(self, trace):
+        assert trace.start_times().tolist() == [1000.0, 2000.0, 2000.0, 3000.0, 9000.0]
+
+    def test_repair_minutes(self, trace):
+        assert trace.repair_minutes()[0] == pytest.approx(10.0)
+
+    def test_interarrivals_include_zero_gaps(self, trace):
+        gaps = trace.interarrival_times()
+        assert len(gaps) == 4
+        assert gaps[0] == 1000.0
+        assert gaps[1] == 0.0  # two records at t=2000
+
+    def test_interarrivals_of_tiny_trace(self):
+        assert len(FailureTrace([record(1.0)]).interarrival_times()) == 0
+        assert len(FailureTrace([]).interarrival_times()) == 0
+
+
+class TestFilters:
+    def test_filter_systems(self, trace):
+        sub = trace.filter_systems([20])
+        assert len(sub) == 3
+        assert all(r.system_id == 20 for r in sub)
+
+    def test_filter_nodes(self, trace):
+        assert len(trace.filter_nodes([0, 1])) == 2
+
+    def test_filter_hardware(self, trace):
+        g_records = trace.filter_hardware(HardwareType.G)
+        assert {r.system_id for r in g_records} == {19, 20}
+        assert len(trace.filter_hardware(HardwareType.E)) == 1
+
+    def test_filter_cause(self, trace):
+        assert len(trace.filter_cause(RootCause.SOFTWARE)) == 1
+
+    def test_filter_workload(self, trace):
+        assert len(trace.filter_workload(Workload.GRAPHICS)) == 1
+
+    def test_between_half_open(self, trace):
+        window = trace.between(1000.0, 2000.0)
+        assert len(window) == 1  # start inclusive, end exclusive
+
+    def test_between_empty_window_rejected(self, trace):
+        with pytest.raises(ValueError):
+            trace.between(5.0, 5.0)
+
+    def test_generic_filter(self, trace):
+        long_repairs = trace.filter(lambda r: r.repair_time > 300.0)
+        assert len(long_repairs) == 4
+
+    def test_filters_preserve_inventory(self, trace):
+        assert trace.filter_systems([20]).systems is not None
+        assert trace.filter_systems([20]).data_end == trace.data_end
+
+    def test_merge(self, trace):
+        extra = FailureTrace([record(4000.0, system=2)])
+        merged = trace.merge(extra)
+        assert len(merged) == 6
+        starts = [r.start_time for r in merged]
+        assert starts == sorted(starts)
+
+
+class TestGrouping:
+    def test_by_system(self, trace):
+        groups = trace.by_system()
+        assert set(groups.keys()) == {5, 19, 20}
+        assert len(groups[20]) == 3
+
+    def test_by_node(self, trace):
+        groups = trace.by_node()
+        assert (20, 0) in groups
+        assert len(groups[(19, 2)]) == 1
+
+    def test_counts_by_cause(self, trace):
+        counts = trace.counts_by_cause()
+        assert counts[RootCause.HARDWARE] == 2
+        assert counts[RootCause.SOFTWARE] == 1
+        assert RootCause.UNKNOWN not in counts
+
+    def test_downtime_by_cause(self, trace):
+        downtime = trace.downtime_by_cause()
+        assert downtime[RootCause.NETWORK] == pytest.approx(120.0)
+        assert downtime[RootCause.HARDWARE] == pytest.approx(1200.0)
+
+    def test_failures_per_node_includes_zero_nodes(self, trace):
+        counts = trace.failures_per_node(20)
+        assert counts[0] == 1
+        assert counts[1] == 1
+        assert counts[5] == 1
+        assert counts[10] == 0
+        assert len(counts) == 49  # system 20 has 49 nodes
+
+    def test_failures_per_node_unknown_system(self, trace):
+        with pytest.raises(KeyError):
+            trace.failures_per_node(99)

@@ -1,0 +1,114 @@
+"""Property-based tests for FailureTrace invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.records.record import FailureRecord, RootCause, Workload
+from repro.records.trace import FailureTrace
+
+CAUSES = list(RootCause)
+WORKLOADS = list(Workload)
+
+
+@st.composite
+def records(draw):
+    start = draw(st.floats(min_value=0.0, max_value=3.0e8))
+    duration = draw(st.floats(min_value=0.0, max_value=1e6))
+    return FailureRecord(
+        start_time=start,
+        end_time=start + duration,
+        system_id=draw(st.integers(min_value=1, max_value=22)),
+        node_id=draw(st.integers(min_value=0, max_value=48)),
+        root_cause=draw(st.sampled_from(CAUSES)),
+        workload=draw(st.sampled_from(WORKLOADS)),
+    )
+
+
+record_lists = st.lists(records(), min_size=0, max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists)
+def test_trace_is_sorted(items):
+    trace = FailureTrace(items)
+    starts = [record.start_time for record in trace]
+    assert starts == sorted(starts)
+    assert len(trace) == len(items)
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists)
+def test_cause_filters_partition_the_trace(items):
+    trace = FailureTrace(items)
+    total = sum(len(trace.filter_cause(cause)) for cause in RootCause)
+    assert total == len(trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists, st.floats(min_value=1.0, max_value=3.0e8))
+def test_between_partitions_at_any_boundary(items, boundary):
+    trace = FailureTrace(items, data_start=0.0, data_end=4.0e8)
+    early = trace.between(0.0, boundary)
+    late = trace.between(boundary, 4.0e8)
+    assert len(early) + len(late) == len(
+        trace.between(0.0, 4.0e8)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists)
+def test_by_system_partitions(items):
+    trace = FailureTrace(items)
+    groups = trace.by_system()
+    assert sum(len(group) for group in groups.values()) == len(trace)
+    for system_id, group in groups.items():
+        assert all(record.system_id == system_id for record in group)
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists)
+def test_interarrivals_nonnegative_and_sized(items):
+    trace = FailureTrace(items)
+    gaps = trace.interarrival_times()
+    assert len(gaps) == max(0, len(trace) - 1)
+    assert np.all(gaps >= 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists)
+def test_downtime_equals_sum_of_repairs(items):
+    trace = FailureTrace(items)
+    by_cause = trace.downtime_by_cause()
+    total = float(np.sum(trace.repair_times()))
+    assert abs(sum(by_cause.values()) - total) <= 1e-9 * (1.0 + total)
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_lists)
+def test_merge_is_size_additive(items):
+    half = len(items) // 2
+    a = FailureTrace(items[:half])
+    b = FailureTrace(items[half:])
+    assert len(a.merge(b)) == len(items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(record_lists)
+def test_csv_roundtrip_preserves_everything(items):
+    # hypothesis forbids function-scoped fixtures; use a private tempdir.
+    import tempfile
+    from pathlib import Path
+
+    from repro.io import read_lanl_csv, write_lanl_csv
+
+    trace = FailureTrace(items)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "t.csv"
+        write_lanl_csv(trace, path)
+        loaded = read_lanl_csv(path)
+    assert len(loaded) == len(trace)
+    for before, after in zip(trace, loaded):
+        assert after.start_time == before.start_time
+        assert after.end_time == before.end_time
+        assert after.root_cause is before.root_cause
+        assert after.workload is before.workload

@@ -1,0 +1,63 @@
+"""Tests for trace validation."""
+
+import pytest
+
+from repro.records.record import FailureRecord, RootCause
+from repro.records.trace import FailureTrace
+from repro.records.validation import (
+    TraceValidationError,
+    validate_record,
+    validate_trace,
+)
+
+
+def record(start=1e8, system=20, node=0):
+    return FailureRecord(
+        start_time=start, end_time=start + 60.0, system_id=system, node_id=node,
+        root_cause=RootCause.HARDWARE,
+    )
+
+
+class TestValidateRecord:
+    def test_valid(self):
+        trace = FailureTrace([record()])
+        validate_record(record(), trace)  # does not raise
+
+    def test_without_trace_is_noop(self):
+        validate_record(record())
+
+    def test_unknown_system(self):
+        trace = FailureTrace([])
+        with pytest.raises(TraceValidationError, match="unknown system"):
+            validate_record(record(system=7, node=2000), FailureTrace([], systems={}))
+
+    def test_node_out_of_range(self):
+        trace = FailureTrace([])
+        with pytest.raises(TraceValidationError, match="only 49 nodes"):
+            validate_record(record(node=49), trace)  # system 20 has nodes 0-48
+
+    def test_time_outside_window(self):
+        trace = FailureTrace([])
+        with pytest.raises(TraceValidationError, match="outside observation"):
+            validate_record(record(start=trace.data_end + 10.0), trace)
+
+
+class TestValidateTrace:
+    def test_clean_trace(self):
+        trace = FailureTrace([record(1e8), record(1.1e8, node=3)])
+        assert validate_trace(trace) == []
+
+    def test_problems_reported_with_index(self):
+        trace = FailureTrace([record(1e8), record(1.1e8, node=4000)])
+        problems = validate_trace(trace)
+        assert len(problems) == 1
+        assert problems[0].startswith("record 1:")
+
+    def test_max_errors_truncation(self):
+        records = [record(1e8 + i, node=4000 + i) for i in range(30)]
+        problems = validate_trace(FailureTrace(records), max_errors=5)
+        assert len(problems) == 6
+        assert "suppressed" in problems[-1]
+
+    def test_synthetic_trace_is_valid(self, small_trace):
+        assert validate_trace(small_trace) == []

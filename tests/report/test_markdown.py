@@ -1,0 +1,45 @@
+"""Tests for markdown rendering."""
+
+import pytest
+
+from repro.report.markdown import markdown_summary, markdown_table
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(("name", "count"), [("alpha", 3), ("beta", 14)])
+        lines = text.splitlines()
+        assert lines[0] == "| name | count |"
+        assert lines[1] == "| :--- | ---: |"
+        assert lines[2] == "| alpha | 3 |"
+        assert len(lines) == 4
+
+    def test_pipe_escaping(self):
+        text = markdown_table(("a",), [("x|y",)], align="l")
+        assert "x\\|y" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            markdown_table((), [])
+        with pytest.raises(ValueError):
+            markdown_table(("a", "b"), [("only",)])
+        with pytest.raises(ValueError):
+            markdown_table(("a",), [], align="x")
+
+
+class TestMarkdownSummary:
+    def test_sections_present(self, small_trace):
+        text = markdown_summary(small_trace, title="Test run")
+        assert text.startswith("# Test run")
+        assert "## Failure rates" in text
+        assert "## Root causes" in text
+        assert "## Repair times" in text
+        assert f"**Records:** {len(small_trace)}" in text
+
+    def test_is_valid_markdown_tables(self, small_trace):
+        text = markdown_summary(small_trace)
+        table_lines = [line for line in text.splitlines() if line.startswith("|")]
+        # Every table row has a consistent pipe structure.
+        assert table_lines
+        for line in table_lines:
+            assert line.endswith("|")

@@ -1,0 +1,80 @@
+"""Edge cases for the paper-artifact renderers."""
+
+import pytest
+
+from repro import report
+from repro.records.record import FailureRecord, RootCause
+from repro.records.trace import FailureTrace
+from repro.synth import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def partial_trace():
+    """A trace with only systems 13 and 20 (system 5 absent)."""
+    return TraceGenerator(seed=5).generate([13, 20])
+
+
+class TestPartialTraces:
+    def test_figure4_notes_missing_system(self, partial_trace):
+        text = report.render_figure4(partial_trace)  # defaults: systems 5, 19
+        assert "no failures in this trace" in text
+
+    def test_figure4_with_present_system(self, partial_trace):
+        text = report.render_figure4(partial_trace, system_ids=(20,))
+        assert "system 20" in text
+        assert "failures/month" in text
+
+    def test_figure3_custom_system(self, partial_trace):
+        text = report.render_figure3(partial_trace, system_id=20)
+        assert "system 20" in text
+
+    def test_figure2_includes_zero_rate_systems(self, partial_trace):
+        text = report.render_figure2(partial_trace)
+        # All 22 systems are rendered even when most have zero failures.
+        assert "1 (A)" in text
+        assert "20 (G)" in text
+
+    def test_table2_on_single_cause_trace(self):
+        records = [
+            FailureRecord(
+                start_time=1e8 + i * 1e4, end_time=1e8 + i * 1e4 + 600.0,
+                system_id=20, node_id=0, root_cause=RootCause.NETWORK,
+            )
+            for i in range(20)
+        ]
+        text = report.render_table2(FailureTrace(records))
+        assert "network" in text
+        assert "All" in text
+        assert "hardware" not in text  # no hardware rows to render
+
+    def test_figure6_custom_node(self, partial_trace):
+        counts = partial_trace.failures_per_node(20)
+        busiest = max(counts, key=counts.get)
+        text = report.render_figure6(partial_trace, system_id=20, node_id=busiest)
+        assert "Figure 6(a)" in text
+        assert "Figure 6(d)" in text
+
+    def test_figure5_requires_populated_bins(self):
+        records = [
+            FailureRecord(
+                start_time=1e8 + i, end_time=1e8 + i + 60.0,
+                system_id=20, node_id=0, root_cause=RootCause.HARDWARE,
+            )
+            for i in range(5)
+        ]
+        with pytest.raises(ValueError):
+            report.render_figure5(FailureTrace(records))
+
+
+class TestRendererPurity:
+    def test_renderers_do_not_mutate_trace(self, partial_trace):
+        before = len(partial_trace)
+        first_record = partial_trace[0]
+        report.render_figure1(partial_trace)
+        report.render_table2(partial_trace)
+        assert len(partial_trace) == before
+        assert partial_trace[0] is first_record
+
+    def test_repeated_rendering_is_deterministic(self, partial_trace):
+        assert report.render_figure5(partial_trace) == report.render_figure5(partial_trace)
+        assert report.render_table2(partial_trace) == report.render_table2(partial_trace)

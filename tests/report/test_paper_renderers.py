@@ -1,0 +1,78 @@
+"""Tests for the paper-artifact renderers.
+
+Each renderer must produce non-empty text containing the paper's key
+labels, numbers and structure — these are the same functions every
+bench prints.
+"""
+
+import pytest
+
+from repro import report
+
+
+class TestTableRenderers:
+    def test_table1_totals(self, full_trace):
+        text = report.render_table1(full_trace)
+        assert "Table 1" in text
+        assert "4750 nodes" in text
+        assert "ID" in text and "Procs" in text
+
+    def test_table2_columns(self, full_trace):
+        text = report.render_table2(full_trace)
+        assert "Table 2" in text
+        for cause in ("unknown", "human", "environment", "network",
+                      "software", "hardware", "All"):
+            assert cause in text
+        assert "C^2" in text
+
+    def test_table3_static(self):
+        text = report.render_table3()
+        assert "Table 3" in text
+        assert "Tandem systems" in text
+        assert "1285" in text  # Sahoo et al. failure count
+
+
+class TestFigureRenderers:
+    def test_figure1_both_panels(self, full_trace):
+        text = report.render_figure1(full_trace)
+        assert "Figure 1(a)" in text
+        assert "Figure 1(b)" in text
+        assert "All systems" in text
+        assert "legend:" in text
+
+    def test_figure2_rates_and_cv(self, full_trace):
+        text = report.render_figure2(full_trace)
+        assert "Figure 2(a)" in text and "Figure 2(b)" in text
+        assert "CV[" in text
+
+    def test_figure3_share_and_fits(self, system20_trace):
+        text = report.render_figure3(system20_trace)
+        assert "Figure 3(a)" in text
+        assert "6% of nodes" in text
+        assert "poisson" in text.lower()
+
+    def test_figure4_two_shapes(self, full_trace):
+        text = report.render_figure4(full_trace)
+        assert "system 5" in text
+        assert "system 19" in text
+        assert "infant-decay" in text
+        assert "ramp-peak" in text
+
+    def test_figure5_ratios(self, full_trace):
+        text = report.render_figure5(full_trace)
+        assert "peak/trough ratio" in text
+        assert "weekday/weekend ratio" in text
+        assert "Mon" in text
+
+    def test_figure6_four_panels(self, system20_trace):
+        text = report.render_figure6(system20_trace)
+        for panel in ("(a)", "(b)", "(c)", "(d)"):
+            assert f"Figure 6{panel}" in text
+        assert "zero gaps" in text
+
+    def test_figure7_fits_and_per_system(self, full_trace):
+        text = report.render_figure7(full_trace)
+        assert "Figure 7(a)" in text
+        assert "Figure 7(b)" in text
+        assert "Figure 7(c)" in text
+        assert "LogNormal" in text

@@ -1,0 +1,119 @@
+"""Tests for the text-mode table and chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.report.charts import bar_chart, cdf_plot, series_plot, stacked_bars
+from repro.report.tables import format_table
+from repro.stats.distributions import Exponential, LogNormal
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ("name", "value"),
+            [("alpha", 1), ("beta", 22)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+        # Right-aligned numbers: 1 and 22 end at the same column.
+        assert lines[3].rstrip().endswith("1")
+        assert lines[4].rstrip().endswith("22")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("only one",)])
+
+    def test_align_string_validation(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [], align="lx")
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [], align="l")
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table((), [])
+
+    def test_left_alignment(self):
+        text = format_table(("a", "b"), [("x", "y")], align="ll")
+        row = text.splitlines()[-1]
+        assert row.startswith("x")
+
+
+class TestBarChart:
+    def test_longest_bar_for_max(self):
+        text = bar_chart(["a", "b"], [1.0, 10.0], width=20)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 2
+
+    def test_labels_and_values_present(self):
+        text = bar_chart(["sys7"], [1159.0], value_format="{:.0f}")
+        assert "sys7" in text and "1159" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [0.0])
+
+
+class TestStackedBars:
+    def test_legend_and_groups(self):
+        text = stacked_bars(
+            {"E": {"hardware": 60.0, "software": 40.0},
+             "F": {"hardware": 50.0, "software": 50.0}},
+        )
+        assert "legend:" in text
+        assert "H=hardware" in text
+        assert text.splitlines()[0].strip().startswith("E")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars({})
+
+
+class TestCdfPlot:
+    def test_contains_data_and_models(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        data = generator.lognormal(3.0, 1.0, 500)
+        text = cdf_plot(
+            data,
+            {"lognormal": LogNormal(mu=3.0, sigma=1.0),
+             "exponential": Exponential(scale=float(np.mean(data)))},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "*" in text
+        assert "1=lognormal" in text
+        assert "2=exponential" in text
+        assert "(log)" in text
+
+    def test_linear_axis(self):
+        data = np.linspace(1, 100, 200)
+        text = cdf_plot(data, {}, log_x=False)
+        assert "(log)" not in text
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_plot([1.0], {})
+
+
+class TestSeriesPlot:
+    def test_renders_peak(self):
+        values = [1.0, 5.0, 25.0, 5.0, 1.0]
+        text = series_plot(values, height=10, title="ramp")
+        assert "ramp" in text
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_plot([1.0])
+        with pytest.raises(ValueError):
+            series_plot([0.0, 0.0])

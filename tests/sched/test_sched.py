@@ -1,0 +1,200 @@
+"""Tests for the scheduling package."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.records.record import FailureRecord, RootCause
+from repro.records.timeutils import SECONDS_PER_DAY, from_datetime
+from repro.records.trace import FailureTrace
+from repro.sched.cluster import ClusterTimeline, NodeOutage
+from repro.sched.jobs import Job, JobGenerator
+from repro.sched.policies import (
+    LeastFailuresPolicy,
+    RandomPolicy,
+    ReliabilityAwarePolicy,
+)
+from repro.sched.simulator import SchedulerSimulation
+
+
+def record(start, node, duration=600.0, system=20):
+    return FailureRecord(
+        start_time=start, end_time=start + duration, system_id=system,
+        node_id=node, root_cause=RootCause.HARDWARE,
+    )
+
+
+class TestJobs:
+    def test_jobs_in_window_and_valid(self):
+        jobs = JobGenerator(seed=1).generate(0.0, 30 * SECONDS_PER_DAY)
+        assert len(jobs) > 50
+        for job in jobs:
+            assert 0.0 <= job.arrival < 30 * SECONDS_PER_DAY
+            assert 1 <= job.nodes <= 8
+            assert job.duration > 0
+
+    def test_deterministic(self):
+        a = JobGenerator(seed=1).generate(0.0, 1e6)
+        b = JobGenerator(seed=1).generate(0.0, 1e6)
+        assert [(j.arrival, j.nodes, j.duration) for j in a] == [
+            (j.arrival, j.nodes, j.duration) for j in b
+        ]
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            Job(job_id=0, arrival=0.0, nodes=0, duration=10.0)
+        with pytest.raises(ValueError):
+            Job(job_id=0, arrival=0.0, nodes=1, duration=0.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            JobGenerator().generate(10.0, 10.0)
+
+
+class TestClusterTimeline:
+    def make_timeline(self):
+        trace = FailureTrace(
+            [record(1e8, 0), record(1e8 + 5000.0, 0), record(1e8 + 2000.0, 3)]
+        )
+        return ClusterTimeline(trace, 20)
+
+    def test_outages_sorted(self):
+        timeline = self.make_timeline()
+        outages = timeline.outages(0)
+        assert len(outages) == 2
+        assert outages[0].start < outages[1].start
+
+    def test_failure_count_window(self):
+        timeline = self.make_timeline()
+        assert timeline.failure_count(0, 1e8, 1e8 + 1.0) == 1
+        assert timeline.failure_count(0, 1e8, 1e8 + 10_000.0) == 2
+        assert timeline.failure_count(1, 0.0, 2e8) == 0
+
+    def test_next_failure(self):
+        timeline = self.make_timeline()
+        outage = timeline.next_failure(0, 1e8 + 1.0)
+        assert outage.start == 1e8 + 5000.0
+        assert timeline.next_failure(0, 2e8) is None
+
+    def test_next_failure_any(self):
+        timeline = self.make_timeline()
+        outage = timeline.next_failure_any([0, 3], 1e8 + 1.0)
+        assert outage.node_id == 3
+
+    def test_is_down(self):
+        timeline = self.make_timeline()
+        assert timeline.is_down(0, 1e8 + 100.0)
+        assert not timeline.is_down(0, 1e8 + 700.0)
+        assert not timeline.is_down(0, 1e8 - 1.0)
+
+    def test_failure_rates_training(self):
+        timeline = self.make_timeline()
+        rates = timeline.failure_rates(1e8 - 1.0, 1e8 + 10_000.0)
+        assert rates[0] > rates[3] > rates[1] == 0.0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(KeyError):
+            ClusterTimeline(FailureTrace([]), 99)
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError):
+            NodeOutage(node_id=0, start=10.0, end=5.0)
+
+
+class TestPolicies:
+    def test_random_within_free_set(self):
+        policy = RandomPolicy(seed=0)
+        chosen = policy.choose([3, 5, 7, 9], 2, now=0.0)
+        assert len(chosen) == 2
+        assert set(chosen) <= {3, 5, 7, 9}
+
+    def test_random_insufficient_nodes(self):
+        with pytest.raises(ValueError):
+            RandomPolicy().choose([1], 2, now=0.0)
+
+    def test_reliability_aware_prefers_low_rates(self):
+        policy = ReliabilityAwarePolicy({0: 0.5, 1: 0.1, 2: 0.9, 3: 0.2})
+        assert policy.choose([0, 1, 2, 3], 2, now=0.0) == [1, 3]
+
+    def test_reliability_aware_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ReliabilityAwarePolicy({})
+
+    def test_least_failures_learns(self):
+        policy = LeastFailuresPolicy()
+        policy.observe_failure(0, 1.0)
+        policy.observe_failure(0, 2.0)
+        policy.observe_failure(1, 3.0)
+        assert policy.choose([0, 1, 2], 1, now=4.0) == [2]
+
+
+class TestSchedulerSimulation:
+    T0 = from_datetime(dt.datetime(2002, 1, 1))
+
+    def test_no_failures_all_complete(self):
+        trace = FailureTrace([])
+        timeline = ClusterTimeline(trace, 20)
+        jobs = [
+            Job(job_id=i, arrival=self.T0 + i * 3600.0, nodes=2, duration=7200.0)
+            for i in range(10)
+        ]
+        sim = SchedulerSimulation(
+            timeline, RandomPolicy(seed=0), (self.T0, self.T0 + 30 * SECONDS_PER_DAY)
+        )
+        result = sim.run(jobs)
+        assert result.jobs_completed == 10
+        assert result.kills == 0
+        assert result.mean_slowdown == pytest.approx(1.0)
+        assert result.waste_fraction == 0.0
+
+    def test_failure_kills_and_requeues(self):
+        # One node fails at T0+1800 while running the only job.
+        trace = FailureTrace([record(self.T0 + 1800.0, 0, duration=600.0)])
+        timeline = ClusterTimeline(trace, 20)
+        job = Job(job_id=0, arrival=self.T0, nodes=49, duration=3600.0)
+        sim = SchedulerSimulation(
+            timeline,
+            ReliabilityAwarePolicy({n: 0.0 for n in range(49)}),
+            (self.T0, self.T0 + 10 * SECONDS_PER_DAY),
+        )
+        result = sim.run([job])
+        assert result.kills == 1
+        assert result.jobs_completed == 1
+        assert result.lost_node_seconds == pytest.approx(1800.0 * 49)
+
+    def test_avoiding_bad_node_reduces_kills(self):
+        # Node 0 fails every hour; nodes 1+ never fail.  A policy that
+        # avoids node 0 sees zero kills; one that insists on it doesn't.
+        failures = [record(self.T0 + 3600.0 * k, 0, duration=60.0) for k in range(1, 200)]
+        timeline = ClusterTimeline(FailureTrace(failures), 20)
+        jobs = [
+            Job(job_id=i, arrival=self.T0 + i * 1800.0, nodes=1, duration=5400.0)
+            for i in range(20)
+        ]
+        window = (self.T0, self.T0 + 30 * SECONDS_PER_DAY)
+        avoid = ReliabilityAwarePolicy({0: 1.0, **{n: 0.0 for n in range(1, 49)}})
+        result_avoid = SchedulerSimulation(timeline, avoid, window).run(jobs)
+        prefer = ReliabilityAwarePolicy({0: 0.0, **{n: 1.0 for n in range(1, 49)}})
+        result_prefer = SchedulerSimulation(timeline, prefer, window).run(jobs)
+        assert result_avoid.kills == 0
+        assert result_prefer.kills > 0
+        assert result_avoid.waste_fraction < result_prefer.waste_fraction
+
+    def test_reliability_beats_random_on_synthetic_trace(self, system20_trace):
+        timeline = ClusterTimeline(system20_trace, 20)
+        train_start = from_datetime(dt.datetime(2000, 1, 1))
+        t0 = from_datetime(dt.datetime(2002, 1, 1))
+        t1 = from_datetime(dt.datetime(2003, 1, 1))
+        jobs = JobGenerator(seed=7).generate(t0, t1 - 30 * SECONDS_PER_DAY)
+        trained = ReliabilityAwarePolicy(timeline.failure_rates(train_start, t0))
+        aware = SchedulerSimulation(timeline, trained, (t0, t1)).run(jobs)
+        random = SchedulerSimulation(timeline, RandomPolicy(seed=3), (t0, t1)).run(jobs)
+        assert aware.kills < random.kills
+        assert aware.waste_fraction < random.waste_fraction
+
+    def test_job_outside_window_rejected(self):
+        timeline = ClusterTimeline(FailureTrace([]), 20)
+        sim = SchedulerSimulation(timeline, RandomPolicy(), (self.T0, self.T0 + 10.0))
+        with pytest.raises(ValueError):
+            sim.run([Job(job_id=0, arrival=self.T0 - 5.0, nodes=1, duration=1.0)])

@@ -1,0 +1,142 @@
+"""Tests for the DES kernel (repro.simulate.engine)."""
+
+import pytest
+
+from repro.simulate.engine import EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda s: None)
+        queue.push(2.0, lambda s: None)
+        queue.push(8.0, lambda s: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [2.0, 5.0, 8.0]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda s: None)
+        second = queue.push(1.0, lambda s: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda s: None)
+        queue.push(2.0, lambda s: None)
+        event.cancel()
+        assert queue.pop().time == 2.0
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda s: None)
+        queue.push(2.0, lambda s: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        event = queue.push(3.0, lambda s: None)
+        assert queue.peek_time() == 3.0
+        event.cancel()
+        assert queue.peek_time() is None
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestSimulator:
+    def test_runs_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda s: fired.append(("b", s.now)))
+        sim.schedule(2.0, lambda s: fired.append(("a", s.now)))
+        sim.run()
+        assert fired == [("a", 2.0), ("b", 5.0)]
+
+    def test_clock_monotone(self):
+        sim = Simulator()
+        observed = []
+        for t in (4.0, 1.0, 9.0, 9.0):
+            sim.schedule(t, lambda s: observed.append(s.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda s: None)
+
+    def test_schedule_nonfinite_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda s: None)
+
+    def test_schedule_after_negative_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda s: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(s):
+            fired.append(s.now)
+            if s.now < 3.0:
+                s.schedule_after(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(10.0, lambda s: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_step(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t), lambda s: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def reenter(s):
+            with pytest.raises(SimulationError):
+                s.run()
+
+        sim.schedule(1.0, reenter)
+        sim.run()

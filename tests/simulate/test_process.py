@@ -1,0 +1,124 @@
+"""Tests for generator-based processes (repro.simulate.process)."""
+
+import pytest
+
+from repro.simulate.engine import SimulationError, Simulator
+from repro.simulate.process import Interrupt, Process
+
+
+def test_process_runs_segments():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        log.append(("start", sim.now))
+        yield 10.0
+        log.append(("mid", sim.now))
+        yield 5.0
+        log.append(("end", sim.now))
+
+    Process(sim, worker())
+    sim.run()
+    assert log == [("start", 0.0), ("mid", 10.0), ("end", 15.0)]
+
+
+def test_process_alive_transitions():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+
+    process = Process(sim, worker())
+    assert process.alive
+    sim.run()
+    assert not process.alive
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    seen = []
+
+    def worker():
+        try:
+            yield 100.0
+        except Interrupt as interrupt:
+            seen.append((sim.now, interrupt.cause))
+
+    process = Process(sim, worker())
+    sim.schedule(30.0, lambda s: process.interrupt("disk died"))
+    sim.run()
+    assert seen == [(30.0, "disk died")]
+
+
+def test_interrupt_and_resume():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        remaining = 100.0
+        while remaining > 0:
+            started = sim.now
+            try:
+                yield remaining
+                remaining = 0.0
+            except Interrupt:
+                remaining -= sim.now - started
+                log.append(("hit", sim.now, remaining))
+                yield 10.0  # repair
+        log.append(("done", sim.now))
+
+    process = Process(sim, worker())
+    sim.schedule(40.0, lambda s: process.interrupt())
+    sim.run()
+    # 40 elapsed, 60 remaining, 10 repair, finish at 110.
+    assert log == [("hit", 40.0, 60.0), ("done", 110.0)]
+
+
+def test_unhandled_interrupt_kills_process():
+    sim = Simulator()
+
+    def worker():
+        yield 100.0
+
+    process = Process(sim, worker())
+    sim.schedule(10.0, lambda s: process.interrupt())
+    sim.run()
+    assert not process.alive
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+
+    process = Process(sim, worker())
+    sim.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+
+    def worker():
+        yield -1.0
+
+    Process(sim, worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def worker(name, period):
+        for _ in range(2):
+            yield period
+            log.append((name, sim.now))
+
+    Process(sim, worker("fast", 1.0))
+    Process(sim, worker("slow", 3.0))
+    sim.run()
+    assert log == [("fast", 1.0), ("fast", 2.0), ("slow", 3.0), ("slow", 6.0)]

@@ -1,0 +1,86 @@
+"""Tests for repro.simulate.rng."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulate.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_differs_by_label(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_path_not_flattened(self):
+        # ("ab", "c") must differ from ("a", "bc"): the separator matters.
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_negative_root_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1, "a")
+
+    def test_range(self):
+        seed = derive_seed(12345, "x", "y", "z")
+        assert 0 <= seed < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**32), st.text(max_size=20))
+    def test_stable_under_hypothesis(self, root, label):
+        assert derive_seed(root, label) == derive_seed(root, label)
+
+
+class TestRngStream:
+    def test_child_reproducible(self):
+        a = RngStream(7).child("system", "3")
+        b = RngStream(7).child("system", "3")
+        assert a.seed == b.seed
+        assert a.generator.random() == b.generator.random()
+
+    def test_children_independent(self):
+        root = RngStream(7)
+        values = {root.child("node", str(i)).generator.random() for i in range(50)}
+        assert len(values) == 50  # no collisions among 50 children
+
+    def test_child_requires_label(self):
+        with pytest.raises(ValueError):
+            RngStream(0).child()
+
+    def test_path_accumulates(self):
+        stream = RngStream(0).child("a").child("b", "c")
+        assert stream.path == ("a", "b", "c")
+
+    def test_nested_equals_flat(self):
+        nested = RngStream(9).child("a").child("b")
+        flat = RngStream(9).child("a", "b")
+        assert nested.seed == flat.seed
+
+    def test_sibling_consumption_isolated(self):
+        # Drawing from one child must not affect another child's draws.
+        root = RngStream(11)
+        first = root.child("x")
+        _ = [first.random() for _ in range(100)]
+        fresh = RngStream(11).child("y")
+        used = root.child("y")
+        assert fresh.generator.random() == used.generator.random()
+
+    def test_convenience_draws_in_range(self):
+        stream = RngStream(3)
+        assert 0 <= stream.random() < 1
+        assert 2 <= stream.uniform(2, 5) < 5
+        assert stream.exponential(10.0) >= 0
+        assert stream.weibull(0.7, 100.0) >= 0
+        assert stream.lognormal(0.0, 1.0) > 0
+
+    def test_choice_index(self):
+        stream = RngStream(4)
+        probabilities = np.array([0.0, 1.0, 0.0])
+        assert stream.choice_index(probabilities) == 1
+
+    def test_generator_cached(self):
+        stream = RngStream(5)
+        assert stream.generator is stream.generator

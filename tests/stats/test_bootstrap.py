@@ -1,0 +1,45 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import bootstrap_ci
+
+
+class TestBootstrapCi:
+    def test_point_estimate_is_full_sample_statistic(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        point, low, high = bootstrap_ci(data, np.mean, seed=0)
+        assert point == 3.0
+
+    def test_interval_brackets_point_for_mean(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        data = generator.normal(10.0, 2.0, 500)
+        point, low, high = bootstrap_ci(data, np.mean, seed=1)
+        assert low <= point <= high
+
+    def test_interval_contains_truth_for_well_behaved_statistic(self):
+        generator = np.random.Generator(np.random.PCG64(2))
+        data = generator.exponential(100.0, 2000)
+        point, low, high = bootstrap_ci(data, np.median, seed=3)
+        true_median = 100.0 * np.log(2.0)
+        assert low < true_median < high
+
+    def test_wider_confidence_wider_interval(self):
+        generator = np.random.Generator(np.random.PCG64(4))
+        data = generator.normal(0.0, 1.0, 200)
+        _, low95, high95 = bootstrap_ci(data, np.mean, confidence=0.95, seed=5)
+        _, low50, high50 = bootstrap_ci(data, np.mean, confidence=0.50, seed=5)
+        assert (high95 - low95) > (high50 - low50)
+
+    def test_reproducible(self):
+        data = list(range(50))
+        assert bootstrap_ci(data, np.mean, seed=9) == bootstrap_ci(data, np.mean, seed=9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, n_resamples=5)

@@ -1,0 +1,93 @@
+"""Property-based tests for distribution laws."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.distributions import Exponential, Gamma, LogNormal, Weibull
+
+positive = st.floats(min_value=0.05, max_value=50.0)
+shapes = st.floats(min_value=0.3, max_value=4.0)
+scales = st.floats(min_value=0.01, max_value=1e5)
+
+
+@st.composite
+def distributions(draw):
+    kind = draw(st.sampled_from(["exp", "weibull", "gamma", "lognormal"]))
+    if kind == "exp":
+        return Exponential(scale=draw(scales))
+    if kind == "weibull":
+        return Weibull(shape=draw(shapes), scale=draw(scales))
+    if kind == "gamma":
+        return Gamma(shape=draw(shapes), scale=draw(scales))
+    return LogNormal(mu=draw(st.floats(min_value=-3, max_value=8)),
+                     sigma=draw(st.floats(min_value=0.1, max_value=2.5)))
+
+
+@settings(max_examples=80, deadline=None)
+@given(distributions(), st.floats(min_value=0.01, max_value=20.0))
+def test_cdf_in_unit_interval(dist, multiple):
+    x = dist.median * multiple
+    value = float(dist.cdf(x))
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=80, deadline=None)
+@given(distributions())
+def test_median_bisects(dist):
+    assert float(dist.cdf(dist.median)) == np.float64(0.5).item() or abs(
+        float(dist.cdf(dist.median)) - 0.5
+    ) < 1e-6
+
+
+@settings(max_examples=80, deadline=None)
+@given(distributions(), st.floats(min_value=0.1, max_value=5.0),
+       st.floats(min_value=1.01, max_value=10.0))
+def test_cdf_monotone(dist, multiple, step):
+    a = dist.median * multiple
+    b = a * step
+    assert float(dist.cdf(b)) >= float(dist.cdf(a)) - 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(distributions())
+def test_mean_positive_and_finite(dist):
+    assert np.isfinite(dist.mean)
+    assert dist.mean > 0
+    assert np.isfinite(dist.variance)
+    assert dist.variance >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(distributions(), st.integers(min_value=0, max_value=2**31))
+def test_samples_in_support(dist, seed):
+    generator = np.random.Generator(np.random.PCG64(seed))
+    sample = dist.sample(generator, 50)
+    assert np.all(sample >= 0)
+    assert np.all(np.isfinite(sample))
+
+
+@settings(max_examples=50, deadline=None)
+@given(shapes, scales)
+def test_weibull_hazard_monotone_matches_shape(shape, scale):
+    dist = Weibull(shape=shape, scale=scale)
+    xs = np.array([0.5, 1.0, 2.0]) * dist.median
+    hazards = np.asarray(dist.hazard(xs), dtype=float)
+    if shape < 0.99:
+        assert hazards[0] >= hazards[1] >= hazards[2]
+    elif shape > 1.01:
+        assert hazards[0] <= hazards[1] <= hazards[2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.4, max_value=2.5), scales,
+       st.integers(min_value=0, max_value=1000))
+def test_weibull_fit_roundtrip_property(shape, scale, seed):
+    from repro.stats.fitting import fit_weibull
+
+    dist = Weibull(shape=shape, scale=scale)
+    generator = np.random.Generator(np.random.PCG64(seed))
+    sample = dist.sample(generator, 2000)
+    fit = fit_weibull(sample[sample > 0])
+    assert fit.distribution.shape > 0
+    # Loose roundtrip: within 15% for n=2000 across the whole range.
+    assert abs(fit.distribution.shape - shape) / shape < 0.15

@@ -1,0 +1,186 @@
+"""Tests for the parametric distributions."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import (
+    Exponential,
+    Gamma,
+    LogNormal,
+    Normal,
+    Poisson,
+    Weibull,
+)
+
+CONTINUOUS = [
+    Exponential(scale=120.0),
+    Weibull(shape=0.7, scale=50.0),
+    Weibull(shape=2.5, scale=50.0),
+    Gamma(shape=0.6, scale=30.0),
+    Gamma(shape=4.0, scale=3.0),
+    LogNormal(mu=2.0, sigma=1.5),
+    Normal(mu=10.0, sigma=4.0),
+]
+
+
+@pytest.mark.parametrize("dist", CONTINUOUS, ids=lambda d: d.describe())
+class TestContinuousCommon:
+    def test_pdf_integrates_like_cdf(self, dist):
+        # Integrate the pdf over [a, b] away from any x=0 singularity
+        # (Weibull/gamma with shape < 1 have unbounded density at 0)
+        # and compare with the CDF increment.
+        a = dist.median / 10.0 if not isinstance(dist, Normal) else dist.mean - 2 * np.sqrt(dist.variance)
+        b = dist.mean + 10 * np.sqrt(dist.variance)
+        grid = np.linspace(a, b, 200_000)
+        integral = np.trapezoid(dist.pdf(grid), grid)
+        expected = float(dist.cdf(b) - dist.cdf(a))
+        assert integral == pytest.approx(expected, abs=2e-3)
+
+    def test_cdf_monotone_and_bounded(self, dist):
+        grid = np.linspace(-10.0, dist.mean * 10 + 100, 1000)
+        cdf = dist.cdf(grid)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert np.all((cdf >= 0) & (cdf <= 1))
+
+    def test_cdf_at_median_is_half(self, dist):
+        assert dist.cdf(dist.median) == pytest.approx(0.5, abs=1e-6)
+
+    def test_sample_moments_match(self, dist):
+        generator = np.random.Generator(np.random.PCG64(42))
+        sample = dist.sample(generator, 200_000)
+        assert np.mean(sample) == pytest.approx(dist.mean, rel=0.05)
+        if dist.squared_cv < 5.0:
+            assert np.var(sample) == pytest.approx(dist.variance, rel=0.15)
+        else:
+            # Heavy tails make the sample variance wildly unstable;
+            # check a robust quantile instead.
+            assert np.median(sample) == pytest.approx(dist.median, rel=0.05)
+
+    def test_survival_complements_cdf(self, dist):
+        x = dist.mean
+        assert dist.survival(x) == pytest.approx(1.0 - dist.cdf(x))
+
+    def test_nll_matches_manual_sum(self, dist):
+        generator = np.random.Generator(np.random.PCG64(1))
+        sample = dist.sample(generator, 100)
+        if not isinstance(dist, Normal):
+            sample = np.maximum(sample, 1e-9)
+        assert dist.nll(sample) == pytest.approx(-np.sum(dist.logpdf(sample)))
+
+
+class TestExponential:
+    def test_memoryless_constant_hazard(self):
+        dist = Exponential(scale=100.0)
+        hazards = dist.hazard(np.array([1.0, 50.0, 500.0]))
+        assert np.allclose(hazards, 0.01)
+
+    def test_squared_cv_is_one(self):
+        assert Exponential(scale=7.0).squared_cv == pytest.approx(1.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Exponential(scale=0.0)
+
+    def test_logpdf_negative_support(self):
+        assert Exponential(scale=1.0).logpdf(-1.0) == -np.inf
+
+
+class TestWeibull:
+    def test_hazard_decreasing_for_small_shape(self):
+        dist = Weibull(shape=0.7, scale=100.0)
+        assert dist.hazard_decreasing
+        xs = np.array([10.0, 100.0, 1000.0])
+        hazards = dist.hazard(xs)
+        assert np.all(np.diff(hazards) < 0)
+
+    def test_hazard_increasing_for_large_shape(self):
+        dist = Weibull(shape=2.0, scale=100.0)
+        assert not dist.hazard_decreasing
+        xs = np.array([10.0, 100.0, 1000.0])
+        hazards = dist.hazard(xs)
+        assert np.all(np.diff(hazards) > 0)
+
+    def test_shape_one_is_exponential(self):
+        weibull = Weibull(shape=1.0, scale=100.0)
+        exponential = Exponential(scale=100.0)
+        xs = np.array([1.0, 10.0, 100.0, 1000.0])
+        assert np.allclose(weibull.pdf(xs), exponential.pdf(xs))
+        assert np.allclose(weibull.cdf(xs), exponential.cdf(xs))
+
+    def test_median_formula(self):
+        dist = Weibull(shape=0.75, scale=200.0)
+        assert dist.median == pytest.approx(200.0 * np.log(2.0) ** (1 / 0.75))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Weibull(shape=-1.0, scale=1.0)
+        with pytest.raises(ValueError):
+            Weibull(shape=1.0, scale=0.0)
+
+
+class TestGamma:
+    def test_mean_variance(self):
+        dist = Gamma(shape=3.0, scale=2.0)
+        assert dist.mean == 6.0
+        assert dist.variance == 12.0
+
+    def test_hazard_direction_flag(self):
+        assert Gamma(shape=0.5, scale=1.0).hazard_decreasing
+        assert not Gamma(shape=2.0, scale=1.0).hazard_decreasing
+
+    def test_shape_one_is_exponential(self):
+        gamma = Gamma(shape=1.0, scale=50.0)
+        exponential = Exponential(scale=50.0)
+        xs = np.array([1.0, 20.0, 200.0])
+        assert np.allclose(gamma.pdf(xs), exponential.pdf(xs), rtol=1e-9)
+
+
+class TestLogNormal:
+    def test_median_is_exp_mu(self):
+        assert LogNormal(mu=3.0, sigma=1.0).median == pytest.approx(np.exp(3.0))
+
+    def test_mean_formula(self):
+        dist = LogNormal(mu=0.0, sigma=2.0)
+        assert dist.mean == pytest.approx(np.exp(2.0))
+
+    def test_zero_density_at_nonpositive(self):
+        dist = LogNormal(mu=0.0, sigma=1.0)
+        assert dist.pdf(0.0) == 0.0
+        assert dist.pdf(-5.0) == 0.0
+        assert dist.cdf(0.0) == 0.0
+
+    def test_heavy_tail_c2(self):
+        # C2 = exp(sigma^2) - 1 grows fast with sigma.
+        assert LogNormal(mu=0.0, sigma=2.0).squared_cv == pytest.approx(np.expm1(4.0))
+
+
+class TestPoisson:
+    def test_pmf_sums_to_one(self):
+        dist = Poisson(rate=8.5)
+        ks = np.arange(0, 200)
+        assert np.sum(dist.pmf(ks)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_non_integer_support_zero(self):
+        dist = Poisson(rate=3.0)
+        assert dist.pmf(2.5) == 0.0
+
+    def test_cdf_consistent_with_pmf(self):
+        dist = Poisson(rate=4.2)
+        ks = np.arange(0, 30)
+        manual = np.cumsum(dist.pmf(ks))
+        assert np.allclose(dist.cdf(ks), manual, atol=1e-9)
+
+    def test_median_is_center(self):
+        dist = Poisson(rate=10.0)
+        median = dist.median
+        assert dist.cdf(median) >= 0.5
+        assert dist.cdf(median - 1) < 0.5
+
+    def test_mean_variance_equal(self):
+        dist = Poisson(rate=6.0)
+        assert dist.mean == dist.variance == 6.0
+
+    def test_sample_counts(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        sample = Poisson(rate=5.0).sample(generator, 100_000)
+        assert np.mean(sample) == pytest.approx(5.0, rel=0.02)

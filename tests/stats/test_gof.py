@@ -1,0 +1,81 @@
+"""Tests for goodness-of-fit measures."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import Exponential, Normal, Weibull
+from repro.stats.gof import aic, bic, ks_statistic, log_likelihood, qq_points
+
+
+class TestInformationCriteria:
+    def test_aic(self):
+        assert aic(100.0, 2) == 204.0
+
+    def test_bic(self):
+        assert bic(100.0, 2, 50) == pytest.approx(2 * math.log(50) + 200.0)
+
+    def test_bic_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            bic(1.0, 1, 0)
+
+    def test_bic_penalizes_harder_than_aic_for_large_n(self):
+        assert bic(0.0, 3, 1000) > aic(0.0, 3)
+
+
+class TestLogLikelihood:
+    def test_matches_distribution_nll(self):
+        dist = Exponential(scale=10.0)
+        data = np.array([1.0, 5.0, 20.0])
+        assert log_likelihood(data, dist) == pytest.approx(-dist.nll(data))
+
+
+class TestKsStatistic:
+    def test_bounds(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        data = generator.exponential(10.0, 100)
+        ks = ks_statistic(data, Exponential(scale=10.0))
+        assert 0.0 <= ks <= 1.0
+
+    def test_small_for_true_model(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        data = generator.exponential(10.0, 10_000)
+        assert ks_statistic(data, Exponential(scale=10.0)) < 0.02
+
+    def test_large_for_wrong_model(self):
+        generator = np.random.Generator(np.random.PCG64(0))
+        data = generator.exponential(10.0, 10_000)
+        assert ks_statistic(data, Exponential(scale=1000.0)) > 0.5
+
+    def test_single_point(self):
+        # ECDF jumps 0 -> 1 at the point; KS = max(cdf, 1 - cdf).
+        dist = Exponential(scale=1.0)
+        expected = max(dist.cdf(0.5), 1.0 - dist.cdf(0.5))
+        assert ks_statistic([0.5], dist) == pytest.approx(float(expected))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], Exponential(scale=1.0))
+
+
+class TestQqPoints:
+    def test_identity_for_true_model(self):
+        generator = np.random.Generator(np.random.PCG64(7))
+        dist = Weibull(shape=0.8, scale=100.0)
+        data = dist.sample(generator, 50_000)
+        model_q, sample_q = qq_points(data, dist, points=20)
+        # Central quantiles should match within a few percent.
+        middle = slice(3, 17)
+        assert np.allclose(model_q[middle], sample_q[middle], rtol=0.1)
+
+    def test_monotone(self):
+        generator = np.random.Generator(np.random.PCG64(7))
+        data = generator.normal(0.0, 1.0, 1000)
+        model_q, sample_q = qq_points(data, Normal(mu=0.0, sigma=1.0), points=30)
+        assert np.all(np.diff(model_q) >= -1e-9)
+        assert np.all(np.diff(sample_q) >= -1e-9)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            qq_points([1.0], Exponential(scale=1.0))

@@ -1,0 +1,98 @@
+"""Tests for the Kaplan-Meier estimator."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import Exponential, Weibull
+from repro.stats.kaplan_meier import kaplan_meier
+
+
+class TestTextbookCase:
+    """A small worked example checked by hand.
+
+    Events at 1, 3, 3, 6; censored at 2, 5.
+    n=6. At t=1: risk 6, S = 5/6.  At t=3: risk 4 (censor at 2 gone),
+    2 deaths, S = 5/6 * 2/4 = 5/12.  At t=6: risk 1, S = 0.
+    """
+
+    def fit(self):
+        return kaplan_meier([1.0, 3.0, 3.0, 6.0], [2.0, 5.0])
+
+    def test_survival_steps(self):
+        km = self.fit()
+        assert km.times == (1.0, 3.0, 6.0)
+        assert km.survival[0] == pytest.approx(5 / 6)
+        assert km.survival[1] == pytest.approx(5 / 12)
+        assert km.survival[2] == pytest.approx(0.0)
+
+    def test_survival_at(self):
+        km = self.fit()
+        assert km.survival_at(0.5) == 1.0
+        assert km.survival_at(1.0) == pytest.approx(5 / 6)
+        assert km.survival_at(4.0) == pytest.approx(5 / 12)
+        assert km.survival_at(100.0) == 0.0
+
+    def test_median(self):
+        assert self.fit().median() == 3.0
+
+    def test_counts(self):
+        km = self.fit()
+        assert km.n_events == 4
+        assert km.n_censored == 2
+
+    def test_restricted_mean(self):
+        km = self.fit()
+        # Area: 1*[0,1) + 5/6*[1,3) + 5/12*[3,4) = 1 + 5/3 + 5/12.
+        assert km.restricted_mean(4.0) == pytest.approx(1 + 5 / 3 + 5 / 12)
+
+    def test_band_clipped(self):
+        lower, upper = self.fit().confidence_band()
+        assert np.all(lower >= 0) and np.all(upper <= 1)
+        assert np.all(lower <= upper)
+
+
+class TestAgainstTruth:
+    def test_tracks_true_survival_without_censoring(self):
+        dist = Weibull(shape=0.7, scale=100.0)
+        generator = np.random.Generator(np.random.PCG64(0))
+        sample = dist.sample(generator, 20_000)
+        km = kaplan_meier(sample[sample > 0])
+        for q in (0.25, 0.5, 0.75):
+            t = float(dist.ppf(q))
+            assert km.survival_at(t) == pytest.approx(1 - q, abs=0.02)
+
+    def test_censoring_corrected(self):
+        # Heavy type-I censoring at the true median: KM still recovers
+        # survival below the cutoff.
+        dist = Exponential(scale=100.0)
+        generator = np.random.Generator(np.random.PCG64(1))
+        sample = dist.sample(generator, 20_000)
+        cutoff = dist.median
+        observed = sample[sample <= cutoff]
+        censored = np.full(int(np.sum(sample > cutoff)), cutoff)
+        km = kaplan_meier(observed, censored)
+        t = 50.0
+        assert km.survival_at(t) == pytest.approx(float(dist.survival(t)), abs=0.02)
+
+    def test_median_estimate(self):
+        dist = Exponential(scale=100.0)
+        generator = np.random.Generator(np.random.PCG64(2))
+        km = kaplan_meier(dist.sample(generator, 20_000))
+        assert km.median() == pytest.approx(dist.median, rel=0.05)
+
+
+class TestValidation:
+    def test_no_events_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([], [1.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            kaplan_meier([0.0, 1.0])
+        with pytest.raises(ValueError):
+            kaplan_meier([1.0], [-1.0])
+
+    def test_restricted_mean_validation(self):
+        km = kaplan_meier([1.0, 2.0])
+        with pytest.raises(ValueError):
+            km.restricted_mean(0.0)

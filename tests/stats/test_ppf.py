@@ -1,0 +1,54 @@
+"""Tests for quantile functions (ppf)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import Exponential, Gamma, LogNormal, Normal, Weibull
+
+ALL = [
+    Exponential(scale=120.0),
+    Weibull(shape=0.7, scale=50.0),
+    Weibull(shape=2.0, scale=50.0),
+    Gamma(shape=0.6, scale=30.0),
+    LogNormal(mu=2.0, sigma=1.2),
+    Normal(mu=10.0, sigma=4.0),
+    Normal(mu=-3.0, sigma=1.0),
+]
+
+
+@pytest.mark.parametrize("dist", ALL, ids=lambda d: d.describe())
+class TestPpf:
+    def test_roundtrip(self, dist):
+        qs = np.array([0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999])
+        xs = np.asarray(dist.ppf(qs), dtype=float)
+        assert np.allclose(np.asarray(dist.cdf(xs), dtype=float), qs, atol=1e-6)
+
+    def test_median_agrees(self, dist):
+        assert float(dist.ppf(0.5)) == pytest.approx(dist.median, rel=1e-6)
+
+    def test_monotone(self, dist):
+        qs = np.linspace(0.01, 0.99, 25)
+        xs = np.asarray(dist.ppf(qs), dtype=float)
+        assert np.all(np.diff(xs) >= -1e-9)
+
+    def test_out_of_range_rejected(self, dist):
+        with pytest.raises(ValueError):
+            dist.ppf(-0.1)
+        with pytest.raises(ValueError):
+            dist.ppf(1.1)
+
+
+class TestClosedForms:
+    def test_exponential_formula(self):
+        dist = Exponential(scale=10.0)
+        assert float(dist.ppf(1.0 - np.exp(-1.0))) == pytest.approx(10.0)
+
+    def test_weibull_formula(self):
+        dist = Weibull(shape=0.5, scale=10.0)
+        # F(x) = 1 - exp(-(x/10)^0.5); at x = 10, q = 1 - e^-1.
+        assert float(dist.ppf(1.0 - np.exp(-1.0))) == pytest.approx(10.0)
+
+    def test_extreme_quantiles(self):
+        dist = Weibull(shape=0.7, scale=10.0)
+        assert float(dist.ppf(0.0)) == 0.0
+        assert float(dist.ppf(1.0)) == np.inf

@@ -1,0 +1,91 @@
+"""Tests for GeneratorConfig validation and normalization."""
+
+import pytest
+
+from repro.records.record import RootCause
+from repro.records.system import HardwareType
+from repro.synth.config import GeneratorConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("tbf_shape", 0.0),
+            ("tbf_shape", 3.0),
+            ("diurnal_amplitude", 1.0),
+            ("diurnal_amplitude", -0.1),
+            ("weekend_factor", 0.0),
+            ("weekend_factor", 1.5),
+            ("node_sigma", -1.0),
+            ("burst_prob", 1.0),
+        ],
+    )
+    def test_out_of_range_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**{field: value})
+
+
+class TestNormalization:
+    def test_cause_mix_normalized(self):
+        config = GeneratorConfig()
+        for hardware_type, mix in config.cause_mix.items():
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_detail_tables_normalized(self):
+        config = GeneratorConfig()
+        for table in config.hardware_detail.values():
+            assert sum(table.values()) == pytest.approx(1.0)
+        for table in config.software_detail.values():
+            assert sum(table.values()) == pytest.approx(1.0)
+        assert sum(config.network_detail.values()) == pytest.approx(1.0)
+        assert sum(config.environment_detail.values()) == pytest.approx(1.0)
+        assert sum(config.human_detail.values()) == pytest.approx(1.0)
+
+    def test_raw_weights_accepted(self):
+        # Users can pass unnormalized weights.
+        mix = {hw: dict(m) for hw, m in GeneratorConfig().cause_mix.items()}
+        mix[HardwareType.E] = {RootCause.HARDWARE: 3.0, RootCause.SOFTWARE: 1.0}
+        config = GeneratorConfig(cause_mix=mix)
+        assert config.cause_mix[HardwareType.E][RootCause.HARDWARE] == pytest.approx(0.75)
+
+    def test_every_hardware_type_covered(self):
+        config = GeneratorConfig()
+        for hardware_type in HardwareType:
+            assert hardware_type in config.cause_mix
+            assert hardware_type in config.rate_per_proc_year
+            assert hardware_type in config.repair_type_factor
+
+
+class TestPaperCalibration:
+    """The defaults encode specific statements of the paper."""
+
+    def test_type_e_unknown_below_5_percent(self):
+        config = GeneratorConfig()
+        assert config.cause_mix[HardwareType.E][RootCause.UNKNOWN] < 0.05
+
+    def test_type_d_hardware_software_nearly_equal(self):
+        config = GeneratorConfig()
+        mix = config.cause_mix[HardwareType.D]
+        assert abs(mix[RootCause.HARDWARE] - mix[RootCause.SOFTWARE]) < 0.05
+
+    def test_hardware_is_largest_everywhere(self):
+        config = GeneratorConfig()
+        for mix in config.cause_mix.values():
+            assert mix[RootCause.HARDWARE] == max(mix.values())
+
+    def test_system2_rate_near_17_per_year(self):
+        config = GeneratorConfig()
+        assert config.rate_per_proc_year[HardwareType.B] * 32 == pytest.approx(17.6, abs=2)
+
+    def test_system7_rate_near_1159_per_year(self):
+        config = GeneratorConfig()
+        assert config.rate_per_proc_year[HardwareType.E] * 4096 == pytest.approx(1150, rel=0.1)
+
+    def test_repair_mean_median_pairs_are_table2(self):
+        config = GeneratorConfig()
+        assert config.repair_mean_median_min[RootCause.ENVIRONMENT] == (572.0, 269.0)
+        assert config.repair_mean_median_min[RootCause.HARDWARE] == (342.0, 64.0)

@@ -1,0 +1,137 @@
+"""Tests for burst injection and monthly jitter."""
+
+import numpy as np
+import pytest
+
+from repro.records.inventory import DATA_END, DATA_START, lanl_system
+from repro.records.record import FailureRecord, RootCause, Workload
+from repro.records.system import HardwareType
+from repro.records.timeutils import SECONDS_PER_MONTH
+from repro.simulate.rng import RngStream
+from repro.synth.config import GeneratorConfig
+from repro.synth.correlated import inject_bursts
+from repro.synth.jitter import MonthlyJitter
+from repro.synth.lifecycle import LifecycleShape
+from repro.synth.repair import RepairModel
+
+
+def generator(seed=0):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def build_records(n, start, spacing, system_id=20):
+    return [
+        FailureRecord(
+            start_time=start + i * spacing,
+            end_time=start + i * spacing + 600.0,
+            system_id=system_id,
+            node_id=i % 40,
+            root_cause=RootCause.HARDWARE,
+        )
+        for i in range(n)
+    ]
+
+
+class TestInjectBursts:
+    def setup_method(self):
+        self.system = lanl_system(20)
+        self.nodes = self.system.expand_nodes(DATA_START, DATA_END)
+        self.start = self.system.production_window(DATA_START, DATA_END)[0]
+        self.workloads = {node.node_id: Workload.COMPUTE for node in self.nodes}
+        self.config = GeneratorConfig()
+        self.repair = RepairModel(self.config)
+
+    def run_inject(self, records, config=None):
+        return inject_bursts(
+            records,
+            self.nodes,
+            self.workloads,
+            self.start,
+            HardwareType.G,
+            config or self.config,
+            self.repair,
+            generator(1),
+        )
+
+    def test_clones_share_timestamp_and_cause(self):
+        records = build_records(500, self.start + 1e6, 3600.0)
+        output = self.run_inject(records)
+        clones = output[len(records):]
+        assert len(clones) > 50
+        original_times = {record.start_time for record in records}
+        for clone in clones:
+            assert clone.start_time in original_times
+            assert clone.root_cause is RootCause.HARDWARE
+
+    def test_clone_fraction_matches_burst_parameters(self):
+        # Expected extra fraction = p * m = 0.32 * 1.8 ~ 0.58.
+        records = build_records(3000, self.start + 1e6, 3600.0)
+        output = self.run_inject(records)
+        extra = (len(output) - len(records)) / len(records)
+        assert extra == pytest.approx(0.576, abs=0.1)
+
+    def test_no_bursts_after_era(self):
+        era_end = self.start + self.config.burst_era_months * SECONDS_PER_MONTH
+        records = build_records(500, era_end + 1e6, 3600.0)
+        output = self.run_inject(records)
+        assert len(output) == len(records)
+
+    def test_disabled_config(self):
+        records = build_records(500, self.start + 1e6, 3600.0)
+        config = GeneratorConfig(bursts_enabled=False)
+        assert len(self.run_inject(records, config)) == len(records)
+
+    def test_clones_on_other_in_production_nodes(self):
+        records = build_records(500, self.start + 1e6, 3600.0)
+        output = self.run_inject(records)
+        node_by_id = {node.node_id: node for node in self.nodes}
+        for clone in output[len(records):]:
+            node = node_by_id[clone.node_id]
+            assert node.in_production(clone.start_time)
+
+    def test_clones_draw_fresh_repairs(self):
+        records = build_records(500, self.start + 1e6, 3600.0)
+        output = self.run_inject(records)
+        clones = output[len(records):]
+        repairs = {clone.repair_time for clone in clones}
+        assert len(repairs) > len(clones) // 2  # not copies of 600 s
+
+
+class TestMonthlyJitter:
+    def test_deterministic(self):
+        a = MonthlyJitter(RngStream(1).child("j"), 50, LifecycleShape.RAMP_PEAK)
+        b = MonthlyJitter(RngStream(1).child("j"), 50, LifecycleShape.RAMP_PEAK)
+        assert [a.at_age(i * SECONDS_PER_MONTH) for i in range(50)] == [
+            b.at_age(i * SECONDS_PER_MONTH) for i in range(50)
+        ]
+
+    def test_disabled_is_flat(self):
+        jitter = MonthlyJitter(
+            RngStream(1).child("j"), 50, LifecycleShape.RAMP_PEAK, enabled=False
+        )
+        assert all(jitter.at_age(i * SECONDS_PER_MONTH) == 1.0 for i in range(50))
+
+    def test_unit_mean_late_era(self):
+        jitter = MonthlyJitter(
+            RngStream(7).child("j"), 5000, LifecycleShape.INFANT_DECAY,
+            era_months=0.0, sigma_late=0.18,
+        )
+        values = [jitter.at_age(i * SECONDS_PER_MONTH) for i in range(5000)]
+        assert np.mean(values) == pytest.approx(1.0, abs=0.02)
+
+    def test_early_era_more_turbulent_for_ramp(self):
+        stream = RngStream(9).child("j")
+        jitter = MonthlyJitter(stream, 120, LifecycleShape.RAMP_PEAK, era_months=40)
+        early = [np.log(jitter.at_age(i * SECONDS_PER_MONTH)) for i in range(40)]
+        late = [np.log(jitter.at_age(i * SECONDS_PER_MONTH)) for i in range(40, 120)]
+        assert np.std(early) > 2 * np.std(late)
+
+    def test_age_clamping(self):
+        jitter = MonthlyJitter(RngStream(1).child("j"), 10, LifecycleShape.RAMP_PEAK)
+        # Ages beyond the precomputed range reuse the last month.
+        assert jitter.at_age(100 * SECONDS_PER_MONTH) == jitter.at_age(9 * SECONDS_PER_MONTH)
+        assert jitter.at_age(-5.0) == jitter.at_age(0.0)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            MonthlyJitter(RngStream(1), 0, LifecycleShape.RAMP_PEAK)

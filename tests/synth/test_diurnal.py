@@ -1,0 +1,96 @@
+"""Tests for diurnal/weekly modulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.records.timeutils import SECONDS_PER_HOUR, SECONDS_PER_WEEK
+from repro.synth.diurnal import WeeklyProfile, diurnal_multiplier, weekly_multiplier
+
+
+class TestDiurnalMultiplier:
+    def test_peak_at_peak_hour(self):
+        assert diurnal_multiplier(14.0) == pytest.approx(1.0 + 1.0 / 3.0)
+
+    def test_trough_twelve_hours_later(self):
+        assert diurnal_multiplier(2.0) == pytest.approx(1.0 - 1.0 / 3.0)
+
+    def test_peak_trough_ratio_two(self):
+        # Figure 5: rate during peak hours ~2x the nightly minimum.
+        ratio = diurnal_multiplier(14.0) / diurnal_multiplier(2.0)
+        assert ratio == pytest.approx(2.0)
+
+    def test_daily_mean_is_one(self):
+        hours = np.linspace(0, 24, 10_000, endpoint=False)
+        values = [diurnal_multiplier(h) for h in hours]
+        assert np.mean(values) == pytest.approx(1.0, abs=1e-6)
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_multiplier(12.0, amplitude=1.0)
+
+
+class TestWeeklyMultiplier:
+    def test_weekday_above_weekend(self):
+        assert weekly_multiplier(2) > weekly_multiplier(6)
+
+    def test_weekly_mean_is_one(self):
+        mean = np.mean([weekly_multiplier(d) for d in range(7)])
+        assert mean == pytest.approx(1.0)
+
+    def test_ratio(self):
+        assert weekly_multiplier(0) / weekly_multiplier(5) == pytest.approx(1 / 0.55)
+
+    def test_bad_weekday(self):
+        with pytest.raises(ValueError):
+            weekly_multiplier(7)
+
+
+class TestWeeklyProfile:
+    def test_total_is_one_week(self):
+        profile = WeeklyProfile()
+        assert profile.total == pytest.approx(SECONDS_PER_WEEK)
+
+    def test_disabled_profile_is_flat(self):
+        profile = WeeklyProfile(enabled=False)
+        assert np.allclose(profile.hourly, 1.0)
+        assert profile.value_at(12345.0) == 1.0
+
+    def test_hourly_mean_exactly_one(self):
+        assert WeeklyProfile().hourly.mean() == pytest.approx(1.0)
+
+    def test_cumulative_endpoints(self):
+        profile = WeeklyProfile()
+        assert profile.cumulative_at(0.0) == 0.0
+        assert profile.cumulative_at(SECONDS_PER_WEEK) == pytest.approx(profile.total)
+
+    def test_cumulative_monotone(self):
+        profile = WeeklyProfile()
+        positions = np.linspace(0, SECONDS_PER_WEEK, 500)
+        values = [profile.cumulative_at(p) for p in positions]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    @given(st.floats(min_value=0.0, max_value=SECONDS_PER_WEEK))
+    def test_invert_roundtrip(self, position):
+        profile = WeeklyProfile()
+        cumulative = profile.cumulative_at(position)
+        recovered = profile.invert(cumulative)
+        assert recovered == pytest.approx(position, abs=1e-3)
+
+    def test_invert_validation(self):
+        profile = WeeklyProfile()
+        with pytest.raises(ValueError):
+            profile.invert(-1.0)
+        with pytest.raises(ValueError):
+            profile.invert(profile.total * 1.1)
+
+    def test_value_at_weekend_lower(self):
+        profile = WeeklyProfile()
+        # EPOCH (t=0) is Monday 00:00; Saturday noon is day 5 + 12h.
+        monday_noon = 12 * SECONDS_PER_HOUR
+        saturday_noon = (5 * 24 + 12) * SECONDS_PER_HOUR
+        assert profile.value_at(monday_noon) > profile.value_at(saturday_noon)
+
+    def test_cumulative_position_validation(self):
+        with pytest.raises(ValueError):
+            WeeklyProfile().cumulative_at(SECONDS_PER_WEEK + 1.0)

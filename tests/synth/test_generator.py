@@ -1,0 +1,135 @@
+"""Tests for the TraceGenerator orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.records.inventory import LANL_SYSTEMS
+from repro.records.record import RootCause, Workload
+from repro.records.validation import validate_trace
+from repro.synth import GeneratorConfig, TraceGenerator
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = TraceGenerator(seed=3).generate([2, 13])
+        b = TraceGenerator(seed=3).generate([2, 13])
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert ra.start_time == rb.start_time
+            assert ra.node_id == rb.node_id
+            assert ra.root_cause is rb.root_cause
+
+    def test_different_seed_different_trace(self):
+        a = TraceGenerator(seed=3).generate([13])
+        b = TraceGenerator(seed=4).generate([13])
+        assert [r.start_time for r in a] != [r.start_time for r in b]
+
+    def test_compositional_generation(self):
+        """Generating a system alone equals its slice of a larger run."""
+        alone = TraceGenerator(seed=3).generate([13])
+        together = TraceGenerator(seed=3).generate([2, 13, 17])
+        sliced = together.filter_systems([13])
+        assert len(alone) == len(sliced)
+        for ra, rb in zip(alone, sliced):
+            assert ra.start_time == rb.start_time
+            assert ra.root_cause is rb.root_cause
+
+
+class TestOutputValidity:
+    def test_trace_validates(self, small_trace):
+        assert validate_trace(small_trace) == []
+
+    def test_record_ids_sequential(self, small_trace):
+        assert [r.record_id for r in small_trace] == list(range(len(small_trace)))
+
+    def test_all_causes_present_in_big_system(self, system20_trace):
+        causes = set(system20_trace.counts_by_cause().keys())
+        assert causes == set(RootCause)
+
+    def test_repairs_positive(self, small_trace):
+        assert np.all(small_trace.repair_times() > 0)
+
+    def test_failures_within_node_production(self, system20_trace):
+        nodes = {
+            node.node_id: node
+            for node in LANL_SYSTEMS[20].expand_nodes(
+                system20_trace.data_start, system20_trace.data_end
+            )
+        }
+        for record in system20_trace:
+            assert nodes[record.node_id].in_production(record.start_time)
+
+    def test_graphics_workload_labels(self, system20_trace):
+        for record in system20_trace:
+            if record.node_id in (21, 22, 23):
+                assert record.workload is Workload.GRAPHICS
+            else:
+                assert record.workload is not Workload.GRAPHICS
+
+
+class TestCalibratedShape:
+    def test_full_trace_size_near_paper(self, full_trace):
+        # The paper analyzes ~23000 failures; the synthetic trace should
+        # be the same order (not a factor of 2 off).
+        assert 18_000 < len(full_trace) < 34_000
+
+    def test_type_e_unknown_fraction_small(self, full_trace):
+        from repro.records.system import HardwareType
+
+        sub = full_trace.filter_hardware(HardwareType.E)
+        unknown = sub.counts_by_cause().get(RootCause.UNKNOWN, 0)
+        assert unknown / len(sub) < 0.07
+
+    def test_graphics_nodes_dominate_system20(self, system20_trace):
+        counts = system20_trace.failures_per_node(20)
+        graphics = sum(counts[n] for n in (21, 22, 23))
+        share = graphics / sum(counts.values())
+        assert 0.10 < share < 0.30  # paper: ~20%
+
+    def test_empty_system_allowed(self):
+        # A generator over a config with zero rate yields a valid trace.
+        config = GeneratorConfig()
+        config.rate_per_proc_year = {hw: 0.0 for hw in config.rate_per_proc_year}
+        trace = TraceGenerator(seed=1, config=config).generate([2])
+        assert len(trace) == 0
+
+
+class TestAblationSwitches:
+    def test_bursts_off_removes_zero_gaps(self):
+        config = GeneratorConfig(bursts_enabled=False)
+        trace = TraceGenerator(seed=2, config=config).generate([19])
+        gaps = trace.interarrival_times()
+        assert np.mean(gaps == 0.0) < 0.01
+
+    def test_bursts_on_creates_zero_gaps(self):
+        trace = TraceGenerator(seed=2).generate([19])
+        gaps = trace.interarrival_times()
+        assert np.mean(gaps == 0.0) > 0.15
+
+    def test_diurnal_off_flattens_hours(self):
+        from repro.records.timeutils import hour_of_day
+
+        config = GeneratorConfig(diurnal_enabled=False)
+        trace = TraceGenerator(seed=2, config=config).generate([7])
+        hours = np.bincount(
+            [hour_of_day(r.start_time) for r in trace], minlength=24
+        )
+        assert hours.max() / hours.min() < 1.5
+
+    def test_node_sigma_zero_reduces_dispersion(self):
+        # Use system 7 (1024 nodes, ~5 failures per node) so per-node
+        # counts are large enough for the dispersion index to register
+        # the lognormal heterogeneity above Poisson noise.
+        base = dict(bursts_enabled=False, jitter_enabled=False, diurnal_enabled=False)
+        uniform = TraceGenerator(
+            seed=2, config=GeneratorConfig(node_sigma=0.0, **base)
+        ).generate([7])
+        heterogeneous = TraceGenerator(
+            seed=2, config=GeneratorConfig(node_sigma=0.5, **base)
+        ).generate([7])
+
+        def dispersion(trace):
+            counts = np.array(list(trace.failures_per_node(7).values()), dtype=float)
+            return counts.var() / counts.mean()
+
+        assert dispersion(heterogeneous) > 1.5 * dispersion(uniform)

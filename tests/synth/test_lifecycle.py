@@ -1,0 +1,77 @@
+"""Tests for lifecycle rate shapes."""
+
+import pytest
+
+from repro.records.system import HardwareType
+from repro.records.timeutils import SECONDS_PER_MONTH
+from repro.synth.lifecycle import (
+    LifecycleShape,
+    infant_decay,
+    lifecycle_multiplier,
+    lifecycle_shape_for,
+    ramp_peak,
+)
+
+
+class TestInfantDecay:
+    def test_starts_high(self):
+        assert infant_decay(0.0) == pytest.approx(3.5)  # 1 + 2.5
+
+    def test_decays_to_one(self):
+        assert infant_decay(36 * SECONDS_PER_MONTH) == pytest.approx(1.0, abs=1e-4)
+
+    def test_monotone_decreasing(self):
+        ages = [i * SECONDS_PER_MONTH for i in range(12)]
+        values = [infant_decay(a) for a in ages]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            infant_decay(-1.0)
+
+
+class TestRampPeak:
+    def test_starts_at_floor(self):
+        assert ramp_peak(0.0) == pytest.approx(0.25)
+
+    def test_peaks_at_twenty_months(self):
+        # Figure 4(b): the rate grows for ~20 months before dropping.
+        peak_age = 20 * SECONDS_PER_MONTH
+        assert ramp_peak(peak_age) == pytest.approx(2.0)
+        assert ramp_peak(peak_age) > ramp_peak(peak_age * 0.5)
+        assert ramp_peak(peak_age) > ramp_peak(peak_age * 2.0)
+
+    def test_rises_before_peak(self):
+        ages = [i * SECONDS_PER_MONTH for i in range(0, 20, 2)]
+        values = [ramp_peak(a) for a in ages]
+        assert values == sorted(values)
+
+    def test_declines_after_peak(self):
+        ages = [i * SECONDS_PER_MONTH for i in range(20, 80, 10)]
+        values = [ramp_peak(a) for a in ages]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            ramp_peak(-5.0)
+
+
+class TestShapeSelection:
+    def test_types_d_and_g_ramp(self):
+        assert lifecycle_shape_for(HardwareType.D, 4) is LifecycleShape.RAMP_PEAK
+        assert lifecycle_shape_for(HardwareType.G, 19) is LifecycleShape.RAMP_PEAK
+        assert lifecycle_shape_for(HardwareType.G, 20) is LifecycleShape.RAMP_PEAK
+
+    def test_types_e_and_f_decay(self):
+        assert lifecycle_shape_for(HardwareType.E, 5) is LifecycleShape.INFANT_DECAY
+        assert lifecycle_shape_for(HardwareType.F, 13) is LifecycleShape.INFANT_DECAY
+
+    def test_system_21_exempt(self):
+        # Section 5.2: system 21 came two years later and behaves like
+        # Figure 4(a) despite being type G.
+        assert lifecycle_shape_for(HardwareType.G, 21) is LifecycleShape.INFANT_DECAY
+
+    def test_multiplier_dispatch(self):
+        age = 5 * SECONDS_PER_MONTH
+        assert lifecycle_multiplier(LifecycleShape.INFANT_DECAY, age) == infant_decay(age)
+        assert lifecycle_multiplier(LifecycleShape.RAMP_PEAK, age) == ramp_peak(age)

@@ -1,0 +1,107 @@
+"""Tests for the custom-cluster scenario builder."""
+
+import pytest
+
+from repro.analysis import failure_rates
+from repro.analysis.lifecycle import classify_lifecycle, monthly_failures
+from repro.records.timeutils import SECONDS_PER_YEAR
+from repro.synth.lifecycle import LifecycleShape
+from repro.synth.scenario import ClusterScenario, ScenarioSystem
+
+
+def two_system_scenario():
+    return (
+        ClusterScenario(name="dc", years=4.0)
+        .add_system("compute", nodes=256, procs_per_node=2,
+                    failures_per_proc_year=0.4)
+        .add_system("storage", nodes=32, procs_per_node=8,
+                    failures_per_proc_year=0.1, repair_scale=3.0,
+                    lifecycle="ramp-peak")
+    )
+
+
+class TestBuilder:
+    def test_inventory_shape(self):
+        inventory = two_system_scenario().build_inventory()
+        assert set(inventory.keys()) == {1, 2}
+        assert inventory[1].node_count == 256
+        assert inventory[2].processor_count == 256
+
+    def test_system_id_lookup(self):
+        scenario = two_system_scenario()
+        assert scenario.system_id_of("compute") == 1
+        assert scenario.system_id_of("storage") == 2
+        with pytest.raises(KeyError):
+            scenario.system_id_of("missing")
+
+    def test_duplicate_name_rejected(self):
+        scenario = ClusterScenario(name="x", years=1.0)
+        scenario.add_system("a", nodes=1, procs_per_node=1, failures_per_proc_year=1.0)
+        with pytest.raises(ValueError):
+            scenario.add_system("a", nodes=1, procs_per_node=1, failures_per_proc_year=1.0)
+
+    def test_at_most_eight_systems(self):
+        scenario = ClusterScenario(name="x", years=1.0)
+        for index in range(8):
+            scenario.add_system(f"s{index}", nodes=1, procs_per_node=1,
+                                failures_per_proc_year=1.0)
+        with pytest.raises(ValueError):
+            scenario.add_system("overflow", nodes=1, procs_per_node=1,
+                                failures_per_proc_year=1.0)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterScenario(name="x", years=1.0).build_inventory()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterScenario(name="x", years=0.0)
+        with pytest.raises(ValueError):
+            ScenarioSystem(name="bad", nodes=0, procs_per_node=1,
+                           failures_per_proc_year=1.0)
+        with pytest.raises(ValueError):
+            ScenarioSystem(name="bad", nodes=1, procs_per_node=1,
+                           failures_per_proc_year=1.0, lifecycle="bathtub")
+
+
+class TestGeneration:
+    def test_rates_respected(self):
+        trace = two_system_scenario().generate(seed=3)
+        rates = {r.system_id: r for r in failure_rates(trace)}
+        # compute: 0.4 * 512 procs = ~205/year (plus infant excess).
+        assert rates[1].per_year == pytest.approx(205, rel=0.35)
+        # storage: 0.1 * 256 = ~26/year.
+        assert rates[2].per_year == pytest.approx(26, rel=0.5)
+
+    def test_window_length(self):
+        trace = two_system_scenario().generate(seed=3)
+        assert trace.data_end - trace.data_start == pytest.approx(4.0 * SECONDS_PER_YEAR)
+
+    def test_lifecycle_shapes_respected(self):
+        trace = two_system_scenario().generate(seed=3)
+        compute = monthly_failures(trace, 1)
+        storage = monthly_failures(trace, 2)
+        assert classify_lifecycle(compute) is LifecycleShape.INFANT_DECAY
+        assert classify_lifecycle(storage) is LifecycleShape.RAMP_PEAK
+
+    def test_repair_scale_respected(self):
+        trace = two_system_scenario().generate(seed=3)
+        from repro.analysis.repair import repair_by_system
+
+        per_system = repair_by_system(trace)
+        assert per_system[2].median > 1.8 * per_system[1].median
+
+    def test_deterministic(self):
+        a = two_system_scenario().generate(seed=3)
+        b = two_system_scenario().generate(seed=3)
+        assert len(a) == len(b)
+        assert a.start_times().tolist() == b.start_times().tolist()
+
+    def test_does_not_mutate_base_config(self):
+        from repro.synth import GeneratorConfig
+
+        base = GeneratorConfig()
+        original_rates = dict(base.rate_per_proc_year)
+        two_system_scenario().build_config(base)
+        assert base.rate_per_proc_year == original_rates
+        assert base.burst_systems != ()

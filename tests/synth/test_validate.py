@@ -1,0 +1,66 @@
+"""Tests for the generator calibration harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.synth import GeneratorConfig, TraceGenerator
+from repro.synth.validate import CalibrationCheck, check_calibration
+
+
+class TestCalibrationCheck:
+    def test_ok_within_tolerance(self):
+        check = CalibrationCheck(name="x", target=100.0, measured=115.0, tolerance=0.2)
+        assert check.ok
+
+    def test_fail_outside_tolerance(self):
+        check = CalibrationCheck(name="x", target=100.0, measured=150.0, tolerance=0.2)
+        assert not check.ok
+
+    def test_zero_target_absolute(self):
+        assert CalibrationCheck("x", 0.0, 0.05, tolerance=0.1).ok
+        assert not CalibrationCheck("x", 0.0, 0.5, tolerance=0.1).ok
+
+    def test_describe(self):
+        check = CalibrationCheck(name="rate", target=1.0, measured=2.0, tolerance=0.1)
+        assert "FAIL" in check.describe()
+        assert "rate" in check.describe()
+
+
+class TestCheckCalibration:
+    def test_default_trace_is_calibrated(self, full_trace):
+        checks = check_calibration(full_trace)
+        failures = [check for check in checks if not check.ok]
+        assert failures == [], "\n".join(check.describe() for check in failures)
+
+    def test_checks_cover_all_active_systems(self, full_trace):
+        checks = check_calibration(full_trace)
+        named_systems = {
+            int(check.name.split()[1]) for check in checks if check.name.startswith("system")
+        }
+        assert named_systems == set(full_trace.by_system().keys())
+
+    def test_detects_rate_mismatch(self, small_trace):
+        # Claim the config had 10x the real rates: every rate check fails.
+        config = GeneratorConfig()
+        config.rate_per_proc_year = {
+            hw: rate * 10 for hw, rate in config.rate_per_proc_year.items()
+        }
+        checks = check_calibration(small_trace, config)
+        rate_checks = [c for c in checks if "failures/year" in c.name]
+        assert rate_checks and all(not check.ok for check in rate_checks)
+
+    def test_detects_repair_mismatch(self, small_trace):
+        config = GeneratorConfig()
+        config.repair_type_factor = {
+            hw: factor * 20 for hw, factor in config.repair_type_factor.items()
+        }
+        checks = check_calibration(small_trace, config, min_records=50)
+        repair_checks = [c for c in checks if "repair median" in c.name]
+        assert repair_checks and all(not check.ok for check in repair_checks)
+
+    def test_empty_trace_rejected(self):
+        from repro.records.trace import FailureTrace
+
+        with pytest.raises(ValueError):
+            check_calibration(FailureTrace([]))
