@@ -5,10 +5,12 @@
     python -m repro generate --seed 1 --out trace.csv
     python -m repro generate --systems 19,20 --format jsonl --out g.jsonl
     python -m repro report trace.csv --artifact fig6
-    python -m repro report --synthetic --artifact table2
+    python -m repro report --synthetic --artifact all
     python -m repro summary trace.csv
     python -m repro availability trace.csv
     python -m repro validate trace.csv
+    python -m repro ingest dirty.csv --mode lenient --quarantine dead.jsonl
+    python -m repro chaos --synthetic --rate 0.05
     python -m repro schema
 
 Every subcommand that reads a trace accepts either a CSV/JSONL path or
@@ -29,7 +31,10 @@ __all__ = ["main", "build_parser"]
 ARTIFACTS = (
     "table1", "table2", "table3",
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "all",
 )
+
+INGEST_MODES = ("strict", "lenient", "repair")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +89,60 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("trace_a", help="first CSV/JSONL path")
     compare.add_argument("trace_b", help="second CSV/JSONL path")
 
+    ingest = sub.add_parser(
+        "ingest", help="load a (possibly dirty) trace under an ingest policy"
+    )
+    ingest.add_argument("trace", help="CSV/JSONL path, optionally gzipped")
+    ingest.add_argument(
+        "--mode", choices=INGEST_MODES, default="lenient",
+        help="strict: fail on first bad row; lenient: quarantine bad rows; "
+             "repair: fix swapped times / duplicate IDs / clampable "
+             "timestamps, then quarantine",
+    )
+    ingest.add_argument(
+        "--quarantine", type=str, default=None,
+        help="dead-letter JSONL path for quarantined rows",
+    )
+    ingest.add_argument(
+        "--max-error-rate", type=float, default=0.1,
+        help="fail when more than this fraction of rows is quarantined",
+    )
+    ingest.add_argument(
+        "--out", type=str, default=None,
+        help="write the surviving rows to this CSV/JSONL path",
+    )
+    ingest.add_argument(
+        "--json", action="store_true", help="print the ingest report as JSON"
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="corrupt a trace, re-ingest it, and check survival"
+    )
+    chaos.add_argument("trace", nargs="?", default=None, help="CSV/JSONL path")
+    chaos.add_argument(
+        "--synthetic", action="store_true",
+        help="use the synthetic trace instead of a file",
+    )
+    chaos.add_argument("--seed", type=int, default=1, help="synthetic seed")
+    chaos.add_argument(
+        "--systems", type=str, default="",
+        help="comma-separated system IDs for --synthetic (default: all 22)",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0, help="corruption injector seed"
+    )
+    chaos.add_argument(
+        "--rate", type=float, default=0.05, help="fraction of rows to corrupt"
+    )
+    chaos.add_argument(
+        "--mode", choices=("lenient", "repair"), default="lenient",
+        help="ingest mode for the corrupted file",
+    )
+    chaos.add_argument(
+        "--no-report", action="store_true",
+        help="skip the paper report, only exercise ingest",
+    )
+
     sub.add_parser("schema", help="print the trace CSV schema")
     return parser
 
@@ -95,9 +154,9 @@ def _load_trace(args: argparse.Namespace) -> FailureTrace:
         return TraceGenerator(seed=args.seed).generate()
     if not args.trace:
         raise SystemExit("error: provide a trace path or --synthetic")
-    from repro.io import read_jsonl, read_lanl_csv
+    from repro.io import detect_format, read_jsonl, read_lanl_csv
 
-    if args.trace.endswith(".jsonl"):
+    if detect_format(args.trace) == "jsonl":
         return read_jsonl(args.trace)
     return read_lanl_csv(args.trace)
 
@@ -122,6 +181,12 @@ def _command_report(args: argparse.Namespace) -> int:
     from repro import report
 
     trace = _load_trace(args)
+    if args.artifact == "all":
+        paper = report.run_paper_report(trace)
+        print(paper.render())
+        print("\n" + "=" * 78 + "\n")
+        print(paper.diagnostics())
+        return 0 if paper.ok else 1
     renderers = {
         "table1": lambda: report.render_table1(trace),
         "table2": lambda: report.render_table2(trace),
@@ -246,6 +311,66 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.io import IngestPolicy, SchemaError, detect_format, ingest_trace
+
+    policy = IngestPolicy(
+        mode=args.mode,
+        max_error_rate=args.max_error_rate,
+        quarantine=args.quarantine,
+    )
+    try:
+        result = ingest_trace(args.trace, policy=policy)
+    except SchemaError as exc:
+        print(f"error: {exc}")
+        return 1
+    if args.json:
+        print(_json.dumps(result.report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.report.describe())
+    if args.out:
+        from repro.io import write_jsonl, write_lanl_csv
+
+        if detect_format(args.out) == "jsonl":
+            count = write_jsonl(result.trace, args.out)
+        else:
+            count = write_lanl_csv(result.trace, args.out)
+        print(f"wrote {count} surviving records to {args.out}")
+    return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import chaos_roundtrip
+
+    if args.synthetic:
+        from repro.synth import TraceGenerator
+
+        system_ids = None
+        if args.systems:
+            system_ids = [int(part) for part in args.systems.split(",") if part]
+        trace = TraceGenerator(seed=args.seed).generate(system_ids)
+    elif args.trace:
+        from repro.io import detect_format, read_jsonl, read_lanl_csv
+
+        if detect_format(args.trace) == "jsonl":
+            trace = read_jsonl(args.trace)
+        else:
+            trace = read_lanl_csv(args.trace)
+    else:
+        raise SystemExit("error: provide a trace path or --synthetic")
+    report = chaos_roundtrip(
+        trace,
+        seed=args.chaos_seed,
+        rate=args.rate,
+        mode=args.mode,
+        run_report=not args.no_report,
+    )
+    print(report.describe())
+    return 0 if report.survived else 1
+
+
 def _command_schema(_args: argparse.Namespace) -> int:
     from repro.io import describe_schema
 
@@ -265,6 +390,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _command_validate,
         "outliers": _command_outliers,
         "compare": _command_compare,
+        "ingest": _command_ingest,
+        "chaos": _command_chaos,
         "schema": _command_schema,
     }
     return commands[args.command](args)

@@ -1,0 +1,55 @@
+"""Fault injection: chaos-testing the ingest and analysis pipeline.
+
+Related log-analytics work (Park et al.; Sîrbu & Babaoglu) treats
+noisy, partially corrupt logs as the normal case.  This subpackage
+provides the offense for that defense:
+
+* :mod:`~repro.faults.operators` — composable, seeded corruption
+  operators (dropped/garbled fields, unknown vocabulary, clock skew,
+  duplicates, reordering, truncation, negative durations, unknown
+  node/system IDs);
+* :class:`~repro.faults.injector.CorruptionInjector` — applies a mix
+  of operators to a trace CSV at a configurable rate, deterministically
+  per seed, with a manifest of what it damaged;
+* :func:`~repro.faults.chaos.chaos_roundtrip` — the end-to-end drill:
+  corrupt, ingest leniently, run the full paper report, report
+  survival.
+"""
+
+from repro.faults.chaos import ChaosReport, chaos_roundtrip
+from repro.faults.injector import CorruptionInjector, CorruptionResult
+from repro.faults.operators import (
+    ALL_OPERATORS,
+    DEFAULT_OPERATORS,
+    ClockSkewer,
+    CorruptionOperator,
+    EnumUnknowner,
+    FieldDropper,
+    FieldGarbler,
+    NegativeDurationer,
+    RowDuplicator,
+    RowShuffler,
+    RowTruncator,
+    UnknownNoder,
+    UnknownSystemer,
+)
+
+__all__ = [
+    "ChaosReport",
+    "chaos_roundtrip",
+    "CorruptionInjector",
+    "CorruptionResult",
+    "CorruptionOperator",
+    "FieldDropper",
+    "FieldGarbler",
+    "EnumUnknowner",
+    "ClockSkewer",
+    "NegativeDurationer",
+    "RowDuplicator",
+    "RowShuffler",
+    "RowTruncator",
+    "UnknownSystemer",
+    "UnknownNoder",
+    "DEFAULT_OPERATORS",
+    "ALL_OPERATORS",
+]

@@ -1,0 +1,137 @@
+"""Chaos round-trip: corrupt a trace, re-ingest it, run the paper.
+
+:func:`chaos_roundtrip` is the end-to-end resilience check used by the
+``python -m repro chaos`` command and the CI smoke job: serialize a
+trace, damage a fraction of its rows with the seeded injector, ingest
+the damaged file under a lenient or repairing policy, and verify the
+full paper report still completes (degrading per section, never
+crashing).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.faults.injector import CorruptionInjector, CorruptionResult
+from repro.faults.operators import CorruptionOperator
+from repro.io.csv_format import write_lanl_csv
+from repro.io.ingest import ingest_trace
+from repro.io.policy import IngestPolicy, IngestReport
+from repro.records.trace import FailureTrace
+from repro.report.paper import PaperReport, run_paper_report
+
+__all__ = ["ChaosReport", "chaos_roundtrip"]
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one corrupt -> ingest -> analyze round trip.
+
+    Attributes
+    ----------
+    corruption:
+        What the injector did.
+    ingest:
+        Row accounting of the lenient/repair ingest of the damaged file.
+    paper:
+        The per-section paper report run on the surviving rows, or
+        ``None`` when ``run_report=False``.
+    survived:
+        True when ingest stayed within its error budget and the paper
+        report (if run) completed — the pipeline absorbed the damage.
+    """
+
+    corruption: CorruptionResult
+    ingest: IngestReport
+    paper: Optional[PaperReport]
+    survived: bool
+
+    def describe(self) -> str:
+        """Multi-paragraph human-readable chaos summary."""
+        parts = [
+            "chaos: " + self.corruption.describe(),
+            self.ingest.describe(),
+        ]
+        if self.paper is not None:
+            ok = sum(1 for section in self.paper.sections if section.ok)
+            parts.append(
+                f"paper report: {ok}/{len(self.paper.sections)} sections ok\n"
+                + self.paper.diagnostics()
+            )
+        parts.append("SURVIVED" if self.survived else "DID NOT SURVIVE")
+        return "\n\n".join(parts)
+
+
+def chaos_roundtrip(
+    trace: FailureTrace,
+    seed: int = 0,
+    rate: float = 0.05,
+    mode: str = "lenient",
+    operators: Optional[Sequence[CorruptionOperator]] = None,
+    max_error_rate: Optional[float] = None,
+    workdir: Optional[Path] = None,
+    run_report: bool = True,
+) -> ChaosReport:
+    """Round-trip ``trace`` through corruption, ingest and analysis.
+
+    Parameters
+    ----------
+    trace:
+        The clean trace to damage.
+    seed / rate / operators:
+        Forwarded to :class:`CorruptionInjector`.
+    mode:
+        Ingest mode for the damaged file: ``"lenient"`` or ``"repair"``
+        (``"strict"`` would defeat the exercise but is accepted).
+    max_error_rate:
+        Error budget for the ingest; defaults to well above ``rate`` so
+        the injected corruption alone does not trip it.
+    workdir:
+        Where to write the intermediate files; a temporary directory is
+        used (and cleaned up) when omitted.
+    run_report:
+        Also run :func:`~repro.report.paper.run_paper_report` on the
+        survivors.
+    """
+    if max_error_rate is None:
+        max_error_rate = min(1.0, max(0.1, 4.0 * rate))
+    policy = IngestPolicy(mode=mode, max_error_rate=max_error_rate)
+    injector = CorruptionInjector(seed=seed, rate=rate, operators=operators)
+
+    def run(directory: Path) -> ChaosReport:
+        clean_path = directory / "clean.csv"
+        dirty_path = directory / "dirty.csv"
+        write_lanl_csv(trace, clean_path)
+        corruption = injector.corrupt_file(clean_path, dirty_path)
+        try:
+            result = ingest_trace(
+                dirty_path,
+                policy=policy,
+                data_start=trace.data_start,
+                data_end=trace.data_end,
+                systems=trace.systems,
+            )
+        except Exception as exc:  # budget blown or unexpected crash
+            report = IngestReport(source=str(dirty_path), mode=mode)
+            report.error_counts["ingest-failed"] = 1
+            report.error_samples["ingest-failed"] = [f"{type(exc).__name__}: {exc}"]
+            return ChaosReport(
+                corruption=corruption, ingest=report, paper=None, survived=False
+            )
+        paper = run_paper_report(result.trace) if run_report else None
+        return ChaosReport(
+            corruption=corruption,
+            ingest=result.report,
+            paper=paper,
+            survived=True,
+        )
+
+    if workdir is not None:
+        workdir = Path(workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        return run(workdir)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        return run(Path(tmp))

@@ -1,0 +1,231 @@
+"""Seeded, composable corruption operators for chaos-testing ingest.
+
+The injector damages a toolkit-format CSV *textually* — the same kind
+of damage real exports exhibit (truncated lines, vocabulary drift,
+skewed clocks, duplicated remedy tickets) — so the full parse +
+policy pipeline is exercised, not just record-level validation.
+
+Every operator is deterministic given the injector's seed, and declares
+two properties the chaos tests rely on:
+
+* ``damages_row`` — whether a strict ingest must reject the touched
+  row (``RowShuffler`` is the benign counterexample: reordering is
+  invisible to the sorted :class:`~repro.records.trace.FailureTrace`);
+* ``keeps_original`` — whether the original row survives untouched
+  (``RowDuplicator`` adds a damaged *copy*; the original stays clean).
+
+Operators act on one CSV data line (``apply``), except the
+``row_level=False`` shuffler which permutes the whole body.  The text
+model assumes toolkit-written CSVs (no quoted commas), which is what
+:func:`~repro.io.csv_format.write_lanl_csv` produces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "CorruptionOperator",
+    "FieldDropper",
+    "FieldGarbler",
+    "EnumUnknowner",
+    "ClockSkewer",
+    "NegativeDurationer",
+    "RowDuplicator",
+    "RowTruncator",
+    "UnknownSystemer",
+    "UnknownNoder",
+    "RowShuffler",
+    "DEFAULT_OPERATORS",
+    "ALL_OPERATORS",
+]
+
+#: Required numeric columns whose loss must break a strict parse.
+_REQUIRED_FIELDS = ("system_id", "node_id", "start_time", "end_time")
+
+
+class CorruptionOperator:
+    """Base class: one way of damaging a CSV row.
+
+    Subclasses override :meth:`apply`, which receives the split fields
+    of one data line plus the header's column index map and returns the
+    replacement *lines* (usually one; duplication returns two).
+    """
+
+    name: str = "corruption"
+    #: Strict ingest must reject a row touched by this operator.
+    damages_row: bool = True
+    #: The original row survives (the damage is additive/positional).
+    keeps_original: bool = False
+    #: Applied per-row (True) or to the whole file body (False).
+    row_level: bool = True
+
+    def apply(
+        self,
+        fields: List[str],
+        columns: Dict[str, int],
+        rng: random.Random,
+    ) -> List[str]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _join(fields: Sequence[str]) -> str:
+    return ",".join(fields)
+
+
+class FieldDropper(CorruptionOperator):
+    """Blank out one required field (export wrote an empty cell)."""
+
+    name = "drop-field"
+
+    def apply(self, fields, columns, rng):
+        field = rng.choice(_REQUIRED_FIELDS)
+        fields[columns[field]] = ""
+        return [_join(fields)]
+
+
+class FieldGarbler(CorruptionOperator):
+    """Replace one required field with unparseable bytes."""
+
+    name = "garble-field"
+
+    GARBAGE = ("#REF!", "NaN?", "??", "0x7f$", "<err>")
+
+    def apply(self, fields, columns, rng):
+        field = rng.choice(_REQUIRED_FIELDS)
+        fields[columns[field]] = rng.choice(self.GARBAGE)
+        return [_join(fields)]
+
+
+class EnumUnknowner(CorruptionOperator):
+    """Out-of-vocabulary workload or root cause (site renamed a category)."""
+
+    name = "unknown-enum"
+
+    VALUES = ("gremlins", "quantum", "cosmic ray", "dst error")
+
+    def apply(self, fields, columns, rng):
+        field = rng.choice(("workload", "root_cause"))
+        fields[columns[field]] = rng.choice(self.VALUES)
+        return [_join(fields)]
+
+
+class ClockSkewer(CorruptionOperator):
+    """Shift start and end far outside the observation window."""
+
+    name = "clock-skew"
+
+    def __init__(self, skew_seconds: float = 20 * 365.25 * 86400.0) -> None:
+        self.skew_seconds = float(skew_seconds)
+
+    def apply(self, fields, columns, rng):
+        for field in ("start_time", "end_time"):
+            index = columns[field]
+            fields[index] = repr(float(fields[index]) + self.skew_seconds)
+        return [_join(fields)]
+
+
+class NegativeDurationer(CorruptionOperator):
+    """Swap start and end so the repair ends before it begins."""
+
+    name = "negative-duration"
+
+    def apply(self, fields, columns, rng):
+        start_index, end_index = columns["start_time"], columns["end_time"]
+        start, end = float(fields[start_index]), float(fields[end_index])
+        if end > start:
+            fields[start_index], fields[end_index] = (
+                fields[end_index],
+                fields[start_index],
+            )
+        else:
+            # Zero-duration rows cannot be damaged by a swap; push the
+            # end backwards instead.
+            fields[end_index] = repr(start - 3600.0)
+        return [_join(fields)]
+
+
+class RowDuplicator(CorruptionOperator):
+    """Emit the row twice (a re-filed remedy ticket, same record ID)."""
+
+    name = "duplicate-row"
+    keeps_original = True
+
+    def apply(self, fields, columns, rng):
+        line = _join(fields)
+        return [line, line]
+
+
+class RowTruncator(CorruptionOperator):
+    """Cut the line mid-row, losing the trailing required fields."""
+
+    name = "truncate-row"
+
+    def apply(self, fields, columns, rng):
+        # Keep at most the columns before start_time, plus a partial
+        # timestamp, so the required end_time can never survive.
+        cut = min(columns["start_time"], columns["end_time"])
+        kept = fields[:cut]
+        partial = fields[cut][: max(1, len(fields[cut]) // 2)]
+        return [_join(kept + [partial])]
+
+
+class UnknownSystemer(CorruptionOperator):
+    """Point the row at a system missing from the inventory."""
+
+    name = "unknown-system"
+
+    def __init__(self, system_id: int = 99) -> None:
+        self.system_id = int(system_id)
+
+    def apply(self, fields, columns, rng):
+        fields[columns["system_id"]] = str(self.system_id)
+        return [_join(fields)]
+
+
+class UnknownNoder(CorruptionOperator):
+    """Point the row at a node index beyond the system's node count."""
+
+    name = "unknown-node"
+
+    def __init__(self, node_id: int = 10**6) -> None:
+        self.node_id = int(node_id)
+
+    def apply(self, fields, columns, rng):
+        fields[columns["node_id"]] = str(self.node_id)
+        return [_join(fields)]
+
+
+class RowShuffler(CorruptionOperator):
+    """Permute the data lines (benign: traces sort on ingest)."""
+
+    name = "out-of-order"
+    damages_row = False
+    keeps_original = True
+    row_level = False
+
+    def apply_body(self, lines: List[str], rng: random.Random) -> List[str]:
+        shuffled = list(lines)
+        rng.shuffle(shuffled)
+        return shuffled
+
+
+#: The row-damaging operators, one of each kind.
+DEFAULT_OPERATORS = (
+    FieldDropper(),
+    FieldGarbler(),
+    EnumUnknowner(),
+    ClockSkewer(),
+    NegativeDurationer(),
+    RowDuplicator(),
+    RowTruncator(),
+    UnknownSystemer(),
+    UnknownNoder(),
+)
+
+#: Everything, including the benign reordering.
+ALL_OPERATORS = DEFAULT_OPERATORS + (RowShuffler(),)

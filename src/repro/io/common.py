@@ -1,0 +1,25 @@
+"""Shared I/O helpers for the trace formats.
+
+Both the CSV and JSONL formats support transparent gzip compression
+(``trace.csv.gz``, ``trace.jsonl.gz``) through :func:`open_text`, and
+both route their rows through the same ingest pipeline (see
+:mod:`repro.io.policy`).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+__all__ = ["PathLike", "open_text"]
+
+PathLike = Union[str, Path]
+
+
+def open_text(path: PathLike, mode: str):
+    """Open a text file, transparently gzipped when the name ends .gz."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", newline="")
+    return path.open(mode, newline="")

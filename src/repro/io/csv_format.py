@@ -1,56 +1,69 @@
 """CSV reader/writer for failure traces.
 
 See :mod:`repro.io.schema` for the column definitions.  The reader is
-tolerant of column order (it uses the header) but strict about values:
-a malformed row raises :class:`~repro.io.schema.SchemaError` with the
-row number, rather than silently skewing downstream statistics.
+tolerant of column order (it uses the header) but strict about values
+by default: a malformed row raises
+:class:`~repro.io.schema.SchemaError` with the row number, rather than
+silently skewing downstream statistics.  Pass an
+:class:`~repro.io.policy.IngestPolicy` to quarantine or repair bad rows
+instead (dirty real-world exports).
 """
 
 from __future__ import annotations
 
-import csv
-import gzip
 from pathlib import Path
-from typing import Iterable, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
+import csv
+
+from repro.io.common import PathLike, open_text
+from repro.io.policy import IngestPolicy, IngestReport, RowPipeline
 from repro.io.schema import CSV_COLUMNS, SchemaError
+from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
 from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
 from repro.records.system import SystemConfig
 from repro.records.trace import FailureTrace
 
 __all__ = ["read_lanl_csv", "write_lanl_csv"]
 
-PathLike = Union[str, Path]
-
 _WORKLOADS = {workload.value: workload for workload in Workload}
 _CAUSES = {cause.value: cause for cause in RootCause}
 _LOW_LEVEL = {cause.value: cause for cause in LowLevelCause}
 
 
-def _open_text(path: Path, mode: str):
-    """Open a text file, transparently gzipped when the name ends .gz."""
-    if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", newline="")
-    return path.open(mode, newline="")
+def _parse_fields(row: Mapping[str, str], line: int) -> Dict[str, Any]:
+    """Parse one CSV row into FailureRecord field values.
 
-
-def _parse_row(row: Mapping[str, str], line: int) -> FailureRecord:
+    Every :class:`SchemaError` carries the ``line N:`` prefix — the
+    vocabulary errors included, so a bad row is always locatable.
+    """
+    workload_text = (row.get("workload") or "compute").strip().lower()
+    cause_text = (row.get("root_cause") or "unknown").strip().lower()
+    low_text = (row.get("low_level_cause") or "").strip().lower()
+    if workload_text not in _WORKLOADS:
+        raise SchemaError(
+            f"line {line}: unknown workload {workload_text!r}",
+            error_class="unknown-enum",
+            line=line,
+        )
+    if cause_text not in _CAUSES:
+        raise SchemaError(
+            f"line {line}: unknown root cause {cause_text!r}",
+            error_class="unknown-enum",
+            line=line,
+        )
+    low_level = None
+    if low_text:
+        if low_text not in _LOW_LEVEL:
+            raise SchemaError(
+                f"line {line}: unknown low-level cause {low_text!r}",
+                error_class="unknown-enum",
+                line=line,
+            )
+        low_level = _LOW_LEVEL[low_text]
     try:
         record_id_text = row.get("record_id", "") or ""
-        record_id = int(record_id_text) if record_id_text else None
-        workload_text = (row.get("workload") or "compute").strip().lower()
-        cause_text = (row.get("root_cause") or "unknown").strip().lower()
-        low_text = (row.get("low_level_cause") or "").strip().lower()
-        if workload_text not in _WORKLOADS:
-            raise SchemaError(f"unknown workload {workload_text!r}")
-        if cause_text not in _CAUSES:
-            raise SchemaError(f"unknown root cause {cause_text!r}")
-        low_level = None
-        if low_text:
-            if low_text not in _LOW_LEVEL:
-                raise SchemaError(f"unknown low-level cause {low_text!r}")
-            low_level = _LOW_LEVEL[low_text]
-        return FailureRecord(
+        return dict(
             start_time=float(row["start_time"]),
             end_time=float(row["end_time"]),
             system_id=int(row["system_id"]),
@@ -58,12 +71,14 @@ def _parse_row(row: Mapping[str, str], line: int) -> FailureRecord:
             workload=_WORKLOADS[workload_text],
             root_cause=_CAUSES[cause_text],
             low_level_cause=low_level,
-            record_id=record_id,
+            record_id=int(record_id_text) if record_id_text else None,
         )
-    except SchemaError:
-        raise
     except (KeyError, ValueError, TypeError) as exc:
-        raise SchemaError(f"line {line}: malformed row: {exc}") from exc
+        raise SchemaError(
+            f"line {line}: malformed row: {exc}",
+            error_class="malformed-value",
+            line=line,
+        ) from exc
 
 
 def read_lanl_csv(
@@ -71,8 +86,10 @@ def read_lanl_csv(
     systems: Optional[Mapping[int, SystemConfig]] = None,
     data_start: Optional[float] = None,
     data_end: Optional[float] = None,
+    policy: Optional[IngestPolicy] = None,
+    report: Optional[IngestReport] = None,
 ) -> FailureTrace:
-    """Load a failure trace from a CSV file.
+    """Load a failure trace from a CSV file (``.csv`` or ``.csv.gz``).
 
     Parameters
     ----------
@@ -83,28 +100,55 @@ def read_lanl_csv(
         Inventory to attach; defaults to the LANL Table 1 inventory.
     data_start / data_end:
         Observation window; defaults to the LANL data window.
+    policy:
+        Optional :class:`~repro.io.policy.IngestPolicy`; without one
+        the reader is strict and performs no cross-row checks (the
+        historical behavior).
+    report:
+        Optional :class:`~repro.io.policy.IngestReport` filled in
+        place, for callers that want row accounting from this function
+        directly (:func:`repro.io.ingest.ingest_trace` wraps this).
 
     Raises
     ------
     SchemaError
-        On a missing header or any malformed row.
+        On a missing header, any malformed row (strict mode), or a
+        blown error budget (lenient/repair modes).
     """
     path = Path(path)
-    with _open_text(path, "r") as handle:
-        reader = csv.DictReader(handle)
-        if reader.fieldnames is None:
-            raise SchemaError(f"{path}: empty file (no header)")
-        missing = {"system_id", "node_id", "start_time", "end_time"} - set(
-            reader.fieldnames
-        )
-        if missing:
-            raise SchemaError(
-                f"{path}: header missing required columns {sorted(missing)}"
+    pipeline = RowPipeline(
+        policy,
+        source=str(path),
+        systems=dict(systems) if systems is not None else LANL_SYSTEMS,
+        data_start=data_start if data_start is not None else DATA_START,
+        data_end=data_end if data_end is not None else DATA_END,
+        report=report,
+    )
+    records = []
+    try:
+        with open_text(path, "r") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise SchemaError(
+                    f"{path}: empty file (no header)", error_class="empty-file"
+                )
+            missing = {"system_id", "node_id", "start_time", "end_time"} - set(
+                reader.fieldnames
             )
-        records = [
-            _parse_row(row, line)
-            for line, row in enumerate(reader, start=2)
-        ]
+            if missing:
+                raise SchemaError(
+                    f"{path}: header missing required columns {sorted(missing)}",
+                    error_class="bad-header",
+                )
+            for line, row in enumerate(reader, start=2):
+                record = pipeline.submit(
+                    line, row, lambda row=row, line=line: _parse_fields(row, line)
+                )
+                if record is not None:
+                    records.append(record)
+    finally:
+        pipeline.close()
+    pipeline.finish()
     kwargs = {}
     if data_start is not None:
         kwargs["data_start"] = data_start
@@ -116,10 +160,14 @@ def read_lanl_csv(
 
 
 def write_lanl_csv(trace: Union[FailureTrace, Iterable[FailureRecord]], path: PathLike) -> int:
-    """Write a trace to a CSV file; returns the number of rows written."""
+    """Write a trace to a CSV file; returns the number of rows written.
+
+    Timestamps are serialized with ``repr`` so floats round-trip
+    exactly; a ``.gz`` suffix writes gzip-compressed text.
+    """
     path = Path(path)
     records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
-    with _open_text(path, "w") as handle:
+    with open_text(path, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(CSV_COLUMNS)
         for index, record in enumerate(records):

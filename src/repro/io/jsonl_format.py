@@ -3,23 +3,26 @@
 One JSON object per line, using the same field names as the CSV schema.
 JSONL is convenient for streaming pipelines and for appending records
 incrementally; the CSV format remains the interchange format with the
-real CFDR data.
+real CFDR data.  Both ends support transparent gzip (``.jsonl.gz``),
+and the reader honors the same :class:`~repro.io.policy.IngestPolicy`
+as the CSV reader.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
+from repro.io.common import PathLike, open_text
+from repro.io.policy import IngestPolicy, IngestReport, RowPipeline
 from repro.io.schema import SchemaError
+from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
 from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
 from repro.records.system import SystemConfig
 from repro.records.trace import FailureTrace
 
 __all__ = ["read_jsonl", "write_jsonl"]
-
-PathLike = Union[str, Path]
 
 
 def _record_to_dict(record: FailureRecord) -> dict:
@@ -38,10 +41,10 @@ def _record_to_dict(record: FailureRecord) -> dict:
     return payload
 
 
-def _record_from_dict(payload: Mapping, line: int) -> FailureRecord:
+def _parse_fields(payload: Mapping, line: int) -> Dict[str, Any]:
     try:
         low_text = payload.get("low_level_cause")
-        return FailureRecord(
+        return dict(
             start_time=float(payload["start_time"]),
             end_time=float(payload["end_time"]),
             system_id=int(payload["system_id"]),
@@ -51,15 +54,22 @@ def _record_from_dict(payload: Mapping, line: int) -> FailureRecord:
             low_level_cause=LowLevelCause(low_text) if low_text else None,
             record_id=payload.get("record_id"),
         )
-    except (KeyError, ValueError, TypeError) as exc:
-        raise SchemaError(f"line {line}: malformed record: {exc}") from exc
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise SchemaError(
+            f"line {line}: malformed record: {exc}",
+            error_class="malformed-value",
+            line=line,
+        ) from exc
 
 
 def write_jsonl(trace: Union[FailureTrace, Iterable[FailureRecord]], path: PathLike) -> int:
-    """Write a trace as JSON lines; returns the number of lines written."""
+    """Write a trace as JSON lines; returns the number of lines written.
+
+    A ``.gz`` suffix writes gzip-compressed text.
+    """
     path = Path(path)
     records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
-    with path.open("w") as handle:
+    with open_text(path, "w") as handle:
         for record in records:
             handle.write(json.dumps(_record_to_dict(record), sort_keys=True))
             handle.write("\n")
@@ -71,20 +81,48 @@ def read_jsonl(
     systems: Optional[Mapping[int, SystemConfig]] = None,
     data_start: Optional[float] = None,
     data_end: Optional[float] = None,
+    policy: Optional[IngestPolicy] = None,
+    report: Optional[IngestReport] = None,
 ) -> FailureTrace:
-    """Load a failure trace from a JSON-lines file."""
+    """Load a failure trace from a JSON-lines file (``.jsonl[.gz]``).
+
+    ``policy`` and ``report`` behave exactly as in
+    :func:`~repro.io.csv_format.read_lanl_csv`.
+    """
     path = Path(path)
+    pipeline = RowPipeline(
+        policy,
+        source=str(path),
+        systems=dict(systems) if systems is not None else LANL_SYSTEMS,
+        data_start=data_start if data_start is not None else DATA_START,
+        data_end=data_end if data_end is not None else DATA_END,
+        report=report,
+    )
     records = []
-    with path.open() as handle:
-        for line_number, line in enumerate(handle, start=1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                payload = json.loads(stripped)
-            except json.JSONDecodeError as exc:
-                raise SchemaError(f"line {line_number}: invalid JSON: {exc}") from exc
-            records.append(_record_from_dict(payload, line_number))
+    try:
+        with open_text(path, "r") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+
+                def parse(stripped=stripped, line_number=line_number):
+                    try:
+                        payload = json.loads(stripped)
+                    except json.JSONDecodeError as exc:
+                        raise SchemaError(
+                            f"line {line_number}: invalid JSON: {exc}",
+                            error_class="invalid-json",
+                            line=line_number,
+                        ) from exc
+                    return _parse_fields(payload, line_number)
+
+                record = pipeline.submit(line_number, stripped, parse)
+                if record is not None:
+                    records.append(record)
+    finally:
+        pipeline.close()
+    pipeline.finish()
     kwargs = {}
     if data_start is not None:
         kwargs["data_start"] = data_start

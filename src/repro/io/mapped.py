@@ -27,17 +27,18 @@ import csv
 import datetime as _dt
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional
 
+from repro.io.common import PathLike, open_text
+from repro.io.policy import IngestPolicy, IngestReport, RowPipeline
 from repro.io.schema import SchemaError
-from repro.records.record import FailureRecord, RootCause, Workload
+from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
+from repro.records.record import RootCause, Workload
 from repro.records.system import SystemConfig
 from repro.records.timeutils import from_datetime
 from repro.records.trace import FailureTrace
 
 __all__ = ["ColumnMapping", "read_mapped_csv"]
-
-PathLike = Union[str, Path]
 
 
 @dataclass(frozen=True)
@@ -98,14 +99,77 @@ def _parse_time(text: str, time_format: Optional[str], line: int) -> float:
         raise SchemaError(f"line {line}: bad timestamp {text!r}: {exc}") from exc
 
 
+def _parse_fields(
+    row: Mapping[str, str], mapping: ColumnMapping, line: int
+) -> Dict[str, Any]:
+    """Parse one foreign row into FailureRecord field values."""
+    system_text = (row[mapping.system_id] or "").strip()
+    if system_text in mapping.system_id_map:
+        system_id = mapping.system_id_map[system_text]
+    else:
+        try:
+            system_id = int(system_text)
+        except ValueError as exc:
+            raise SchemaError(
+                f"line {line}: system {system_text!r} is neither an "
+                "integer nor in system_id_map",
+                error_class="unmapped-system",
+                line=line,
+            ) from exc
+    try:
+        node_id = int(row[mapping.node_id])
+    except (ValueError, TypeError) as exc:
+        raise SchemaError(
+            f"line {line}: bad node id: {exc}",
+            error_class="malformed-value",
+            line=line,
+        ) from exc
+    start = _parse_time(row[mapping.start_time], mapping.time_format, line)
+    if mapping.end_time is not None:
+        end = _parse_time(row[mapping.end_time], mapping.time_format, line)
+    else:
+        try:
+            duration = float(row[mapping.duration_column])
+        except (ValueError, TypeError) as exc:
+            raise SchemaError(
+                f"line {line}: bad duration: {exc}",
+                error_class="malformed-value",
+                line=line,
+            ) from exc
+        end = start + duration * _DURATION_SECONDS[mapping.duration_unit]
+    cause = RootCause.UNKNOWN
+    if mapping.cause_column is not None:
+        cause = mapping.cause_map.get(
+            (row.get(mapping.cause_column) or "").strip(), RootCause.UNKNOWN
+        )
+    workload = Workload.COMPUTE
+    if mapping.workload_column is not None:
+        workload = mapping.workload_map.get(
+            (row.get(mapping.workload_column) or "").strip(), Workload.COMPUTE
+        )
+    return dict(
+        start_time=start,
+        end_time=end,
+        system_id=system_id,
+        node_id=node_id,
+        root_cause=cause,
+        workload=workload,
+    )
+
+
 def read_mapped_csv(
     path: PathLike,
     mapping: ColumnMapping,
     systems: Optional[Mapping[int, SystemConfig]] = None,
     data_start: Optional[float] = None,
     data_end: Optional[float] = None,
+    policy: Optional[IngestPolicy] = None,
+    report: Optional[IngestReport] = None,
 ) -> FailureTrace:
     """Load a foreign failure log as a :class:`FailureTrace`.
+
+    ``policy`` and ``report`` behave exactly as in
+    :func:`~repro.io.csv_format.read_lanl_csv`.
 
     Raises
     ------
@@ -113,67 +177,44 @@ def read_mapped_csv(
         On a missing column or an unparseable row (with line number).
     """
     path = Path(path)
+    pipeline = RowPipeline(
+        policy,
+        source=str(path),
+        systems=dict(systems) if systems is not None else LANL_SYSTEMS,
+        data_start=data_start if data_start is not None else DATA_START,
+        data_end=data_end if data_end is not None else DATA_END,
+        report=report,
+    )
     records = []
-    with path.open(newline="") as handle:
-        reader = csv.DictReader(handle)
-        if reader.fieldnames is None:
-            raise SchemaError(f"{path}: empty file (no header)")
-        required = {mapping.system_id, mapping.node_id, mapping.start_time}
-        if mapping.end_time:
-            required.add(mapping.end_time)
-        if mapping.duration_column:
-            required.add(mapping.duration_column)
-        missing = required - set(reader.fieldnames)
-        if missing:
-            raise SchemaError(f"{path}: header missing columns {sorted(missing)}")
-        for line, row in enumerate(reader, start=2):
-            system_text = (row[mapping.system_id] or "").strip()
-            if system_text in mapping.system_id_map:
-                system_id = mapping.system_id_map[system_text]
-            else:
-                try:
-                    system_id = int(system_text)
-                except ValueError as exc:
-                    raise SchemaError(
-                        f"line {line}: system {system_text!r} is neither an "
-                        "integer nor in system_id_map"
-                    ) from exc
-            try:
-                node_id = int(row[mapping.node_id])
-            except (ValueError, TypeError) as exc:
-                raise SchemaError(f"line {line}: bad node id: {exc}") from exc
-            start = _parse_time(row[mapping.start_time], mapping.time_format, line)
-            if mapping.end_time is not None:
-                end = _parse_time(row[mapping.end_time], mapping.time_format, line)
-            else:
-                try:
-                    duration = float(row[mapping.duration_column])
-                except (ValueError, TypeError) as exc:
-                    raise SchemaError(f"line {line}: bad duration: {exc}") from exc
-                end = start + duration * _DURATION_SECONDS[mapping.duration_unit]
-            cause = RootCause.UNKNOWN
-            if mapping.cause_column is not None:
-                cause = mapping.cause_map.get(
-                    (row.get(mapping.cause_column) or "").strip(), RootCause.UNKNOWN
+    try:
+        with open_text(path, "r") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None:
+                raise SchemaError(
+                    f"{path}: empty file (no header)", error_class="empty-file"
                 )
-            workload = Workload.COMPUTE
-            if mapping.workload_column is not None:
-                workload = mapping.workload_map.get(
-                    (row.get(mapping.workload_column) or "").strip(), Workload.COMPUTE
+            required = {mapping.system_id, mapping.node_id, mapping.start_time}
+            if mapping.end_time:
+                required.add(mapping.end_time)
+            if mapping.duration_column:
+                required.add(mapping.duration_column)
+            missing = required - set(reader.fieldnames)
+            if missing:
+                raise SchemaError(
+                    f"{path}: header missing columns {sorted(missing)}",
+                    error_class="bad-header",
                 )
-            try:
-                records.append(
-                    FailureRecord(
-                        start_time=start,
-                        end_time=end,
-                        system_id=system_id,
-                        node_id=node_id,
-                        root_cause=cause,
-                        workload=workload,
-                    )
+            for line, row in enumerate(reader, start=2):
+                record = pipeline.submit(
+                    line,
+                    row,
+                    lambda row=row, line=line: _parse_fields(row, mapping, line),
                 )
-            except ValueError as exc:
-                raise SchemaError(f"line {line}: {exc}") from exc
+                if record is not None:
+                    records.append(record)
+    finally:
+        pipeline.close()
+    pipeline.finish()
     kwargs = {}
     if systems is not None:
         kwargs["systems"] = systems

@@ -1,0 +1,447 @@
+"""Ingest policies: strict, lenient and repairing trace loading.
+
+Real site logs are messy — the LANL data behind the paper was manually
+curated, but arbitrary CFDR-style exports contain malformed rows,
+vocabulary drift, clock skew and duplicated records.  One
+:class:`IngestPolicy` object controls how every reader
+(:func:`~repro.io.csv_format.read_lanl_csv`,
+:func:`~repro.io.jsonl_format.read_jsonl`,
+:func:`~repro.io.mapped.read_mapped_csv`) reacts to damage:
+
+* ``strict`` — raise :class:`~repro.io.schema.SchemaError` on the first
+  bad row, naming its line (the historical behavior, plus inventory /
+  window / duplicate-ID checks);
+* ``lenient`` — quarantine bad rows to a dead-letter file, keep every
+  clean row, and report what was dropped;
+* ``repair`` — like lenient, but first attempt well-understood repairs
+  (swapped start/end times, duplicate record IDs, clampable
+  out-of-window timestamps) before giving up on a row.
+
+Whatever the mode, an error budget (:attr:`IngestPolicy.max_error_rate`)
+fails the whole ingest loudly when corruption is pervasive enough that
+the surviving rows can no longer be trusted to represent the trace.
+
+The :class:`IngestReport` records rows read/kept/quarantined/repaired,
+per-error-class counts and first-N samples — enough to debug a bad
+export without re-reading it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.io.common import PathLike
+from repro.io.schema import SchemaError
+from repro.records.record import FailureRecord
+from repro.records.system import SystemConfig
+
+__all__ = [
+    "IngestPolicy",
+    "IngestReport",
+    "QuarantineWriter",
+    "RowPipeline",
+    "LEGACY_POLICY",
+]
+
+INGEST_MODES = ("strict", "lenient", "repair")
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """How a reader treats rows that violate the trace schema.
+
+    Attributes
+    ----------
+    mode:
+        ``"strict"`` (raise on first bad row), ``"lenient"``
+        (quarantine bad rows) or ``"repair"`` (attempt repairs, then
+        quarantine).
+    max_error_rate:
+        Error budget: if more than this fraction of the rows read had
+        to be quarantined, the ingest raises ``SchemaError`` at the end
+        even in lenient/repair mode — pervasive corruption means the
+        kept rows are not a trustworthy sample.
+    max_samples:
+        How many example messages to keep per error class in the
+        report.
+    quarantine:
+        Optional dead-letter path; quarantined rows are appended there
+        as JSON lines (original payload + error class + message).
+    check_window:
+        Reject rows whose start time falls outside the observation
+        window.
+    check_inventory:
+        Reject rows referencing systems missing from the inventory or
+        node IDs beyond the system's node count.
+    check_duplicates:
+        Reject rows whose ``record_id`` was already seen in this file.
+    clamp_slack:
+        Repair mode only: an out-of-window start time within this many
+        seconds of the window is clamped to the window edge (duration
+        preserved); anything further out is quarantined.
+    """
+
+    mode: str = "strict"
+    max_error_rate: float = 0.1
+    max_samples: int = 5
+    quarantine: Optional[PathLike] = None
+    check_window: bool = True
+    check_inventory: bool = True
+    check_duplicates: bool = True
+    clamp_slack: float = 30 * 86400.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in INGEST_MODES:
+            raise ValueError(
+                f"unknown ingest mode {self.mode!r}; expected one of {INGEST_MODES}"
+            )
+        if not 0.0 <= self.max_error_rate <= 1.0:
+            raise ValueError(
+                f"max_error_rate must be in [0, 1], got {self.max_error_rate}"
+            )
+        if self.max_samples < 0:
+            raise ValueError(f"max_samples must be >= 0, got {self.max_samples}")
+        if self.clamp_slack < 0:
+            raise ValueError(f"clamp_slack must be >= 0, got {self.clamp_slack}")
+
+
+#: The pre-policy reader behavior: strict parsing, no cross-row checks.
+#: Readers fall back to this when called without a policy, so existing
+#: callers see byte-identical behavior.
+LEGACY_POLICY = IngestPolicy(
+    mode="strict",
+    max_error_rate=1.0,
+    check_window=False,
+    check_inventory=False,
+    check_duplicates=False,
+)
+
+
+@dataclass
+class IngestReport:
+    """Structured outcome of one ingest run.
+
+    Attributes
+    ----------
+    source:
+        The file the rows came from.
+    mode:
+        The policy mode the run used.
+    rows_read / rows_kept / rows_quarantined / rows_repaired:
+        Row accounting; ``rows_repaired`` counts kept rows that needed
+        at least one repair, so ``rows_kept == rows_read -
+        rows_quarantined`` always holds.
+    error_counts:
+        Quarantined rows per error class.
+    error_samples:
+        First-N error messages per class.
+    repair_counts:
+        Applied repairs per repair kind (a row can contribute several).
+    quarantine_path:
+        Where the dead letters were written, if anywhere.
+    """
+
+    source: str = ""
+    mode: str = "strict"
+    rows_read: int = 0
+    rows_kept: int = 0
+    rows_quarantined: int = 0
+    rows_repaired: int = 0
+    error_counts: Dict[str, int] = field(default_factory=dict)
+    error_samples: Dict[str, List[str]] = field(default_factory=dict)
+    repair_counts: Dict[str, int] = field(default_factory=dict)
+    quarantine_path: Optional[str] = None
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of rows read that were quarantined."""
+        if self.rows_read == 0:
+            return 0.0
+        return self.rows_quarantined / self.rows_read
+
+    @property
+    def ok(self) -> bool:
+        """True when every row read was kept (possibly after repair)."""
+        return self.rows_quarantined == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of the report."""
+        return {
+            "source": self.source,
+            "mode": self.mode,
+            "rows_read": self.rows_read,
+            "rows_kept": self.rows_kept,
+            "rows_quarantined": self.rows_quarantined,
+            "rows_repaired": self.rows_repaired,
+            "error_rate": self.error_rate,
+            "error_counts": dict(self.error_counts),
+            "error_samples": {k: list(v) for k, v in self.error_samples.items()},
+            "repair_counts": dict(self.repair_counts),
+            "quarantine_path": self.quarantine_path,
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"ingest of {self.source} ({self.mode} mode)",
+            f"  rows read:        {self.rows_read}",
+            f"  rows kept:        {self.rows_kept}",
+            f"  rows quarantined: {self.rows_quarantined} "
+            f"({100 * self.error_rate:.2f}%)",
+        ]
+        if self.rows_repaired:
+            lines.append(f"  rows repaired:    {self.rows_repaired}")
+            for kind in sorted(self.repair_counts):
+                lines.append(f"    {kind}: {self.repair_counts[kind]}")
+        if self.error_counts:
+            lines.append("  errors by class:")
+            for kind in sorted(self.error_counts):
+                lines.append(f"    {kind}: {self.error_counts[kind]}")
+                for sample in self.error_samples.get(kind, []):
+                    lines.append(f"      e.g. {sample}")
+        if self.quarantine_path:
+            lines.append(f"  dead letters:     {self.quarantine_path}")
+        return "\n".join(lines)
+
+
+class QuarantineWriter:
+    """Appends rejected rows to a JSON-lines dead-letter file.
+
+    Each entry records the source line number, the error class and
+    message, and the raw payload (the row dict for CSV-style sources,
+    the raw text for JSONL), so quarantined rows can be inspected and
+    re-ingested after fixing.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self.rows_written = 0
+
+    def write(self, line: int, raw: Any, error: SchemaError) -> None:
+        """Append one dead-letter entry (opens the file lazily)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        if isinstance(raw, Mapping):
+            payload: Any = {str(key): value for key, value in raw.items()}
+        else:
+            payload = raw
+        entry = {
+            "line": line,
+            "error_class": error.error_class,
+            "error": str(error),
+            "raw": payload,
+        }
+        self._handle.write(json.dumps(entry, sort_keys=True, default=str))
+        self._handle.write("\n")
+        self.rows_written += 1
+
+    def close(self) -> None:
+        """Close the dead-letter file if it was opened."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class RowPipeline:
+    """The shared row-level engine behind every trace reader.
+
+    A reader parses each raw row into a dict of
+    :class:`~repro.records.record.FailureRecord` field values and
+    submits it here; the pipeline applies the policy — record
+    construction, cross-row checks, repairs, quarantine, error budget —
+    and returns the kept record or ``None``.
+
+    Parameters
+    ----------
+    policy:
+        The ingest policy; ``None`` means :data:`LEGACY_POLICY`.
+    source:
+        Name of the file being read (for messages and the report).
+    systems:
+        Effective inventory for ``check_inventory``.
+    data_start / data_end:
+        Effective observation window for ``check_window``.
+    report:
+        Optional pre-allocated report to fill in place (so callers that
+        go through a plain reader function can still observe the
+        outcome); a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[IngestPolicy],
+        source: str,
+        systems: Optional[Mapping[int, SystemConfig]] = None,
+        data_start: Optional[float] = None,
+        data_end: Optional[float] = None,
+        report: Optional[IngestReport] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else LEGACY_POLICY
+        self.report = report if report is not None else IngestReport()
+        self.report.source = source
+        self.report.mode = self.policy.mode
+        self._systems = systems
+        self._data_start = data_start
+        self._data_end = data_end
+        self._seen_ids: Set[int] = set()
+        self._quarantine: Optional[QuarantineWriter] = None
+        if self.policy.quarantine is not None and self.policy.mode != "strict":
+            self._quarantine = QuarantineWriter(self.policy.quarantine)
+
+    # Row processing -----------------------------------------------------------
+
+    def submit(
+        self,
+        line: int,
+        raw: Any,
+        parse: Callable[[], Dict[str, Any]],
+    ) -> Optional[FailureRecord]:
+        """Run one raw row through parse + policy.
+
+        Returns the kept :class:`FailureRecord`, or ``None`` when the
+        row was quarantined.  In strict mode the row's ``SchemaError``
+        propagates instead.
+        """
+        self.report.rows_read += 1
+        try:
+            fields = parse()
+            record = self._build(fields, line)
+        except SchemaError as exc:
+            if self.policy.mode == "strict":
+                raise
+            self._reject(line, raw, exc)
+            return None
+        self.report.rows_kept += 1
+        return record
+
+    def _reject(self, line: int, raw: Any, error: SchemaError) -> None:
+        self.report.rows_quarantined += 1
+        kind = error.error_class
+        self.report.error_counts[kind] = self.report.error_counts.get(kind, 0) + 1
+        samples = self.report.error_samples.setdefault(kind, [])
+        if len(samples) < self.policy.max_samples:
+            samples.append(str(error))
+        if self._quarantine is not None:
+            self._quarantine.write(line, raw, error)
+
+    def _note_repair(self, kind: str) -> None:
+        self.report.repair_counts[kind] = self.report.repair_counts.get(kind, 0) + 1
+
+    def _build(self, fields: Dict[str, Any], line: int) -> FailureRecord:
+        """Construct the record, applying policy checks and repairs."""
+        repairing = self.policy.mode == "repair"
+        repaired = False
+
+        start = fields["start_time"]
+        end = fields["end_time"]
+        if end < start:
+            if repairing:
+                fields["start_time"], fields["end_time"] = end, start
+                start, end = end, start
+                self._note_repair("swapped-start-end")
+                repaired = True
+            else:
+                raise SchemaError(
+                    f"line {line}: end_time {end} precedes start_time {start}",
+                    error_class="negative-duration",
+                    line=line,
+                )
+
+        if (
+            self.policy.check_window
+            and self._data_start is not None
+            and self._data_end is not None
+            and not self._data_start <= start < self._data_end
+        ):
+            clamped = min(max(start, self._data_start), self._data_end - 1.0)
+            if repairing and abs(start - clamped) <= self.policy.clamp_slack:
+                fields["start_time"] = clamped
+                fields["end_time"] = end + (clamped - start)
+                self._note_repair("clamped-to-window")
+                repaired = True
+            else:
+                raise SchemaError(
+                    f"line {line}: start time {start} outside observation "
+                    f"window [{self._data_start}, {self._data_end})",
+                    error_class="out-of-window",
+                    line=line,
+                )
+
+        if self.policy.check_inventory and self._systems is not None:
+            system_id = fields["system_id"]
+            config = self._systems.get(system_id)
+            if config is None:
+                raise SchemaError(
+                    f"line {line}: unknown system {system_id}",
+                    error_class="unknown-system",
+                    line=line,
+                )
+            if fields["node_id"] >= config.node_count:
+                raise SchemaError(
+                    f"line {line}: node {fields['node_id']} out of range "
+                    f"(system {system_id} has {config.node_count} nodes)",
+                    error_class="node-out-of-range",
+                    line=line,
+                )
+
+        record_id = fields.get("record_id")
+        if self.policy.check_duplicates and record_id is not None:
+            if record_id in self._seen_ids:
+                if repairing:
+                    fields["record_id"] = None
+                    self._note_repair("dropped-duplicate-id")
+                    repaired = True
+                else:
+                    raise SchemaError(
+                        f"line {line}: duplicate record_id {record_id}",
+                        error_class="duplicate-record-id",
+                        line=line,
+                    )
+            else:
+                self._seen_ids.add(record_id)
+
+        try:
+            record = FailureRecord(**fields)
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SchemaError(
+                f"line {line}: invalid record: {exc}",
+                error_class="invalid-record",
+                line=line,
+            ) from exc
+        if repaired:
+            self.report.rows_repaired += 1
+        return record
+
+    # Lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the quarantine file (idempotent)."""
+        if self._quarantine is not None:
+            self.report.quarantine_path = str(self._quarantine.path)
+            self._quarantine.close()
+
+    def finish(self) -> IngestReport:
+        """Close the pipeline and enforce the error budget.
+
+        Raises
+        ------
+        SchemaError
+            When the quarantined fraction exceeds
+            :attr:`IngestPolicy.max_error_rate`.
+        """
+        self.close()
+        report = self.report
+        if report.rows_read > 0 and report.error_rate > self.policy.max_error_rate:
+            raise SchemaError(
+                f"{report.source}: error budget exceeded — "
+                f"{report.rows_quarantined}/{report.rows_read} rows "
+                f"({100 * report.error_rate:.1f}%) quarantined, policy allows "
+                f"{100 * self.policy.max_error_rate:.1f}%",
+                error_class="error-budget-exceeded",
+            )
+        return report

@@ -8,13 +8,34 @@ cause at two levels of detail.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = ["CSV_COLUMNS", "SchemaError", "describe_schema"]
 
 
 class SchemaError(ValueError):
-    """Raised when a file does not conform to the trace schema."""
+    """Raised when a file does not conform to the trace schema.
+
+    Attributes
+    ----------
+    error_class:
+        Machine-readable failure category (e.g. ``"malformed-value"``,
+        ``"unknown-enum"``, ``"out-of-window"``); the ingest pipeline
+        aggregates quarantined rows by this key.
+    line:
+        1-based line number of the offending row, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        error_class: str = "malformed-value",
+        line: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.error_class = error_class
+        self.line = line
 
 
 #: Column order of the CSV trace format.

@@ -46,7 +46,12 @@ from repro.records.timeutils import (
     parse_month_year,
     to_datetime,
 )
-from repro.records.validation import TraceValidationError, validate_record, validate_trace
+from repro.records.validation import (
+    TraceValidationError,
+    ValidationSummary,
+    validate_record,
+    validate_trace,
+)
 
 __all__ = [
     "FailureRecord",
@@ -79,4 +84,5 @@ __all__ = [
     "TraceValidationError",
     "validate_record",
     "validate_trace",
+    "ValidationSummary",
 ]

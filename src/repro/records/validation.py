@@ -7,16 +7,74 @@ that malformed data fails loudly rather than skewing statistics.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.records.record import FailureRecord
 from repro.records.trace import FailureTrace
 
-__all__ = ["TraceValidationError", "validate_record", "validate_trace"]
+__all__ = [
+    "TraceValidationError",
+    "ValidationSummary",
+    "validate_record",
+    "validate_trace",
+]
 
 
 class TraceValidationError(ValueError):
-    """Raised when a record or trace violates the data-model invariants."""
+    """Raised when a record or trace violates the data-model invariants.
+
+    ``category`` is a machine-readable problem kind (e.g.
+    ``"unknown-system"``) used by :class:`ValidationSummary`.
+    """
+
+    def __init__(self, message: str, *, category: str = "invalid") -> None:
+        super().__init__(message)
+        self.category = category
+
+
+@dataclass(frozen=True)
+class ValidationSummary:
+    """Structured outcome of :func:`validate_trace`.
+
+    Attributes
+    ----------
+    n_records:
+        Number of records checked (always the whole trace).
+    n_problems:
+        Total problems found, including any beyond ``max_errors``.
+    counts:
+        Problems per category (``"unsorted"``, ``"unknown-system"``,
+        ``"node-out-of-range"``, ``"out-of-window"``).
+    truncated:
+        True when more problems were found than were rendered as
+        strings.
+    problems:
+        The rendered problem strings (at most ``max_errors``, plus the
+        suppression sentinel when ``truncated``).
+    """
+
+    n_records: int
+    n_problems: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    truncated: bool = False
+    problems: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when the trace is valid."""
+        return self.n_problems == 0
+
+
+class ProblemList(List[str]):
+    """The list of problem strings, carrying the structured summary.
+
+    Behaves exactly like ``list`` (so ``validate_trace(trace) == []``
+    keeps working) with the :class:`ValidationSummary` attached as
+    ``.summary``.
+    """
+
+    summary: ValidationSummary
 
 
 def validate_record(record: FailureRecord, trace: Optional[FailureTrace] = None) -> None:
@@ -37,17 +95,20 @@ def validate_record(record: FailureRecord, trace: Optional[FailureTrace] = None)
     config = trace.systems.get(record.system_id)
     if config is None:
         raise TraceValidationError(
-            f"record references unknown system {record.system_id}"
+            f"record references unknown system {record.system_id}",
+            category="unknown-system",
         )
     if record.node_id >= config.node_count:
         raise TraceValidationError(
             f"record references node {record.node_id} but system "
-            f"{record.system_id} has only {config.node_count} nodes"
+            f"{record.system_id} has only {config.node_count} nodes",
+            category="node-out-of-range",
         )
     if not trace.data_start <= record.start_time < trace.data_end:
         raise TraceValidationError(
             f"record start time {record.start_time} outside observation "
-            f"window [{trace.data_start}, {trace.data_end})"
+            f"window [{trace.data_start}, {trace.data_end})",
+            category="out-of-window",
         )
 
 
@@ -59,25 +120,49 @@ def validate_trace(trace: FailureTrace, max_errors: int = 20) -> List[str]:
     trace:
         The trace to validate.
     max_errors:
-        Stop collecting after this many problems (the trace may hold
-        tens of thousands of records).
+        Render at most this many problems as strings (the trace may
+        hold tens of thousands of records); further problems are still
+        counted in the summary.
 
     Returns
     -------
     list of str
-        Human-readable problem descriptions; empty if the trace is valid.
+        Human-readable problem descriptions; empty if the trace is
+        valid.  When problems beyond ``max_errors`` exist, the last
+        entry is a ``"... (N further problems suppressed)"`` sentinel —
+        only then.  The returned list also carries a
+        :class:`ValidationSummary` as its ``summary`` attribute.
     """
-    problems: List[str] = []
+    problems = ProblemList()
+    counts: Dict[str, int] = {}
+    n_problems = 0
     previous_start = float("-inf")
+
+    def note(description: str, category: str) -> None:
+        nonlocal n_problems
+        n_problems += 1
+        counts[category] = counts.get(category, 0) + 1
+        if len(problems) < max_errors:
+            problems.append(description)
+
     for index, record in enumerate(trace):
         if record.start_time < previous_start:
-            problems.append(f"record {index}: trace not sorted by start time")
+            note(f"record {index}: trace not sorted by start time", "unsorted")
         previous_start = record.start_time
         try:
             validate_record(record, trace)
         except TraceValidationError as exc:
-            problems.append(f"record {index}: {exc}")
-        if len(problems) >= max_errors:
-            problems.append("... (further problems suppressed)")
-            break
+            note(f"record {index}: {exc}", exc.category)
+
+    truncated = n_problems > len(problems)
+    if truncated:
+        suppressed = n_problems - len(problems)
+        problems.append(f"... ({suppressed} further problems suppressed)")
+    problems.summary = ValidationSummary(
+        n_records=len(trace),
+        n_problems=n_problems,
+        counts=counts,
+        truncated=truncated,
+        problems=tuple(problems),
+    )
     return problems

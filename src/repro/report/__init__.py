@@ -15,6 +15,9 @@ from repro.report.tables import format_table
 from repro.report.markdown import markdown_summary, markdown_table
 from repro.report.charts import bar_chart, cdf_plot, series_plot, stacked_bars
 from repro.report.paper import (
+    PaperReport,
+    SectionResult,
+    run_paper_report,
     render_figure1,
     render_figure2,
     render_figure3,
@@ -45,4 +48,7 @@ __all__ = [
     "render_figure5",
     "render_figure6",
     "render_figure7",
+    "PaperReport",
+    "SectionResult",
+    "run_paper_report",
 ]

@@ -9,6 +9,9 @@ of these.
 from __future__ import annotations
 
 import datetime as _dt
+from dataclasses import dataclass
+from typing import Tuple
+
 import numpy as np
 
 from repro.analysis.interarrival import (
@@ -47,6 +50,9 @@ __all__ = [
     "render_figure5",
     "render_figure6",
     "render_figure7",
+    "SectionResult",
+    "PaperReport",
+    "run_paper_report",
 ]
 
 ERA_BOUNDARY = from_datetime(_dt.datetime(2000, 1, 1))
@@ -287,6 +293,108 @@ def render_figure6(
             f"zero gaps={100 * study.zero_fraction:.1f}%\n{fit_lines}\n{plot}"
         )
     return "\n\n".join(sections)
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    """Outcome of rendering one paper artifact.
+
+    Attributes
+    ----------
+    name:
+        Artifact name (``"table1"``, ``"fig6"``, ...).
+    status:
+        ``"ok"`` or ``"failed"``.
+    text:
+        The rendered artifact when ok, else empty.
+    error:
+        ``"ExceptionType: message"`` when failed, else empty.
+    """
+
+    name: str
+    status: str
+    text: str = ""
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the section rendered."""
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class PaperReport:
+    """The whole-paper report with per-section error isolation."""
+
+    sections: Tuple[SectionResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every section rendered."""
+        return all(section.ok for section in self.sections)
+
+    @property
+    def failed(self) -> Tuple[SectionResult, ...]:
+        """The sections that failed to render."""
+        return tuple(section for section in self.sections if not section.ok)
+
+    def diagnostics(self) -> str:
+        """One line per section: ok, or the failure it degraded with."""
+        lines = []
+        for section in self.sections:
+            if section.ok:
+                lines.append(f"{section.name:<8} ok")
+            else:
+                lines.append(f"{section.name:<8} FAILED: {section.error}")
+        return "\n".join(lines)
+
+    def render(self, divider: str = "\n\n" + "=" * 78 + "\n\n") -> str:
+        """The full report text; failed sections render as diagnostics."""
+        parts = []
+        for section in self.sections:
+            if section.ok:
+                parts.append(section.text)
+            else:
+                parts.append(
+                    f"[{section.name} unavailable on this trace: {section.error}]"
+                )
+        return divider.join(parts)
+
+
+def run_paper_report(trace: FailureTrace) -> PaperReport:
+    """Render every paper artifact, isolating failures per section.
+
+    On curated data this is equivalent to calling each ``render_*`` in
+    sequence.  On degraded traces (sparse slices, corrupt-but-ingested
+    data) a section whose analysis cannot run — a degenerate fit, an
+    empty era, a missing system — yields a diagnostics entry instead of
+    aborting the whole report.
+    """
+    renderers = (
+        ("table1", lambda: render_table1(trace)),
+        ("fig1", lambda: render_figure1(trace)),
+        ("fig2", lambda: render_figure2(trace)),
+        ("fig3", lambda: render_figure3(trace)),
+        ("fig4", lambda: render_figure4(trace)),
+        ("fig5", lambda: render_figure5(trace)),
+        ("fig6", lambda: render_figure6(trace.filter_systems([20]))),
+        ("table2", lambda: render_table2(trace)),
+        ("fig7", lambda: render_figure7(trace)),
+        ("table3", render_table3),
+    )
+    sections = []
+    for name, renderer in renderers:
+        try:
+            sections.append(SectionResult(name=name, status="ok", text=renderer()))
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            sections.append(
+                SectionResult(
+                    name=name,
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return PaperReport(sections=tuple(sections))
 
 
 def render_figure7(trace: FailureTrace) -> str:

@@ -31,10 +31,13 @@ from repro.stats.distributions import (
 )
 from repro.stats.fitting import (
     FitError,
+    FitOutcome,
     FitResult,
     describe_fits,
     fit_all,
     fit_all_discrete,
+    fit_all_discrete_safe,
+    fit_all_safe,
     fit_exponential,
     fit_gamma,
     fit_lognormal,
@@ -75,6 +78,7 @@ __all__ = [
     "Normal",
     "Poisson",
     "FitError",
+    "FitOutcome",
     "FitResult",
     "describe_fits",
     "fit_exponential",
@@ -85,6 +89,8 @@ __all__ = [
     "fit_poisson",
     "fit_all",
     "fit_all_discrete",
+    "fit_all_safe",
+    "fit_all_discrete_safe",
     "prepare_positive",
     "censored_nll",
     "fit_exponential_censored",

@@ -38,6 +38,7 @@ from repro.stats.gof import aic, bic, ks_statistic
 __all__ = [
     "FitError",
     "FitResult",
+    "FitOutcome",
     "prepare_positive",
     "fit_exponential",
     "fit_weibull",
@@ -47,6 +48,8 @@ __all__ = [
     "fit_poisson",
     "fit_all",
     "fit_all_discrete",
+    "fit_all_safe",
+    "fit_all_discrete_safe",
 ]
 
 ArrayLike = Union[Sequence[float], np.ndarray]
@@ -378,6 +381,69 @@ def describe_fits(fits: Sequence[FitResult]) -> str:
             f"{fit.aic:>12.2f} {fit.ks:>8.4f} {weight:>8.3f}"
         )
     return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FitOutcome:
+    """The result of a fitting attempt that cannot crash the caller.
+
+    Degenerate samples are the normal case on messy operational data
+    (a node with one failure, a slice where every repair time is
+    identical).  The ``fit_all*`` functions raise :class:`FitError`
+    for such samples; the ``*_safe`` variants return this status object
+    instead, so analysis and report code can degrade per-slice rather
+    than abort a whole run.
+
+    Attributes
+    ----------
+    status:
+        ``"ok"`` when at least one candidate was fitted, else
+        ``"failed"``.
+    fits:
+        Ranked fits (empty when failed).
+    error:
+        The :class:`FitError` message when failed, else ``None``.
+    """
+
+    status: str
+    fits: Tuple[FitResult, ...] = ()
+    error: Union[str, None] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when fitting succeeded."""
+        return self.status == "ok"
+
+    @property
+    def best(self) -> Union[FitResult, None]:
+        """The winning fit, or ``None`` when fitting failed."""
+        return self.fits[0] if self.fits else None
+
+    def describe(self) -> str:
+        """One line per fit, or the failure reason."""
+        if not self.ok:
+            return f"fit failed: {self.error}"
+        return "\n".join(fit.describe() for fit in self.fits)
+
+
+def fit_all_safe(
+    data: ArrayLike,
+    zero_policy: ZeroPolicy = "error",
+    epsilon: float = 1.0,
+) -> FitOutcome:
+    """:func:`fit_all` that reports failure as a status, not a raise."""
+    try:
+        return FitOutcome(status="ok", fits=tuple(fit_all(data, zero_policy, epsilon)))
+    except FitError as exc:
+        return FitOutcome(status="failed", error=str(exc))
+
+
+def fit_all_discrete_safe(data: ArrayLike) -> FitOutcome:
+    """:func:`fit_all_discrete` that reports failure as a status."""
+    try:
+        return FitOutcome(status="ok", fits=tuple(fit_all_discrete(data)))
+    except FitError as exc:
+        return FitOutcome(status="failed", error=str(exc))
 
 
 def fit_all_discrete(data: ArrayLike) -> List[FitResult]:

@@ -1,0 +1,182 @@
+"""The chaos acceptance property, per corruption operator.
+
+For every damaging operator: strict ingest raises ``SchemaError``
+naming the offending row; lenient ingest quarantines only the damaged
+rows and keeps every clean row byte-identical to ingesting the
+uncorrupted trace; and the full paper report completes on a
+5 %-corrupted trace with per-section diagnostics instead of an
+exception.
+"""
+
+import re
+
+import pytest
+
+from repro.faults import (
+    DEFAULT_OPERATORS,
+    CorruptionInjector,
+    NegativeDurationer,
+    RowShuffler,
+    chaos_roundtrip,
+)
+from repro.io import IngestPolicy, SchemaError, ingest_trace, write_lanl_csv
+from repro.records.record import FailureRecord, RootCause, Workload
+from repro.synth import TraceGenerator
+
+
+def clean_records(n=60):
+    """A handcrafted, fully in-window trace on system 20."""
+    return [
+        FailureRecord(
+            start_time=150000000.0 + 1000.0 * i,
+            end_time=150000000.0 + 1000.0 * i + 600.0,
+            system_id=20,
+            node_id=i % 40,
+            workload=Workload.COMPUTE,
+            root_cause=RootCause.HARDWARE,
+            record_id=i,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture()
+def clean_path(tmp_path):
+    path = tmp_path / "clean.csv"
+    write_lanl_csv(clean_records(), path)
+    return path
+
+
+def serialize(trace, path):
+    """CSV body lines of a trace — the byte-level view of its rows."""
+    write_lanl_csv(trace, path)
+    return path.read_text().splitlines()[1:]
+
+
+LENIENT = IngestPolicy(mode="lenient", max_error_rate=0.5)
+
+
+@pytest.mark.parametrize(
+    "operator", DEFAULT_OPERATORS, ids=[op.name for op in DEFAULT_OPERATORS]
+)
+class TestPerOperatorProperty:
+    def corrupt(self, clean_path, tmp_path, operator):
+        dirty_path = tmp_path / "dirty.csv"
+        injector = CorruptionInjector(seed=7, rate=0.1, operators=[operator])
+        manifest = injector.corrupt_file(clean_path, dirty_path)
+        assert manifest.n_corrupted > 0
+        return dirty_path, manifest
+
+    def test_strict_raises_naming_the_row(self, clean_path, tmp_path, operator):
+        dirty_path, manifest = self.corrupt(clean_path, tmp_path, operator)
+        with pytest.raises(SchemaError) as err:
+            ingest_trace(dirty_path, IngestPolicy(mode="strict"))
+        assert re.search(r"line \d+", str(err.value))
+        # Strict fails on the first damaged row: data index i is file
+        # line i + 2; a duplicate's rejected copy sits one line later.
+        expected_line = min(manifest.corrupted_rows) + 2
+        if operator.keeps_original:
+            expected_line += 1
+        assert err.value.line == expected_line
+
+    def test_lenient_keeps_clean_rows_byte_identical(
+        self, clean_path, tmp_path, operator
+    ):
+        dirty_path, manifest = self.corrupt(clean_path, tmp_path, operator)
+        baseline = ingest_trace(clean_path, LENIENT)
+        assert baseline.report.ok
+        result = ingest_trace(dirty_path, LENIENT)
+
+        clean_lines = serialize(baseline.trace, tmp_path / "base.csv")
+        kept_lines = serialize(result.trace, tmp_path / "kept.csv")
+        if operator.keeps_original:
+            # Damage was additive (a duplicated copy): the original rows
+            # all survive and the copies are quarantined.
+            expected = clean_lines
+        else:
+            expected = [
+                line
+                for index, line in enumerate(clean_lines)
+                if index not in manifest.corrupted_rows
+            ]
+        assert kept_lines == expected
+        assert result.report.rows_quarantined == manifest.n_corrupted
+        assert result.report.error_counts
+
+
+class TestBenignReordering:
+    def test_shuffle_is_invisible_after_ingest(self, clean_path, tmp_path):
+        dirty_path = tmp_path / "dirty.csv"
+        injector = CorruptionInjector(seed=7, rate=0.0, operators=[RowShuffler()])
+        manifest = injector.corrupt_file(clean_path, dirty_path)
+        assert manifest.shuffled
+        # Strict mode accepts the reordered file...
+        result = ingest_trace(dirty_path, IngestPolicy(mode="strict"))
+        assert result.report.ok
+        # ...and the sorted trace is byte-identical to the original.
+        baseline = ingest_trace(clean_path, IngestPolicy(mode="strict"))
+        assert serialize(result.trace, tmp_path / "a.csv") == serialize(
+            baseline.trace, tmp_path / "b.csv"
+        )
+
+
+class TestRepairExactness:
+    def test_swapped_times_restored_byte_identically(self, clean_path, tmp_path):
+        dirty_path = tmp_path / "dirty.csv"
+        injector = CorruptionInjector(
+            seed=3, rate=0.3, operators=[NegativeDurationer()]
+        )
+        manifest = injector.corrupt_file(clean_path, dirty_path)
+        result = ingest_trace(dirty_path, IngestPolicy(mode="repair"))
+        assert result.report.rows_quarantined == 0
+        assert result.report.rows_repaired == manifest.n_corrupted
+        assert result.report.repair_counts == {
+            "swapped-start-end": manifest.n_corrupted
+        }
+        # Every duration here is positive, so the swap repair restores
+        # the file exactly.
+        repaired = serialize(result.trace, tmp_path / "repaired.csv")
+        assert repaired == clean_path.read_text().splitlines()[1:]
+
+
+class TestChaosRoundtrip:
+    @pytest.fixture(scope="class")
+    def paper_trace(self):
+        """Systems 19 + 20: big enough for every report section."""
+        return TraceGenerator(seed=2).generate([19, 20])
+
+    def test_paper_report_survives_five_percent_corruption(self, paper_trace):
+        report = chaos_roundtrip(paper_trace, seed=1, rate=0.05)
+        assert report.survived
+        assert report.corruption.n_corrupted >= 0.04 * report.corruption.n_rows
+        assert report.ingest.rows_quarantined == report.corruption.n_corrupted
+        paper = report.paper
+        assert paper is not None
+        # Every section reports a status; none escaped as an exception.
+        assert all(section.status in ("ok", "failed") for section in paper.sections)
+        assert all(section.ok for section in paper.sections)
+        assert "SURVIVED" in report.describe()
+
+    def test_report_isolates_missing_system_sections(self, small_trace):
+        # Systems 2 + 13 lack system 20: Figures 3/6 degrade, the rest
+        # of the report still completes.
+        report = chaos_roundtrip(small_trace, seed=1, rate=0.05, run_report=True)
+        assert report.survived
+        paper = report.paper
+        assert paper is not None
+        failed = [section.name for section in paper.sections if not section.ok]
+        assert all(section.error for section in paper.sections if not section.ok)
+        ok = [section.name for section in paper.sections if section.ok]
+        assert ok  # most sections still render
+        assert paper.diagnostics()
+
+    def test_blown_budget_means_not_survived(self, tmp_path):
+        records = clean_records(30)
+        from repro.records.trace import FailureTrace
+
+        trace = FailureTrace(records)
+        report = chaos_roundtrip(
+            trace, seed=1, rate=0.5, max_error_rate=0.05, run_report=False
+        )
+        assert not report.survived
+        assert "ingest-failed" in report.ingest.error_counts

@@ -1,0 +1,173 @@
+"""Unit tests for corruption operators and the seeded injector."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    ALL_OPERATORS,
+    DEFAULT_OPERATORS,
+    ClockSkewer,
+    CorruptionInjector,
+    EnumUnknowner,
+    FieldDropper,
+    FieldGarbler,
+    NegativeDurationer,
+    RowDuplicator,
+    RowShuffler,
+    RowTruncator,
+    UnknownNoder,
+    UnknownSystemer,
+)
+
+HEADER = "record_id,system_id,node_id,start_time,end_time,workload,root_cause,low_level_cause"
+COLUMNS = {name: index for index, name in enumerate(HEADER.split(","))}
+ROW = "7,20,3,150000000.0,150003600.0,compute,hardware,memory"
+
+
+def apply_op(operator, seed=0, row=ROW):
+    rng = random.Random(seed)
+    return operator.apply(row.split(","), dict(COLUMNS), rng)
+
+
+class TestRowOperators:
+    def test_field_dropper_blanks_a_required_field(self):
+        (line,) = apply_op(FieldDropper())
+        fields = line.split(",")
+        assert len(fields) == len(COLUMNS)
+        blanked = [
+            name
+            for name in ("system_id", "node_id", "start_time", "end_time")
+            if fields[COLUMNS[name]] == ""
+        ]
+        assert len(blanked) == 1
+
+    def test_field_garbler_is_unparseable(self):
+        (line,) = apply_op(FieldGarbler())
+        fields = line.split(",")
+        garbage = [value for value in fields if value in FieldGarbler.GARBAGE]
+        assert len(garbage) == 1
+
+    def test_enum_unknowner_changes_vocabulary(self):
+        (line,) = apply_op(EnumUnknowner())
+        fields = line.split(",")
+        touched = {
+            name: fields[COLUMNS[name]]
+            for name in ("workload", "root_cause")
+            if fields[COLUMNS[name]] != ROW.split(",")[COLUMNS[name]]
+        }
+        assert len(touched) == 1
+        assert set(touched.values()) <= set(EnumUnknowner.VALUES)
+
+    def test_clock_skewer_shifts_both_times(self):
+        operator = ClockSkewer(skew_seconds=1000.0)
+        (line,) = apply_op(operator)
+        fields = line.split(",")
+        assert float(fields[COLUMNS["start_time"]]) == 150001000.0
+        assert float(fields[COLUMNS["end_time"]]) == 150004600.0
+
+    def test_negative_durationer_inverts_interval(self):
+        (line,) = apply_op(NegativeDurationer())
+        fields = line.split(",")
+        assert float(fields[COLUMNS["end_time"]]) < float(
+            fields[COLUMNS["start_time"]]
+        )
+
+    def test_negative_durationer_handles_zero_duration(self):
+        row = "7,20,3,150000000.0,150000000.0,compute,hardware,memory"
+        (line,) = apply_op(NegativeDurationer(), row=row)
+        fields = line.split(",")
+        assert float(fields[COLUMNS["end_time"]]) < 150000000.0
+
+    def test_row_duplicator_keeps_original(self):
+        lines = apply_op(RowDuplicator())
+        assert lines == [ROW, ROW]
+        assert RowDuplicator.keeps_original is True
+
+    def test_row_truncator_loses_end_time(self):
+        (line,) = apply_op(RowTruncator())
+        fields = line.split(",")
+        assert len(fields) < len(COLUMNS)
+        # The partial timestamp is not the original value.
+        assert fields[-1] != ROW.split(",")[COLUMNS["start_time"]]
+
+    def test_unknown_systemer_and_noder(self):
+        (line,) = apply_op(UnknownSystemer(99))
+        assert line.split(",")[COLUMNS["system_id"]] == "99"
+        (line,) = apply_op(UnknownNoder(10**6))
+        assert line.split(",")[COLUMNS["node_id"]] == str(10**6)
+
+    def test_row_shuffler_permutes_without_loss(self):
+        lines = [f"{i},20,1,1.5e8,1.6e8,compute,unknown," for i in range(50)]
+        shuffled = RowShuffler().apply_body(list(lines), random.Random(3))
+        assert shuffled != lines
+        assert sorted(shuffled) == sorted(lines)
+        assert RowShuffler.damages_row is False
+
+    def test_operator_registries(self):
+        assert all(op.damages_row for op in DEFAULT_OPERATORS)
+        assert len(ALL_OPERATORS) == len(DEFAULT_OPERATORS) + 1
+
+
+def sample_csv(n_rows=40):
+    lines = [HEADER]
+    for i in range(n_rows):
+        start = 150000000.0 + 1000.0 * i
+        lines.append(f"{i},20,{i % 10},{start!r},{start + 600.0!r},compute,hardware,memory")
+    return "\n".join(lines) + "\n"
+
+
+class TestInjector:
+    def test_same_seed_is_byte_identical(self):
+        text = sample_csv()
+        first = CorruptionInjector(seed=11, rate=0.2).corrupt_text(text)
+        second = CorruptionInjector(seed=11, rate=0.2).corrupt_text(text)
+        assert first.text == second.text
+        assert first.corrupted_rows == second.corrupted_rows
+
+    def test_different_seeds_differ(self):
+        text = sample_csv()
+        first = CorruptionInjector(seed=1, rate=0.2).corrupt_text(text)
+        second = CorruptionInjector(seed=2, rate=0.2).corrupt_text(text)
+        assert first.text != second.text
+
+    def test_manifest_accounting(self):
+        result = CorruptionInjector(seed=0, rate=0.25).corrupt_text(sample_csv(40))
+        assert result.n_rows == 40
+        assert result.n_corrupted == 10
+        assert sum(result.operator_counts.values()) == 10
+        assert all(0 <= index < 40 for index in result.corrupted_rows)
+
+    def test_rate_one_touches_every_row(self):
+        result = CorruptionInjector(seed=0, rate=1.0).corrupt_text(sample_csv(15))
+        assert result.n_corrupted == 15
+
+    def test_low_rate_damages_at_least_one_row(self):
+        result = CorruptionInjector(seed=0, rate=0.001).corrupt_text(sample_csv(10))
+        assert result.n_corrupted == 1
+
+    def test_header_is_preserved(self):
+        result = CorruptionInjector(seed=0, rate=0.5).corrupt_text(sample_csv())
+        assert result.text.splitlines()[0] == HEADER
+
+    def test_shuffler_marks_result(self):
+        result = CorruptionInjector(
+            seed=0, rate=0.0, operators=[RowShuffler()]
+        ).corrupt_text(sample_csv())
+        assert result.shuffled
+        assert result.n_corrupted == 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            CorruptionInjector(rate=1.5)
+
+    def test_corrupt_file_gz(self, tmp_path):
+        import gzip
+
+        src = tmp_path / "clean.csv.gz"
+        dst = tmp_path / "dirty.csv.gz"
+        with gzip.open(src, "wt") as handle:
+            handle.write(sample_csv())
+        result = CorruptionInjector(seed=4, rate=0.1).corrupt_file(src, dst)
+        with gzip.open(dst, "rt") as handle:
+            assert handle.read() == result.text

@@ -1,0 +1,276 @@
+"""Tests for the ingest policy layer: strict / lenient / repair."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    ColumnMapping,
+    IngestPolicy,
+    SchemaError,
+    ingest_trace,
+    read_jsonl,
+    read_lanl_csv,
+    write_jsonl,
+    write_lanl_csv,
+)
+from repro.io.policy import LEGACY_POLICY, IngestReport
+from repro.records.record import FailureRecord, RootCause
+
+HEADER = "record_id,system_id,node_id,start_time,end_time,workload,root_cause,low_level_cause\n"
+
+# Rows are inside the LANL window (1.5e8..2.5e8 seconds past 1996).
+GOOD_ROWS = (
+    "0,20,1,150000000.0,150003600.0,compute,hardware,memory\n"
+    "1,20,2,160000000.0,160000060.0,compute,software,\n"
+    "2,5,0,170000000.0,170001000.0,fe,unknown,\n"
+)
+
+
+def write_csv(tmp_path, body, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(HEADER + body)
+    return path
+
+
+class TestPolicyValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown ingest mode"):
+            IngestPolicy(mode="yolo")
+
+    def test_bad_error_rate_rejected(self):
+        with pytest.raises(ValueError, match="max_error_rate"):
+            IngestPolicy(max_error_rate=1.5)
+
+
+class TestStrictPolicy:
+    def test_clean_file_reads_fully(self, tmp_path):
+        path = write_csv(tmp_path, GOOD_ROWS)
+        result = ingest_trace(path, IngestPolicy(mode="strict"))
+        assert len(result.trace) == 3
+        assert result.ok
+        assert result.report.rows_read == 3
+        assert result.report.rows_kept == 3
+
+    def test_strict_checks_inventory(self, tmp_path):
+        path = write_csv(tmp_path, GOOD_ROWS + "3,99,0,1.8e8,1.9e8,compute,unknown,\n")
+        with pytest.raises(SchemaError, match="line 5: unknown system 99"):
+            ingest_trace(path, IngestPolicy(mode="strict"))
+
+    def test_strict_checks_window(self, tmp_path):
+        path = write_csv(tmp_path, "0,20,1,1.0,100.0,compute,hardware,memory\n")
+        with pytest.raises(SchemaError, match="outside observation window"):
+            ingest_trace(path, IngestPolicy(mode="strict"))
+
+    def test_strict_checks_duplicate_ids(self, tmp_path):
+        path = write_csv(
+            tmp_path, GOOD_ROWS + "0,20,3,1.8e8,1.81e8,compute,unknown,\n"
+        )
+        with pytest.raises(SchemaError, match="duplicate record_id 0"):
+            ingest_trace(path, IngestPolicy(mode="strict"))
+
+    def test_legacy_readers_skip_cross_row_checks(self, tmp_path):
+        # Without a policy, the readers keep their historical behavior:
+        # no inventory / window / duplicate checks.
+        path = write_csv(
+            tmp_path,
+            "0,99,0,1.0,100.0,compute,unknown,\n"
+            "0,98,0,2.0,100.0,compute,unknown,\n",
+        )
+        trace = read_lanl_csv(path)
+        assert len(trace) == 2
+        assert LEGACY_POLICY.check_inventory is False
+
+
+class TestLenientPolicy:
+    def test_quarantines_only_bad_rows(self, tmp_path):
+        path = write_csv(
+            tmp_path,
+            GOOD_ROWS
+            + "3,20,4,not-a-number,1.9e8,compute,unknown,\n"
+            + "4,20,5,1.8e8,1.9e8,gaming,unknown,\n",
+        )
+        result = ingest_trace(
+            path, IngestPolicy(mode="lenient", max_error_rate=0.5)
+        )
+        assert len(result.trace) == 3
+        report = result.report
+        assert report.rows_read == 5
+        assert report.rows_kept == 3
+        assert report.rows_quarantined == 2
+        assert report.error_counts == {"malformed-value": 1, "unknown-enum": 1}
+        assert report.error_rate == pytest.approx(0.4)
+
+    def test_error_samples_are_bounded(self, tmp_path):
+        bad = "".join(
+            f"{i},20,1,bad,1.9e8,compute,unknown,\n" for i in range(10)
+        )
+        path = write_csv(tmp_path, bad)
+        result = ingest_trace(
+            path, IngestPolicy(mode="lenient", max_error_rate=1.0, max_samples=3)
+        )
+        assert result.report.error_counts["malformed-value"] == 10
+        assert len(result.report.error_samples["malformed-value"]) == 3
+
+    def test_error_budget_fails_loudly(self, tmp_path):
+        bad = "".join(
+            f"{i},20,1,bad,1.9e8,compute,unknown,\n" for i in range(9)
+        )
+        path = write_csv(tmp_path, GOOD_ROWS + bad)
+        with pytest.raises(SchemaError, match="error budget exceeded"):
+            ingest_trace(path, IngestPolicy(mode="lenient", max_error_rate=0.25))
+
+    def test_quarantine_dead_letter_file(self, tmp_path):
+        path = write_csv(
+            tmp_path, GOOD_ROWS + "3,20,4,bad,1.9e8,compute,unknown,\n"
+        )
+        dead = tmp_path / "dead.jsonl"
+        result = ingest_trace(
+            path,
+            IngestPolicy(mode="lenient", max_error_rate=0.5, quarantine=dead),
+        )
+        assert result.report.quarantine_path == str(dead)
+        entries = [json.loads(line) for line in dead.read_text().splitlines()]
+        assert len(entries) == 1
+        assert entries[0]["error_class"] == "malformed-value"
+        assert entries[0]["line"] == 5
+        assert entries[0]["raw"]["start_time"] == "bad"
+
+    def test_lenient_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = '{"system_id": 20, "node_id": 1, "start_time": 1.5e8, "end_time": 1.6e8}'
+        path.write_text(good + "\nnot json\n")
+        result = ingest_trace(
+            path, IngestPolicy(mode="lenient", max_error_rate=0.5)
+        )
+        assert len(result.trace) == 1
+        assert result.report.error_counts == {"invalid-json": 1}
+
+    def test_lenient_mapped_csv(self, tmp_path):
+        path = tmp_path / "foreign.csv"
+        path.write_text(
+            "sys,node,start,end\n"
+            "20,1,150000000.0,150003600.0\n"
+            "20,2,garbage,150003600.0\n"
+        )
+        mapping = ColumnMapping(
+            system_id="sys", node_id="node", start_time="start", end_time="end"
+        )
+        result = ingest_trace(
+            path,
+            IngestPolicy(mode="lenient", max_error_rate=0.5),
+            mapping=mapping,
+        )
+        assert len(result.trace) == 1
+        assert result.report.error_counts == {"malformed-value": 1}
+
+
+class TestRepairPolicy:
+    def test_swapped_times_repaired_exactly(self, tmp_path):
+        path = write_csv(
+            tmp_path, "0,20,1,150003600.0,150000000.0,compute,hardware,memory\n"
+        )
+        result = ingest_trace(path, IngestPolicy(mode="repair"))
+        assert len(result.trace) == 1
+        record = result.trace[0]
+        assert record.start_time == 150000000.0
+        assert record.end_time == 150003600.0
+        assert result.report.rows_repaired == 1
+        assert result.report.repair_counts == {"swapped-start-end": 1}
+
+    def test_duplicate_id_repaired(self, tmp_path):
+        path = write_csv(
+            tmp_path, GOOD_ROWS + "0,20,3,1.8e8,1.81e8,compute,unknown,\n"
+        )
+        result = ingest_trace(path, IngestPolicy(mode="repair"))
+        assert len(result.trace) == 4
+        assert result.report.repair_counts == {"dropped-duplicate-id": 1}
+        # The colliding row lost its ID; the original keeps it.
+        ids = [record.record_id for record in result.trace]
+        assert ids.count(0) == 1
+        assert None in ids
+
+    def test_out_of_window_clamped_within_slack(self, tmp_path):
+        # One day before the window with 30-day slack: clamp, keep duration.
+        from repro.records.inventory import DATA_START
+
+        early = DATA_START - 86400.0
+        path = write_csv(
+            tmp_path, f"0,20,1,{early!r},{early + 3600.0!r},compute,hardware,memory\n"
+        )
+        result = ingest_trace(path, IngestPolicy(mode="repair"))
+        record = result.trace[0]
+        assert record.start_time == DATA_START
+        assert record.repair_time == pytest.approx(3600.0)
+        assert result.report.repair_counts == {"clamped-to-window": 1}
+
+    def test_far_out_of_window_quarantined(self, tmp_path):
+        from repro.records.inventory import DATA_END
+
+        late = DATA_END + 400 * 86400.0
+        path = write_csv(
+            tmp_path,
+            GOOD_ROWS
+            + f"3,20,4,{late!r},{late + 60.0!r},compute,unknown,\n",
+        )
+        result = ingest_trace(
+            path, IngestPolicy(mode="repair", max_error_rate=0.5)
+        )
+        assert len(result.trace) == 3
+        assert result.report.error_counts == {"out-of-window": 1}
+
+    def test_unrepairable_rows_still_quarantined(self, tmp_path):
+        path = write_csv(
+            tmp_path, GOOD_ROWS + "3,20,4,bad,1.9e8,compute,unknown,\n"
+        )
+        result = ingest_trace(
+            path, IngestPolicy(mode="repair", max_error_rate=0.5)
+        )
+        assert len(result.trace) == 3
+        assert result.report.rows_quarantined == 1
+
+
+class TestReportPlumbing:
+    def test_report_out_param_on_plain_reader(self, tmp_path):
+        path = write_csv(tmp_path, GOOD_ROWS)
+        report = IngestReport()
+        read_lanl_csv(path, policy=IngestPolicy(mode="lenient"), report=report)
+        assert report.rows_read == 3
+        assert report.rows_kept == 3
+        assert report.mode == "lenient"
+
+    def test_report_to_dict_roundtrips_json(self, tmp_path):
+        path = write_csv(tmp_path, GOOD_ROWS + "3,20,4,bad,1.9e8,compute,unknown,\n")
+        result = ingest_trace(
+            path, IngestPolicy(mode="lenient", max_error_rate=0.5)
+        )
+        payload = json.loads(json.dumps(result.report.to_dict()))
+        assert payload["rows_quarantined"] == 1
+        assert payload["error_counts"]["malformed-value"] == 1
+
+    def test_ingest_trace_format_detection(self, tmp_path):
+        records = [
+            FailureRecord(
+                start_time=1.5e8, end_time=1.5e8 + 60.0, system_id=20, node_id=1,
+                root_cause=RootCause.HARDWARE,
+            )
+        ]
+        csv_path = tmp_path / "t.csv"
+        jsonl_path = tmp_path / "t.jsonl"
+        write_lanl_csv(records, csv_path)
+        write_jsonl(records, jsonl_path)
+        assert len(ingest_trace(csv_path).trace) == 1
+        assert len(ingest_trace(jsonl_path).trace) == 1
+
+    def test_jsonl_reader_accepts_policy(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [
+            FailureRecord(
+                start_time=1.5e8, end_time=1.5e8 + 60.0, system_id=20, node_id=1,
+            )
+        ]
+        write_jsonl(records, path)
+        report = IngestReport()
+        trace = read_jsonl(path, policy=IngestPolicy(mode="strict"), report=report)
+        assert len(trace) == 1
+        assert report.rows_read == 1

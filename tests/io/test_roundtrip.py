@@ -1,0 +1,94 @@
+"""Round-trip coverage: gzip transports and exact float timestamps."""
+
+import gzip
+import math
+
+import pytest
+
+from repro.io import read_jsonl, read_lanl_csv, write_jsonl, write_lanl_csv
+from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
+
+
+def records_with_awkward_floats():
+    """Timestamps that str() would round but repr() must preserve.
+
+    Listed in ascending start order so readers (which sort) return them
+    in the same sequence they were written.
+    """
+    t0 = 123456789.10111213
+    return [
+        FailureRecord(
+            start_time=math.e * 1e7, end_time=math.pi * 1e7,
+            system_id=5, node_id=0, record_id=0,
+        ),
+        FailureRecord(
+            # The float closest to 1/3 of 1e8: a full 17-digit repr.
+            start_time=1e8 / 3.0, end_time=1e8 / 3.0 + 1e-6,
+            system_id=2, node_id=1, record_id=1,
+        ),
+        FailureRecord(
+            start_time=t0, end_time=t0 + 0.1 + 0.2,  # ...40111212
+            system_id=20, node_id=22,
+            root_cause=RootCause.HARDWARE, low_level_cause=LowLevelCause.MEMORY,
+            workload=Workload.GRAPHICS, record_id=2,
+        ),
+    ]
+
+
+class TestGzipRoundtrip:
+    def test_csv_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv.gz"
+        original = records_with_awkward_floats()
+        assert write_lanl_csv(original, path) == 3
+        # The file really is gzip, not plain text with a lying name.
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("record_id,")
+        loaded = read_lanl_csv(path)
+        assert len(loaded) == 3
+
+    def test_jsonl_gz_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        original = records_with_awkward_floats()
+        assert write_jsonl(original, path) == 3
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("{")
+        loaded = read_jsonl(path)
+        assert len(loaded) == 3
+
+    def test_gz_and_plain_agree(self, tmp_path, small_trace):
+        plain = tmp_path / "t.csv"
+        packed = tmp_path / "t.csv.gz"
+        write_lanl_csv(small_trace, plain)
+        write_lanl_csv(small_trace, packed)
+        assert plain.read_text() == gzip.open(packed, "rt").read()
+        assert len(read_lanl_csv(packed)) == len(small_trace)
+
+
+class TestFloatPrecision:
+    @pytest.mark.parametrize("suffix", ["csv", "csv.gz"])
+    def test_csv_repr_timestamps_roundtrip_exactly(self, tmp_path, suffix):
+        path = tmp_path / f"trace.{suffix}"
+        original = records_with_awkward_floats()
+        write_lanl_csv(original, path)
+        loaded = read_lanl_csv(path)
+        for before, after in zip(original, loaded):
+            # Bitwise equality, not approx: repr() must not lose ulps.
+            assert after.start_time == before.start_time
+            assert after.end_time == before.end_time
+
+    def test_jsonl_timestamps_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = records_with_awkward_floats()
+        write_jsonl(original, path)
+        loaded = read_jsonl(path)
+        for before, after in zip(original, loaded):
+            assert after.start_time == before.start_time
+            assert after.end_time == before.end_time
+
+    def test_double_roundtrip_is_stable(self, tmp_path):
+        # write -> read -> write must produce identical bytes (no drift).
+        first = tmp_path / "first.csv"
+        second = tmp_path / "second.csv"
+        write_lanl_csv(records_with_awkward_floats(), first)
+        write_lanl_csv(read_lanl_csv(first), second)
+        assert first.read_text() == second.read_text()

@@ -61,3 +61,52 @@ class TestValidateTrace:
 
     def test_synthetic_trace_is_valid(self, small_trace):
         assert validate_trace(small_trace) == []
+
+    def test_exactly_max_errors_has_no_sentinel(self):
+        # Historical bug: landing exactly on max_errors added a
+        # "0 further problems suppressed" line even though nothing was
+        # suppressed.
+        records = [record(1e8 + i, node=4000 + i) for i in range(5)]
+        problems = validate_trace(FailureTrace(records), max_errors=5)
+        assert len(problems) == 5
+        assert not any("suppressed" in problem for problem in problems)
+
+    def test_sentinel_counts_suppressed_problems(self):
+        records = [record(1e8 + i, node=4000 + i) for i in range(12)]
+        problems = validate_trace(FailureTrace(records), max_errors=5)
+        assert problems[-1] == "... (7 further problems suppressed)"
+
+
+class TestValidationSummary:
+    def test_clean_summary(self):
+        trace = FailureTrace([record(1e8), record(1.1e8, node=3)])
+        problems = validate_trace(trace)
+        summary = problems.summary
+        assert summary.ok
+        assert summary.n_records == 2
+        assert summary.n_problems == 0
+        assert summary.counts == {}
+        assert not summary.truncated
+
+    def test_summary_counts_all_problems_even_when_truncated(self):
+        records = [record(1e8 + i, node=4000 + i) for i in range(30)]
+        problems = validate_trace(FailureTrace(records), max_errors=5)
+        summary = problems.summary
+        assert not summary.ok
+        assert summary.n_problems == 30
+        assert summary.counts == {"node-out-of-range": 30}
+        assert summary.truncated
+
+    def test_summary_not_truncated_at_exact_limit(self):
+        records = [record(1e8 + i, node=4000 + i) for i in range(5)]
+        summary = validate_trace(FailureTrace(records), max_errors=5).summary
+        assert summary.n_problems == 5
+        assert not summary.truncated
+
+    def test_summary_categorizes_mixed_problems(self):
+        trace = FailureTrace([record(1e8, node=4000), record(1.1e8, system=77)])
+        summary = validate_trace(trace).summary
+        assert summary.counts == {
+            "node-out-of-range": 1,
+            "unknown-system": 1,
+        }

@@ -1,0 +1,77 @@
+"""Tests for per-section error isolation in the whole-paper report."""
+
+import pytest
+
+from repro.records.trace import FailureTrace
+from repro.report import PaperReport, SectionResult, run_paper_report
+
+SECTION_NAMES = (
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "fig7",
+    "table3",
+)
+
+
+class TestRunPaperReport:
+    @pytest.fixture(scope="class")
+    def degraded(self, small_trace):
+        # Systems 2 + 13 only: figure 6 (system 20) cannot render.
+        return run_paper_report(small_trace)
+
+    def test_all_sections_present_in_order(self, degraded):
+        assert tuple(section.name for section in degraded.sections) == SECTION_NAMES
+
+    def test_missing_system_degrades_not_raises(self, degraded):
+        failed = {section.name for section in degraded.failed}
+        assert "fig6" in failed
+        assert not degraded.ok
+        # Sections that do not need system 20 still render.
+        by_name = {section.name: section for section in degraded.sections}
+        assert by_name["table1"].ok
+        assert by_name["fig1"].ok
+        assert by_name["table3"].ok
+
+    def test_failed_sections_carry_typed_errors(self, degraded):
+        for section in degraded.failed:
+            assert section.status == "failed"
+            assert section.text == ""
+            assert ":" in section.error  # "ExceptionType: message"
+
+    def test_diagnostics_lists_every_section(self, degraded):
+        diagnostics = degraded.diagnostics()
+        for name in SECTION_NAMES:
+            assert name in diagnostics
+        assert "FAILED" in diagnostics
+
+    def test_render_substitutes_placeholders(self, degraded):
+        text = degraded.render()
+        assert "unavailable on this trace" in text
+        # Healthy sections keep their content.
+        ok_section = next(section for section in degraded.sections if section.ok)
+        assert ok_section.text in text
+
+    def test_empty_trace_still_completes(self):
+        report = run_paper_report(FailureTrace([]))
+        assert tuple(section.name for section in report.sections) == SECTION_NAMES
+        # Nothing escaped as an exception; table3 is trace-independent.
+        by_name = {section.name: section for section in report.sections}
+        assert by_name["table3"].ok
+
+
+class TestPaperReportDataclass:
+    def test_ok_and_failed_views(self):
+        sections = (
+            SectionResult(name="a", status="ok", text="body"),
+            SectionResult(name="b", status="failed", error="ValueError: nope"),
+        )
+        report = PaperReport(sections=sections)
+        assert not report.ok
+        assert [section.name for section in report.failed] == ["b"]
+        assert PaperReport(sections=sections[:1]).ok

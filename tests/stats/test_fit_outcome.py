@@ -1,0 +1,70 @@
+"""Tests for the non-raising fit entry points (FitOutcome)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import FitOutcome, fit_all_discrete_safe, fit_all_safe
+from repro.stats.fitting import FitError, fit_all
+
+
+@pytest.fixture(scope="module")
+def good_sample():
+    rng = np.random.default_rng(7)
+    return rng.weibull(0.7, size=400) * 3600.0 + 1.0
+
+
+class TestFitAllSafe:
+    def test_ok_outcome_matches_raising_variant(self, good_sample):
+        outcome = fit_all_safe(good_sample)
+        assert outcome.ok
+        assert outcome.status == "ok"
+        assert outcome.error is None
+        raising = fit_all(good_sample)
+        assert [fit.distribution.name for fit in outcome.fits] == [
+            fit.distribution.name for fit in raising
+        ]
+        assert outcome.best is not None
+        assert outcome.best.distribution.name == raising[0].distribution.name
+
+    def test_degenerate_sample_fails_without_raising(self):
+        outcome = fit_all_safe([5.0])
+        assert not outcome.ok
+        assert outcome.status == "failed"
+        assert outcome.fits == ()
+        assert outcome.best is None
+        assert outcome.error
+
+    def test_failure_message_matches_fit_error(self):
+        with pytest.raises(FitError) as err:
+            fit_all([1.0, -2.0, 3.0])
+        outcome = fit_all_safe([1.0, -2.0, 3.0])
+        assert outcome.error == str(err.value)
+
+    def test_describe_covers_both_branches(self, good_sample):
+        assert "fit failed" in fit_all_safe([1.0]).describe()
+        assert "fit failed" not in fit_all_safe(good_sample).describe()
+
+    def test_zero_policy_forwarded(self):
+        sample = np.concatenate([np.zeros(5), np.full(50, 7.0), np.full(50, 3.0)])
+        assert not fit_all_safe(sample, zero_policy="error").ok
+        assert fit_all_safe(sample, zero_policy="drop").ok
+
+
+class TestFitAllDiscreteSafe:
+    def test_ok_on_counts(self):
+        rng = np.random.default_rng(3)
+        outcome = fit_all_discrete_safe(rng.poisson(4.0, size=300))
+        assert outcome.ok
+        assert outcome.best is not None
+
+    def test_failed_on_empty(self):
+        outcome = fit_all_discrete_safe([])
+        assert not outcome.ok
+        assert outcome.error
+
+
+class TestFitOutcomeInvariants:
+    def test_frozen(self, good_sample):
+        outcome = fit_all_safe(good_sample)
+        with pytest.raises(AttributeError):
+            outcome.status = "failed"
