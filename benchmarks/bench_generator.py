@@ -3,7 +3,9 @@
 Not a paper artifact — a performance regression guard.  The full
 22-system, ~28k-record trace must generate in seconds (it is the
 substrate of every other bench), and the hot analyses must stay
-interactive.
+interactive.  Engine benches measure the same workload through the
+vectorized hot path and the scalar reference loop; their ratio is the
+number the ``repro bench`` regression gate tracks.
 """
 
 from repro.analysis.repair import repair_fit_study
@@ -11,17 +13,25 @@ from repro.stats.fitting import fit_all
 from repro.synth import TraceGenerator
 
 
-def test_generate_system20(benchmark):
+def test_generate_system20(benchmark, bench_seed):
     def generate():
-        return TraceGenerator(seed=3).generate([20])
+        return TraceGenerator(seed=bench_seed).generate([20])
 
     trace = benchmark(generate)
     assert len(trace) > 3000
 
 
-def test_generate_small_cluster(benchmark):
+def test_generate_system20_scalar_engine(benchmark, bench_seed):
     def generate():
-        return TraceGenerator(seed=3).generate([13])
+        return TraceGenerator(seed=bench_seed).generate([20], engine="scalar")
+
+    trace = benchmark(generate)
+    assert len(trace) > 3000
+
+
+def test_generate_small_cluster(benchmark, bench_seed):
+    def generate():
+        return TraceGenerator(seed=bench_seed).generate([13])
 
     trace = benchmark(generate)
     assert len(trace) > 100

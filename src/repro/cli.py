@@ -11,6 +11,7 @@
     python -m repro validate trace.csv
     python -m repro ingest dirty.csv --mode lenient --quarantine dead.jsonl
     python -m repro chaos --synthetic --rate 0.05
+    python -m repro bench --quick --out BENCH_generator.json
     python -m repro schema
 
 Every subcommand that reads a trace accepts either a CSV/JSONL path or
@@ -141,6 +142,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--no-report", action="store_true",
         help="skip the paper report, only exercise ingest",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark trace generation (scalar/vectorized/parallel)"
+    )
+    bench.add_argument("--seed", type=int, default=1, help="generator seed")
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="only the 3-system smoke subset (CI)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="also measure process-parallel generation with this many workers",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="best-of-N timing per configuration",
+    )
+    bench.add_argument(
+        "--out", type=str, default=None,
+        help="write the JSON report here (e.g. BENCH_generator.json)",
+    )
+    bench.add_argument(
+        "--check", type=str, default=None, metavar="BASELINE",
+        help="fail if vectorized speedup regresses vs this baseline JSON",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional speedup regression for --check",
     )
 
     sub.add_parser("schema", help="print the trace CSV schema")
@@ -371,6 +401,40 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0 if report.survived else 1
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.benchmark import (
+        check_against_baseline,
+        format_report,
+        run_benchmark,
+        write_report,
+    )
+
+    report = run_benchmark(
+        seed=args.seed,
+        quick=args.quick,
+        workers=args.workers,
+        repeats=args.repeats,
+    )
+    print(format_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = _json.load(handle)
+        problems = check_against_baseline(
+            report, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print(f"regression check vs {args.check}: OK")
+    return 0
+
+
 def _command_schema(_args: argparse.Namespace) -> int:
     from repro.io import describe_schema
 
@@ -392,6 +456,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _command_compare,
         "ingest": _command_ingest,
         "chaos": _command_chaos,
+        "bench": _command_bench,
         "schema": _command_schema,
     }
     return commands[args.command](args)

@@ -109,6 +109,21 @@ class RngStream:
             raise ValueError("child() requires at least one label")
         return RngStream(self._root_seed, self._path + tuple(labels))
 
+    def spawn_generator(self, *labels: str) -> np.random.Generator:
+        """A fresh generator for the child stream at ``labels``.
+
+        Unlike ``child(...).generator`` — which caches the generator on
+        the child stream object — every call returns a *new* generator
+        starting from the stream's initial state.  This is the primitive
+        behind the trace generator's determinism contract: any process
+        (or worker) holding ``(root seed, label path)`` can reconstruct
+        the exact variate sequence of a stream, which is what makes
+        ``workers=N`` output identical to serial output.
+        """
+        path = self._path + tuple(labels)
+        seed = self._root_seed if not path else derive_seed(self._root_seed, *path)
+        return np.random.Generator(np.random.PCG64(seed))
+
     # Convenience passthroughs -------------------------------------------------
 
     def random(self) -> float:

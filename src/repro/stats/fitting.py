@@ -293,13 +293,19 @@ def fit_gamma(
     mean = float(np.mean(values))
     mean_log = float(np.mean(np.log(values)))
     s = math.log(mean) - mean_log
-    if s <= 0:
+    # s = log E[x] - E[log x] >= 0, zero iff the sample is constant.
+    # A near-constant sample leaves s a rounding-noise positive, which
+    # sends Minka's initialization to k ~ 1/(2s) and underflows the
+    # Newton derivative — treat it as degenerate too.
+    if s <= 1e-12:
         raise FitError("degenerate sample (zero log-spread)")
     # Minka's initialization.
     k = (3.0 - s + math.sqrt((s - 3.0) ** 2 + 24.0 * s)) / (12.0 * s)
     for _ in range(max_iterations):
         g = math.log(k) - float(special.digamma(k)) - s
         g_prime = 1.0 / k - float(special.polygamma(1, k))
+        if g_prime == 0.0 or not math.isfinite(g_prime):
+            break
         step = g / g_prime
         k_next = k - step
         if k_next <= 0:

@@ -13,16 +13,30 @@ once we use **time rescaling**:
    where ``L`` is the lifecycle multiplier and ``W`` the weekly
    profile.
 
-Because ``W`` is periodic with a precomputed cumulative integral, and
-``L`` is nearly constant within a week, the inverse is computed by
-walking weeks and inverting within the week via the profile's table —
-O(weeks + events) per node, fast enough for the full 4750-node trace.
+``L`` is treated as constant within a calendar week (it varies on a
+monthly scale), so ``Lambda`` is piecewise linear in the profile's
+cumulative table.  The sampler precomputes one cumulative-capacity
+array over the production window's weeks; inverting ``Lambda`` is then
+a single ``searchsorted`` plus the profile's within-week inversion.
+
+Two sampling paths share that grid:
+
+* :meth:`ModulatedWeibullArrivals.sample` — the scalar reference path,
+  one event per loop iteration.
+* :meth:`ModulatedWeibullArrivals.sample_vectorized` — draws whole
+  interarrival arrays and inverts them in a handful of NumPy calls.
+
+Both consume the RNG identically *per draw* and perform the same
+IEEE-754 operations per event, so for the same generator state they
+produce bit-identical timestamps (the statistical-equivalence suite
+asserts this via ``repr()`` comparison).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, List
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 import numpy as np
 from scipy import special
@@ -30,7 +44,96 @@ from scipy import special
 from repro.records.timeutils import SECONDS_PER_WEEK
 from repro.synth.diurnal import WeeklyProfile
 
-__all__ = ["ModulatedWeibullArrivals"]
+__all__ = [
+    "ModulatedWeibullArrivals",
+    "ArrivalGrid",
+    "build_arrival_grid",
+    "invert_operational",
+    "week_grid",
+]
+
+# Hard cap on vectorized draw rounds; each round adds a chunk of
+# unit-mean interarrivals, so hitting this means the capacity budget is
+# astronomically larger than the expectation (a bug, not bad luck).
+_MAX_DRAW_ROUNDS = 10_000
+
+
+def week_grid(start: float, end: float) -> np.ndarray:
+    """Start timestamps of the calendar weeks covering ``[start, end)``.
+
+    The grid is anchored at the toolkit epoch (week boundaries at
+    integer multiples of one week), matching the anchoring of
+    :class:`~repro.synth.diurnal.WeeklyProfile`.
+    """
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    first_index = math.floor(start / SECONDS_PER_WEEK)
+    n_weeks = max(math.ceil(end / SECONDS_PER_WEEK) - first_index, 1)
+    return (first_index + np.arange(n_weeks)) * SECONDS_PER_WEEK
+
+
+@dataclass(frozen=True)
+class ArrivalGrid:
+    """Precomputed weekly capacity grid for one production window.
+
+    ``cumulative[i]`` is the total operational capacity (effective
+    seconds weighted by the week's lifecycle level) from the window
+    start through the end of week ``i``.  The grid depends only on the
+    window and the level table — not on a node's base rate — so all
+    nodes of a Table 1 category share one instance.
+    """
+
+    week_starts: np.ndarray
+    levels: np.ndarray
+    base0: float
+    cumulative: np.ndarray
+
+
+def build_arrival_grid(
+    profile: WeeklyProfile, start: float, end: float, levels: np.ndarray
+) -> ArrivalGrid:
+    """Build the capacity grid for a window from per-week levels."""
+    week_starts = week_grid(start, end)
+    levels = np.asarray(levels, dtype=float)
+    if levels.shape != week_starts.shape:
+        raise ValueError(
+            f"levels has shape {levels.shape}, expected {week_starts.shape} "
+            "for this window"
+        )
+    if levels.size and levels.min() <= 0:
+        raise ValueError(
+            f"lifecycle multiplier must be positive, got {levels.min()}"
+        )
+    base0 = profile.cumulative_at(start - week_starts[0])
+    effective = np.full(len(week_starts), profile.total)
+    effective[0] = profile.total - base0
+    return ArrivalGrid(
+        week_starts=week_starts,
+        levels=levels,
+        base0=base0,
+        cumulative=np.cumsum(levels * effective),
+    )
+
+
+def invert_operational(
+    grid: ArrivalGrid, profile: WeeklyProfile, totals: np.ndarray
+) -> np.ndarray:
+    """Map cumulative operational times to wall-clock timestamps.
+
+    All ``totals`` must lie within the grid's capacity (callers cut at
+    ``grid.cumulative[-1]`` first).  Elementwise, so totals from many
+    nodes sharing one grid can be inverted in a single call — the trace
+    generator batches a whole Table 1 category this way.  Performs the
+    same per-element IEEE-754 operations as the scalar path.
+    """
+    if totals.size == 0:
+        return np.empty(0, dtype=float)
+    cumulative = grid.cumulative
+    index = np.searchsorted(cumulative, totals, side="left")
+    previous = np.where(index > 0, cumulative[np.maximum(index - 1, 0)], 0.0)
+    base = np.where(index == 0, grid.base0, 0.0)
+    target = base + (totals - previous) / grid.levels[index]
+    return grid.week_starts[index] + profile.invert_array(target)
 
 
 class ModulatedWeibullArrivals:
@@ -46,21 +149,32 @@ class ModulatedWeibullArrivals:
         hazard).
     lifecycle:
         Callable mapping *node age in seconds* to the lifecycle
-        multiplier L (dimensionless, ~1).
+        multiplier L (dimensionless, ~1).  May be omitted when
+        ``levels`` is given.
     profile:
         The shared :class:`WeeklyProfile` (periodic modulation W).
     start / end:
         The node's production window (absolute toolkit seconds).
+    levels:
+        Optional precomputed per-week lifecycle levels, one per week of
+        ``week_grid(start, end)``, evaluated at week midpoints.
+    grid:
+        Optional fully prebuilt :class:`ArrivalGrid` for this window.
+        The trace generator passes one shared grid for all nodes of a
+        Table 1 category (the grid does not depend on ``base_rate``),
+        skipping per-node grid construction entirely.
     """
 
     def __init__(
         self,
         base_rate: float,
         shape: float,
-        lifecycle: Callable[[float], float],
-        profile: WeeklyProfile,
-        start: float,
-        end: float,
+        lifecycle: Optional[Callable[[float], float]] = None,
+        profile: Optional[WeeklyProfile] = None,
+        start: float = 0.0,
+        end: float = 0.0,
+        levels: Optional[np.ndarray] = None,
+        grid: Optional[ArrivalGrid] = None,
     ) -> None:
         if base_rate < 0:
             raise ValueError(f"base_rate must be >= 0, got {base_rate}")
@@ -68,14 +182,50 @@ class ModulatedWeibullArrivals:
             raise ValueError(f"shape must be in (0, 2], got {shape}")
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
+        if profile is None:
+            raise ValueError("profile is required")
+        if lifecycle is None and levels is None and grid is None:
+            raise ValueError("one of lifecycle, levels, or grid must be given")
         self._base_rate = base_rate
         self._shape = shape
         self._lifecycle = lifecycle
         self._profile = profile
         self._start = start
         self._end = end
+        self._given_levels = levels
         # Unit-mean Weibull: X = scale * W(shape) with scale = 1/Gamma(1+1/k).
         self._unit_scale = 1.0 / math.gamma(1.0 + 1.0 / shape)
+        # Grid state, built lazily (unless prebuilt) so that invalid
+        # lifecycle levels are reported at sampling time (the
+        # documented contract).
+        self._grid = grid
+
+    # ------------------------------------------------------------------
+    # Weekly capacity grid
+    # ------------------------------------------------------------------
+
+    def _ensure_grid(self) -> ArrivalGrid:
+        """Build (or fetch) the per-week capacity grid."""
+        if self._grid is not None:
+            return self._grid
+        if self._given_levels is not None:
+            levels = np.asarray(self._given_levels, dtype=float)
+        else:
+            week_starts = week_grid(self._start, self._end)
+            levels = np.empty(len(week_starts))
+            for i, week_start in enumerate(week_starts):
+                mid_age = max(
+                    0.0, (week_start + 0.5 * SECONDS_PER_WEEK) - self._start
+                )
+                levels[i] = self._lifecycle(mid_age)
+        self._grid = build_arrival_grid(
+            self._profile, self._start, self._end, levels
+        )
+        return self._grid
+
+    # ------------------------------------------------------------------
+    # Draws
+    # ------------------------------------------------------------------
 
     def _equilibrium_draw(self, generator: np.random.Generator) -> float:
         """First interarrival from the equilibrium (stationary) renewal law.
@@ -93,21 +243,35 @@ class ModulatedWeibullArrivals:
         z = float(special.gammaincinv(1.0 / self._shape, u))
         return self._unit_scale * z ** (1.0 / self._shape)
 
-    def sample(self, generator: np.random.Generator) -> List[float]:
-        """Generate all failure times in the production window.
+    def _invert_one(
+        self, grid: ArrivalGrid, total_operational: float
+    ) -> Optional[float]:
+        """Map a cumulative operational time to a wall-clock timestamp.
 
-        Returns an increasing list of absolute timestamps.
+        Returns None when the operational time exceeds the window's
+        total capacity.
+        """
+        cumulative = grid.cumulative
+        index = int(np.searchsorted(cumulative, total_operational, side="left"))
+        if index >= len(cumulative):
+            return None
+        previous = cumulative[index - 1] if index else 0.0
+        base = grid.base0 if index == 0 else 0.0
+        target = base + (total_operational - previous) / grid.levels[index]
+        return grid.week_starts[index] + self._profile.invert(target)
+
+    def sample(self, generator: np.random.Generator) -> List[float]:
+        """Generate all failure times in the production window (scalar).
+
+        Returns an increasing list of absolute timestamps.  This is the
+        reference implementation; :meth:`sample_vectorized` must match
+        it bit-for-bit for the same generator state.
         """
         if self._base_rate == 0.0:
             return []
+        grid = self._ensure_grid()
         events: List[float] = []
-        t = self._start
-        # Effective-seconds budget carried toward the next event:
-        # Lambda advances by base * L * W per wall second; each Weibull
-        # draw u adds u / base_rate effective (L*W-weighted) seconds.
-        pending = 0.0
-        profile = self._profile
-        week_total = profile.total
+        total_operational = 0.0
         first = True
         while True:
             if first:
@@ -115,29 +279,82 @@ class ModulatedWeibullArrivals:
                 first = False
             else:
                 draw = self._unit_scale * float(generator.weibull(self._shape))
-            pending += draw / self._base_rate
-            # Walk weeks until the pending effective time is consumed.
-            while pending > 0.0:
-                if t >= self._end:
-                    return events
-                week_start = math.floor(t / SECONDS_PER_WEEK) * SECONDS_PER_WEEK
-                position = t - week_start
-                remaining_effective = week_total - profile.cumulative_at(position)
-                mid_age = max(0.0, (week_start + 0.5 * SECONDS_PER_WEEK) - self._start)
-                level = self._lifecycle(mid_age)
-                if level <= 0:
-                    raise ValueError(f"lifecycle multiplier must be positive, got {level}")
-                available = level * remaining_effective
-                if pending <= available:
-                    target = profile.cumulative_at(position) + pending / level
-                    t = week_start + profile.invert(target)
-                    pending = 0.0
-                else:
-                    pending -= available
-                    t = week_start + SECONDS_PER_WEEK
-            if t >= self._end:
+            total_operational += draw / self._base_rate
+            t = self._invert_one(grid, total_operational)
+            if t is None or t >= self._end:
                 return events
-            events.append(t)
+            events.append(float(t))
+
+    def sample_vectorized(self, generator: np.random.Generator) -> np.ndarray:
+        """Generate all failure times in the production window (batched).
+
+        Draws whole interarrival arrays and inverts the time rescaling
+        with array ops.  Bit-identical to :meth:`sample` for the same
+        generator state: the underlying bit-stream consumption per draw
+        and the per-event float operations are the same, only batched.
+        (The *number* of draws consumed may differ — batching overdraws
+        past the window's capacity — which is why each node's arrival
+        stream is dedicated and never reused for other quantities.)
+        """
+        totals = self.sample_operational_totals(generator)
+        if totals.size == 0:
+            return np.empty(0, dtype=float)
+        times = invert_operational(self._grid, self._profile, totals)
+        cut = int(np.searchsorted(times, self._end, side="left"))
+        return times[:cut]
+
+    def sample_operational_totals(
+        self, generator: np.random.Generator
+    ) -> np.ndarray:
+        """Cumulative operational times of all events within capacity.
+
+        The draw stage of :meth:`sample_vectorized`; the inversion
+        stage is :func:`invert_operational`.  Exposed separately so the
+        trace generator can draw per node (each node owns its stream)
+        but invert a whole category of nodes — which share one grid —
+        in a single vectorized call.
+        """
+        if self._base_rate == 0.0:
+            return np.empty(0, dtype=float)
+        grid = self._ensure_grid()
+        capacity = float(grid.cumulative[-1])
+        expected = capacity * self._base_rate
+        chunk = max(32, int(1.25 * expected) + 24)
+        parts: List[np.ndarray] = []
+        carry = 0.0
+        first = True
+        for _ in range(_MAX_DRAW_ROUNDS):
+            if first:
+                increments = np.empty(chunk)
+                increments[0] = self._equilibrium_draw(generator) / self._base_rate
+                increments[1:] = (
+                    self._unit_scale * generator.weibull(self._shape, chunk - 1)
+                ) / self._base_rate
+                first = False
+                # A plain cumsum seeds the running total with
+                # increments[0], exactly like the scalar loop's first
+                # ``total += draw``.
+                totals = np.cumsum(increments)
+            else:
+                increments = (
+                    self._unit_scale * generator.weibull(self._shape, chunk)
+                ) / self._base_rate
+                # Continue the running sum across chunks with a seed
+                # element so the result stays bit-identical to one long
+                # sequential sum.
+                totals = np.cumsum(np.concatenate(([carry], increments)))[1:]
+            parts.append(totals)
+            carry = float(totals[-1])
+            if carry > capacity:
+                break
+        else:
+            raise RuntimeError(
+                "arrival sampling failed to cover the window capacity "
+                f"after {_MAX_DRAW_ROUNDS} rounds"
+            )
+        totals = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        count = int(np.searchsorted(totals, capacity, side="right"))
+        return totals[:count]
 
     def expected_count(self, resolution_weeks: int = 1) -> float:
         """Approximate expected number of failures in the window.
@@ -145,6 +362,17 @@ class ModulatedWeibullArrivals:
         Integrates base * L numerically (W has weekly mean 1); useful
         for calibration tests.
         """
+        if self._lifecycle is None:
+            grid = self._ensure_grid()
+            effective = np.full(len(grid.week_starts), self._profile.total)
+            effective[0] = self._profile.total - grid.base0
+            # Truncate the final partial week to the window end.
+            last_start = float(grid.week_starts[-1])
+            if self._end < last_start + SECONDS_PER_WEEK:
+                effective[-1] -= self._profile.total - self._profile.cumulative_at(
+                    self._end - last_start
+                )
+            return float(self._base_rate * np.sum(grid.levels * effective))
         step = resolution_weeks * SECONDS_PER_WEEK
         total = 0.0
         t = self._start

@@ -150,3 +150,25 @@ class WeeklyProfile:
         hour_index = min(max(hour_index, 0), HOURS_PER_WEEK - 1)
         remainder = effective_target - self._cumulative[hour_index]
         return hour_index * SECONDS_PER_HOUR + remainder / self._hourly[hour_index]
+
+    def invert_array(self, effective_targets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`invert`.
+
+        Performs exactly the same floating-point operations per element
+        as the scalar method, so ``invert_array(x)[i]`` is bit-identical
+        to ``invert(x[i])`` — the property the trace-equivalence suite
+        relies on.
+        """
+        targets = np.asarray(effective_targets, dtype=float)
+        if targets.size == 0:
+            return np.empty(0, dtype=float)
+        if targets.min() < 0 or targets.max() > self.total * (1 + 1e-12):
+            raise ValueError(
+                f"targets outside [0, {self.total}]: "
+                f"[{targets.min()}, {targets.max()}]"
+            )
+        targets = np.minimum(targets, self.total)
+        hour_index = np.searchsorted(self._cumulative, targets, side="right") - 1
+        hour_index = np.clip(hour_index, 0, HOURS_PER_WEEK - 1)
+        remainder = targets - self._cumulative[hour_index]
+        return hour_index * SECONDS_PER_HOUR + remainder / self._hourly[hour_index]

@@ -4,7 +4,9 @@
 for any subset of the 22 LANL systems.  Generation is deterministic in
 the seed and *compositional*: each (system, node) derives its own RNG
 stream, so generating system 20 alone yields exactly the same records
-for system 20 as generating the full trace.
+for system 20 as generating the full trace — and generating systems in
+parallel worker processes yields exactly the same trace as generating
+them serially.
 
 Pipeline per system:
 
@@ -17,29 +19,154 @@ Pipeline per system:
    repair durations,
 5. inject correlated bursts for the early NUMA era,
 6. sort, stamp record IDs, wrap in a FailureTrace.
+
+Engines and the RNG-stream contract
+-----------------------------------
+Two engines share this pipeline: ``"vectorized"`` (the default; batched
+NumPy hot path) and ``"scalar"`` (the per-event reference loop).  Each
+(system, node) consumes two dedicated streams:
+
+* ``("system", s, "node", n, "arrivals")`` — one equilibrium uniform,
+  then Weibull interarrivals.  The vectorized engine over-draws past
+  the window capacity, so this stream is never reused for anything
+  else.
+* ``("system", s, "node", n, "marks")`` — fixed block order:
+  ``u_cause``, ``u_lost``, ``u_detail``, ``u_tail``, ``z`` (one array
+  each, sized by the node's event count).  Untouched when the node has
+  no failures.
+
+System-level streams (``jitter``, ``bursts``) and the per-node rate
+multiplier stream are unchanged from the per-record pipeline.  Because
+every stream's seed is a pure function of (root seed, label path), the
+engines — and serial vs. parallel execution — produce bit-identical
+records.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
 from repro.records.record import FailureRecord, Workload
 from repro.records.system import SystemConfig
-from repro.records.timeutils import SECONDS_PER_MONTH, SECONDS_PER_YEAR
+from repro.records.timeutils import (
+    SECONDS_PER_MONTH,
+    SECONDS_PER_WEEK,
+    SECONDS_PER_YEAR,
+)
 from repro.records.trace import FailureTrace
 from repro.simulate.rng import RngStream
-from repro.synth.arrivals import ModulatedWeibullArrivals
-from repro.synth.config import GeneratorConfig
+from repro.synth.arrivals import (
+    ArrivalGrid,
+    ModulatedWeibullArrivals,
+    build_arrival_grid,
+    invert_operational,
+    week_grid,
+)
+from repro.synth.config import ENGINES, GeneratorConfig
 from repro.synth.correlated import inject_bursts
 from repro.synth.diurnal import WeeklyProfile
 from repro.synth.jitter import MonthlyJitter
-from repro.synth.lifecycle import lifecycle_multiplier, lifecycle_shape_for
-from repro.synth.nodes import assign_workload, node_rate_multiplier, workload_multiplier
+from repro.synth.lifecycle import lifecycle_levels, lifecycle_shape_for
+from repro.synth.nodes import (
+    assign_workload,
+    node_rate_multipliers,
+    workload_multiplier,
+)
 from repro.synth.repair import RepairModel
 from repro.synth.rootcause import CauseModel
 
 __all__ = ["TraceGenerator"]
+
+
+@dataclass
+class _SystemColumns:
+    """One system's failures in columnar form (pre-record objects).
+
+    The hot path works on arrays; :class:`FailureRecord` objects are
+    only materialized lazily at emission time, which is what bounds
+    memory for scaled-inventory runs.
+    """
+
+    system_id: int
+    start: np.ndarray       # float64, node-major order
+    end: np.ndarray         # float64
+    node_id: np.ndarray     # int64
+    cause: np.ndarray       # object (RootCause)
+    detail: np.ndarray      # object (LowLevelCause or None)
+    workload: np.ndarray    # object (Workload)
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+
+def _empty_columns(system_id: int) -> _SystemColumns:
+    return _SystemColumns(
+        system_id=system_id,
+        start=np.empty(0),
+        end=np.empty(0),
+        node_id=np.empty(0, dtype=np.int64),
+        cause=np.empty(0, dtype=object),
+        detail=np.empty(0, dtype=object),
+        workload=np.empty(0, dtype=object),
+    )
+
+
+def _records_from_columns(columns: _SystemColumns) -> List[FailureRecord]:
+    """Materialize a system's columns as (un-numbered) records."""
+    # FailureRecord.__post_init__ coerces numeric fields, so NumPy
+    # scalars can be passed straight through.
+    return [
+        FailureRecord(
+            start_time=columns.start[i],
+            end_time=columns.end[i],
+            system_id=columns.system_id,
+            node_id=columns.node_id[i],
+            root_cause=columns.cause[i],
+            low_level_cause=columns.detail[i],
+            workload=columns.workload[i],
+        )
+        for i in range(len(columns))
+    ]
+
+
+def _columns_from_records(
+    system_id: int, records: Sequence[FailureRecord]
+) -> _SystemColumns:
+    """Inverse of :func:`_records_from_columns` (burst adapter)."""
+    if not records:
+        return _empty_columns(system_id)
+    return _SystemColumns(
+        system_id=system_id,
+        start=np.array([r.start_time for r in records]),
+        end=np.array([r.end_time for r in records]),
+        node_id=np.array([r.node_id for r in records], dtype=np.int64),
+        cause=np.array([r.root_cause for r in records], dtype=object),
+        detail=np.array([r.low_level_cause for r in records], dtype=object),
+        workload=np.array([r.workload for r in records], dtype=object),
+    )
+
+
+def _system_columns_task(payload: Tuple) -> _SystemColumns:
+    """Worker entry point for ``workers > 1`` (module-level: picklable).
+
+    Rebuilds the generator from its defining state; determinism comes
+    from the (seed, label path) stream derivation, so the rebuilt
+    generator's output is identical to the parent's.
+    """
+    seed, config, systems, data_start, data_end, system_id, engine = payload
+    generator = TraceGenerator(
+        seed=seed,
+        config=config,
+        systems=systems,
+        data_start=data_start,
+        data_end=data_end,
+    )
+    return generator._system_columns(system_id, engine)
 
 
 class TraceGenerator:
@@ -72,6 +199,7 @@ class TraceGenerator:
         data_start: float = DATA_START,
         data_end: float = DATA_END,
     ) -> None:
+        self.seed = int(seed)
         self.config = config if config is not None else GeneratorConfig()
         self.systems = dict(systems if systems is not None else LANL_SYSTEMS)
         self.data_start = float(data_start)
@@ -85,28 +213,32 @@ class TraceGenerator:
         )
         self._repair_model = RepairModel(self.config)
 
-    def generate(self, system_ids: Optional[Sequence[int]] = None) -> FailureTrace:
-        """Generate the trace for the given systems (default: all)."""
-        if system_ids is None:
-            system_ids = sorted(self.systems.keys())
-        records: List[FailureRecord] = []
-        for system_id in system_ids:
-            records.extend(self.generate_system(system_id))
-        records = [
-            FailureRecord(
-                start_time=record.start_time,
-                end_time=record.end_time,
-                system_id=record.system_id,
-                node_id=record.node_id,
-                root_cause=record.root_cause,
-                low_level_cause=record.low_level_cause,
-                workload=record.workload,
-                record_id=index,
-            )
-            for index, record in enumerate(
-                sorted(records, key=lambda r: (r.start_time, r.system_id, r.node_id))
-            )
-        ]
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def generate(
+        self,
+        system_ids: Optional[Sequence[int]] = None,
+        *,
+        workers: int = 1,
+        engine: Optional[str] = None,
+    ) -> FailureTrace:
+        """Generate the trace for the given systems (default: all).
+
+        Parameters
+        ----------
+        workers:
+            Number of worker processes for per-system generation; 1
+            (default) runs in-process.  Output is identical for any
+            worker count.
+        engine:
+            Override the config's ``default_engine`` ("vectorized" or
+            "scalar"); both produce identical traces.
+        """
+        records = list(
+            self.iter_records(system_ids, workers=workers, engine=engine)
+        )
         return FailureTrace(
             records,
             systems=self.systems,
@@ -114,13 +246,101 @@ class TraceGenerator:
             data_end=self.data_end,
         )
 
-    def generate_system(self, system_id: int) -> List[FailureRecord]:
+    def iter_records(
+        self,
+        system_ids: Optional[Sequence[int]] = None,
+        *,
+        workers: int = 1,
+        engine: Optional[str] = None,
+    ) -> Iterator[FailureRecord]:
+        """Yield the trace's records in final order, lazily.
+
+        Record objects are built one at a time from the columnar
+        intermediate, so peak memory is the (numeric) columns plus one
+        record — the streaming path for scaled-inventory runs where
+        materializing millions of record objects would dominate memory.
+        Ordering and record IDs match :meth:`generate` exactly.
+        """
+        if system_ids is None:
+            system_ids = sorted(self.systems.keys())
+        engine = self._resolve_engine(engine)
+        columns = self._all_columns(list(system_ids), workers, engine)
+        columns = [c for c in columns if len(c)]
+        if not columns:
+            return
+        starts = np.concatenate([c.start for c in columns])
+        ends = np.concatenate([c.end for c in columns])
+        node_ids = np.concatenate([c.node_id for c in columns])
+        causes = np.concatenate([c.cause for c in columns])
+        details = np.concatenate([c.detail for c in columns])
+        workloads = np.concatenate([c.workload for c in columns])
+        sys_ids = np.concatenate(
+            [np.full(len(c), c.system_id, dtype=np.int64) for c in columns]
+        )
+        # Stable sort by (start, system, node) — identical to the
+        # record-object sort the per-record pipeline used.
+        order = np.lexsort((node_ids, sys_ids, starts))
+        # __post_init__ coerces the NumPy scalars to Python floats/ints.
+        for record_id, i in enumerate(order):
+            yield FailureRecord(
+                start_time=starts[i],
+                end_time=ends[i],
+                system_id=sys_ids[i],
+                node_id=node_ids[i],
+                root_cause=causes[i],
+                low_level_cause=details[i],
+                workload=workloads[i],
+                record_id=record_id,
+            )
+
+    def generate_system(
+        self, system_id: int, engine: Optional[str] = None
+    ) -> List[FailureRecord]:
         """Generate (unsorted, un-numbered) records for one system."""
+        engine = self._resolve_engine(engine)
+        return _records_from_columns(self._system_columns(system_id, engine))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve_engine(self, engine: Optional[str]) -> str:
+        engine = engine if engine is not None else self.config.default_engine
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        return engine
+
+    def _all_columns(
+        self, system_ids: List[int], workers: int, engine: str
+    ) -> List[_SystemColumns]:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers == 1 or len(system_ids) <= 1:
+            return [self._system_columns(sid, engine) for sid in system_ids]
+        payloads = [
+            (
+                self.seed,
+                self.config,
+                self.systems,
+                self.data_start,
+                self.data_end,
+                system_id,
+                engine,
+            )
+            for system_id in system_ids
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_system_columns_task, payloads))
+
+    def _system_columns(self, system_id: int, engine: str) -> _SystemColumns:
+        """Generate one system's failures in columnar, node-major form."""
         system = self.systems[system_id]
         config = self.config
         hardware_type = system.hardware_type
         nodes = system.expand_nodes(self.data_start, self.data_end)
-        system_start, _system_end = system.production_window(self.data_start, self.data_end)
+        system_start, system_end = system.production_window(
+            self.data_start, self.data_end
+        )
         shape = lifecycle_shape_for(
             hardware_type,
             system_id,
@@ -128,7 +348,9 @@ class TraceGenerator:
             ramp_exempt_systems=config.ramp_exempt_systems,
         )
         cause_model = CauseModel(config, hardware_type)
-        system_end = system.production_window(self.data_start, self.data_end)[1]
+        repair_sampler = self._repair_model.batch_sampler(
+            cause_model.causes, hardware_type
+        )
         n_months = int((system_end - system_start) // SECONDS_PER_MONTH) + 2
         jitter = MonthlyJitter(
             self._root.child("system", str(system_id), "jitter"),
@@ -148,55 +370,166 @@ class TraceGenerator:
         workloads: Dict[int, Workload] = {
             node.node_id: assign_workload(system, node.node_id) for node in nodes
         }
-        records: List[FailureRecord] = []
-        for node in nodes:
-            node_stream = self._root.child(
-                "system", str(system_id), "node", str(node.node_id)
-            )
-            multiplier = node_rate_multiplier(node, self._root, config.node_sigma)
+        multipliers = node_rate_multipliers(
+            system_id, len(nodes), self._root, config.node_sigma
+        )
+        # Weekly capacity grids, cached per production window (nodes of
+        # one Table 1 category share their window, so a system needs
+        # only a handful of distinct grids).
+        grid_cache: Dict[Tuple[float, float], ArrivalGrid] = {}
+
+        def node_grid(node_start: float, node_end: float) -> ArrivalGrid:
+            key = (node_start, node_end)
+            grid = grid_cache.get(key)
+            if grid is None:
+                mids = week_grid(node_start, node_end) + 0.5 * SECONDS_PER_WEEK
+                # Lifecycle age is measured from *system* production
+                # start: a node added later joins a matured system.
+                ages = np.maximum(0.0, mids - node_start) + (
+                    node_start - system_start
+                )
+                levels = lifecycle_levels(shape, ages) * jitter.at_ages(ages)
+                grid = build_arrival_grid(
+                    self._profile, node_start, node_end, levels
+                )
+                grid_cache[key] = grid
+            return grid
+
+        sys_label = str(system_id)
+
+        def node_base_rate(position: int, node) -> float:
+            multiplier = float(multipliers[position])
             multiplier *= workload_multiplier(
                 workloads[node.node_id],
                 graphics_multiplier=config.graphics_multiplier,
                 frontend_multiplier=config.frontend_multiplier,
             )
-            base_rate = rate_per_proc_second * node.procs * multiplier
-            sampler = ModulatedWeibullArrivals(
-                base_rate=base_rate,
-                shape=config.tbf_shape,
-                # Lifecycle age is measured from *system* production
-                # start: a node added later joins a matured system.
-                lifecycle=lambda age, node=node: (
-                    lifecycle_multiplier(
-                        shape, age + (node.production_start - system_start)
+            return rate_per_proc_second * node.procs * multiplier
+
+        # --- Arrival stage: (node, starts) pairs in node order --------
+        node_starts: List[Tuple[object, np.ndarray]] = []
+        if engine == "vectorized":
+            # Draw per node (each node owns its arrival stream), but
+            # defer the time-rescaling inversion so all nodes sharing a
+            # grid — a whole Table 1 category — invert in one call.
+            pending: List[Tuple[object, np.ndarray, ArrivalGrid]] = []
+            for position, node in enumerate(nodes):
+                sampler = ModulatedWeibullArrivals(
+                    base_rate=node_base_rate(position, node),
+                    shape=config.tbf_shape,
+                    profile=self._profile,
+                    start=node.production_start,
+                    end=node.production_end,
+                    grid=node_grid(node.production_start, node.production_end),
+                )
+                totals = sampler.sample_operational_totals(
+                    self._root.spawn_generator(
+                        "system", sys_label, "node", str(node.node_id), "arrivals"
                     )
-                    * jitter.at_age(age + (node.production_start - system_start))
-                ),
-                profile=self._profile,
-                start=node.production_start,
-                end=node.production_end,
+                )
+                if totals.size:
+                    pending.append((node, totals, sampler._grid))
+            groups: Dict[int, List[int]] = {}
+            for i, (_node, _totals, grid) in enumerate(pending):
+                groups.setdefault(id(grid), []).append(i)
+            starts_for: Dict[int, np.ndarray] = {}
+            for members in groups.values():
+                grid = pending[members[0]][2]
+                merged = np.concatenate([pending[i][1] for i in members])
+                times = invert_operational(grid, self._profile, merged)
+                offset = 0
+                for i in members:
+                    node, totals, _grid = pending[i]
+                    segment = times[offset : offset + len(totals)]
+                    offset += len(totals)
+                    starts_for[i] = segment[segment < node.production_end]
+            for i, (node, _totals, _grid) in enumerate(pending):
+                starts = starts_for[i]
+                if starts.size:
+                    node_starts.append((node, starts))
+        else:
+            for position, node in enumerate(nodes):
+                sampler = ModulatedWeibullArrivals(
+                    base_rate=node_base_rate(position, node),
+                    shape=config.tbf_shape,
+                    profile=self._profile,
+                    start=node.production_start,
+                    end=node.production_end,
+                    grid=node_grid(node.production_start, node.production_end),
+                )
+                starts = np.asarray(
+                    sampler.sample(
+                        self._root.spawn_generator(
+                            "system",
+                            sys_label,
+                            "node",
+                            str(node.node_id),
+                            "arrivals",
+                        )
+                    )
+                )
+                if starts.size:
+                    node_starts.append((node, starts))
+
+        # --- Mark stage: per-node block draws, system-level resolve --
+        parts_start: List[np.ndarray] = []
+        parts_node: List[np.ndarray] = []
+        parts_workload: List[np.ndarray] = []
+        marks_u_cause: List[np.ndarray] = []
+        marks_u_lost: List[np.ndarray] = []
+        marks_u_detail: List[np.ndarray] = []
+        marks_u_tail: List[np.ndarray] = []
+        marks_z: List[np.ndarray] = []
+        for node, starts in node_starts:
+            n_events = len(starts)
+            marks_generator = self._root.spawn_generator(
+                "system", sys_label, "node", str(node.node_id), "marks"
             )
-            generator = node_stream.generator
-            for start_time in sampler.sample(generator):
-                age = start_time - system_start
-                cause, detail = cause_model.sample(generator, age)
-                repair = self._repair_model.sample_seconds(
-                    generator, cause, hardware_type
+            marks_u_cause.append(marks_generator.random(n_events))
+            marks_u_lost.append(marks_generator.random(n_events))
+            marks_u_detail.append(marks_generator.random(n_events))
+            marks_u_tail.append(marks_generator.random(n_events))
+            marks_z.append(marks_generator.standard_normal(n_events))
+            parts_start.append(starts)
+            parts_node.append(np.full(n_events, node.node_id, dtype=np.int64))
+            parts_workload.append(
+                np.full(n_events, workloads[node.node_id], dtype=object)
+            )
+        if not parts_start:
+            columns = _empty_columns(system_id)
+        else:
+            starts_all = np.concatenate(parts_start)
+            u_cause = np.concatenate(marks_u_cause)
+            u_lost = np.concatenate(marks_u_lost)
+            u_detail = np.concatenate(marks_u_detail)
+            u_tail = np.concatenate(marks_u_tail)
+            z = np.concatenate(marks_z)
+            ages = starts_all - system_start
+            if engine == "vectorized":
+                cause_idx, detail_idx = cause_model.resolve_batch(
+                    u_cause, u_lost, u_detail, ages
                 )
-                records.append(
-                    FailureRecord(
-                        start_time=start_time,
-                        end_time=start_time + repair,
-                        system_id=system_id,
-                        node_id=node.node_id,
-                        root_cause=cause,
-                        low_level_cause=detail,
-                        workload=workloads[node.node_id],
-                    )
+                repairs = repair_sampler.resolve_seconds(u_tail, z, cause_idx)
+            else:
+                cause_idx, detail_idx = cause_model.resolve_batch_scalar(
+                    u_cause, u_lost, u_detail, ages
                 )
+                repairs = repair_sampler.resolve_seconds_scalar(
+                    u_tail, z, cause_idx
+                )
+            columns = _SystemColumns(
+                system_id=system_id,
+                start=starts_all,
+                end=starts_all + repairs,
+                node_id=np.concatenate(parts_node),
+                cause=cause_model.resolve_causes(cause_idx),
+                detail=cause_model.resolve_details(cause_idx, detail_idx),
+                workload=np.concatenate(parts_workload),
+            )
         if config.bursts_enabled and system_id in config.burst_systems:
-            burst_stream = self._root.child("system", str(system_id), "bursts")
+            burst_stream = self._root.child("system", sys_label, "bursts")
             records = inject_bursts(
-                records,
+                _records_from_columns(columns),
                 nodes,
                 workloads,
                 system_start,
@@ -205,4 +538,5 @@ class TraceGenerator:
                 self._repair_model,
                 burst_stream.generator,
             )
-        return records
+            columns = _columns_from_records(system_id, records)
+        return columns

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import List
 
+import numpy as np
+
 from repro.records.timeutils import SECONDS_PER_MONTH
 from repro.simulate.rng import RngStream
 from repro.synth.lifecycle import LifecycleShape
@@ -76,14 +78,21 @@ class MonthlyJitter:
             multipliers.append(
                 math.exp(-0.5 * sigma**2 + sigma * generator.standard_normal())
             )
-        self._multipliers = multipliers
+        self._multipliers = np.asarray(multipliers, dtype=float)
 
     def at_age(self, age_seconds: float) -> float:
         """The multiplier for the month containing ``age_seconds``."""
         if age_seconds < 0:
-            return self._multipliers[0]
+            return float(self._multipliers[0])
         month = int(age_seconds // SECONDS_PER_MONTH)
-        return self._multipliers[min(month, len(self._multipliers) - 1)]
+        return float(self._multipliers[min(month, len(self._multipliers) - 1)])
+
+    def at_ages(self, age_seconds: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`at_age` over an array of ages."""
+        ages = np.asarray(age_seconds, dtype=float)
+        months = np.floor_divide(np.maximum(ages, 0.0), SECONDS_PER_MONTH)
+        months = np.minimum(months.astype(int), len(self._multipliers) - 1)
+        return self._multipliers[months]
 
     def __len__(self) -> int:
         return len(self._multipliers)

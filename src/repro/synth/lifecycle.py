@@ -21,6 +21,8 @@ from __future__ import annotations
 import enum
 import math
 
+import numpy as np
+
 from repro.records.system import HardwareType
 from repro.records.timeutils import SECONDS_PER_MONTH
 
@@ -30,6 +32,7 @@ __all__ = [
     "infant_decay",
     "ramp_peak",
     "lifecycle_multiplier",
+    "lifecycle_levels",
 ]
 
 
@@ -112,4 +115,25 @@ def lifecycle_multiplier(shape: LifecycleShape, age_seconds: float) -> float:
         return infant_decay(age_seconds)
     if shape is LifecycleShape.RAMP_PEAK:
         return ramp_peak(age_seconds)
+    raise ValueError(f"unknown lifecycle shape {shape!r}")
+
+
+def lifecycle_levels(shape: LifecycleShape, age_seconds: np.ndarray) -> np.ndarray:
+    """Evaluate a lifecycle shape on an array of system ages.
+
+    Both synthesis engines (scalar and vectorized) build their weekly
+    rate grids from this function, so the grids — and therefore the
+    traces — agree bit-for-bit.
+    """
+    ages = np.asarray(age_seconds, dtype=float)
+    if ages.size and ages.min() < 0:
+        raise ValueError(f"age must be >= 0, got {ages.min()}")
+    if shape is LifecycleShape.INFANT_DECAY:
+        tau = INFANT_DECAY_MONTHS * SECONDS_PER_MONTH
+        return 1.0 + INFANT_EXCESS * np.exp(-ages / tau)
+    if shape is LifecycleShape.RAMP_PEAK:
+        t = ages / (RAMP_PEAK_MONTHS * SECONDS_PER_MONTH)
+        return RAMP_FLOOR + (RAMP_PEAK_LEVEL - RAMP_FLOOR) * t**2 * np.exp(
+            2.0 * (1.0 - t)
+        )
     raise ValueError(f"unknown lifecycle shape {shape!r}")

@@ -28,7 +28,7 @@ land near the reference values.
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.records.record import RootCause
 from repro.records.system import HardwareType
 from repro.synth.config import GeneratorConfig
 
-__all__ = ["RepairModel"]
+__all__ = ["RepairModel", "BatchRepairSampler"]
 
 SECONDS_PER_MINUTE = 60.0
 
@@ -142,7 +142,7 @@ class RepairModel:
         ):
             # Figure 1(b): short unknown repairs outside types D/G.
             minutes *= config.repair_unknown_short_factor
-        return max(minutes, config.repair_floor_min)
+        return min(max(minutes, config.repair_floor_min), config.repair_ceiling_min)
 
     def sample_seconds(
         self,
@@ -152,3 +152,115 @@ class RepairModel:
     ) -> float:
         """One repair duration in seconds (the record unit)."""
         return self.sample_minutes(generator, cause, hardware_type) * SECONDS_PER_MINUTE
+
+    def batch_sampler(
+        self, causes: Sequence[RootCause], hardware_type: HardwareType
+    ) -> "BatchRepairSampler":
+        """A batched sampler over a fixed cause alphabet.
+
+        ``causes`` is the alphabet that batched cause indices refer to
+        (``CauseModel.causes``); all per-cause parameters are gathered
+        into lookup arrays once per (system, node loop).
+        """
+        return BatchRepairSampler(self, causes, hardware_type)
+
+
+class BatchRepairSampler:
+    """Vectorized repair draws over a fixed cause alphabet.
+
+    Consumes the node's marks stream in the fixed block order
+    ``u_tail`` then ``z`` (immediately after the cause blocks), so the
+    vectorized and scalar mirrors see identical variates.  Unlike the
+    legacy per-record path this draws the lognormal body explicitly as
+    ``np.exp(mu + sigma * z)`` — NumPy's ``Generator.lognormal`` uses
+    the C library ``exp``, whose rounding can differ from ``np.exp``'s,
+    and the cross-engine bit-identity contract requires every float op
+    to go through the same implementation in both engines.
+    """
+
+    def __init__(
+        self,
+        model: RepairModel,
+        causes: Sequence[RootCause],
+        hardware_type: HardwareType,
+    ) -> None:
+        config = model._config
+        self._mu = np.array([model._params[cause][0] for cause in causes])
+        self._sigma = np.array([model._params[cause][1] for cause in causes])
+        self._tailable = np.array(
+            [cause not in config.repair_no_tail_causes for cause in causes]
+        )
+        unknown_short = hardware_type not in config.unknown_era_types
+        self._post_factor = np.array(
+            [
+                config.repair_type_factor[hardware_type]
+                * (
+                    config.repair_unknown_short_factor
+                    if (cause is RootCause.UNKNOWN and unknown_short)
+                    else 1.0
+                )
+                for cause in causes
+            ]
+        )
+        self._tail_prob = config.repair_tail_prob
+        self._mu_shift = config.repair_tail_mu_shift
+        self._sigma_extra = config.repair_tail_sigma_extra
+        self._floor = config.repair_floor_min
+        self._ceiling = config.repair_ceiling_min
+
+    def sample_seconds(
+        self, generator: np.random.Generator, cause_idx: np.ndarray
+    ) -> np.ndarray:
+        """Batched repair durations in seconds for each cause index."""
+        n = len(cause_idx)
+        u_tail = generator.random(n)
+        z = generator.standard_normal(n)
+        return self.resolve_seconds(u_tail, z, cause_idx)
+
+    def resolve_seconds(
+        self, u_tail: np.ndarray, z: np.ndarray, cause_idx: np.ndarray
+    ) -> np.ndarray:
+        """Resolve pre-drawn mark variates to repair seconds.
+
+        Split from :meth:`sample_seconds` so the trace generator can
+        draw per-node mark blocks but resolve a whole system at once.
+        """
+        mu = self._mu[cause_idx]
+        sigma = self._sigma[cause_idx]
+        tail = self._tailable[cause_idx] & (u_tail < self._tail_prob)
+        mu = np.where(tail, mu + self._mu_shift, mu)
+        sigma = np.where(tail, sigma + self._sigma_extra, sigma)
+        minutes = np.exp(mu + sigma * z)
+        minutes = minutes * self._post_factor[cause_idx]
+        minutes = np.minimum(np.maximum(minutes, self._floor), self._ceiling)
+        return minutes * SECONDS_PER_MINUTE
+
+    def sample_seconds_scalar(
+        self, generator: np.random.Generator, cause_idx: np.ndarray
+    ) -> np.ndarray:
+        """Scalar mirror of :meth:`sample_seconds` (reference engine).
+
+        Same stream consumption (block draws), per-event Python loop.
+        """
+        n = len(cause_idx)
+        u_tail = generator.random(n)
+        z = generator.standard_normal(n)
+        return self.resolve_seconds_scalar(u_tail, z, cause_idx)
+
+    def resolve_seconds_scalar(
+        self, u_tail: np.ndarray, z: np.ndarray, cause_idx: np.ndarray
+    ) -> np.ndarray:
+        """Scalar mirror of :meth:`resolve_seconds` (per-event loop)."""
+        n = len(cause_idx)
+        out = np.empty(n)
+        for i in range(n):
+            index = cause_idx[i]
+            mu = self._mu[index]
+            sigma = self._sigma[index]
+            if self._tailable[index] and u_tail[i] < self._tail_prob:
+                mu = mu + self._mu_shift
+                sigma = sigma + self._sigma_extra
+            minutes = np.exp(mu + sigma * z[i])
+            minutes = minutes * self._post_factor[index]
+            out[i] = min(max(minutes, self._floor), self._ceiling) * SECONDS_PER_MINUTE
+        return out

@@ -53,6 +53,22 @@ class CauseModel:
                 np.array([table[detail] for detail in details]),
             )
         self._unknown_era = hardware_type in config.unknown_era_types
+        self._cause_cdf = np.cumsum(self._cause_probs)
+        self._unknown_index = (
+            self._causes.index(RootCause.UNKNOWN)
+            if RootCause.UNKNOWN in self._causes
+            else -1
+        )
+        self._detail_cdfs: Dict[int, np.ndarray] = {
+            self._causes.index(cause): np.cumsum(probs)
+            for cause, (details, probs) in self._detail_tables.items()
+            if cause in self._causes
+        }
+
+    @property
+    def causes(self) -> Tuple[RootCause, ...]:
+        """The cause alphabet, in the order batch indices refer to."""
+        return self._causes
 
     def unknown_probability(self, age_seconds: float) -> float:
         """Extra probability that a failure's diagnosis is lost at ``age``.
@@ -89,3 +105,140 @@ class CauseModel:
         details, probs = self._detail_tables[cause]
         detail = details[int(generator.choice(len(details), p=probs))]
         return cause, detail
+
+    # ------------------------------------------------------------------
+    # Batched sampling (the trace-generator hot path)
+    #
+    # Both engines consume the node's "marks" stream in the same fixed
+    # block order — u_cause, u_lost, u_detail — so the vectorized and
+    # scalar mirrors see identical uniforms.  The mirrors then perform
+    # the same IEEE-754 operations per element, batched vs. looped, and
+    # therefore return identical index arrays (asserted by the
+    # equivalence suite).
+    # ------------------------------------------------------------------
+
+    def _unknown_probability_array(self, ages: np.ndarray) -> np.ndarray:
+        if not self._unknown_era:
+            return np.zeros(len(ages))
+        tau = self._config.unknown_era_decay_months * SECONDS_PER_MONTH
+        return self._config.unknown_era_initial * np.exp(
+            -np.maximum(ages, 0.0) / tau
+        )
+
+    def sample_batch(
+        self, generator: np.random.Generator, ages: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized cause/detail draws for a node's failures.
+
+        Parameters
+        ----------
+        generator:
+            The node's marks stream.
+        ages:
+            System age at each failure time.
+
+        Returns
+        -------
+        (cause_idx, detail_idx):
+            Integer arrays indexing :attr:`causes` and the cause's
+            detail table; ``detail_idx`` is -1 where the cause is
+            UNKNOWN (no low-level detail).
+        """
+        n = len(ages)
+        u_cause = generator.random(n)
+        u_lost = generator.random(n)
+        u_detail = generator.random(n)
+        return self.resolve_batch(u_cause, u_lost, u_detail, ages)
+
+    def resolve_batch(
+        self,
+        u_cause: np.ndarray,
+        u_lost: np.ndarray,
+        u_detail: np.ndarray,
+        ages: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Resolve pre-drawn mark uniforms to (cause_idx, detail_idx).
+
+        Split from :meth:`sample_batch` so the trace generator can draw
+        each node's marks from its own stream but resolve a whole
+        system's events in one vectorized pass.
+        """
+        n = len(ages)
+        cause_idx = np.minimum(
+            np.searchsorted(self._cause_cdf, u_cause, side="right"),
+            len(self._causes) - 1,
+        )
+        if self._unknown_era and self._unknown_index >= 0:
+            lost = self._unknown_probability_array(ages)
+            cause_idx = np.where(u_lost < lost, self._unknown_index, cause_idx)
+        detail_idx = np.full(n, -1, dtype=np.int64)
+        for index, detail_cdf in self._detail_cdfs.items():
+            mask = cause_idx == index
+            if mask.any():
+                detail_idx[mask] = np.minimum(
+                    np.searchsorted(detail_cdf, u_detail[mask], side="right"),
+                    len(detail_cdf) - 1,
+                )
+        return cause_idx, detail_idx
+
+    def sample_batch_scalar(
+        self, generator: np.random.Generator, ages: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar mirror of :meth:`sample_batch` (reference engine).
+
+        Consumes the marks stream identically (same block draws) but
+        resolves each event in a Python loop.
+        """
+        n = len(ages)
+        u_cause = generator.random(n)
+        u_lost = generator.random(n)
+        u_detail = generator.random(n)
+        return self.resolve_batch_scalar(u_cause, u_lost, u_detail, ages)
+
+    def resolve_batch_scalar(
+        self,
+        u_cause: np.ndarray,
+        u_lost: np.ndarray,
+        u_detail: np.ndarray,
+        ages: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar mirror of :meth:`resolve_batch` (per-event loop)."""
+        n = len(ages)
+        cause_idx = np.empty(n, dtype=np.int64)
+        detail_idx = np.full(n, -1, dtype=np.int64)
+        n_causes = len(self._causes)
+        for i in range(n):
+            index = min(
+                int(np.searchsorted(self._cause_cdf, u_cause[i], side="right")),
+                n_causes - 1,
+            )
+            if self._unknown_era and self._unknown_index >= 0:
+                lost = self._unknown_probability_array(ages[i : i + 1])[0]
+                if u_lost[i] < lost:
+                    index = self._unknown_index
+            cause_idx[i] = index
+            detail_cdf = self._detail_cdfs.get(index)
+            if detail_cdf is not None:
+                detail_idx[i] = min(
+                    int(np.searchsorted(detail_cdf, u_detail[i], side="right")),
+                    len(detail_cdf) - 1,
+                )
+        return cause_idx, detail_idx
+
+    def resolve_causes(self, cause_idx: np.ndarray) -> np.ndarray:
+        """Map a cause-index array to an object array of RootCause."""
+        alphabet = np.array(self._causes, dtype=object)
+        return alphabet[cause_idx]
+
+    def resolve_details(
+        self, cause_idx: np.ndarray, detail_idx: np.ndarray
+    ) -> np.ndarray:
+        """Map (cause, detail) index arrays to LowLevelCause (or None)."""
+        out = np.full(len(cause_idx), None, dtype=object)
+        for index, _ in self._detail_cdfs.items():
+            details, _probs = self._detail_tables[self._causes[index]]
+            mask = (cause_idx == index) & (detail_idx >= 0)
+            if mask.any():
+                table = np.array(details, dtype=object)
+                out[mask] = table[detail_idx[mask]]
+        return out

@@ -24,7 +24,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.records.inventory import DATA_START
+from repro.records.inventory import DATA_START, LANL_SYSTEMS
 from repro.records.node import NodeCategory
 from repro.records.system import HardwareArchitecture, HardwareType, SystemConfig
 from repro.records.timeutils import SECONDS_PER_YEAR
@@ -33,7 +33,12 @@ from repro.synth.config import GeneratorConfig
 from repro.synth.generator import TraceGenerator
 from repro.synth.lifecycle import LifecycleShape
 
-__all__ = ["ScenarioSystem", "ClusterScenario"]
+__all__ = [
+    "ScenarioSystem",
+    "ClusterScenario",
+    "scale_inventory",
+    "scaled_lanl_systems",
+]
 
 #: Hardware-type letters are recycled as scenario slots; at most 8
 #: systems per scenario (one per letter, so per-system knobs map
@@ -162,3 +167,35 @@ class ClusterScenario:
             data_end=DATA_START + self.years * SECONDS_PER_YEAR,
         )
         return generator.generate()
+
+
+def scale_inventory(
+    systems: Dict[int, SystemConfig], factor: float
+) -> Dict[int, SystemConfig]:
+    """Scale every node category's node count by ``factor``.
+
+    Returns a new inventory whose systems have ``round(count * factor)``
+    nodes per Table 1 category (at least 1), keeping proc counts,
+    memory, and production windows intact.  Useful for exercising the
+    generator at exascale-style fleet sizes — e.g. ``factor=10`` turns
+    the 4750-node LANL inventory into ~47,500 nodes — and for the
+    throughput benchmarks in :mod:`repro.benchmark`.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    scaled: Dict[int, SystemConfig] = {}
+    for system_id, system in systems.items():
+        categories = tuple(
+            dataclasses.replace(
+                category,
+                node_count=max(1, int(round(category.node_count * factor))),
+            )
+            for category in system.categories
+        )
+        scaled[system_id] = dataclasses.replace(system, categories=categories)
+    return scaled
+
+
+def scaled_lanl_systems(factor: float) -> Dict[int, SystemConfig]:
+    """The LANL Table 1 inventory with node counts scaled by ``factor``."""
+    return scale_inventory(LANL_SYSTEMS, factor)

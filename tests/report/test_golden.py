@@ -1,0 +1,210 @@
+"""Golden-artifact regression tests for the paper's tables and figures.
+
+The default-seed synthetic trace is deterministic, so the headline
+numbers behind Table 2/3 and Figures 1-7 are frozen as JSON under
+``tests/report/golden/``.  Any change to the generator, the RNG stream
+layout, or an analysis that shifts these artifacts must show up as an
+explicit golden diff — not slip through the statistical range checks.
+
+Comparison is tolerance-based, not exact: counts may drift up to 1%
+and derived statistics up to 2% (platform float differences can move a
+handful of events across bin or threshold boundaries), while structural
+facts — fit rankings, lifecycle classes, rendered Table 3 — must match
+exactly.
+
+To regenerate after an intentional change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/report/test_golden.py
+
+then commit the rewritten files with a note on why the numbers moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.interarrival import (
+    node_interarrivals,
+    split_eras,
+    system_interarrivals,
+)
+from repro.analysis.lifecycle import classify_lifecycle, monthly_failures
+from repro.analysis.pernode import node_count_study, node_share
+from repro.analysis.periodicity import periodicity_study
+from repro.analysis.rates import failure_rates
+from repro.analysis.repair import repair_fit_study, repair_statistics_by_cause
+from repro.analysis.rootcause import (
+    breakdown_by_hardware_type,
+    downtime_breakdown_by_hardware_type,
+)
+from repro.records.record import HIGH_LEVEL_CAUSES
+from repro.report import render_table3
+from repro.report.paper import ERA_BOUNDARY
+from repro.synth import TraceGenerator
+
+GOLDEN_SEED = 1
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_JSON = GOLDEN_DIR / f"paper_artifacts_seed{GOLDEN_SEED}.json"
+GOLDEN_TABLE3 = GOLDEN_DIR / "table3.txt"
+
+#: Relative tolerances by kind; see module docstring.
+COUNT_RTOL = 0.01
+STAT_RTOL = 0.02
+#: Percentages and ratios near zero need an absolute escape hatch.
+ABS_TOL = 0.25
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceGenerator(seed=GOLDEN_SEED).generate()
+
+
+def compute_artifacts(trace) -> dict:
+    """The golden summary statistics of every table/figure artifact."""
+    table2 = [
+        {
+            "label": row.label,
+            "n": row.n,
+            "mean_min": row.mean,
+            "median_min": row.median,
+            "squared_cv": row.squared_cv,
+        }
+        for row in repair_statistics_by_cause(trace)
+    ]
+    fig1 = {
+        panel: {
+            label: {
+                cause.value: breakdown.percent(cause)
+                for cause in HIGH_LEVEL_CAUSES
+            }
+            for label, breakdown in breakdowns.items()
+        }
+        for panel, breakdowns in (
+            ("failures", breakdown_by_hardware_type(trace)),
+            ("downtime", downtime_breakdown_by_hardware_type(trace)),
+        )
+    }
+    fig2 = {
+        str(rate.system_id): {
+            "per_year": rate.per_year,
+            "per_year_per_proc": rate.per_year_per_proc,
+        }
+        for rate in failure_rates(trace)
+    }
+    count_study = node_count_study(trace, 20)
+    fig3 = {
+        "graphics_share": node_share(trace, 20, (21, 22, 23)),
+        "fit_ranking": [fit.name for fit in count_study.fits],
+    }
+    fig4 = {
+        str(system_id): {
+            "classified": str(classify_lifecycle(monthly_failures(trace, system_id))),
+            "total_failures": sum(monthly_failures(trace, system_id).totals),
+        }
+        for system_id in (5, 19)
+    }
+    periodicity = periodicity_study(trace)
+    fig5 = {
+        "peak_trough_ratio": periodicity.peak_trough_ratio,
+        "weekday_weekend_ratio": periodicity.weekday_weekend_ratio,
+        "peak_hour": periodicity.peak_hour,
+        "trough_hour": periodicity.trough_hour,
+        "monday_spike": periodicity.monday_spike,
+    }
+    system20 = trace.filter_systems([20])
+    early, late = split_eras(system20, ERA_BOUNDARY)
+    fig6 = {}
+    for panel, study in (
+        ("node_early", node_interarrivals(early, 20, 22)),
+        ("node_late", node_interarrivals(late, 20, 22)),
+        ("system_early", system_interarrivals(early, 20)),
+        ("system_late", system_interarrivals(late, 20)),
+    ):
+        fig6[panel] = {
+            "n": study.n,
+            "squared_cv": study.summary.squared_cv,
+            "best_fit": study.fits[0].name,
+        }
+    fig7 = {"fit_ranking": [fit.name for fit in repair_fit_study(trace)]}
+    return {
+        "seed": GOLDEN_SEED,
+        "n_records": len(trace),
+        "table2": table2,
+        "fig1": fig1,
+        "fig2": fig2,
+        "fig3": fig3,
+        "fig4": fig4,
+        "fig5": fig5,
+        "fig6": fig6,
+        "fig7": fig7,
+    }
+
+
+def _assert_close(path: str, got, want) -> None:
+    """Recursive golden comparison with kind-appropriate tolerances."""
+    if isinstance(want, dict):
+        assert isinstance(got, dict), f"{path}: expected mapping"
+        assert set(got) == set(want), (
+            f"{path}: keys changed {sorted(set(got) ^ set(want))}"
+        )
+        for key in want:
+            _assert_close(f"{path}.{key}", got[key], want[key])
+    elif isinstance(want, list):
+        assert isinstance(got, list) and len(got) == len(want), (
+            f"{path}: length {len(got)} != golden {len(want)}"
+        )
+        for index, (g, w) in enumerate(zip(got, want)):
+            _assert_close(f"{path}[{index}]", g, w)
+    elif isinstance(want, bool) or isinstance(want, str):
+        assert got == want, f"{path}: {got!r} != golden {want!r}"
+    elif isinstance(want, int):
+        # Counts: integer-valued, allowed to drift by COUNT_RTOL.
+        limit = max(abs(want) * COUNT_RTOL, 1.0)
+        assert abs(got - want) <= limit, (
+            f"{path}: count {got} outside golden {want} +- {limit:.0f}"
+        )
+    elif isinstance(want, float):
+        assert got == pytest.approx(want, rel=STAT_RTOL, abs=ABS_TOL), (
+            f"{path}: {got} outside golden {want} (rel {STAT_RTOL}, abs {ABS_TOL})"
+        )
+    else:
+        assert got == want, f"{path}: {got!r} != golden {want!r}"
+
+
+def _regen_requested() -> bool:
+    return bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def test_paper_artifacts_match_golden(trace):
+    artifacts = compute_artifacts(trace)
+    if _regen_requested():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_JSON.write_text(
+            json.dumps(artifacts, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"regenerated {GOLDEN_JSON}")
+    assert GOLDEN_JSON.exists(), (
+        f"missing golden file {GOLDEN_JSON}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_JSON.read_text(encoding="utf-8"))
+    _assert_close("artifacts", artifacts, golden)
+
+
+def test_table3_matches_golden():
+    # Table 3 is literature metadata — static text, compared exactly.
+    rendered = render_table3()
+    if _regen_requested():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        GOLDEN_TABLE3.write_text(rendered + "\n", encoding="utf-8")
+        pytest.skip(f"regenerated {GOLDEN_TABLE3}")
+    assert GOLDEN_TABLE3.exists(), (
+        f"missing golden file {GOLDEN_TABLE3}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    assert rendered + "\n" == GOLDEN_TABLE3.read_text(encoding="utf-8")

@@ -1,0 +1,174 @@
+"""Property-based tests for the fitting / empirical / survival layer.
+
+Complements ``test_distribution_properties.py`` (laws of the parametric
+families) with properties of the *estimators*: MLE round-trips recover
+known parameters, the empirical CDF is a monotone map into [0, 1],
+Kaplan-Meier survival stays within bounds under arbitrary censoring,
+and the ``*_safe`` fitting entry points never raise — whatever
+adversarial sample they are handed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    EmpiricalDistribution,
+    empirical_cdf,
+    fit_all_safe,
+    fit_lognormal,
+    fit_weibull,
+    kaplan_meier,
+)
+
+# Estimator round-trips need real samples; 400 observations keeps each
+# example fast while bounding MLE noise to a few percent.
+ROUND_TRIP_N = 400
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+# ----------------------------------------------------------------------
+# Fit round-trips: sample from a known distribution, refit, recover.
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.floats(min_value=0.5, max_value=2.5),
+    scale=st.floats(min_value=0.5, max_value=1e4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_weibull_fit_round_trip(shape, scale, seed):
+    sample = scale * _rng(seed).weibull(shape, ROUND_TRIP_N)
+    fitted = fit_weibull(sample).distribution
+    # At shape ~0.5 the scale MLE's relative sd is ~11% for n=400, so
+    # the bound must sit several sigma out to hold over every seed.
+    assert abs(fitted.shape - shape) / shape < 0.3
+    assert abs(fitted.scale - scale) / scale < 0.45
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mu=st.floats(min_value=-2.0, max_value=8.0),
+    sigma=st.floats(min_value=0.2, max_value=2.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_lognormal_fit_round_trip(mu, sigma, seed):
+    generator = _rng(seed)
+    sample = np.exp(mu + sigma * generator.standard_normal(ROUND_TRIP_N))
+    fitted = fit_lognormal(sample).distribution
+    assert abs(fitted.mu - mu) < 0.3
+    assert abs(fitted.sigma - sigma) / sigma < 0.25
+
+
+# ----------------------------------------------------------------------
+# Empirical CDF: monotone, in [0, 1], ends at 1, tracks the sample.
+# ----------------------------------------------------------------------
+
+finite_samples = st.lists(
+    st.floats(
+        min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_samples)
+def test_empirical_cdf_is_monotone_unit_range(sample):
+    x, p = empirical_cdf(sample)
+    assert len(x) == len(p) == len(sample)
+    assert np.all(np.diff(x) >= 0)
+    assert np.all(np.diff(p) > 0)
+    assert np.all((p > 0.0) & (p <= 1.0))
+    assert p[-1] == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_samples)
+def test_empirical_summary_brackets_the_sample(sample):
+    summary = EmpiricalDistribution.from_data(sample)
+    assert summary.count == len(sample)
+    # np.mean/np.median accumulate in floats: summing n identical huge
+    # values and dividing can land 1 ULP outside [min, max].
+    slack = 4 * np.spacing(max(abs(summary.minimum), abs(summary.maximum), 1.0))
+    assert summary.minimum - slack <= summary.median <= summary.maximum + slack
+    assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+    assert summary.std >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Kaplan-Meier under censoring.
+# ----------------------------------------------------------------------
+
+durations = st.floats(min_value=1e-3, max_value=1e6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    observed=st.lists(durations, min_size=1, max_size=80),
+    censored=st.lists(durations, min_size=0, max_size=80),
+)
+def test_kaplan_meier_bounded_and_decreasing(observed, censored):
+    curve = kaplan_meier(observed, censored)
+    survival = np.asarray(curve.survival)
+    assert np.all((survival >= 0.0) & (survival <= 1.0))
+    assert np.all(np.diff(survival) <= 0)
+    assert curve.survival_at(0.0) == 1.0
+    assert curve.n_events == len(observed)
+    assert curve.n_censored == len(censored)
+    lower, upper = curve.confidence_band()
+    assert np.all(lower <= survival + 1e-12)
+    assert np.all(survival <= upper + 1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(observed=st.lists(durations, min_size=1, max_size=80))
+def test_kaplan_meier_uncensored_hits_zero(observed):
+    # With no censoring the curve is the ECDF complement: S -> 0.
+    curve = kaplan_meier(observed)
+    assert curve.survival[-1] == 0.0
+
+
+# ----------------------------------------------------------------------
+# fit_all_safe: total function over adversarial inputs.
+# ----------------------------------------------------------------------
+
+adversarial_values = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.just(0.0),
+    st.just(-0.0),
+    st.floats(min_value=-1e-300, max_value=1e-300),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sample=st.lists(adversarial_values, min_size=0, max_size=50))
+def test_fit_all_safe_never_raises(sample):
+    outcome = fit_all_safe(sample, zero_policy="clamp", epsilon=0.1)
+    assert outcome.status in ("ok", "failed")
+    if outcome.ok:
+        assert outcome.best is not None
+        nlls = [fit.nll for fit in outcome.fits]
+        assert nlls == sorted(nlls)
+    else:
+        assert outcome.error
+        assert outcome.best is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    value=st.floats(min_value=0.1, max_value=1e6),
+    n=st.integers(min_value=2, max_value=40),
+)
+def test_fit_all_safe_degenerate_constant_sample(value, n):
+    # A constant sample has zero variance: every family is degenerate,
+    # and the safe API must report failure rather than raise.
+    outcome = fit_all_safe([value] * n)
+    assert outcome.status in ("ok", "failed")

@@ -1,0 +1,119 @@
+"""Statistical-equivalence suite: engines and worker counts agree.
+
+The vectorized hot path earns its keep only if it is *exactly* the
+reference model: for a fixed seed, the vectorized and scalar engines —
+and serial vs. process-parallel execution — must produce
+record-for-record identical traces.  Timestamps are compared via
+``repr()``, i.e. exact IEEE-754 float equality, not a tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import TraceGenerator
+from repro.synth.config import GeneratorConfig
+
+
+def assert_traces_identical(a, b) -> None:
+    """Record-for-record identity, with exact-float timestamps."""
+    assert len(a) == len(b)
+    for left, right in zip(a.records, b.records):
+        assert repr(left.start_time) == repr(right.start_time)
+        assert repr(left.end_time) == repr(right.end_time)
+        assert left.record_id == right.record_id
+        assert left.system_id == right.system_id
+        assert left.node_id == right.node_id
+        assert left.root_cause is right.root_cause
+        assert left.low_level_cause is right.low_level_cause
+        assert left.workload is right.workload
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 123])
+def test_engines_identical_single_system(seed):
+    generator = TraceGenerator(seed=seed)
+    vectorized = generator.generate([20], engine="vectorized")
+    scalar = generator.generate([20], engine="scalar")
+    assert len(vectorized) > 1000
+    assert_traces_identical(vectorized, scalar)
+
+
+def test_engines_identical_burst_system():
+    # System 19 runs the burst-injection adapter on top of the columns.
+    generator = TraceGenerator(seed=5)
+    assert_traces_identical(
+        generator.generate([19], engine="vectorized"),
+        generator.generate([19], engine="scalar"),
+    )
+
+
+def test_engines_identical_full_trace():
+    """The flagship check: all 22 systems, both engines, exact floats."""
+    generator = TraceGenerator(seed=1)
+    vectorized = generator.generate(engine="vectorized")
+    scalar = generator.generate(engine="scalar")
+    assert len(vectorized) > 20_000
+    assert_traces_identical(vectorized, scalar)
+
+
+def test_parallel_identical_to_serial_full_trace():
+    """workers=4 must be byte-identical to workers=1 over all systems."""
+    generator = TraceGenerator(seed=1)
+    serial = generator.generate(workers=1)
+    parallel = generator.generate(workers=4)
+    assert len(serial) > 20_000
+    assert_traces_identical(serial, parallel)
+
+
+def test_parallel_respects_engine_choice():
+    generator = TraceGenerator(seed=2)
+    serial = generator.generate([2, 13, 20], engine="scalar", workers=1)
+    parallel = generator.generate([2, 13, 20], engine="scalar", workers=3)
+    assert_traces_identical(serial, parallel)
+
+
+def test_subset_generation_is_compositional():
+    """A system's records are the same alone or within the full trace."""
+    generator = TraceGenerator(seed=3)
+    alone = generator.generate([20])
+    full = generator.generate()
+    full_20 = [r for r in full.records if r.system_id == 20]
+    assert len(alone) == len(full_20)
+    for left, right in zip(alone.records, full_20):
+        assert repr(left.start_time) == repr(right.start_time)
+        assert repr(left.end_time) == repr(right.end_time)
+        assert left.node_id == right.node_id
+        assert left.root_cause is right.root_cause
+
+
+def test_iter_records_matches_generate():
+    generator = TraceGenerator(seed=4)
+    streamed = list(generator.iter_records([2, 20]))
+    materialized = generator.generate([2, 20]).records
+    assert len(streamed) == len(materialized)
+    for left, right in zip(streamed, materialized):
+        assert repr(left.start_time) == repr(right.start_time)
+        assert left.record_id == right.record_id
+
+
+def test_default_engine_config_knob():
+    scalar_default = GeneratorConfig(default_engine="scalar")
+    generator = TraceGenerator(seed=6, config=scalar_default)
+    assert_traces_identical(
+        generator.generate([13]),
+        TraceGenerator(seed=6).generate([13], engine="vectorized"),
+    )
+
+
+def test_unknown_engine_rejected():
+    generator = TraceGenerator(seed=0)
+    with pytest.raises(ValueError, match="engine"):
+        generator.generate([13], engine="turbo")
+    with pytest.raises(ValueError):
+        GeneratorConfig(default_engine="turbo")
+
+
+def test_invalid_workers_rejected():
+    generator = TraceGenerator(seed=0)
+    with pytest.raises(ValueError, match="workers"):
+        generator.generate([13], workers=0)
