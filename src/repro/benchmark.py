@@ -15,7 +15,6 @@ reference loop on identical work should not silently erode.
 
 from __future__ import annotations
 
-import json
 import platform
 import time
 from typing import Any, Dict, List, Optional, Sequence
@@ -199,7 +198,12 @@ def format_report(report: Dict[str, Any]) -> str:
 
 
 def write_report(report: Dict[str, Any], path: str) -> None:
-    """Write a benchmark report as stable, diff-friendly JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Atomically write a benchmark report as stable, diff-friendly JSON.
+
+    The atomic write (tmp + fsync + rename) means an interrupted bench
+    run can never leave a truncated ``BENCH_generator.json`` for the
+    CI regression gate to choke on.
+    """
+    from repro.resilience import atomic_write_json
+
+    atomic_write_json(path, report)

@@ -4,6 +4,8 @@
 
     python -m repro generate --seed 1 --out trace.csv
     python -m repro generate --systems 19,20 --format jsonl --out g.jsonl
+    python -m repro generate --workers 4 --run-dir runs/full --out trace.csv
+    python -m repro generate --resume --run-dir runs/full --out trace.csv
     python -m repro report trace.csv --artifact fig6
     python -m repro report --synthetic --artifact all
     python -m repro summary trace.csv
@@ -16,6 +18,10 @@
 
 Every subcommand that reads a trace accepts either a CSV/JSONL path or
 ``--synthetic`` (with ``--seed``) to generate the LANL trace in-process.
+
+Any uncaught error exits with status 1 and a one-line message; pass
+``--verbose`` (before or after the subcommand) to re-raise with the
+full traceback instead.
 """
 
 from __future__ import annotations
@@ -45,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="HPC failure-data analysis toolkit (Schroeder & Gibson, DSN 2006)",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--verbose", action="store_true", default=False,
+        help="re-raise errors with the full traceback",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic LANL trace")
@@ -56,6 +66,40 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", type=str, required=True, help="output path")
     generate.add_argument(
         "--format", choices=("csv", "jsonl"), default="csv", help="output format"
+    )
+    generate.add_argument(
+        "--engine", choices=("vectorized", "scalar"), default=None,
+        help="generation engine (both produce identical traces)",
+    )
+    generate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for per-system generation (supervised: "
+             "crashed or hung workers are respawned and their shards retried)",
+    )
+    generate.add_argument(
+        "--run-dir", type=str, default=None,
+        help="run directory for the shard journal and run report "
+             "(enables --resume after a crash)",
+    )
+    generate.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run: skip shards already recorded "
+             "in --run-dir's journal",
+    )
+    generate.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="hang detection: respawn the pool if no shard completes "
+             "within this many seconds",
+    )
+    generate.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="retry attempts per shard per engine stage",
+    )
+    generate.add_argument(
+        "--chaos", type=str, default=None, metavar="OP[:TIMES]",
+        help="fault-injection drill: inject process chaos into the "
+             "worker pool (kill-worker, hang-worker, slow-shard, "
+             "flaky-shard); testing/CI only",
     )
 
     for name, help_text in (
@@ -174,6 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("schema", help="print the trace CSV schema")
+    # --verbose is accepted before or after the subcommand; SUPPRESS
+    # keeps a subparser without the flag from clobbering the root value.
+    for subparser in sub.choices.values():
+        subparser.add_argument(
+            "--verbose", action="store_true", default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
     return parser
 
 
@@ -191,19 +242,73 @@ def _load_trace(args: argparse.Namespace) -> FailureTrace:
     return read_lanl_csv(args.trace)
 
 
+def _parse_chaos(spec: str, run_dir) -> "object":
+    """Parse ``--chaos OP[:TIMES]`` into a ProcessChaos spec."""
+    from repro.faults import make_chaos
+
+    operator, _, times_text = spec.partition(":")
+    times = int(times_text) if times_text else 1
+    state_dir = str(run_dir / "chaos-state") if run_dir is not None else None
+    return make_chaos(operator, times=times, state_dir=state_dir)
+
+
 def _command_generate(args: argparse.Namespace) -> int:
+    import contextlib
+    from pathlib import Path
+
     from repro.io import write_jsonl, write_lanl_csv
-    from repro.synth import TraceGenerator
+    from repro.resilience import RetryPolicy, ShardJournal
+    from repro.synth import SupervisionConfig, TraceGenerator
 
     system_ids = None
     if args.systems:
         system_ids = [int(part) for part in args.systems.split(",") if part]
-    trace = TraceGenerator(seed=args.seed).generate(system_ids)
+    generator = TraceGenerator(seed=args.seed)
+    run_dir = Path(args.run_dir) if args.run_dir else None
+    if args.resume and run_dir is None:
+        raise SystemExit("error: --resume requires --run-dir")
+    journal = None
+    if run_dir is not None:
+        journal = ShardJournal(
+            run_dir,
+            meta=generator.journal_meta(args.engine),
+            resume=args.resume,
+        )
+    supervision = SupervisionConfig(
+        policy=RetryPolicy(max_attempts=args.max_attempts, seed=args.seed),
+        shard_timeout=args.shard_timeout,
+    )
+    chaos = contextlib.nullcontext()
+    if args.chaos:
+        from repro.faults import chaos_env
+
+        chaos = chaos_env(_parse_chaos(args.chaos, run_dir))
+    with chaos:
+        trace = generator.generate(
+            system_ids,
+            workers=args.workers,
+            engine=args.engine,
+            supervision=supervision,
+            journal=journal,
+        )
     if args.format == "jsonl":
         count = write_jsonl(trace, args.out)
     else:
         count = write_lanl_csv(trace, args.out)
     print(f"wrote {count} records to {args.out}")
+    report = generator.last_run_report
+    if report is not None:
+        if run_dir is not None:
+            report.write(run_dir / "run_report.json")
+            print(f"wrote {run_dir / 'run_report.json'}")
+        if report.resumed_shards:
+            print(f"resumed {len(report.resumed_shards)} shard(s) from the journal")
+        if report.retried_shards or report.degraded_shards or report.skipped_shards:
+            print(report.describe())
+        if report.skipped_shards:
+            # The run *completed*, but degraded past the last ladder
+            # stage for some shards: the trace is missing systems.
+            return 3
     return 0
 
 
@@ -443,7 +548,12 @@ def _command_schema(_args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every subcommand runs under a top-level error boundary: an uncaught
+    exception prints a one-line ``error:`` message and exits 1 instead
+    of dumping a traceback; ``--verbose`` re-raises.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     commands = {
@@ -459,7 +569,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _command_bench,
         "schema": _command_schema,
     }
-    return commands[args.command](args)
+    try:
+        return commands[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        if getattr(args, "verbose", False):
+            raise
+        message = str(exc) or type(exc).__name__
+        print(f"error: {type(exc).__name__}: {message}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,11 +13,23 @@ provides the offense for that defense:
   per seed, with a manifest of what it damaged;
 * :func:`~repro.faults.chaos.chaos_roundtrip` — the end-to-end drill:
   corrupt, ingest leniently, run the full paper report, report
-  survival.
+  survival;
+* :mod:`~repro.faults.process_ops` — *process-level* chaos (kill,
+  hang, slow, fail worker processes) for drilling the supervised
+  generation path in :mod:`repro.resilience`.
 """
 
 from repro.faults.chaos import ChaosReport, chaos_roundtrip
 from repro.faults.injector import CorruptionInjector, CorruptionResult
+from repro.faults.process_ops import (
+    CHAOS_ENV_VAR,
+    PROCESS_OPERATORS,
+    ChaosError,
+    ProcessChaos,
+    chaos_env,
+    make_chaos,
+    maybe_inject,
+)
 from repro.faults.operators import (
     ALL_OPERATORS,
     DEFAULT_OPERATORS,
@@ -52,4 +64,11 @@ __all__ = [
     "UnknownNoder",
     "DEFAULT_OPERATORS",
     "ALL_OPERATORS",
+    "CHAOS_ENV_VAR",
+    "PROCESS_OPERATORS",
+    "ChaosError",
+    "ProcessChaos",
+    "chaos_env",
+    "make_chaos",
+    "maybe_inject",
 ]

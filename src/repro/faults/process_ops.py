@@ -1,0 +1,206 @@
+"""Process-level chaos operators: kill, hang, slow and fail workers.
+
+Where :mod:`repro.faults.operators` damages trace *data*, these
+operators damage the *execution* — the failure classes the paper's
+systems actually exhibited (node crashes, hangs, transient errors) —
+so the supervised generation path can be drilled end to end.
+
+Injection is driven by an environment variable
+(:data:`CHAOS_ENV_VAR`) holding a JSON :class:`ProcessChaos` spec.
+Worker processes inherit the parent's environment, so arming chaos
+before the pool spawns reaches every worker with zero plumbing through
+the (picklable) task payloads.  A shared *state directory* coordinates
+a global injection budget across processes: each injection first
+claims a slot by exclusively creating ``claim-N``; once ``times``
+claims exist, the chaos is spent and retried shards succeed — which is
+exactly the "fail N times then succeed" shape retry logic must handle.
+
+Operators:
+
+* ``kill-worker``  — ``SIGKILL`` the worker mid-shard (the parent sees
+  ``BrokenProcessPool``);
+* ``hang-worker``  — sleep far past any shard timeout (the parent's
+  hang detector must terminate and respawn the pool);
+* ``slow-shard``   — sleep briefly (latency noise; must not fail);
+* ``flaky-shard``  — raise :class:`ChaosError` (a clean task failure).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosError",
+    "ProcessChaos",
+    "PROCESS_OPERATORS",
+    "maybe_inject",
+    "chaos_env",
+    "make_chaos",
+]
+
+CHAOS_ENV_VAR = "REPRO_PROCESS_CHAOS"
+
+PROCESS_OPERATORS = ("kill-worker", "hang-worker", "slow-shard", "flaky-shard")
+
+
+class ChaosError(RuntimeError):
+    """The injected failure raised by the ``flaky-shard`` operator."""
+
+
+@dataclass(frozen=True)
+class ProcessChaos:
+    """A process-chaos specification, serializable into the environment.
+
+    Parameters
+    ----------
+    operator:
+        One of :data:`PROCESS_OPERATORS`.
+    times:
+        Global injection budget across all workers and retries.
+    state_dir:
+        Directory coordinating the budget (claim files) between
+        processes.  Created if missing.
+    shards:
+        Shard keys to target; empty targets every shard.
+    hang_seconds / slow_seconds:
+        Sleep durations for the hang/slow operators.
+    """
+
+    operator: str
+    times: int = 1
+    state_dir: str = ""
+    shards: Tuple[str, ...] = field(default_factory=tuple)
+    hang_seconds: float = 3600.0
+    slow_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.operator not in PROCESS_OPERATORS:
+            raise ValueError(
+                f"operator must be one of {PROCESS_OPERATORS}, "
+                f"got {self.operator!r}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if not self.state_dir:
+            raise ValueError(
+                "state_dir is required (it bounds the injection budget; "
+                "without it kill-worker would loop forever)"
+            )
+        object.__setattr__(self, "shards", tuple(self.shards))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "operator": self.operator,
+                "times": self.times,
+                "state_dir": self.state_dir,
+                "shards": list(self.shards),
+                "hang_seconds": self.hang_seconds,
+                "slow_seconds": self.slow_seconds,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProcessChaos":
+        payload = json.loads(text)
+        payload["shards"] = tuple(payload.get("shards", ()))
+        return cls(**payload)
+
+    def injections(self) -> int:
+        """How many injections have been performed so far."""
+        try:
+            names = os.listdir(self.state_dir)
+        except OSError:
+            return 0
+        return sum(1 for name in names if name.startswith("claim-"))
+
+
+def _claim_slot(state_dir: str, times: int) -> bool:
+    """Atomically claim one of ``times`` injection slots; False if spent."""
+    for n in range(times):
+        path = os.path.join(state_dir, f"claim-{n}")
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        os.write(fd, str(os.getpid()).encode("ascii"))
+        os.close(fd)
+        return True
+    return False
+
+
+def maybe_inject(
+    shard_key: str, env: Optional[Mapping[str, str]] = None
+) -> None:
+    """Chaos hook called by worker tasks at the top of each shard.
+
+    No-op unless :data:`CHAOS_ENV_VAR` is set, the shard is targeted,
+    and the injection budget is not yet spent.
+    """
+    environment = os.environ if env is None else env
+    spec_text = environment.get(CHAOS_ENV_VAR)
+    if not spec_text:
+        return
+    spec = ProcessChaos.from_json(spec_text)
+    if spec.shards and shard_key not in spec.shards:
+        return
+    if not _claim_slot(spec.state_dir, spec.times):
+        return
+    if spec.operator == "kill-worker":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.operator == "hang-worker":
+        time.sleep(spec.hang_seconds)
+    elif spec.operator == "slow-shard":
+        time.sleep(spec.slow_seconds)
+    elif spec.operator == "flaky-shard":
+        raise ChaosError(f"injected failure for shard {shard_key!r}")
+
+
+@contextlib.contextmanager
+def chaos_env(
+    spec: Optional[ProcessChaos],
+) -> Iterator[Optional[ProcessChaos]]:
+    """Arm ``spec`` in ``os.environ`` for the duration of the block.
+
+    Must wrap the code that *spawns* the worker pool: workers inherit
+    the environment at spawn time.  ``spec=None`` is a no-op (handy for
+    parameterized drills).
+    """
+    if spec is None:
+        yield None
+        return
+    os.makedirs(spec.state_dir, exist_ok=True)
+    previous = os.environ.get(CHAOS_ENV_VAR)
+    os.environ[CHAOS_ENV_VAR] = spec.to_json()
+    try:
+        yield spec
+    finally:
+        if previous is None:
+            os.environ.pop(CHAOS_ENV_VAR, None)
+        else:
+            os.environ[CHAOS_ENV_VAR] = previous
+
+
+def make_chaos(
+    operator: str,
+    times: int = 1,
+    state_dir: Optional[str] = None,
+    **kwargs,
+) -> ProcessChaos:
+    """Convenience builder that provisions a state directory if needed."""
+    if state_dir is None:
+        state_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    return ProcessChaos(
+        operator=operator, times=times, state_dir=state_dir, **kwargs
+    )

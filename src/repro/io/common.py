@@ -4,6 +4,11 @@ Both the CSV and JSONL formats support transparent gzip compression
 (``trace.csv.gz``, ``trace.jsonl.gz``) through :func:`open_text`, and
 both route their rows through the same ingest pipeline (see
 :mod:`repro.io.policy`).
+
+Writers go through :func:`atomic_open_text` (re-exported from
+:mod:`repro.resilience.atomic`): the new file is staged in a temporary
+sibling, fsynced, and renamed over the target, so an interrupted write
+never leaves a truncated artifact behind.
 """
 
 from __future__ import annotations
@@ -12,7 +17,9 @@ import gzip
 from pathlib import Path
 from typing import Union
 
-__all__ = ["PathLike", "open_text"]
+from repro.resilience.atomic import atomic_open_text
+
+__all__ = ["PathLike", "open_text", "atomic_open_text"]
 
 PathLike = Union[str, Path]
 

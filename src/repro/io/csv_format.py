@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
 import csv
 
-from repro.io.common import PathLike, open_text
+from repro.io.common import PathLike, atomic_open_text, open_text
 from repro.io.policy import IngestPolicy, IngestReport, RowPipeline
 from repro.io.schema import CSV_COLUMNS, SchemaError
 from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
@@ -163,11 +163,13 @@ def write_lanl_csv(trace: Union[FailureTrace, Iterable[FailureRecord]], path: Pa
     """Write a trace to a CSV file; returns the number of rows written.
 
     Timestamps are serialized with ``repr`` so floats round-trip
-    exactly; a ``.gz`` suffix writes gzip-compressed text.
+    exactly; a ``.gz`` suffix writes gzip-compressed text.  The write
+    is atomic: an interrupt leaves the previous file (or nothing), not
+    a truncated trace.
     """
     path = Path(path)
     records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
-    with open_text(path, "w") as handle:
+    with atomic_open_text(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(CSV_COLUMNS)
         for index, record in enumerate(records):

@@ -14,7 +14,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, Iterable, Mapping, Optional, Union
 
-from repro.io.common import PathLike, open_text
+from repro.io.common import PathLike, atomic_open_text, open_text
 from repro.io.policy import IngestPolicy, IngestReport, RowPipeline
 from repro.io.schema import SchemaError
 from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
@@ -65,11 +65,12 @@ def _parse_fields(payload: Mapping, line: int) -> Dict[str, Any]:
 def write_jsonl(trace: Union[FailureTrace, Iterable[FailureRecord]], path: PathLike) -> int:
     """Write a trace as JSON lines; returns the number of lines written.
 
-    A ``.gz`` suffix writes gzip-compressed text.
+    A ``.gz`` suffix writes gzip-compressed text.  The write is atomic
+    (tmp + fsync + rename), so an interrupt cannot truncate the file.
     """
     path = Path(path)
     records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
-    with open_text(path, "w") as handle:
+    with atomic_open_text(path) as handle:
         for record in records:
             handle.write(json.dumps(_record_to_dict(record), sort_keys=True))
             handle.write("\n")

@@ -1,0 +1,51 @@
+"""Fault-tolerant execution: retries, supervision, journaling, atomicity.
+
+The paper this repo reproduces studies failures in long-running HPC
+pipelines; this subsystem applies its lessons — retry with backoff,
+checkpointing, graceful degradation — to our own hot path:
+
+* :class:`~repro.resilience.retry.RetryPolicy` — exponential backoff
+  with deterministic jitter and an overall deadline;
+* :class:`~repro.resilience.breaker.CircuitBreaker` — per-shard
+  failure counting over a degradation ladder (for generation:
+  vectorized → scalar → structured skip);
+* :func:`~repro.resilience.supervisor.supervised_map` — a process-pool
+  map that survives crashed (``BrokenProcessPool``), hung and failing
+  workers by respawning the pool and retrying only unfinished shards;
+* :class:`~repro.resilience.journal.ShardJournal` — a crash-safe
+  per-run record of completed shards enabling ``--resume``;
+* :class:`~repro.resilience.report.RunReport` — the audit trail of
+  every attempt, retry, degradation and skip;
+* :mod:`~repro.resilience.atomic` — tmp + fsync + ``os.replace``
+  artifact writes used by every writer in the toolkit.
+
+See ``docs/resilience.md`` for the full semantics.
+"""
+
+from repro.resilience.atomic import (
+    atomic_open_text,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.journal import JournalError, ShardJournal
+from repro.resilience.report import RunReport, ShardAttempt, ShardOutcome
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import SupervisorError, supervised_map
+
+__all__ = [
+    "atomic_open_text",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "CircuitBreaker",
+    "JournalError",
+    "ShardJournal",
+    "RunReport",
+    "ShardAttempt",
+    "ShardOutcome",
+    "RetryPolicy",
+    "SupervisorError",
+    "supervised_map",
+]

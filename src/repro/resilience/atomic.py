@@ -1,0 +1,121 @@
+"""Crash-safe artifact writes: tmp file + fsync + ``os.replace``.
+
+Every artifact the toolkit emits — trace CSV/JSONL files, benchmark
+reports, golden fixtures, run reports, shard payloads — goes through
+these helpers, so an interrupt (SIGKILL, power loss, full disk) leaves
+either the previous complete file or the new complete file, never a
+truncated hybrid.  The recipe is the classic POSIX one:
+
+1. write to a uniquely-named temporary file *in the target directory*
+   (same filesystem, so the final rename cannot degrade to a copy),
+2. flush and ``fsync`` the temporary file,
+3. ``os.replace`` it over the target (atomic on POSIX and Windows),
+4. best-effort ``fsync`` the directory so the rename itself is durable.
+
+A ``.gz`` target suffix writes gzip-compressed text, mirroring
+:func:`repro.io.common.open_text`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gzip
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+__all__ = [
+    "atomic_open_text",
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "atomic_write_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Durably record a rename; best-effort (not all OSes allow it)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_open_text(path: PathLike, newline: str = "") -> Iterator[Any]:
+    """Context manager yielding a text handle that atomically replaces
+    ``path`` on success and leaves it untouched on failure.
+
+    A ``.gz`` suffix writes gzip-compressed text, like
+    :func:`repro.io.common.open_text`.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        if path.suffix == ".gz":
+            handle = gzip.open(tmp, "wt", newline=newline)
+        else:
+            handle = open(tmp, "w", newline=newline, encoding="utf-8")
+        try:
+            yield handle
+        finally:
+            handle.close()
+        # Re-open to fsync the bytes the (possibly gzip-layered) handle
+        # wrote; simpler and safer than plumbing raw fds through gzip.
+        with open(tmp, "rb") as sync_handle:
+            os.fsync(sync_handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(directory)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def atomic_write_text(path: PathLike, text: str, newline: str = "") -> None:
+    """Atomically replace ``path`` with ``text``."""
+    with atomic_open_text(path, newline=newline) as handle:
+        handle.write(text)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data`` (binary; no gzip)."""
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        _fsync_dir(directory)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def atomic_write_json(path: PathLike, payload: Any, indent: int = 2) -> None:
+    """Atomically write ``payload`` as stable, diff-friendly JSON."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    )

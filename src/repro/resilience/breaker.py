@@ -1,0 +1,90 @@
+"""Per-shard circuit breaker with a degradation ladder.
+
+After ``failure_threshold`` failures in a stage, a shard is *degraded*
+to the next stage (for trace generation: ``vectorized`` → ``scalar``)
+rather than retried forever; when the last stage is exhausted, the
+breaker *opens* and the shard is skipped — recorded as a structured
+skip in the :class:`~repro.resilience.report.RunReport` instead of
+failing the whole run.  This mirrors the graceful-degradation posture
+the paper observes in production HPC tooling: lose a component, not
+the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["CircuitBreaker"]
+
+#: Failure-handling actions returned by :meth:`CircuitBreaker.record_failure`.
+RETRY = "retry"
+DEGRADE = "degrade"
+OPEN = "open"
+
+
+@dataclass
+class _ShardState:
+    stage_index: int = 0
+    failures: int = 0
+
+
+@dataclass
+class CircuitBreaker:
+    """Track per-shard failures and walk the degradation ladder.
+
+    Parameters
+    ----------
+    stages:
+        Ordered degradation ladder; a shard starts in ``stages[0]`` and
+        moves right after ``failure_threshold`` failures per stage.
+    failure_threshold:
+        Failures tolerated in one stage before degrading.
+    """
+
+    stages: Tuple[str, ...] = ("primary",)
+    failure_threshold: int = 3
+    _shards: Dict[str, _ShardState] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self.stages = tuple(self.stages)
+        if not self.stages:
+            raise ValueError("stages must be non-empty")
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+
+    def _state(self, key: str) -> _ShardState:
+        return self._shards.setdefault(key, _ShardState())
+
+    def stage(self, key: str) -> Optional[str]:
+        """The shard's current stage, or None when the breaker is open."""
+        state = self._state(key)
+        if state.stage_index >= len(self.stages):
+            return None
+        return self.stages[state.stage_index]
+
+    def is_open(self, key: str) -> bool:
+        return self.stage(key) is None
+
+    def record_success(self, key: str) -> None:
+        """A completed attempt closes the shard's failure streak."""
+        self._state(key).failures = 0
+
+    def record_failure(self, key: str) -> str:
+        """Count a failure; returns ``"retry"``, ``"degrade"`` or ``"open"``."""
+        state = self._state(key)
+        if state.stage_index >= len(self.stages):
+            return OPEN
+        state.failures += 1
+        if state.failures < self.failure_threshold:
+            return RETRY
+        state.stage_index += 1
+        state.failures = 0
+        if state.stage_index >= len(self.stages):
+            return OPEN
+        return DEGRADE
+
+    def failures(self, key: str) -> int:
+        return self._state(key).failures

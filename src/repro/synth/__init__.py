@@ -23,7 +23,7 @@ Entry point: :class:`~repro.synth.generator.TraceGenerator`.
 """
 
 from repro.synth.config import GeneratorConfig
-from repro.synth.generator import TraceGenerator
+from repro.synth.generator import SupervisionConfig, TraceGenerator
 from repro.synth.lifecycle import LifecycleShape, lifecycle_multiplier, lifecycle_shape_for
 from repro.synth.diurnal import WeeklyProfile, diurnal_multiplier, weekly_multiplier
 from repro.synth.nodes import assign_workload, node_rate_multiplier
@@ -36,6 +36,7 @@ from repro.synth.scenario import ClusterScenario, ScenarioSystem
 
 __all__ = [
     "GeneratorConfig",
+    "SupervisionConfig",
     "TraceGenerator",
     "LifecycleShape",
     "lifecycle_multiplier",

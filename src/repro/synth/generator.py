@@ -44,8 +44,10 @@ records.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import hashlib
+import os
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -59,6 +61,14 @@ from repro.records.timeutils import (
     SECONDS_PER_YEAR,
 )
 from repro.records.trace import FailureTrace
+from repro.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    RunReport,
+    ShardJournal,
+    supervised_map,
+)
+from repro.resilience import report as report_mod
 from repro.simulate.rng import RngStream
 from repro.synth.arrivals import (
     ArrivalGrid,
@@ -80,7 +90,7 @@ from repro.synth.nodes import (
 from repro.synth.repair import RepairModel
 from repro.synth.rootcause import CauseModel
 
-__all__ = ["TraceGenerator"]
+__all__ = ["TraceGenerator", "SupervisionConfig"]
 
 
 @dataclass
@@ -151,14 +161,25 @@ def _columns_from_records(
     )
 
 
+def _shard_key(system_id: int) -> str:
+    return f"system-{system_id}"
+
+
 def _system_columns_task(payload: Tuple) -> _SystemColumns:
     """Worker entry point for ``workers > 1`` (module-level: picklable).
 
     Rebuilds the generator from its defining state; determinism comes
     from the (seed, label path) stream derivation, so the rebuilt
-    generator's output is identical to the parent's.
+    generator's output is identical to the parent's — which is also
+    what makes a *retried* shard byte-identical to a first-try one.
     """
     seed, config, systems, data_start, data_end, system_id, engine = payload
+    # Chaos hook for the fault-injection drills (no-op unless armed via
+    # the environment).  Imported lazily: repro.faults pulls in the
+    # report stack, which must not load at generator import time.
+    from repro.faults.process_ops import maybe_inject
+
+    maybe_inject(_shard_key(system_id))
     generator = TraceGenerator(
         seed=seed,
         config=config,
@@ -167,6 +188,39 @@ def _system_columns_task(payload: Tuple) -> _SystemColumns:
         data_end=data_end,
     )
     return generator._system_columns(system_id, engine)
+
+
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """How :class:`TraceGenerator` supervises multi-process generation.
+
+    Parameters
+    ----------
+    policy:
+        Retry/backoff policy for failed shards.
+    shard_timeout:
+        Hang detection: if no shard completes for this many seconds,
+        the worker pool is terminated and respawned and the unfinished
+        shards retried.  ``None`` disables hang detection.
+    failure_threshold:
+        Failures per degradation stage before the circuit breaker moves
+        a shard down the ladder (vectorized → scalar → skip).
+    degrade_to_scalar:
+        Whether a repeatedly-failing vectorized shard falls back to the
+        scalar reference engine (byte-identical output) before being
+        skipped.
+    """
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    shard_timeout: Optional[float] = None
+    failure_threshold: int = 3
+    degrade_to_scalar: bool = True
+
+    def stages(self, engine: str) -> Tuple[str, ...]:
+        """The engine degradation ladder for a run on ``engine``."""
+        if self.degrade_to_scalar and engine == "vectorized":
+            return ("vectorized", "scalar")
+        return (engine,)
 
 
 class TraceGenerator:
@@ -212,6 +266,9 @@ class TraceGenerator:
             enabled=self.config.diurnal_enabled,
         )
         self._repair_model = RepairModel(self.config)
+        #: The :class:`~repro.resilience.report.RunReport` of the most
+        #: recent :meth:`generate`/:meth:`iter_records` call.
+        self.last_run_report: Optional[RunReport] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -223,6 +280,8 @@ class TraceGenerator:
         *,
         workers: int = 1,
         engine: Optional[str] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        journal: Optional[ShardJournal] = None,
     ) -> FailureTrace:
         """Generate the trace for the given systems (default: all).
 
@@ -231,13 +290,32 @@ class TraceGenerator:
         workers:
             Number of worker processes for per-system generation; 1
             (default) runs in-process.  Output is identical for any
-            worker count.
+            worker count.  Values above ``os.cpu_count()`` or the
+            number of systems are clamped (with a warning for the CPU
+            case).
         engine:
             Override the config's ``default_engine`` ("vectorized" or
             "scalar"); both produce identical traces.
+        supervision:
+            Fault-tolerance knobs for the worker fan-out (retry policy,
+            hang timeout, degradation ladder); defaults apply when
+            omitted.  The resulting
+            :class:`~repro.resilience.report.RunReport` is available as
+            :attr:`last_run_report`.
+        journal:
+            Optional :class:`~repro.resilience.journal.ShardJournal`:
+            completed shards are durably recorded as they finish, and
+            shards already in the journal are loaded instead of
+            regenerated (crash-resumable runs).
         """
         records = list(
-            self.iter_records(system_ids, workers=workers, engine=engine)
+            self.iter_records(
+                system_ids,
+                workers=workers,
+                engine=engine,
+                supervision=supervision,
+                journal=journal,
+            )
         )
         return FailureTrace(
             records,
@@ -252,6 +330,8 @@ class TraceGenerator:
         *,
         workers: int = 1,
         engine: Optional[str] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        journal: Optional[ShardJournal] = None,
     ) -> Iterator[FailureRecord]:
         """Yield the trace's records in final order, lazily.
 
@@ -260,11 +340,14 @@ class TraceGenerator:
         record — the streaming path for scaled-inventory runs where
         materializing millions of record objects would dominate memory.
         Ordering and record IDs match :meth:`generate` exactly.
+        ``supervision`` and ``journal`` behave as in :meth:`generate`.
         """
         if system_ids is None:
             system_ids = sorted(self.systems.keys())
         engine = self._resolve_engine(engine)
-        columns = self._all_columns(list(system_ids), workers, engine)
+        columns = self._all_columns(
+            list(system_ids), workers, engine, supervision, journal
+        )
         columns = [c for c in columns if len(c)]
         if not columns:
             return
@@ -310,27 +393,228 @@ class TraceGenerator:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         return engine
 
-    def _all_columns(
-        self, system_ids: List[int], workers: int, engine: str
-    ) -> List[_SystemColumns]:
+    def journal_meta(self, engine: Optional[str] = None) -> Dict[str, object]:
+        """The run-identity dict pinned into a resumable run's journal.
+
+        Shards are compositional — a system's records are a pure
+        function of ``(seed, config, inventory, engine)`` — so the
+        identity deliberately excludes *which* systems a run requested:
+        a journaled shard is valid for any later run with the same
+        identity.
+        """
+        engine = self._resolve_engine(engine)
+        systems_digest = hashlib.sha256(
+            repr(sorted(self.systems.items())).encode("utf-8")
+        ).hexdigest()
+        config_digest = hashlib.sha256(
+            repr(self.config).encode("utf-8")
+        ).hexdigest()
+        return {
+            "kind": "repro-generate",
+            "seed": self.seed,
+            "engine": engine,
+            "systems_sha256": systems_digest,
+            "config_sha256": config_digest,
+            "data_start": self.data_start,
+            "data_end": self.data_end,
+        }
+
+    def _effective_workers(self, workers: int, n_shards: int) -> int:
+        """Validate and clamp the worker count.
+
+        * ``workers > len(shards)`` would spawn idle processes — clamp
+          silently (it is an upper bound, not a demand);
+        * ``workers > os.cpu_count()`` oversubscribes — warn and clamp.
+          The cap has a floor of 2 so an explicit parallel request
+          still exercises a real process pool on single-core hosts
+          (two workers on one core is timesharing, not a fan-out bomb).
+        """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if workers == 1 or len(system_ids) <= 1:
-            return [self._system_columns(sid, engine) for sid in system_ids]
-        payloads = [
-            (
-                self.seed,
-                self.config,
-                self.systems,
-                self.data_start,
-                self.data_end,
-                system_id,
-                engine,
+        if workers == 1 or n_shards <= 1:
+            return 1
+        effective = min(workers, n_shards)
+        cpu_cap = max(2, os.cpu_count() or 1)
+        if effective > cpu_cap:
+            warnings.warn(
+                f"workers={workers} exceeds cpu_count()={os.cpu_count()}; "
+                f"clamping to {cpu_cap} to avoid oversubscription",
+                RuntimeWarning,
+                stacklevel=3,
             )
+            effective = cpu_cap
+        return effective
+
+    def _all_columns(
+        self,
+        system_ids: List[int],
+        workers: int,
+        engine: str,
+        supervision: Optional[SupervisionConfig] = None,
+        journal: Optional[ShardJournal] = None,
+    ) -> List[_SystemColumns]:
+        unknown = sorted(set(system_ids) - set(self.systems))
+        if unknown:
+            raise KeyError(
+                f"unknown system id(s) {unknown}; inventory has "
+                f"{sorted(self.systems)}"
+            )
+        # Degradation on the in-process path is opt-in: a bare serial
+        # run should raise on a genuine bug, not silently skip systems.
+        explicit_supervision = supervision is not None
+        supervision = (
+            supervision if supervision is not None else SupervisionConfig()
+        )
+        report = RunReport(
+            meta={
+                "seed": self.seed,
+                "engine": engine,
+                "requested_workers": workers,
+                "systems": list(system_ids),
+                "policy": {
+                    "max_attempts": supervision.policy.max_attempts,
+                    "base_delay": supervision.policy.base_delay,
+                    "multiplier": supervision.policy.multiplier,
+                    "max_delay": supervision.policy.max_delay,
+                    "jitter": supervision.policy.jitter,
+                    "deadline": supervision.policy.deadline,
+                },
+                "failure_threshold": supervision.failure_threshold,
+                "shard_timeout": supervision.shard_timeout,
+            },
+        )
+        self.last_run_report = report
+        results: Dict[int, Optional[_SystemColumns]] = {}
+        pending: List[int] = []
+        for system_id in system_ids:
+            key = _shard_key(system_id)
+            if journal is not None and journal.has(key):
+                columns = journal.load(key)
+                results[system_id] = columns
+                report.mark_resumed(key, records=len(columns))
+            else:
+                pending.append(system_id)
+        effective = self._effective_workers(workers, len(pending))
+        report.meta["workers"] = effective
+        if pending and effective == 1:
+            for system_id in pending:
+                if explicit_supervision:
+                    results[system_id] = self._serial_supervised(
+                        system_id, engine, supervision, report, journal
+                    )
+                else:
+                    key = _shard_key(system_id)
+                    columns = self._system_columns(system_id, engine)
+                    report.record_attempt(key, engine, report_mod.OK)
+                    report.finish_shard(
+                        key, report_mod.STATUS_OK, records=len(columns)
+                    )
+                    self._journal_shard(journal, key, columns)
+                    results[system_id] = columns
+        elif pending:
+            results.update(
+                self._parallel_supervised(
+                    pending, effective, engine, supervision, report, journal
+                )
+            )
+        return [
+            results[system_id]
             for system_id in system_ids
+            if results[system_id] is not None
         ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_system_columns_task, payloads))
+
+    def _shard_payload(self, system_id: int, engine: str) -> Tuple:
+        return (
+            self.seed,
+            self.config,
+            self.systems,
+            self.data_start,
+            self.data_end,
+            system_id,
+            engine,
+        )
+
+    def _journal_shard(
+        self,
+        journal: Optional[ShardJournal],
+        key: str,
+        columns: _SystemColumns,
+    ) -> None:
+        if journal is not None:
+            journal.record(key, columns, extra={"records": len(columns)})
+
+    def _parallel_supervised(
+        self,
+        system_ids: List[int],
+        workers: int,
+        engine: str,
+        supervision: SupervisionConfig,
+        report: RunReport,
+        journal: Optional[ShardJournal],
+    ) -> Dict[int, Optional[_SystemColumns]]:
+        """Supervised process fan-out: crashes, hangs and errors survive."""
+        stages = supervision.stages(engine)
+        breaker = CircuitBreaker(
+            stages=stages, failure_threshold=supervision.failure_threshold
+        )
+        keys = [_shard_key(system_id) for system_id in system_ids]
+        by_key = dict(zip(keys, system_ids))
+
+        def stage_payload(payload: Tuple, stage: str) -> Tuple:
+            return payload[:-1] + (stage,)
+
+        def on_result(key: str, columns: _SystemColumns) -> None:
+            self._journal_shard(journal, key, columns)
+
+        shard_results = supervised_map(
+            _system_columns_task,
+            [self._shard_payload(system_id, engine) for system_id in system_ids],
+            keys=keys,
+            workers=workers,
+            policy=supervision.policy,
+            breaker=breaker,
+            stage_payload=stage_payload,
+            shard_timeout=supervision.shard_timeout,
+            report=report,
+            on_result=on_result,
+        )
+        return {by_key[key]: columns for key, columns in shard_results.items()}
+
+    def _serial_supervised(
+        self,
+        system_id: int,
+        engine: str,
+        supervision: SupervisionConfig,
+        report: RunReport,
+        journal: Optional[ShardJournal],
+    ) -> Optional[_SystemColumns]:
+        """In-process generation with the same degradation ladder.
+
+        In-process failures are deterministic (no crashed workers to
+        respawn), so each ladder stage gets a single attempt:
+        vectorized → scalar → structured skip.
+        """
+        key = _shard_key(system_id)
+        for attempt, stage in enumerate(supervision.stages(engine), start=1):
+            try:
+                columns = self._system_columns(system_id, stage)
+            except Exception as exc:
+                report.record_attempt(
+                    key, stage, report_mod.ERROR,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            report.record_attempt(key, stage, report_mod.OK)
+            report.finish_shard(
+                key,
+                report_mod.STATUS_OK if attempt == 1
+                else report_mod.STATUS_DEGRADED,
+                records=len(columns),
+            )
+            self._journal_shard(journal, key, columns)
+            return columns
+        report.finish_shard(key, report_mod.STATUS_SKIPPED)
+        return None
 
     def _system_columns(self, system_id: int, engine: str) -> _SystemColumns:
         """Generate one system's failures in columnar, node-major form."""

@@ -1,0 +1,114 @@
+"""Process-chaos operators: env arming, budgets, targeting, injection."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults import (
+    CHAOS_ENV_VAR,
+    ChaosError,
+    ProcessChaos,
+    chaos_env,
+    make_chaos,
+    maybe_inject,
+)
+
+
+class TestSpec:
+    def test_json_round_trip(self, tmp_path):
+        spec = ProcessChaos(
+            operator="flaky-shard",
+            times=3,
+            state_dir=str(tmp_path),
+            shards=("system-2",),
+        )
+        assert ProcessChaos.from_json(spec.to_json()) == spec
+
+    def test_unknown_operator_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="operator"):
+            ProcessChaos(operator="set-on-fire", state_dir=str(tmp_path))
+
+    def test_times_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="times"):
+            ProcessChaos(
+                operator="flaky-shard", times=0, state_dir=str(tmp_path)
+            )
+
+    def test_state_dir_required(self):
+        with pytest.raises(ValueError, match="state_dir"):
+            ProcessChaos(operator="kill-worker", state_dir="")
+
+    def test_make_chaos_provisions_state_dir(self):
+        spec = make_chaos("slow-shard")
+        assert os.path.isdir(spec.state_dir)
+
+
+class TestChaosEnv:
+    def test_arms_and_restores(self, tmp_path):
+        spec = make_chaos("flaky-shard", state_dir=str(tmp_path))
+        assert CHAOS_ENV_VAR not in os.environ
+        with chaos_env(spec) as armed:
+            assert armed is spec
+            assert ProcessChaos.from_json(os.environ[CHAOS_ENV_VAR]) == spec
+        assert CHAOS_ENV_VAR not in os.environ
+
+    def test_none_spec_is_noop(self):
+        with chaos_env(None) as armed:
+            assert armed is None
+            assert CHAOS_ENV_VAR not in os.environ
+
+
+class TestInjection:
+    def _env(self, spec):
+        return {CHAOS_ENV_VAR: spec.to_json()}
+
+    def test_noop_when_unarmed(self):
+        maybe_inject("system-2", env={})  # must not raise
+
+    def test_flaky_respects_budget(self, tmp_path):
+        spec = make_chaos("flaky-shard", times=2, state_dir=str(tmp_path))
+        env = self._env(spec)
+        for _ in range(2):
+            with pytest.raises(ChaosError):
+                maybe_inject("system-2", env=env)
+        # Budget spent: the third call succeeds.
+        maybe_inject("system-2", env=env)
+        assert spec.injections() == 2
+
+    def test_targeting_skips_other_shards(self, tmp_path):
+        spec = make_chaos(
+            "flaky-shard", state_dir=str(tmp_path), shards=("system-13",)
+        )
+        env = self._env(spec)
+        maybe_inject("system-2", env=env)  # not targeted: no-op
+        assert spec.injections() == 0
+        with pytest.raises(ChaosError):
+            maybe_inject("system-13", env=env)
+
+    def test_slow_shard_sleeps_then_returns(self, tmp_path, monkeypatch):
+        naps = []
+        monkeypatch.setattr("time.sleep", naps.append)
+        spec = make_chaos(
+            "slow-shard", state_dir=str(tmp_path), slow_seconds=0.125
+        )
+        maybe_inject("system-2", env=self._env(spec))
+        assert naps == [0.125]
+
+    def test_hang_worker_sleeps_hang_seconds(self, tmp_path, monkeypatch):
+        naps = []
+        monkeypatch.setattr("time.sleep", naps.append)
+        spec = make_chaos(
+            "hang-worker", state_dir=str(tmp_path), hang_seconds=900.0
+        )
+        maybe_inject("system-2", env=self._env(spec))
+        assert naps == [900.0]
+
+    def test_injections_counts_claims_only(self, tmp_path):
+        spec = make_chaos("flaky-shard", times=5, state_dir=str(tmp_path))
+        (tmp_path / "unrelated.txt").write_text("x")
+        env = self._env(spec)
+        with pytest.raises(ChaosError):
+            maybe_inject("system-2", env=env)
+        assert spec.injections() == 1

@@ -44,6 +44,7 @@ from repro.analysis.rootcause import (
 from repro.records.record import HIGH_LEVEL_CAUSES
 from repro.report import render_table3
 from repro.report.paper import ERA_BOUNDARY
+from repro.resilience import atomic_write_text
 from repro.synth import TraceGenerator
 
 GOLDEN_SEED = 1
@@ -183,9 +184,10 @@ def test_paper_artifacts_match_golden(trace):
     artifacts = compute_artifacts(trace)
     if _regen_requested():
         GOLDEN_DIR.mkdir(exist_ok=True)
-        GOLDEN_JSON.write_text(
-            json.dumps(artifacts, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        # Atomic write: an interrupted regen must not leave a truncated
+        # golden file that every later run silently diffs against.
+        atomic_write_text(
+            GOLDEN_JSON, json.dumps(artifacts, indent=2, sort_keys=True) + "\n"
         )
         pytest.skip(f"regenerated {GOLDEN_JSON}")
     assert GOLDEN_JSON.exists(), (
@@ -201,7 +203,7 @@ def test_table3_matches_golden():
     rendered = render_table3()
     if _regen_requested():
         GOLDEN_DIR.mkdir(exist_ok=True)
-        GOLDEN_TABLE3.write_text(rendered + "\n", encoding="utf-8")
+        atomic_write_text(GOLDEN_TABLE3, rendered + "\n")
         pytest.skip(f"regenerated {GOLDEN_TABLE3}")
     assert GOLDEN_TABLE3.exists(), (
         f"missing golden file {GOLDEN_TABLE3}; regenerate with "

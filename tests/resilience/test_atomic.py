@@ -1,0 +1,74 @@
+"""Atomic artifact writes: all-or-nothing, even under failure."""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.resilience import (
+    atomic_open_text,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+def _no_tmp_litter(directory):
+    return [name for name in os.listdir(directory) if ".tmp" in name] == []
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("previous complete artifact")
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with atomic_open_text(target) as handle:
+                handle.write("partial garbage")
+                raise RuntimeError("mid-write crash")
+        assert target.read_text() == "previous complete artifact"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_failure_with_no_preexisting_file_creates_nothing(self, tmp_path):
+        target = tmp_path / "never.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_open_text(target) as handle:
+                handle.write("x")
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert _no_tmp_litter(tmp_path)
+
+    def test_gzip_suffix_compresses(self, tmp_path):
+        target = tmp_path / "out.txt.gz"
+        atomic_write_text(target, "compressed body\n")
+        with gzip.open(target, "rt") as handle:
+            assert handle.read() == "compressed body\n"
+
+    def test_write_bytes(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_write_json_stable(self, tmp_path):
+        target = tmp_path / "report.json"
+        atomic_write_json(target, {"b": 2, "a": 1})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": 1, "b": 2}
+        # sort_keys: stable, diff-friendly output.
+        assert text.index('"a"') < text.index('"b"')

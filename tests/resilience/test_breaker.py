@@ -1,0 +1,58 @@
+"""CircuitBreaker: per-shard failure counting over a stage ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import CircuitBreaker
+
+
+class TestLadder:
+    def test_starts_in_first_stage(self):
+        breaker = CircuitBreaker(stages=("vectorized", "scalar"))
+        assert breaker.stage("k") == "vectorized"
+        assert not breaker.is_open("k")
+
+    def test_retries_below_threshold(self):
+        breaker = CircuitBreaker(stages=("vectorized", "scalar"), failure_threshold=3)
+        assert breaker.record_failure("k") == "retry"
+        assert breaker.record_failure("k") == "retry"
+        assert breaker.stage("k") == "vectorized"
+
+    def test_degrades_at_threshold(self):
+        breaker = CircuitBreaker(stages=("vectorized", "scalar"), failure_threshold=2)
+        breaker.record_failure("k")
+        assert breaker.record_failure("k") == "degrade"
+        assert breaker.stage("k") == "scalar"
+
+    def test_opens_after_last_stage(self):
+        breaker = CircuitBreaker(stages=("vectorized", "scalar"), failure_threshold=1)
+        assert breaker.record_failure("k") == "degrade"
+        assert breaker.record_failure("k") == "open"
+        assert breaker.is_open("k")
+        assert breaker.stage("k") is None
+        # Further failures stay open.
+        assert breaker.record_failure("k") == "open"
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(stages=("a", "b"), failure_threshold=2)
+        breaker.record_failure("k")
+        breaker.record_success("k")
+        assert breaker.failures("k") == 0
+        assert breaker.record_failure("k") == "retry"
+
+    def test_shards_are_independent(self):
+        breaker = CircuitBreaker(stages=("a", "b"), failure_threshold=1)
+        breaker.record_failure("k1")
+        assert breaker.stage("k1") == "b"
+        assert breaker.stage("k2") == "a"
+
+
+class TestValidation:
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError, match="stages"):
+            CircuitBreaker(stages=())
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)

@@ -1,0 +1,100 @@
+"""ShardJournal: crash-safe recording and identity-checked resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import JournalError, ShardJournal
+
+META = {"kind": "trace", "seed": 7, "engine": "vectorized"}
+
+
+class TestRecordAndLoad:
+    def test_round_trip(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", {"records": [1, 2, 3]}, extra={"records": 3})
+        assert journal.has("system-2")
+        assert len(journal) == 1
+        assert journal.load("system-2") == {"records": [1, 2, 3]}
+        entry = journal.completed["system-2"]
+        assert entry["records"] == 3
+        assert entry["bytes"] > 0
+
+    def test_fresh_run_writes_meta(self, tmp_path):
+        run_dir = tmp_path / "run"
+        ShardJournal(run_dir, meta=META)
+        assert json.loads((run_dir / "meta.json").read_text()) == META
+
+    def test_fresh_run_clears_previous_journal(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = ShardJournal(run_dir, meta=META)
+        first.record("system-2", [1])
+        again = ShardJournal(run_dir, meta=META)  # no resume: start over
+        assert len(again) == 0
+        assert not (run_dir / "journal.jsonl").exists()
+
+    def test_keys_with_odd_characters_are_sanitized(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("sys/2:a b", "payload")
+        assert journal.load("sys/2:a b") == "payload"
+        (name,) = [entry["file"] for entry in journal.completed.values()]
+        assert "/" not in name and ":" not in name and " " not in name
+
+
+class TestResume:
+    def test_resume_sees_completed_shards(self, tmp_path):
+        run_dir = tmp_path / "run"
+        first = ShardJournal(run_dir, meta=META)
+        first.record("system-2", [10, 20])
+        first.record("system-13", [30])
+        resumed = ShardJournal(run_dir, meta=META, resume=True)
+        assert set(resumed.completed) == {"system-2", "system-13"}
+        assert resumed.load("system-2") == [10, 20]
+
+    def test_resume_without_meta_json_fails(self, tmp_path):
+        with pytest.raises(JournalError, match="does not exist"):
+            ShardJournal(tmp_path / "never-started", meta=META, resume=True)
+
+    def test_resume_with_changed_identity_fails(self, tmp_path):
+        run_dir = tmp_path / "run"
+        ShardJournal(run_dir, meta=META)
+        changed = dict(META, seed=8)
+        with pytest.raises(JournalError, match="seed"):
+            ShardJournal(run_dir, meta=changed, resume=True)
+
+    def test_resume_without_meta_accepts_stored(self, tmp_path):
+        run_dir = tmp_path / "run"
+        ShardJournal(run_dir, meta=META)
+        resumed = ShardJournal(run_dir, resume=True)
+        assert resumed.meta == META
+
+
+class TestCrashTolerance:
+    def test_truncated_trailing_line_is_ignored(self, tmp_path):
+        run_dir = tmp_path / "run"
+        journal = ShardJournal(run_dir, meta=META)
+        journal.record("system-2", [1])
+        with (run_dir / "journal.jsonl").open("a") as handle:
+            handle.write('{"shard": "system-13", "fi')  # crash mid-append
+        resumed = ShardJournal(run_dir, meta=META, resume=True)
+        assert set(resumed.completed) == {"system-2"}
+
+    def test_corrupt_shard_payload_detected(self, tmp_path):
+        run_dir = tmp_path / "run"
+        journal = ShardJournal(run_dir, meta=META)
+        journal.record("system-2", [1, 2])
+        (run_dir / "shards" / "system-2.pkl").write_bytes(b"garbage")
+        resumed = ShardJournal(run_dir, meta=META, resume=True)
+        with pytest.raises(JournalError, match="corrupt"):
+            resumed.load("system-2")
+
+    def test_missing_shard_payload_detected(self, tmp_path):
+        run_dir = tmp_path / "run"
+        journal = ShardJournal(run_dir, meta=META)
+        journal.record("system-2", [1, 2])
+        (run_dir / "shards" / "system-2.pkl").unlink()
+        resumed = ShardJournal(run_dir, meta=META, resume=True)
+        with pytest.raises(JournalError, match="unreadable"):
+            resumed.load("system-2")

@@ -1,0 +1,220 @@
+"""supervised_map: surviving crashed, hung and failing workers.
+
+These tests run real ``ProcessPoolExecutor`` pools with tiny tasks.
+Cross-process "fail only the first N times" coordination uses the same
+claim-file scheme as :mod:`repro.faults.process_ops`: a worker injects
+its failure only if it can exclusively create the next claim file.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    RunReport,
+    SupervisorError,
+    supervised_map,
+)
+
+FAST = RetryPolicy(base_delay=0.01, max_delay=0.05, max_attempts=3)
+
+
+def _claim(state_dir: str, times: int) -> bool:
+    for n in range(times):
+        try:
+            fd = os.open(
+                os.path.join(state_dir, f"claim-{n}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+# --- module-level tasks (must be picklable) ---------------------------
+
+def _square(payload):
+    return payload * payload
+
+
+def _flaky(payload):
+    value, state_dir, fail_times = payload
+    if _claim(state_dir, fail_times):
+        raise RuntimeError(f"transient failure for {value}")
+    return value * 10
+
+
+def _kill_self(payload):
+    value, state_dir, kill_times = payload
+    if _claim(state_dir, kill_times):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value + 100
+
+
+def _hang(payload):
+    value, state_dir, hang_times = payload
+    if _claim(state_dir, hang_times):
+        time.sleep(600)
+    return value + 7
+
+
+def _always_fails(payload):
+    raise ValueError("permanent defect")
+
+
+def _staged(payload):
+    value, stage = payload
+    if stage == "primary":
+        raise RuntimeError("primary engine broken")
+    return (value, stage)
+
+
+class TestHappyPath:
+    def test_maps_all_payloads(self):
+        results = supervised_map(_square, [1, 2, 3], workers=2, policy=FAST)
+        assert results == {"shard-0": 1, "shard-1": 4, "shard-2": 9}
+
+    def test_custom_keys_and_on_result(self):
+        seen = []
+        results = supervised_map(
+            _square,
+            [2, 3],
+            keys=["a", "b"],
+            workers=2,
+            policy=FAST,
+            on_result=lambda key, value: seen.append((key, value)),
+        )
+        assert results == {"a": 4, "b": 9}
+        assert sorted(seen) == [("a", 4), ("b", 9)]
+
+
+class TestRecovery:
+    def test_flaky_task_retried_to_success(self, tmp_path):
+        report = RunReport()
+        results = supervised_map(
+            _flaky,
+            [(i, str(tmp_path), 2) for i in range(4)],
+            keys=[f"s{i}" for i in range(4)],
+            workers=2,
+            policy=FAST,
+            report=report,
+        )
+        assert results == {f"s{i}": i * 10 for i in range(4)}
+        assert report.ok
+        retried = report.retried_shards
+        assert retried, "two injected failures must show up as retries"
+        for shard in retried:
+            assert shard.attempts[0].outcome == "error"
+            assert shard.attempts[0].backoff is not None
+            assert shard.attempts[-1].outcome == "ok"
+
+    def test_killed_worker_pool_respawned(self, tmp_path):
+        report = RunReport()
+        results = supervised_map(
+            _kill_self,
+            [(i, str(tmp_path), 2) for i in range(5)],
+            keys=[f"s{i}" for i in range(5)],
+            workers=2,
+            policy=FAST,
+            report=report,
+        )
+        assert results == {f"s{i}": i + 100 for i in range(5)}
+        crashes = [
+            attempt
+            for shard in report.shards.values()
+            for attempt in shard.attempts
+            if attempt.outcome == "crash"
+        ]
+        assert crashes, "worker kills must be recorded as crash attempts"
+        assert report.ok
+
+    def test_hung_worker_terminated_and_retried(self, tmp_path):
+        report = RunReport()
+        results = supervised_map(
+            _hang,
+            [(i, str(tmp_path), 1) for i in range(3)],
+            keys=[f"s{i}" for i in range(3)],
+            workers=2,
+            policy=FAST,
+            shard_timeout=1.5,
+            report=report,
+        )
+        assert results == {f"s{i}": i + 7 for i in range(3)}
+        timeouts = [
+            attempt
+            for shard in report.shards.values()
+            for attempt in shard.attempts
+            if attempt.outcome == "timeout"
+        ]
+        assert timeouts, "the hang must be recorded as a timeout attempt"
+
+
+class TestDegradationAndSkip:
+    def test_permanent_failure_becomes_structured_skip(self):
+        report = RunReport()
+        results = supervised_map(
+            _always_fails,
+            [0, 1],
+            keys=["bad-0", "bad-1"],
+            workers=2,
+            policy=RetryPolicy(base_delay=0.0, jitter=0.0, max_attempts=2),
+            report=report,
+        )
+        assert results == {"bad-0": None, "bad-1": None}
+        assert {s.shard for s in report.skipped_shards} == {"bad-0", "bad-1"}
+        assert not report.ok
+
+    def test_stage_ladder_degrades_payload(self):
+        report = RunReport()
+        breaker = CircuitBreaker(
+            stages=("primary", "fallback"), failure_threshold=1
+        )
+        results = supervised_map(
+            _staged,
+            [(1, "primary"), (2, "primary")],
+            keys=["a", "b"],
+            workers=2,
+            policy=RetryPolicy(base_delay=0.0, jitter=0.0, max_attempts=1),
+            breaker=breaker,
+            stage_payload=lambda payload, stage: (payload[0], stage),
+            report=report,
+        )
+        assert results == {"a": (1, "fallback"), "b": (2, "fallback")}
+        assert {s.shard for s in report.degraded_shards} == {"a", "b"}
+
+    def test_deadline_skips_remaining_shards(self):
+        report = RunReport()
+        results = supervised_map(
+            _always_fails,
+            [0],
+            keys=["slow"],
+            workers=2,
+            policy=RetryPolicy(
+                base_delay=0.0, jitter=0.0, max_attempts=100, deadline=0.001
+            ),
+            report=report,
+        )
+        assert results == {"slow": None}
+        assert report.shards["slow"].attempts[-1].outcome == "deadline"
+
+
+class TestValidation:
+    def test_bad_workers(self):
+        with pytest.raises(SupervisorError, match="workers"):
+            supervised_map(_square, [1], workers=0)
+
+    def test_mismatched_keys(self):
+        with pytest.raises(SupervisorError, match="keys"):
+            supervised_map(_square, [1, 2], keys=["only-one"], workers=1)
+
+    def test_duplicate_keys(self):
+        with pytest.raises(SupervisorError, match="unique"):
+            supervised_map(_square, [1, 2], keys=["x", "x"], workers=1)
