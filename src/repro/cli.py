@@ -97,8 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument(
         "--chaos", type=str, default=None, metavar="OP[:TIMES]",
-        help="fault-injection drill: inject process chaos into the "
-             "worker pool (kill-worker, hang-worker, slow-shard, "
+        help="fault-injection drill: inject process chaos into shard "
+             "generation (kill-worker, hang-worker, slow-shard, "
              "flaky-shard); testing/CI only",
     )
 
@@ -282,6 +282,13 @@ def _command_generate(args: argparse.Namespace) -> int:
     if args.chaos:
         from repro.faults import chaos_env
 
+        if args.workers == 1:
+            print(
+                "warning: --chaos with --workers 1 injects into the main "
+                "process; kill/hang operators will take down the run "
+                "itself (use --run-dir so --resume can finish it)",
+                file=sys.stderr,
+            )
         chaos = chaos_env(_parse_chaos(args.chaos, run_dir))
     with chaos:
         trace = generator.generate(

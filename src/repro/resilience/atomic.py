@@ -102,7 +102,12 @@ def atomic_write_bytes(path: PathLike, data: bytes) -> None:
     tmp = Path(tmp_name)
     try:
         try:
-            os.write(fd, data)
+            # os.write may write fewer bytes than asked (large shard
+            # payloads); loop so the temp file is complete before the
+            # fsync + rename publish it.
+            view = memoryview(data)
+            while view:
+                view = view[os.write(fd, view) :]
             os.fsync(fd)
         finally:
             os.close(fd)

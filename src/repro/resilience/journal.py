@@ -6,7 +6,7 @@ generation::
     <run_dir>/
       meta.json         # identity of the run (seed, config digest, ...)
       journal.jsonl     # one line per completed shard (append-only)
-      shards/<key>.pkl  # the shard's pickled payload (atomic write)
+      shards/<key>-<digest>.pkl  # the shard's pickled payload (atomic write)
       run_report.json   # written by the CLI after the run
 
 Shard payloads are written atomically *before* the journal line is
@@ -21,6 +21,7 @@ silently splicing incompatible shards together.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -42,8 +43,14 @@ class JournalError(RuntimeError):
     """The run directory is unusable (mismatched identity, corrupt shard)."""
 
 
-def _safe_name(key: str) -> str:
-    return _SAFE_KEY.sub("_", key)
+def _payload_name(key: str) -> str:
+    """Unique, filesystem-safe payload filename for a shard key.
+
+    Sanitizing alone can collide (``a/b`` and ``a_b`` both sanitize to
+    ``a_b``), so a short digest of the *raw* key disambiguates.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:8]
+    return f"{_SAFE_KEY.sub('_', key)}-{digest}.pkl"
 
 
 class ShardJournal:
@@ -94,11 +101,18 @@ class ShardJournal:
             self.meta = stored
             self._load_entries()
         else:
-            self.meta = dict(meta or {})
-            atomic_write_json(self.meta_path, self.meta)
-            # A fresh (non-resume) run invalidates any previous journal.
+            # Invalidate the previous run *before* establishing the new
+            # identity: a crash between the two steps then leaves either
+            # the old consistent state or a journal-less directory —
+            # never a fresh meta.json alongside an older run's journal,
+            # which a later --resume would happily splice together.
             if self.journal_path.exists():
                 self.journal_path.unlink()
+            for stale in self.shards_dir.glob("*.pkl"):
+                with contextlib.suppress(OSError):
+                    stale.unlink()
+            self.meta = dict(meta or {})
+            atomic_write_json(self.meta_path, self.meta)
 
     # -- loading -------------------------------------------------------
 
@@ -162,7 +176,7 @@ class ShardJournal:
     ) -> None:
         """Durably record a completed shard (payload first, then journal)."""
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        file_name = f"{_safe_name(key)}.pkl"
+        file_name = _payload_name(key)
         atomic_write_bytes(self.shards_dir / file_name, blob)
         entry: Dict[str, Any] = {
             "shard": key,

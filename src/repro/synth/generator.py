@@ -174,12 +174,6 @@ def _system_columns_task(payload: Tuple) -> _SystemColumns:
     what makes a *retried* shard byte-identical to a first-try one.
     """
     seed, config, systems, data_start, data_end, system_id, engine = payload
-    # Chaos hook for the fault-injection drills (no-op unless armed via
-    # the environment).  Imported lazily: repro.faults pulls in the
-    # report stack, which must not load at generator import time.
-    from repro.faults.process_ops import maybe_inject
-
-    maybe_inject(_shard_key(system_id))
     generator = TraceGenerator(
         seed=seed,
         config=config,
@@ -299,7 +293,10 @@ class TraceGenerator:
         supervision:
             Fault-tolerance knobs for the worker fan-out (retry policy,
             hang timeout, degradation ladder); defaults apply when
-            omitted.  The resulting
+            omitted.  Graceful degradation is opt-in: when omitted, a
+            shard that fails past every retry raises (serial and
+            parallel alike) instead of being skipped, so a bare run
+            never returns a silently incomplete trace.  The resulting
             :class:`~repro.resilience.report.RunReport` is available as
             :attr:`last_run_report`.
         journal:
@@ -459,8 +456,9 @@ class TraceGenerator:
                 f"unknown system id(s) {unknown}; inventory has "
                 f"{sorted(self.systems)}"
             )
-        # Degradation on the in-process path is opt-in: a bare serial
-        # run should raise on a genuine bug, not silently skip systems.
+        # Degradation (structured skips) is opt-in on *every* path: a
+        # bare run — serial or parallel — should raise on a genuine
+        # bug, not hand back a silently incomplete trace.
         explicit_supervision = supervision is not None
         supervision = (
             supervision if supervision is not None else SupervisionConfig()
@@ -517,11 +515,34 @@ class TraceGenerator:
                     pending, effective, engine, supervision, report, journal
                 )
             )
+            if not explicit_supervision and report.skipped_shards:
+                # Mirror the bare serial path, where the exception
+                # propagates directly: a caller who never asked for
+                # graceful degradation gets an error, not a trace
+                # missing systems (with silently renumbered records).
+                raise RuntimeError(self._describe_skips(report))
         return [
             results[system_id]
             for system_id in system_ids
             if results[system_id] is not None
         ]
+
+    @staticmethod
+    def _describe_skips(report: RunReport) -> str:
+        """Error message for shards that failed past every retry."""
+        details = []
+        for shard in report.skipped_shards:
+            last_error = next(
+                (a.error for a in reversed(shard.attempts) if a.error),
+                "no attempt recorded",
+            )
+            details.append(f"{shard.shard} ({last_error})")
+        return (
+            f"generation failed for {len(details)} shard(s) despite "
+            f"retries: {'; '.join(details)}; pass an explicit "
+            "SupervisionConfig to degrade or skip failing shards "
+            "instead of raising"
+        )
 
     def _shard_payload(self, system_id: int, engine: str) -> Tuple:
         return (
@@ -618,6 +639,14 @@ class TraceGenerator:
 
     def _system_columns(self, system_id: int, engine: str) -> _SystemColumns:
         """Generate one system's failures in columnar, node-major form."""
+        # Chaos hook for the fault-injection drills (no-op unless armed
+        # via the environment).  Placed here — the single per-shard
+        # execution point — so serial drills inject exactly like worker
+        # drills.  Imported lazily: repro.faults pulls in the report
+        # stack, which must not load at generator import time.
+        from repro.faults.process_ops import maybe_inject
+
+        maybe_inject(_shard_key(system_id))
         system = self.systems[system_id]
         config = self.config
         hardware_type = system.hardware_type

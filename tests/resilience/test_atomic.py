@@ -64,6 +64,18 @@ class TestAtomicWrite:
         assert target.read_bytes() == b"\x00\x01\x02"
         assert _no_tmp_litter(tmp_path)
 
+    def test_write_bytes_survives_partial_os_write(self, tmp_path, monkeypatch):
+        # os.write may consume fewer bytes than offered; the helper must
+        # loop, not fsync-and-publish a truncated temp file.
+        real_write = os.write
+        monkeypatch.setattr(
+            os, "write", lambda fd, data: real_write(fd, bytes(data)[:3])
+        )
+        target = tmp_path / "blob.bin"
+        payload = bytes(range(64))
+        atomic_write_bytes(target, payload)
+        assert target.read_bytes() == payload
+
     def test_write_json_stable(self, tmp_path):
         target = tmp_path / "report.json"
         atomic_write_json(target, {"b": 2, "a": 1})

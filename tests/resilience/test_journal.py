@@ -34,6 +34,32 @@ class TestRecordAndLoad:
         again = ShardJournal(run_dir, meta=META)  # no resume: start over
         assert len(again) == 0
         assert not (run_dir / "journal.jsonl").exists()
+        assert list((run_dir / "shards").glob("*.pkl")) == []
+
+    def test_fresh_run_invalidates_before_writing_identity(
+        self, tmp_path, monkeypatch
+    ):
+        # Crash ordering: if initialization dies while writing the new
+        # meta.json, the old journal must already be gone — otherwise a
+        # later --resume would splice the previous run's shards into a
+        # run with a different identity.
+        run_dir = tmp_path / "run"
+        first = ShardJournal(run_dir, meta=META)
+        first.record("system-2", [1])
+
+        def crash(path, payload):
+            raise RuntimeError("simulated crash during meta write")
+
+        monkeypatch.setattr(
+            "repro.resilience.journal.atomic_write_json", crash
+        )
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            ShardJournal(run_dir, meta=dict(META, seed=8))
+        assert not (run_dir / "journal.jsonl").exists()
+        # The directory still resumes consistently (old identity, no
+        # journaled shards) rather than cross-splicing.
+        resumed = ShardJournal(run_dir, meta=META, resume=True)
+        assert len(resumed) == 0
 
     def test_keys_with_odd_characters_are_sanitized(self, tmp_path):
         journal = ShardJournal(tmp_path / "run", meta=META)
@@ -41,6 +67,17 @@ class TestRecordAndLoad:
         assert journal.load("sys/2:a b") == "payload"
         (name,) = [entry["file"] for entry in journal.completed.values()]
         assert "/" not in name and ":" not in name and " " not in name
+
+    def test_colliding_sanitized_keys_get_distinct_payloads(self, tmp_path):
+        # "a/b" and "a_b" sanitize identically; the payload files must
+        # not overwrite each other.
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("a/b", "slash payload")
+        journal.record("a_b", "underscore payload")
+        files = {entry["file"] for entry in journal.completed.values()}
+        assert len(files) == 2
+        assert journal.load("a/b") == "slash payload"
+        assert journal.load("a_b") == "underscore payload"
 
 
 class TestResume:
@@ -85,7 +122,8 @@ class TestCrashTolerance:
         run_dir = tmp_path / "run"
         journal = ShardJournal(run_dir, meta=META)
         journal.record("system-2", [1, 2])
-        (run_dir / "shards" / "system-2.pkl").write_bytes(b"garbage")
+        payload = run_dir / "shards" / journal.completed["system-2"]["file"]
+        payload.write_bytes(b"garbage")
         resumed = ShardJournal(run_dir, meta=META, resume=True)
         with pytest.raises(JournalError, match="corrupt"):
             resumed.load("system-2")
@@ -94,7 +132,7 @@ class TestCrashTolerance:
         run_dir = tmp_path / "run"
         journal = ShardJournal(run_dir, meta=META)
         journal.record("system-2", [1, 2])
-        (run_dir / "shards" / "system-2.pkl").unlink()
+        (run_dir / "shards" / journal.completed["system-2"]["file"]).unlink()
         resumed = ShardJournal(run_dir, meta=META, resume=True)
         with pytest.raises(JournalError, match="unreadable"):
             resumed.load("system-2")

@@ -75,6 +75,28 @@ class TestAcceptanceChaosDrill:
         assert_traces_identical(small_trace, trace)
         assert generator.last_run_report.retried_shards
 
+    def test_bare_parallel_run_raises_instead_of_skipping(self):
+        # Without explicit supervision, a shard that fails past every
+        # retry must raise — not return a trace silently missing a
+        # system — mirroring the bare serial path.
+        spec = make_chaos("flaky-shard", times=1000, shards=("system-2",))
+        generator = TraceGenerator(seed=5)
+        with chaos_env(spec):
+            with pytest.raises(RuntimeError, match="system-2.*ChaosError"):
+                generator.generate([2, 13], workers=2)
+
+    def test_serial_chaos_injects_and_degrades(self):
+        # The chaos hook sits on the per-shard execution point, so a
+        # --workers 1 drill injects too (not a silent plain run).
+        spec = make_chaos("flaky-shard", times=1)
+        generator = TraceGenerator(seed=5)
+        with chaos_env(spec):
+            trace = generator.generate([2], supervision=FAST)
+        assert spec.injections() == 1
+        assert_traces_identical(TraceGenerator(seed=5).generate([2]), trace)
+        report = generator.last_run_report
+        assert [s.shard for s in report.degraded_shards] == ["system-2"]
+
     def test_exhausted_shard_becomes_structured_skip(self):
         # An unbounded injection budget on one shard defeats retries
         # *and* the scalar fallback: the breaker must open and the run
