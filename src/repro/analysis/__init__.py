@@ -87,12 +87,14 @@ from repro.analysis.burstiness import (
     index_of_dispersion,
 )
 from repro.analysis.comparison import MetricComparison, compare_traces, two_sample_ks
+from repro.analysis.errors import DegenerateSampleError
 from repro.analysis.hazard_study import HazardStudy, hazard_study
 from repro.analysis.outliers import NodeOutlier, find_node_outliers
 from repro.analysis.related import RELATED_STUDIES, RelatedStudy, literature_ranges
 from repro.analysis.summary import PaperSummary, summarize
 
 __all__ = [
+    "DegenerateSampleError",
     "CauseBreakdown",
     "breakdown_by_hardware_type",
     "downtime_breakdown_by_hardware_type",

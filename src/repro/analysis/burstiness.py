@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.records.trace import FailureTrace
 
 __all__ = ["Burst", "extract_bursts", "burst_size_distribution", "index_of_dispersion", "co_failure_ratio"]
@@ -114,17 +115,24 @@ def index_of_dispersion(
         raise ValueError(f"window must be positive, got {window_seconds}")
     starts = trace.start_times()
     if starts.size < 10:
-        raise ValueError("need at least 10 records")
+        raise DegenerateSampleError(
+            f"index of dispersion needs at least 10 records, got {starts.size}"
+        )
     span_start = trace.data_start
     n_windows = int((trace.data_end - span_start) // window_seconds)
     if n_windows < 2:
-        raise ValueError("observation window shorter than two count windows")
+        raise DegenerateSampleError(
+            "observation window shorter than two count windows"
+        )
     bins = ((starts - span_start) // window_seconds).astype(int)
     bins = bins[(bins >= 0) & (bins < n_windows)]
     counts = np.bincount(bins, minlength=n_windows).astype(float)
     mean = counts.mean()
     if mean == 0:
-        raise ValueError("no failures inside the observation window")
+        raise DegenerateSampleError(
+            "variance-to-mean ratio is undefined: no failures inside "
+            "the observation window (zero-mean counts)"
+        )
     return float(counts.var() / mean)
 
 
@@ -147,11 +155,13 @@ def co_failure_ratio(
     bursts = extract_bursts(trace, window)
     n = len(bursts)
     if n == 0:
-        raise ValueError("trace has no failures")
+        raise DegenerateSampleError("trace has no failures")
     in_a = sum(1 for burst in bursts if node_a in burst.node_ids)
     in_b = sum(1 for burst in bursts if node_b in burst.node_ids)
     if in_a == 0 or in_b == 0:
-        raise ValueError(f"node {node_a if in_a == 0 else node_b} never fails")
+        raise DegenerateSampleError(
+            f"node {node_a if in_a == 0 else node_b} never fails"
+        )
     together = sum(
         1
         for burst in bursts

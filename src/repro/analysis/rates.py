@@ -16,6 +16,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.records.system import HardwareType
 from repro.records.trace import FailureTrace
 
@@ -86,9 +87,16 @@ def failure_rates(trace: FailureTrace) -> List[SystemRate]:
 
 
 def _coefficient_of_variation(values: np.ndarray) -> float:
+    if values.size < 2:
+        raise DegenerateSampleError(
+            f"coefficient of variation needs >= 2 observations, "
+            f"got {values.size}"
+        )
     mean = float(np.mean(values))
     if mean == 0:
-        raise ValueError("zero-mean rate group")
+        raise DegenerateSampleError(
+            "coefficient of variation is undefined for a zero-mean group"
+        )
     return float(np.std(values) / mean)
 
 
@@ -102,7 +110,9 @@ def normalized_variability(trace: FailureTrace) -> Dict[str, float]:
     """
     rates = [rate for rate in failure_rates(trace) if rate.failures > 0]
     if len(rates) < 2:
-        raise ValueError("need at least 2 systems with failures")
+        raise DegenerateSampleError(
+            f"need at least 2 systems with failures, got {len(rates)}"
+        )
     raw = np.array([rate.per_year for rate in rates])
     normalized = np.array([rate.per_year_per_proc for rate in rates])
     result = {
@@ -129,7 +139,9 @@ def rate_size_correlation(trace: FailureTrace) -> float:
     """
     rates = [rate for rate in failure_rates(trace) if rate.failures > 0]
     if len(rates) < 3:
-        raise ValueError("need at least 3 systems with failures")
+        raise DegenerateSampleError(
+            f"need at least 3 systems with failures, got {len(rates)}"
+        )
     x = np.array([math.log(rate.processors) for rate in rates])
     y = np.array([math.log(rate.per_year) for rate in rates])
     return float(np.corrcoef(x, y)[0, 1])

@@ -24,7 +24,12 @@ import numpy as np
 from repro import __version__
 from repro.synth import TraceGenerator
 
-__all__ = ["run_benchmark", "check_against_baseline", "QUICK_SYSTEMS"]
+__all__ = [
+    "run_benchmark",
+    "check_against_baseline",
+    "measure_obs_overhead",
+    "QUICK_SYSTEMS",
+]
 
 #: Quick-mode subset: one large (20), one mid (2), one small (13) system.
 QUICK_SYSTEMS = (2, 13, 20)
@@ -126,6 +131,62 @@ def run_benchmark(
     if not quick:
         report["full"] = _suite(generator, None, workers, repeats)
     return report
+
+
+def measure_obs_overhead(
+    seed: int = 1,
+    systems: Sequence[int] = QUICK_SYSTEMS,
+    threshold: float = 0.02,
+) -> Dict[str, Any]:
+    """Bound the cost of *disabled* observability on the generator.
+
+    The guard multiplies the number of instrumentation sites a quick
+    generate actually hits (counted from a traced run) by the measured
+    cost of one disabled :func:`repro.obs.span` call, and expresses the
+    product as a fraction of the disabled generate's wall time.  That
+    product is what the fast path can possibly cost — and unlike
+    differencing two full-run timings, each factor is individually
+    stable, so the guard doesn't flap on machine noise.
+
+    Returns a dict with the measurements and ``ok`` (overhead within
+    ``threshold``, default 2%).
+    """
+    from repro import obs
+
+    generator = TraceGenerator(seed=seed)
+    system_ids = list(systems)
+    generator.generate(system_ids)  # warm caches/imports
+    start = time.perf_counter()
+    generator.generate(system_ids)
+    disabled_seconds = time.perf_counter() - start
+
+    tracer = obs.Tracer(run_id="obs-guard")
+    registry = obs.MetricsRegistry()
+    with obs.observing(tracer, registry):
+        generator.generate(system_ids)
+    spans_per_generate = len(tracer.events)
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench.noop", site=1):
+            pass
+    noop_cost = (time.perf_counter() - start) / calls
+
+    overhead = (
+        spans_per_generate * noop_cost / disabled_seconds
+        if disabled_seconds > 0
+        else 0.0
+    )
+    return {
+        "systems": system_ids,
+        "spans_per_generate": spans_per_generate,
+        "noop_span_cost_ns": round(noop_cost * 1e9, 1),
+        "disabled_seconds": round(disabled_seconds, 4),
+        "overhead_fraction": round(overhead, 6),
+        "threshold": threshold,
+        "ok": overhead <= threshold,
+    }
 
 
 def check_against_baseline(

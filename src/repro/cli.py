@@ -14,6 +14,9 @@
     python -m repro ingest dirty.csv --mode lenient --quarantine dead.jsonl
     python -m repro chaos --synthetic --rate 0.05
     python -m repro bench --quick --out BENCH_generator.json
+    python -m repro generate --seed 1 --out t.csv --trace trace.jsonl --metrics
+    python -m repro profile --systems 2,13,20 --workers 2 --top 10
+    python -m repro profile --trace trace.jsonl --validate
     python -m repro schema
 
 Every subcommand that reads a trace accepts either a CSV/JSONL path or
@@ -100,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection drill: inject process chaos into shard "
              "generation (kill-worker, hang-worker, slow-shard, "
              "flaky-shard); testing/CI only",
+    )
+    generate.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="enable tracing and write the span/metric event stream "
+             "as JSONL to this path (worker spans are merged in)",
+    )
+    generate.add_argument(
+        "--metrics", action="store_true",
+        help="enable the metrics registry and print its summary",
     )
 
     for name, help_text in (
@@ -216,6 +228,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.25,
         help="allowed fractional speedup regression for --check",
     )
+    bench.add_argument(
+        "--obs-guard", action="store_true",
+        help="assert that disabled observability costs <= 2%% of a "
+             "quick generate (runs instead of the throughput suites "
+             "unless combined with them)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a scaled workload under tracing and print the span "
+             "tree and top hotspots",
+    )
+    profile.add_argument("--seed", type=int, default=1, help="generator seed")
+    profile.add_argument(
+        "--systems", type=str, default="2,13,20",
+        help="comma-separated system IDs for the profiling workload",
+    )
+    profile.add_argument(
+        "--engine", choices=("vectorized", "scalar"), default=None,
+        help="generation engine to profile",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (worker spans are merged into the trace)",
+    )
+    profile.add_argument(
+        "--report", action="store_true",
+        help="also profile the paper report over the generated trace",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, help="number of hotspots to print"
+    )
+    profile.add_argument(
+        "--max-depth", type=int, default=None,
+        help="limit the printed span tree to this depth",
+    )
+    profile.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="also write the trace JSONL here",
+    )
+    profile.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="analyze an existing trace JSONL instead of running a workload",
+    )
+    profile.add_argument(
+        "--validate", action="store_true",
+        help="validate the trace against the schema (exit 1 on problems)",
+    )
 
     sub.add_parser("schema", help="print the trace CSV schema")
     # --verbose is accepted before or after the subcommand; SUPPRESS
@@ -256,6 +316,7 @@ def _command_generate(args: argparse.Namespace) -> int:
     import contextlib
     from pathlib import Path
 
+    from repro import obs
     from repro.io import write_jsonl, write_lanl_csv
     from repro.resilience import RetryPolicy, ShardJournal
     from repro.synth import SupervisionConfig, TraceGenerator
@@ -290,21 +351,63 @@ def _command_generate(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         chaos = chaos_env(_parse_chaos(args.chaos, run_dir))
-    with chaos:
-        trace = generator.generate(
-            system_ids,
-            workers=args.workers,
-            engine=args.engine,
-            supervision=supervision,
-            journal=journal,
-        )
-    if args.format == "jsonl":
-        count = write_jsonl(trace, args.out)
-    else:
-        count = write_lanl_csv(trace, args.out)
+    # Observability is opt-in (--trace / --metrics): a tracer + metrics
+    # registry are installed for the whole command, and worker-process
+    # tracing is armed through a spool directory (under --run-dir when
+    # given, else a temp dir that outlives the worker pool).
+    observability = bool(args.trace or args.metrics)
+    tracer = None
+    registry = None
+    with contextlib.ExitStack() as stack:
+        if observability:
+            import tempfile
+
+            tracer = obs.Tracer(run_id=f"generate:seed={args.seed}")
+            registry = obs.MetricsRegistry()
+            if run_dir is not None:
+                spool = run_dir / "obs-spool"
+            else:
+                spool = Path(
+                    stack.enter_context(
+                        tempfile.TemporaryDirectory(prefix="repro-obs-")
+                    )
+                )
+            stack.enter_context(obs.observing(tracer, registry, spool=spool))
+            stack.enter_context(
+                obs.span(
+                    "repro.generate",
+                    seed=args.seed,
+                    workers=args.workers,
+                    out=args.out,
+                )
+            )
+        with chaos:
+            trace = generator.generate(
+                system_ids,
+                workers=args.workers,
+                engine=args.engine,
+                supervision=supervision,
+                journal=journal,
+            )
+        with obs.span("io.write", path=args.out, format=args.format):
+            if args.format == "jsonl":
+                count = write_jsonl(trace, args.out)
+            else:
+                count = write_lanl_csv(trace, args.out)
     print(f"wrote {count} records to {args.out}")
+    if tracer is not None and args.trace:
+        lines = tracer.write(args.trace, metrics=registry)
+        print(f"wrote trace ({lines} events) to {args.trace}")
+    if registry is not None and args.metrics:
+        print(registry.describe())
     report = generator.last_run_report
     if report is not None:
+        if tracer is not None:
+            report.meta["observability"] = {
+                "trace": args.trace,
+                "spans": len(tracer.events),
+                "metrics": len(registry) if registry is not None else 0,
+            }
         if run_dir is not None:
             report.write(run_dir / "run_report.json")
             print(f"wrote {run_dir / 'run_report.json'}")
@@ -513,15 +616,88 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0 if report.survived else 1
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+    from pathlib import Path
+
+    from repro import obs
+    from repro.obs import profile as profile_mod
+    from repro.obs import schema as schema_mod
+
+    registry = None
+    if args.trace:
+        events = schema_mod.read_trace_file(Path(args.trace))
+    else:
+        from repro.synth import TraceGenerator
+
+        system_ids = None
+        if args.systems:
+            system_ids = [int(part) for part in args.systems.split(",") if part]
+        tracer = obs.Tracer(run_id=f"profile:seed={args.seed}")
+        registry = obs.MetricsRegistry()
+        with contextlib.ExitStack() as stack:
+            spool = Path(
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-obs-")
+                )
+            )
+            stack.enter_context(obs.observing(tracer, registry, spool=spool))
+            with obs.span(
+                "repro.profile", seed=args.seed, workers=args.workers
+            ):
+                trace = TraceGenerator(seed=args.seed).generate(
+                    system_ids, workers=args.workers, engine=args.engine
+                )
+                if args.report:
+                    from repro.report import run_paper_report
+
+                    run_paper_report(trace)
+        events = tracer.to_events(registry)
+        if args.out:
+            tracer.write(args.out, metrics=registry)
+            print(f"wrote {args.out}")
+    if args.validate:
+        problems = schema_mod.validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            return 1
+        print(f"schema OK: {len(events)} events")
+    print(profile_mod.format_span_tree(events, max_depth=args.max_depth))
+    print()
+    print(profile_mod.format_hotspots(events, top=args.top))
+    if registry is not None and len(registry):
+        print()
+        print(registry.describe())
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.benchmark import (
         check_against_baseline,
         format_report,
+        measure_obs_overhead,
         run_benchmark,
         write_report,
     )
+
+    if args.obs_guard:
+        guard = measure_obs_overhead(seed=args.seed)
+        print(
+            "observability overhead guard: "
+            f"{guard['spans_per_generate']} span sites x "
+            f"{guard['noop_span_cost_ns']:.0f}ns disabled cost = "
+            f"{100 * guard['overhead_fraction']:.3f}% of a "
+            f"{guard['disabled_seconds']:.3f}s generate "
+            f"(threshold {100 * guard['threshold']:.0f}%)"
+        )
+        if not guard["ok"]:
+            print("REGRESSION: disabled observability overhead above threshold")
+            return 1
+        return 0
 
     report = run_benchmark(
         seed=args.seed,
@@ -574,6 +750,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "ingest": _command_ingest,
         "chaos": _command_chaos,
         "bench": _command_bench,
+        "profile": _command_profile,
         "schema": _command_schema,
     }
     try:

@@ -70,6 +70,8 @@ def ingest_trace(
     systems / data_start / data_end:
         Forwarded to the underlying reader.
     """
+    from repro import obs
+
     if policy is None:
         policy = IngestPolicy()
     if format not in ("auto", "csv", "jsonl"):
@@ -82,16 +84,22 @@ def ingest_trace(
         policy=policy,
         report=report,
     )
-    if mapping is not None:
-        from repro.io.mapped import read_mapped_csv
+    with obs.span(
+        "ingest", source=str(path), mode=policy.mode, format=format
+    ) as span:
+        if mapping is not None:
+            from repro.io.mapped import read_mapped_csv
 
-        trace = read_mapped_csv(path, mapping, **kwargs)
-    elif (format if format != "auto" else detect_format(path)) == "jsonl":
-        from repro.io.jsonl_format import read_jsonl
+            trace = read_mapped_csv(path, mapping, **kwargs)
+        elif (format if format != "auto" else detect_format(path)) == "jsonl":
+            from repro.io.jsonl_format import read_jsonl
 
-        trace = read_jsonl(path, **kwargs)
-    else:
-        from repro.io.csv_format import read_lanl_csv
+            trace = read_jsonl(path, **kwargs)
+        else:
+            from repro.io.csv_format import read_lanl_csv
 
-        trace = read_lanl_csv(path, **kwargs)
+            trace = read_lanl_csv(path, **kwargs)
+        span.add("rows_read", report.rows_read)
+        span.add("rows_kept", report.rows_kept)
+        span.add("rows_quarantined", report.rows_quarantined)
     return IngestResult(trace=trace, report=report)

@@ -436,6 +436,15 @@ class RowPipeline:
         """
         self.close()
         report = self.report
+        # Observability: mirror the row accounting into the active
+        # metrics registry (a throwaway when observability is off).
+        from repro import obs
+
+        registry = obs.metrics()
+        registry.counter("ingest.rows_read").add(report.rows_read)
+        registry.counter("ingest.rows_kept").add(report.rows_kept)
+        registry.counter("ingest.rows_quarantined").add(report.rows_quarantined)
+        registry.counter("ingest.rows_repaired").add(report.rows_repaired)
         if report.rows_read > 0 and report.error_rate > self.policy.max_error_rate:
             raise SchemaError(
                 f"{report.source}: error budget exceeded — "

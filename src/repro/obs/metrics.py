@@ -1,0 +1,201 @@
+"""Metrics registry: counters, gauges and log-bucket histograms.
+
+A :class:`MetricsRegistry` aggregates named metrics during a run and
+renders them deterministically: metrics are reported sorted by name,
+and histograms use a **fixed log-scale bucket table** (data-independent
+boundaries), so two runs over the same workload produce byte-identical
+metric output regardless of timing or scheduling.
+
+Three kinds:
+
+* :class:`Counter` — monotonically accumulating total (rows read,
+  records generated).
+* :class:`Gauge` — last-written value (effective worker count).
+* :class:`Histogram` — distribution of observations over fixed
+  log-scale buckets (4 per decade across 1e-6..1e9), plus exact count,
+  sum, min and max.
+
+Stdlib-only; see :mod:`repro.obs.tracer` for the companion span model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "BUCKET_EDGES"]
+
+#: Fixed histogram bucket boundaries: 4 buckets per decade over
+#: [1e-6, 1e9).  Values below the table (including <= 0) land in the
+#: underflow bucket, values at or above the top in the overflow bucket.
+#: Being data-independent is what makes histogram output deterministic
+#: across runs.
+BUCKET_EDGES: List[float] = [10.0 ** (k / 4.0) for k in range(-24, 37)]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        """Accumulate; negative amounts are rejected (use a Gauge)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+    def to_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins sampled value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_value(self) -> Optional[float]:
+        return self.value
+
+
+def _edge_label(index: int) -> str:
+    """Human-readable label for bucket ``index`` (see :data:`BUCKET_EDGES`)."""
+    if index == 0:
+        return f"..{BUCKET_EDGES[0]:.3g}"
+    if index == len(BUCKET_EDGES):
+        return f"{BUCKET_EDGES[-1]:.3g}.."
+    return f"{BUCKET_EDGES[index - 1]:.3g}..{BUCKET_EDGES[index]:.3g}"
+
+
+class Histogram:
+    """Observation distribution over the fixed log-scale bucket table."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        # Sparse: bucket index -> count.  Index 0 is underflow,
+        # len(BUCKET_EDGES) is overflow.
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        index = bisect_right(BUCKET_EDGES, value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def to_value(self) -> Dict[str, Any]:
+        """Deterministic JSON-able summary (buckets sorted, sparse)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": {
+                _edge_label(index): self._buckets[index]
+                for index in sorted(self._buckets)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    A name belongs to exactly one kind: asking for an existing name as
+    a different kind raises, which catches instrumentation typos early.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Any]:
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    @staticmethod
+    def _kind(metric: Any) -> str:
+        return type(metric).__name__.lower()
+
+    def to_dict(self) -> Dict[str, Dict[str, Any]]:
+        """``{kind: {name: value}}`` with names sorted within kinds."""
+        result: Dict[str, Dict[str, Any]] = {}
+        for metric in self:
+            result.setdefault(self._kind(metric), {})[metric.name] = metric.to_value()
+        return result
+
+    def to_events(self) -> List[Dict[str, Any]]:
+        """One ``metric`` event per metric, sorted by name.
+
+        These are the trailing lines of a trace JSONL file, after the
+        span events.
+        """
+        return [
+            {
+                "type": "metric",
+                "kind": self._kind(metric),
+                "name": metric.name,
+                "value": metric.to_value(),
+            }
+            for metric in self
+        ]
+
+    def describe(self) -> str:
+        """Human-readable, deterministic one-screen summary."""
+        if not self._metrics:
+            return "metrics: (none recorded)"
+        lines = [f"metrics: {len(self._metrics)} recorded"]
+        for metric in self:
+            kind = self._kind(metric)
+            if isinstance(metric, Histogram):
+                value = metric.to_value()
+                lines.append(
+                    f"  {metric.name} ({kind}): n={value['count']} "
+                    f"sum={value['sum']:.6g} min={value['min']} "
+                    f"max={value['max']}"
+                )
+                for label, count in value["buckets"].items():
+                    lines.append(f"    [{label}): {count}")
+            else:
+                lines.append(f"  {metric.name} ({kind}): {metric.to_value()}")
+        return "\n".join(lines)

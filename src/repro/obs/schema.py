@@ -1,0 +1,170 @@
+"""Trace JSONL schema validation.
+
+A trace file is newline-delimited JSON with exactly one ``header``
+line first, followed by ``span`` events (close order: within a stream,
+children precede their parent) and then ``metric`` events:
+
+``header``
+    ``{"type": "header", "kind": "repro-trace", "schema": 1,
+    "stream": str, "run_id": str}``
+
+``span``
+    ``{"type": "span", "id": str, "parent": str | null, "name": str,
+    "depth": int, "wall_s": float, "cpu_s": float,
+    "status": "ok" | "error", "attrs": object, "counters": object}``
+    plus ``error: str`` when status is ``error``.  Every non-null
+    ``parent`` must reference another span in the file with
+    ``depth == parent.depth + 1``; null-parent spans must sit at
+    depth 0.
+
+``metric``
+    ``{"type": "metric", "kind": "counter" | "gauge" | "histogram",
+    "name": str, "value": any}``
+
+:func:`validate_events` returns a list of human-readable problems
+(empty means valid); the CI observability smoke job runs it over a
+freshly generated trace via ``repro profile --trace ... --validate``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.obs.tracer import SCHEMA_VERSION, TRACE_KIND
+
+__all__ = ["validate_events", "read_trace_file", "validate_trace_file"]
+
+_SPAN_STATUSES = ("ok", "error")
+_METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+def _check_span(event: Dict[str, Any], line: int, problems: List[str]) -> None:
+    for key, kinds in (
+        ("id", str), ("name", str), ("depth", int),
+        ("wall_s", (int, float)), ("cpu_s", (int, float)),
+        ("attrs", dict), ("counters", dict),
+    ):
+        if key not in event:
+            problems.append(f"line {line}: span missing field {key!r}")
+        elif not isinstance(event[key], kinds) or isinstance(event[key], bool):
+            problems.append(
+                f"line {line}: span field {key!r} has type "
+                f"{type(event[key]).__name__}"
+            )
+    parent = event.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        problems.append(f"line {line}: span parent must be a string or null")
+    status = event.get("status")
+    if status not in _SPAN_STATUSES:
+        problems.append(f"line {line}: span status {status!r} not in {_SPAN_STATUSES}")
+    if status == "error" and not event.get("error"):
+        problems.append(f"line {line}: error span missing 'error' message")
+    for key in ("wall_s", "cpu_s"):
+        value = event.get(key)
+        if isinstance(value, (int, float)) and value < 0:
+            problems.append(f"line {line}: span {key} is negative ({value})")
+
+
+def validate_events(events: List[Dict[str, Any]]) -> List[str]:
+    """Validate a parsed trace event stream; returns problems found."""
+    problems: List[str] = []
+    if not events:
+        return ["trace is empty (no header line)"]
+
+    header = events[0]
+    if header.get("type") != "header":
+        problems.append("first event is not a header line")
+    else:
+        if header.get("kind") != TRACE_KIND:
+            problems.append(
+                f"header kind {header.get('kind')!r} != {TRACE_KIND!r}"
+            )
+        if header.get("schema") != SCHEMA_VERSION:
+            problems.append(
+                f"header schema {header.get('schema')!r} != {SCHEMA_VERSION}"
+            )
+
+    # First pass: per-event shape, id uniqueness, section ordering.
+    spans: Dict[str, Dict[str, Any]] = {}
+    seen_metric = False
+    for offset, event in enumerate(events[1:], start=2):
+        etype = event.get("type")
+        if etype == "header":
+            problems.append(f"line {offset}: duplicate header line")
+        elif etype == "span":
+            if seen_metric:
+                problems.append(
+                    f"line {offset}: span event after metric events"
+                )
+            _check_span(event, offset, problems)
+            span_id = event.get("id")
+            if isinstance(span_id, str):
+                if span_id in spans:
+                    problems.append(f"line {offset}: duplicate span id {span_id!r}")
+                else:
+                    spans[span_id] = event
+        elif etype == "metric":
+            seen_metric = True
+            if event.get("kind") not in _METRIC_KINDS:
+                problems.append(
+                    f"line {offset}: metric kind {event.get('kind')!r} "
+                    f"not in {_METRIC_KINDS}"
+                )
+            if not isinstance(event.get("name"), str):
+                problems.append(f"line {offset}: metric missing string name")
+            if "value" not in event:
+                problems.append(f"line {offset}: metric missing value")
+        else:
+            problems.append(f"line {offset}: unknown event type {etype!r}")
+
+    # Second pass: parent links resolve and depths are consistent.
+    for offset, event in enumerate(events[1:], start=2):
+        if event.get("type") != "span":
+            continue
+        parent = event.get("parent")
+        depth = event.get("depth")
+        if parent is None:
+            if depth != 0:
+                problems.append(
+                    f"line {offset}: root span has depth {depth}, expected 0"
+                )
+        elif isinstance(parent, str):
+            parent_event = spans.get(parent)
+            if parent_event is None:
+                problems.append(
+                    f"line {offset}: parent {parent!r} not found in trace"
+                )
+            elif isinstance(depth, int) and isinstance(
+                parent_event.get("depth"), int
+            ) and depth != parent_event["depth"] + 1:
+                problems.append(
+                    f"line {offset}: depth {depth} != parent depth "
+                    f"{parent_event['depth']} + 1"
+                )
+    return problems
+
+
+def read_trace_file(path: Path) -> List[Dict[str, Any]]:
+    """Parse a trace JSONL file into its event list."""
+    events: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: line {number} is not JSON: {exc}") from exc
+    return events
+
+
+def validate_trace_file(path: Path) -> List[str]:
+    """Read and validate a trace file; returns problems found."""
+    try:
+        events = read_trace_file(path)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    return validate_events(events)

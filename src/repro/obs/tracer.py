@@ -1,0 +1,403 @@
+"""Hierarchical tracing spans over a flat JSONL event stream.
+
+A :class:`Tracer` records **spans** — named, nested regions of work
+with wall/CPU time, context attributes and counters.  Spans form a
+tree (the currently open span is the parent of any span opened inside
+it), but the on-disk representation is deliberately *flat*: one JSON
+object per line, each carrying its own ``id``, ``parent`` and
+``depth``, so the exact nesting is reconstructable from the stream
+alone (:func:`repro.obs.profile.build_span_tree`) and streams from
+several processes can be merged without rewriting structure.
+
+Design constraints, in order:
+
+* **Zero overhead when off.**  Instrumentation sites call
+  :func:`repro.obs.span`, which returns the shared :data:`NULL_SPAN`
+  singleton when no tracer is active — one module-global read and no
+  allocation beyond the call's kwargs.  The generator bench guard
+  (:func:`repro.benchmark.measure_obs_overhead`) asserts the disabled
+  fast path costs <= 2% of a generation run.
+* **Determinism.**  Span ids are ``"<stream>:<seq>"`` with ``seq``
+  assigned in span *open* order, which is a pure function of the
+  instrumented code path — never of wall-clock time or scheduling.
+  Only the ``wall_s``/``cpu_s`` fields vary between runs.
+* **Mergeable worker streams.**  A worker process traces into its own
+  stream (named after its shard key) and spools the events to a file;
+  the parent grafts each spool under the matching attempt span with
+  :meth:`Tracer.graft`, keyed by shard — not by completion time — so
+  the merged trace is stable across process schedules.
+
+The module is dependency-free (stdlib only) and must stay importable
+without pulling in the rest of the toolkit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TRACE_KIND",
+    "SPOOL_ENV_VAR",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "spool_dir",
+    "spool_path",
+    "write_spool",
+    "load_spool_events",
+]
+
+#: Version stamped into the trace header; bump on breaking schema change.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` discriminator in the trace header line.
+TRACE_KIND = "repro-trace"
+
+#: Environment variable carrying the worker spool directory.  Worker
+#: processes inherit the parent's environment, so arming tracing before
+#: the pool spawns reaches every worker with no payload plumbing — the
+#: same mechanism :mod:`repro.faults.process_ops` uses for chaos.
+SPOOL_ENV_VAR = "REPRO_OBS_SPOOL"
+
+_SAFE_KEY = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+class _NullSpan:
+    """The shared no-op span returned while tracing is disabled.
+
+    Supports the full :class:`Span` surface (context manager, ``set``,
+    ``add``) so instrumentation sites never branch on whether tracing
+    is on.  A single instance is reused for every call.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def add(self, key: str, amount: int = 1) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One open region of work; emits a single event when it closes.
+
+    Obtained from :meth:`Tracer.span` (or :func:`repro.obs.span`) and
+    used as a context manager.  Mutators return ``self`` so they chain.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "attrs", "counters",
+        "span_id", "parent_id", "depth",
+        "_wall0", "_cpu0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.counters: Dict[str, float] = {}
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self.depth = 0
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach (or overwrite) a context attribute."""
+        self.attrs[key] = value
+        return self
+
+    def add(self, key: str, amount: int = 1) -> "Span":
+        """Increment one of the span's counters."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._begin(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        error = ""
+        if exc_type is not None:
+            error = f"{exc_type.__name__}: {exc}"
+        self._tracer._finish(self, wall, cpu, error)
+        return False
+
+
+class Tracer:
+    """Collects span events for one process (one *stream*).
+
+    Parameters
+    ----------
+    stream:
+        Stream label prefixed onto every span id.  The parent process
+        uses ``"main"``; worker processes use their shard key, which
+        keeps ids globally unique after a merge.
+    run_id:
+        Free-form run identity stamped into the trace header.
+    """
+
+    def __init__(self, stream: str = "main", run_id: str = "") -> None:
+        self.stream = stream
+        self.run_id = run_id
+        #: Completed span events, in close order (children before
+        #: parents within a stream; grafted subtrees after the span
+        #: they were grafted under).
+        self.events: List[Dict[str, Any]] = []
+        self._stack: List[Span] = []
+        self._seq = 0
+        self._depths: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span; open it with ``with``."""
+        return Span(self, name, attrs)
+
+    def _begin(self, span: Span) -> None:
+        span.span_id = f"{self.stream}:{self._seq}"
+        self._seq += 1
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+            span.depth = parent.depth + 1
+        else:
+            span.parent_id = None
+            span.depth = 0
+        self._depths[span.span_id] = span.depth
+        self._stack.append(span)
+
+    def _finish(self, span: Span, wall: float, cpu: float, error: str) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order "
+                f"(open stack: {[s.name for s in self._stack]})"
+            )
+        self._stack.pop()
+        self.events.append(_span_event(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            depth=span.depth,
+            wall_s=wall,
+            cpu_s=cpu,
+            attrs=span.attrs,
+            counters=span.counters,
+            error=error,
+        ))
+
+    def emit(
+        self,
+        name: str,
+        *,
+        wall_s: float = 0.0,
+        cpu_s: float = 0.0,
+        attrs: Optional[Dict[str, Any]] = None,
+        counters: Optional[Dict[str, float]] = None,
+        status: str = "ok",
+        error: str = "",
+    ) -> str:
+        """Record an already-measured span without opening a region.
+
+        Used for work that happened elsewhere (a worker attempt timed
+        by the supervisor).  The span nests under the currently open
+        span, if any.  Returns the new span's id so subtrees can be
+        grafted under it.
+        """
+        if self._stack:
+            parent = self._stack[-1]
+            parent_id: Optional[str] = parent.span_id
+            depth = parent.depth + 1
+        else:
+            parent_id = None
+            depth = 0
+        span_id = f"{self.stream}:{self._seq}"
+        self._seq += 1
+        self._depths[span_id] = depth
+        event = _span_event(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            depth=depth,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            attrs=dict(attrs or {}),
+            counters=dict(counters or {}),
+            error=error,
+        )
+        event["status"] = "error" if error else status
+        self.events.append(event)
+        return span_id
+
+    def graft(self, events: Iterable[Dict[str, Any]], parent_id: str) -> None:
+        """Merge a foreign stream's span events under ``parent_id``.
+
+        Roots of the foreign stream (``parent: null``) are re-parented
+        onto ``parent_id`` and every depth is shifted below it; other
+        parent links and all ids are preserved (foreign streams carry
+        their own id prefix, so ids cannot collide with this stream's).
+        """
+        if parent_id not in self._depths:
+            raise KeyError(f"unknown graft parent {parent_id!r}")
+        base_depth = self._depths[parent_id] + 1
+        for event in events:
+            if event.get("type") != "span":
+                continue
+            merged = dict(event)
+            if merged.get("parent") is None:
+                merged["parent"] = parent_id
+            merged["depth"] = int(merged["depth"]) + base_depth
+            self._depths[str(merged["id"])] = int(merged["depth"])
+            self.events.append(merged)
+
+    # -- output --------------------------------------------------------
+
+    @property
+    def open_spans(self) -> List[str]:
+        """Names of the currently open (unfinished) spans, outermost first."""
+        return [span.name for span in self._stack]
+
+    def header(self) -> Dict[str, Any]:
+        """The trace's header line (always the first event written)."""
+        return {
+            "type": "header",
+            "kind": TRACE_KIND,
+            "schema": SCHEMA_VERSION,
+            "stream": self.stream,
+            "run_id": self.run_id,
+        }
+
+    def to_events(self, metrics: Optional[Any] = None) -> List[Dict[str, Any]]:
+        """Header + span events (+ metric events from a registry)."""
+        events = [self.header()]
+        events.extend(self.events)
+        if metrics is not None:
+            events.extend(metrics.to_events())
+        return events
+
+    def write(self, path: os.PathLike, metrics: Optional[Any] = None) -> int:
+        """Write the trace as JSONL (atomically); returns the line count.
+
+        The file starts with the header line, then span events in
+        recorded order, then one ``metric`` line per registered metric.
+        """
+        from repro.resilience.atomic import atomic_write_bytes
+
+        lines = [
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self.to_events(metrics)
+        ]
+        blob = ("\n".join(lines) + "\n").encode("utf-8")
+        atomic_write_bytes(Path(path), blob)
+        return len(lines)
+
+
+def _span_event(
+    *,
+    span_id: str,
+    parent_id: Optional[str],
+    name: str,
+    depth: int,
+    wall_s: float,
+    cpu_s: float,
+    attrs: Dict[str, Any],
+    counters: Dict[str, float],
+    error: str,
+) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "type": "span",
+        "id": span_id,
+        "parent": parent_id,
+        "name": name,
+        "depth": depth,
+        "wall_s": round(float(wall_s), 9),
+        "cpu_s": round(float(cpu_s), 9),
+        "status": "error" if error else "ok",
+        "attrs": attrs,
+        "counters": counters,
+    }
+    if error:
+        event["error"] = error
+    return event
+
+
+# ---------------------------------------------------------------------------
+# Worker spool: shard-keyed event files merged by the supervisor
+# ---------------------------------------------------------------------------
+
+
+def spool_dir() -> Optional[Path]:
+    """The armed spool directory, or None when worker tracing is off."""
+    value = os.environ.get(SPOOL_ENV_VAR, "")
+    return Path(value) if value else None
+
+
+def spool_path(directory: Path, key: str) -> Path:
+    """Filesystem-safe, collision-free spool file for a shard key.
+
+    Same scheme as the shard journal: sanitize for readability, append
+    a digest of the raw key for uniqueness.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:8]
+    return directory / f"{_SAFE_KEY.sub('_', key)}-{digest}.events.jsonl"
+
+
+def write_spool(tracer: Tracer, key: str) -> Optional[Path]:
+    """Atomically spool a worker tracer's span events for ``key``.
+
+    A retried shard overwrites its earlier spool (atomic replace), so
+    after the run each shard's file holds exactly the final attempt's
+    events.  Returns the path, or None when spooling is not armed.
+    """
+    directory = spool_dir()
+    if directory is None:
+        return None
+    from repro.resilience.atomic import atomic_write_bytes
+
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(event, sort_keys=True, default=str)
+        for event in tracer.events
+    ]
+    blob = ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+    path = spool_path(directory, key)
+    atomic_write_bytes(path, blob)
+    return path
+
+
+def load_spool_events(key: str) -> List[Dict[str, Any]]:
+    """Read a shard's spooled events; empty when absent or not armed."""
+    directory = spool_dir()
+    if directory is None:
+        return []
+    path = spool_path(directory, key)
+    if not path.exists():
+        return []
+    events: List[Dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

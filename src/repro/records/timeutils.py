@@ -8,9 +8,14 @@ number.
 
 The paper's periodicity analysis (Figure 5) needs hour-of-day and
 day-of-week; the lifecycle analysis (Figure 4) needs months-in-
-production.  Helpers below compute these without timezone pitfalls:
-the trace is treated as local-time-naive, matching how the remedy
-database recorded wall-clock times at LANL.
+production.  Helpers below compute these **without consulting the host
+timezone**: every conversion is plain arithmetic against the fixed
+:data:`EPOCH` origin, so results are byte-identical no matter what
+``TZ`` the process runs under and never shift across DST transitions.
+The trace's wall-clock labels are interpreted as a single fixed clock
+(call it UTC), matching how the remedy database recorded times at
+LANL; timezone-*aware* datetimes passed to :func:`from_datetime` are
+first converted to UTC so mixed-zone inputs land on the same axis.
 """
 
 from __future__ import annotations
@@ -35,7 +40,8 @@ __all__ = [
     "format_timestamp",
 ]
 
-#: The origin of toolkit time: 1996-01-01 00:00:00 (naive).
+#: The origin of toolkit time: 1996-01-01 00:00:00 UTC, stored naive.
+#: All arithmetic against it is timezone-free by construction.
 EPOCH = _dt.datetime(1996, 1, 1, 0, 0, 0)
 
 SECONDS_PER_MINUTE = 60.0
@@ -52,23 +58,45 @@ _EPOCH_WEEKDAY = EPOCH.weekday()
 
 
 def to_datetime(timestamp: float) -> _dt.datetime:
-    """Convert a toolkit timestamp to a naive :class:`datetime.datetime`."""
+    """Convert a toolkit timestamp to a naive (UTC) :class:`datetime.datetime`.
+
+    The result carries no ``tzinfo``; interpret it on the toolkit's
+    fixed UTC axis.  Pure timedelta arithmetic — the host timezone is
+    never consulted.
+    """
     return EPOCH + _dt.timedelta(seconds=float(timestamp))
 
 
 def from_datetime(when: _dt.datetime) -> float:
-    """Convert a naive :class:`datetime.datetime` to a toolkit timestamp."""
+    """Convert a :class:`datetime.datetime` to a toolkit timestamp.
+
+    Naive datetimes are taken as already being on the toolkit's fixed
+    UTC axis.  Timezone-aware datetimes are converted to UTC first, so
+    ``2004-06-01 14:00 -0600`` and ``2004-06-01 20:00 UTC`` map to the
+    same timestamp.
+    """
+    if when.tzinfo is not None:
+        when = when.astimezone(_dt.timezone.utc).replace(tzinfo=None)
     return (when - EPOCH).total_seconds()
 
 
 def hour_of_day(timestamp: float) -> int:
-    """The hour (0-23) into which ``timestamp`` falls."""
+    """The UTC hour (0-23) into which ``timestamp`` falls.
+
+    Computed by modular arithmetic on the timestamp itself — no
+    ``localtime``/DST involvement, so the answer is independent of the
+    host ``TZ`` environment.
+    """
     seconds_into_day = float(timestamp) % SECONDS_PER_DAY
     return int(seconds_into_day // SECONDS_PER_HOUR)
 
 
 def day_of_week(timestamp: float) -> int:
-    """Weekday index of ``timestamp``: Monday=0 ... Sunday=6."""
+    """UTC weekday index of ``timestamp``: Monday=0 ... Sunday=6.
+
+    Like :func:`hour_of_day`, derived purely from the timestamp and
+    the fixed epoch weekday — independent of the host timezone.
+    """
     days = int(float(timestamp) // SECONDS_PER_DAY)
     return (days + _EPOCH_WEEKDAY) % 7
 

@@ -382,18 +382,24 @@ def run_paper_report(trace: FailureTrace) -> PaperReport:
         ("fig7", lambda: render_figure7(trace)),
         ("table3", render_table3),
     )
+    from repro import obs
+
     sections = []
-    for name, renderer in renderers:
-        try:
-            sections.append(SectionResult(name=name, status="ok", text=renderer()))
-        except Exception as exc:  # noqa: BLE001 — isolation is the point
-            sections.append(
-                SectionResult(
-                    name=name,
-                    status="failed",
-                    error=f"{type(exc).__name__}: {exc}",
+    with obs.span("report", sections=len(renderers)):
+        for name, renderer in renderers:
+            try:
+                with obs.span("report.section", section=name):
+                    sections.append(
+                        SectionResult(name=name, status="ok", text=renderer())
+                    )
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                sections.append(
+                    SectionResult(
+                        name=name,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 )
-            )
     return PaperReport(sections=tuple(sections))
 
 

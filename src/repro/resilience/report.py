@@ -43,6 +43,9 @@ class ShardAttempt:
     #: Backoff applied after this (failed) attempt, seconds; None for
     #: successful or final attempts.
     backoff: Optional[float] = None
+    #: Wall-clock duration of the attempt, seconds; None when the
+    #: supervisor could not time it (e.g. journal-resumed shards).
+    wall_s: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -54,6 +57,8 @@ class ShardAttempt:
             payload["error"] = self.error
         if self.backoff is not None:
             payload["backoff_s"] = round(self.backoff, 6)
+        if self.wall_s is not None:
+            payload["wall_s"] = round(self.wall_s, 6)
         return payload
 
 
@@ -104,6 +109,7 @@ class RunReport:
         outcome: str,
         error: str = "",
         backoff: Optional[float] = None,
+        wall_s: Optional[float] = None,
     ) -> None:
         shard = self._shard(key)
         shard.attempts.append(
@@ -113,6 +119,7 @@ class RunReport:
                 outcome=outcome,
                 error=error,
                 backoff=backoff,
+                wall_s=wall_s,
             )
         )
 

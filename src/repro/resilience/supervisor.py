@@ -32,6 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.resilience import report as report_mod
 from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.report import RunReport
@@ -113,7 +114,97 @@ def supervised_map(
     -------
     dict
         ``key -> result``; a skipped shard maps to ``None``.
+
+    Observability
+    -------------
+    When tracing is active (:func:`repro.obs.observing`), the whole
+    call is wrapped in a ``supervise`` span and, at the end of the run,
+    one ``shard.attempt`` span is emitted per :class:`ShardAttempt` in
+    the report — shard-keyed and sorted, so the emitted spans line up
+    with the attempt history one-for-one and the trace is stable across
+    process schedules.  Worker processes that spooled their own span
+    stream (:func:`repro.obs.worker_tracing`) get those events grafted
+    under the successful attempt's span.
     """
+    with obs.span(
+        "supervise", shards=len(payloads), workers=workers
+    ) as span:
+        results = _supervised_map(
+            task,
+            payloads,
+            workers=workers,
+            keys=keys,
+            policy=policy,
+            breaker=breaker,
+            stage_payload=stage_payload,
+            shard_timeout=shard_timeout,
+            report=report,
+            on_result=on_result,
+            sleep=sleep,
+            executor_factory=executor_factory,
+        )
+        skipped = sum(1 for value in results.values() if value is None)
+        span.add("completed", len(results) - skipped)
+        span.add("skipped", skipped)
+        tracer = obs.active_tracer()
+        if tracer is not None and report is not None:
+            _emit_attempt_spans(tracer, report, sorted(results))
+    return results
+
+
+def _emit_attempt_spans(
+    tracer: "obs.Tracer", report: RunReport, keys: Sequence[str]
+) -> None:
+    """Replay the report's attempt history as spans, merging spools.
+
+    Emission is keyed by shard and ordered by (sorted shard key,
+    attempt number) — never by completion time — so the merged trace is
+    deterministic for a deterministic workload regardless of how the
+    pool scheduled the attempts.  A worker's spooled events (the final
+    attempt's, since retries overwrite the spool atomically) are
+    grafted under the successful attempt's span.
+    """
+    for key in keys:
+        outcome = report.shards.get(key)
+        if outcome is None:
+            continue
+        for entry in outcome.attempts:
+            attrs = {
+                "shard": key,
+                "stage": entry.stage,
+                "attempt": entry.attempt,
+                "outcome": entry.outcome,
+            }
+            if entry.backoff is not None:
+                attrs["backoff_s"] = round(entry.backoff, 6)
+            span_id = tracer.emit(
+                "shard.attempt",
+                wall_s=entry.wall_s or 0.0,
+                attrs=attrs,
+                error=entry.error,
+            )
+            if entry.outcome == report_mod.OK:
+                events = obs.load_spool_events(key)
+                if events:
+                    tracer.graft(events, span_id)
+
+
+def _supervised_map(
+    task: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    *,
+    workers: int,
+    keys: Optional[Sequence[str]] = None,
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    stage_payload: Optional[Callable[[Any, str], Any]] = None,
+    shard_timeout: Optional[float] = None,
+    report: Optional[RunReport] = None,
+    on_result: Optional[Callable[[str, Any], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    executor_factory: Optional[Callable[[int], ProcessPoolExecutor]] = None,
+) -> Dict[str, Any]:
+    """The supervision loop behind :func:`supervised_map`."""
     if workers < 1:
         raise SupervisorError(f"workers must be >= 1, got {workers}")
     if keys is None:
@@ -146,12 +237,14 @@ def supervised_map(
         if report is not None:
             report.finish_shard(key, report_mod.STATUS_SKIPPED)
 
-    def _complete(key: str, stage: str, result: Any) -> None:
+    def _complete(
+        key: str, stage: str, result: Any, wall_s: Optional[float]
+    ) -> None:
         results[key] = result
         del pending[key]
         breaker.record_success(key)
         if report is not None:
-            report.record_attempt(key, stage, report_mod.OK)
+            report.record_attempt(key, stage, report_mod.OK, wall_s=wall_s)
             status = (
                 report_mod.STATUS_DEGRADED
                 if stage != breaker.stages[0]
@@ -174,6 +267,9 @@ def supervised_map(
             ): key
             for key in list(pending)
         }
+        # Attempt wall time is measured from submission: it includes
+        # pool queueing, which is what the user actually waited.
+        submitted = {future: time.perf_counter() for future in futures}
         failed: List[str] = []
         hung = False
         not_done = set(futures)
@@ -188,6 +284,7 @@ def supervised_map(
                 key = futures[future]
                 stage = round_stages[key]
                 attempts[key] += 1
+                wall = time.perf_counter() - submitted[future]
                 try:
                     result = future.result()
                 except BrokenProcessPool:
@@ -196,6 +293,7 @@ def supervised_map(
                         report.record_attempt(
                             key, stage, report_mod.CRASH,
                             error="worker process died (pool broken)",
+                            wall_s=wall,
                         )
                 except Exception as exc:  # task raised in the worker
                     failed.append(key)
@@ -203,9 +301,10 @@ def supervised_map(
                         report.record_attempt(
                             key, stage, report_mod.ERROR,
                             error=f"{type(exc).__name__}: {exc}",
+                            wall_s=wall,
                         )
                 else:
-                    _complete(key, stage, result)
+                    _complete(key, stage, result, wall)
         if hung:
             for future, key in futures.items():
                 if not future.done():
@@ -218,6 +317,7 @@ def supervised_map(
                                 "no progress within "
                                 f"{shard_timeout}s; pool terminated"
                             ),
+                            wall_s=time.perf_counter() - submitted[future],
                         )
             _terminate_workers(executor)
         else:

@@ -115,7 +115,7 @@ def fit_weibull_censored(
     logs_all = np.log(exposures)
     mean_log_events = float(np.mean(np.log(x)))
     max_log = float(np.max(logs_all))
-    std_log = float(np.std(np.log(x)))
+    std_log = float(np.std(np.log(x)))  # ddof=0: MLE convention
     if std_log <= 0:
         raise FitError("degenerate sample (all observed values equal)")
     k = 1.2 / std_log
@@ -188,7 +188,7 @@ def fit_lognormal_censored(observed: ArrayLike, censored: ArrayLike = ()) -> Fit
     x, c = _clean(observed, censored)
     logs = np.log(x)
     mu0 = float(np.mean(logs))
-    sigma0 = float(np.std(logs))
+    sigma0 = float(np.std(logs))  # ddof=0: MLE convention
     if sigma0 <= 0:
         raise FitError("degenerate sample (all observed values equal)")
     distribution = _fit_numeric(

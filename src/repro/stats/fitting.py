@@ -6,6 +6,16 @@ shapes.  :func:`fit_all` fits the paper's four continuous candidates
 and ranks them by negative log-likelihood — exactly the methodology of
 Section 3.
 
+Variance convention
+-------------------
+Every standard deviation in this package is the **population / MLE
+form** (``np.std`` with its default ``ddof=0``), never the
+Bessel-corrected ``ddof=1`` sample form.  MLE scale estimates divide
+by n, and :class:`~repro.stats.empirical.EmpiricalDistribution`
+matches so empirical-vs-fitted comparisons are apples to apples.
+``tests/stats/test_ddof_consistency.py`` scans the package source to
+keep this from drifting.
+
 Zero handling
 -------------
 The Weibull, gamma and lognormal likelihoods require strictly positive
@@ -185,22 +195,27 @@ def fit_exponential(data: ArrayLike) -> FitResult:
 
 
 def fit_lognormal(data: ArrayLike) -> FitResult:
-    """MLE lognormal fit: mu, sigma are the mean/std of log data."""
+    """MLE lognormal fit: mu, sigma are the mean/std of log data.
+
+    sigma is the population standard deviation (``ddof=0``) — the
+    maximum-likelihood estimator, not the Bessel-corrected sample form.
+    Every fitter in :mod:`repro.stats` uses this convention.
+    """
     values = _as_clean_array(data)
     if np.any(values <= 0):
         raise FitError("lognormal requires strictly positive data (see prepare_positive)")
     logs = np.log(values)
     mu = float(np.mean(logs))
-    sigma = float(np.std(logs))
+    sigma = float(np.std(logs))  # ddof=0: MLE convention
     if sigma <= 0:
         raise FitError("degenerate sample (all values equal)")
     return _make_result(LogNormal(mu=mu, sigma=sigma), values)
 
 
 def fit_normal(data: ArrayLike) -> FitResult:
-    """MLE normal fit: sample mean and population std."""
+    """MLE normal fit: sample mean and population std (``ddof=0``)."""
     values = _as_clean_array(data)
-    sigma = float(np.std(values))
+    sigma = float(np.std(values))  # ddof=0: MLE convention
     if sigma <= 0:
         raise FitError("degenerate sample (all values equal)")
     return _make_result(Normal(mu=float(np.mean(values)), sigma=sigma), values)
@@ -250,7 +265,7 @@ def fit_weibull(
     values = prepare_positive(data)
     logs = np.log(values)
     mean_log = float(np.mean(logs))
-    std_log = float(np.std(logs))
+    std_log = float(np.std(logs))  # ddof=0: MLE convention
     if std_log <= 0:
         raise FitError("degenerate sample (all values equal)")
     k = 1.2 / std_log

@@ -121,14 +121,28 @@ def invert_operational(
     """Map cumulative operational times to wall-clock timestamps.
 
     All ``totals`` must lie within the grid's capacity (callers cut at
-    ``grid.cumulative[-1]`` first).  Elementwise, so totals from many
-    nodes sharing one grid can be inverted in a single call — the trace
-    generator batches a whole Table 1 category this way.  Performs the
-    same per-element IEEE-754 operations as the scalar path.
+    ``grid.cumulative[-1]`` first); totals past capacity raise
+    ``ValueError`` rather than indexing off the end of the grid.
+    Elementwise, so totals from many nodes sharing one grid can be
+    inverted in a single call — the trace generator batches a whole
+    Table 1 category this way.  Performs the same per-element IEEE-754
+    operations as the scalar path.
+
+    Boundary semantics (``side="left"``): a total exactly on a week
+    boundary ``cumulative[i]`` resolves to week ``i`` with the full
+    week's mass consumed — identical to the scalar ``_invert_one``
+    twin, which the boundary tests assert bitwise.
     """
     if totals.size == 0:
         return np.empty(0, dtype=float)
     cumulative = grid.cumulative
+    capacity = cumulative[-1]
+    overflow = float(np.max(totals))
+    if overflow > capacity:
+        raise ValueError(
+            f"operational total {overflow} exceeds the grid's capacity "
+            f"{capacity}; cut totals at grid.cumulative[-1] before inverting"
+        )
     index = np.searchsorted(cumulative, totals, side="left")
     previous = np.where(index > 0, cumulative[np.maximum(index - 1, 0)], 0.0)
     base = np.where(index == 0, grid.base0, 0.0)

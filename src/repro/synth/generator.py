@@ -46,11 +46,14 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import obs
 
 from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
 from repro.records.record import FailureRecord, Workload
@@ -181,7 +184,16 @@ def _system_columns_task(payload: Tuple) -> _SystemColumns:
         data_start=data_start,
         data_end=data_end,
     )
-    return generator._system_columns(system_id, engine)
+    # Worker-side tracing: a no-op unless the parent armed the spool
+    # directory (repro.obs.SPOOL_ENV_VAR, inherited through the pool).
+    # When armed, the shard's spans go to a stream named after the
+    # shard key and are spooled for the supervisor to graft.
+    key = _shard_key(system_id)
+    with obs.worker_tracing(key):
+        with obs.span("synth.system", system=system_id, engine=engine) as span:
+            columns = generator._system_columns(system_id, engine)
+            span.add("records", len(columns))
+    return columns
 
 
 @dataclass(frozen=True)
@@ -341,11 +353,24 @@ class TraceGenerator:
         """
         if system_ids is None:
             system_ids = sorted(self.systems.keys())
+        system_ids = list(system_ids)
         engine = self._resolve_engine(engine)
-        columns = self._all_columns(
-            list(system_ids), workers, engine, supervision, journal
-        )
-        columns = [c for c in columns if len(c)]
+        with obs.span(
+            "generate",
+            engine=engine,
+            workers=workers,
+            systems=len(system_ids),
+            seed=self.seed,
+        ) as gen_span:
+            columns = self._all_columns(
+                system_ids, workers, engine, supervision, journal
+            )
+            columns = [c for c in columns if len(c)]
+            total = int(sum(len(c) for c in columns))
+            gen_span.add("records", total)
+        registry = obs.metrics()
+        registry.counter("generate.records").add(total)
+        registry.counter("generate.systems").add(len(columns))
         if not columns:
             return
         starts = np.concatenate([c.start for c in columns])
@@ -359,7 +384,8 @@ class TraceGenerator:
         )
         # Stable sort by (start, system, node) — identical to the
         # record-object sort the per-record pipeline used.
-        order = np.lexsort((node_ids, sys_ids, starts))
+        with obs.span("generate.sort", records=int(starts.size)):
+            order = np.lexsort((node_ids, sys_ids, starts))
         # __post_init__ coerces the NumPy scalars to Python floats/ints.
         for record_id, i in enumerate(order):
             yield FailureRecord(
@@ -502,8 +528,16 @@ class TraceGenerator:
                     )
                 else:
                     key = _shard_key(system_id)
-                    columns = self._system_columns(system_id, engine)
-                    report.record_attempt(key, engine, report_mod.OK)
+                    begin = time.perf_counter()
+                    with obs.span(
+                        "shard.attempt", shard=key, stage=engine, attempt=1
+                    ) as span:
+                        columns = self._system_columns(system_id, engine)
+                        span.add("records", len(columns))
+                    report.record_attempt(
+                        key, engine, report_mod.OK,
+                        wall_s=time.perf_counter() - begin,
+                    )
                     report.finish_shard(
                         key, report_mod.STATUS_OK, records=len(columns)
                     )
@@ -617,15 +651,24 @@ class TraceGenerator:
         """
         key = _shard_key(system_id)
         for attempt, stage in enumerate(supervision.stages(engine), start=1):
+            begin = time.perf_counter()
             try:
-                columns = self._system_columns(system_id, stage)
+                with obs.span(
+                    "shard.attempt", shard=key, stage=stage, attempt=attempt
+                ) as span:
+                    columns = self._system_columns(system_id, stage)
+                    span.add("records", len(columns))
             except Exception as exc:
                 report.record_attempt(
                     key, stage, report_mod.ERROR,
                     error=f"{type(exc).__name__}: {exc}",
+                    wall_s=time.perf_counter() - begin,
                 )
                 continue
-            report.record_attempt(key, stage, report_mod.OK)
+            report.record_attempt(
+                key, stage, report_mod.OK,
+                wall_s=time.perf_counter() - begin,
+            )
             report.finish_shard(
                 key,
                 report_mod.STATUS_OK if attempt == 1
@@ -721,135 +764,148 @@ class TraceGenerator:
 
         # --- Arrival stage: (node, starts) pairs in node order --------
         node_starts: List[Tuple[object, np.ndarray]] = []
-        if engine == "vectorized":
-            # Draw per node (each node owns its arrival stream), but
-            # defer the time-rescaling inversion so all nodes sharing a
-            # grid — a whole Table 1 category — invert in one call.
-            pending: List[Tuple[object, np.ndarray, ArrivalGrid]] = []
-            for position, node in enumerate(nodes):
-                sampler = ModulatedWeibullArrivals(
-                    base_rate=node_base_rate(position, node),
-                    shape=config.tbf_shape,
-                    profile=self._profile,
-                    start=node.production_start,
-                    end=node.production_end,
-                    grid=node_grid(node.production_start, node.production_end),
-                )
-                totals = sampler.sample_operational_totals(
-                    self._root.spawn_generator(
-                        "system", sys_label, "node", str(node.node_id), "arrivals"
+        with obs.span(
+            "synth.arrivals", system=system_id, engine=engine
+        ) as arrivals_span:
+            if engine == "vectorized":
+                # Draw per node (each node owns its arrival stream), but
+                # defer the time-rescaling inversion so all nodes sharing a
+                # grid — a whole Table 1 category — invert in one call.
+                pending: List[Tuple[object, np.ndarray, ArrivalGrid]] = []
+                for position, node in enumerate(nodes):
+                    sampler = ModulatedWeibullArrivals(
+                        base_rate=node_base_rate(position, node),
+                        shape=config.tbf_shape,
+                        profile=self._profile,
+                        start=node.production_start,
+                        end=node.production_end,
+                        grid=node_grid(node.production_start, node.production_end),
                     )
-                )
-                if totals.size:
-                    pending.append((node, totals, sampler._grid))
-            groups: Dict[int, List[int]] = {}
-            for i, (_node, _totals, grid) in enumerate(pending):
-                groups.setdefault(id(grid), []).append(i)
-            starts_for: Dict[int, np.ndarray] = {}
-            for members in groups.values():
-                grid = pending[members[0]][2]
-                merged = np.concatenate([pending[i][1] for i in members])
-                times = invert_operational(grid, self._profile, merged)
-                offset = 0
-                for i in members:
-                    node, totals, _grid = pending[i]
-                    segment = times[offset : offset + len(totals)]
-                    offset += len(totals)
-                    starts_for[i] = segment[segment < node.production_end]
-            for i, (node, _totals, _grid) in enumerate(pending):
-                starts = starts_for[i]
-                if starts.size:
-                    node_starts.append((node, starts))
-        else:
-            for position, node in enumerate(nodes):
-                sampler = ModulatedWeibullArrivals(
-                    base_rate=node_base_rate(position, node),
-                    shape=config.tbf_shape,
-                    profile=self._profile,
-                    start=node.production_start,
-                    end=node.production_end,
-                    grid=node_grid(node.production_start, node.production_end),
-                )
-                starts = np.asarray(
-                    sampler.sample(
+                    totals = sampler.sample_operational_totals(
                         self._root.spawn_generator(
-                            "system",
-                            sys_label,
-                            "node",
-                            str(node.node_id),
-                            "arrivals",
+                            "system", sys_label, "node", str(node.node_id), "arrivals"
                         )
                     )
-                )
-                if starts.size:
-                    node_starts.append((node, starts))
+                    if totals.size:
+                        pending.append((node, totals, sampler._grid))
+                groups: Dict[int, List[int]] = {}
+                for i, (_node, _totals, grid) in enumerate(pending):
+                    groups.setdefault(id(grid), []).append(i)
+                starts_for: Dict[int, np.ndarray] = {}
+                for members in groups.values():
+                    grid = pending[members[0]][2]
+                    merged = np.concatenate([pending[i][1] for i in members])
+                    times = invert_operational(grid, self._profile, merged)
+                    offset = 0
+                    for i in members:
+                        node, totals, _grid = pending[i]
+                        segment = times[offset : offset + len(totals)]
+                        offset += len(totals)
+                        starts_for[i] = segment[segment < node.production_end]
+                for i, (node, _totals, _grid) in enumerate(pending):
+                    starts = starts_for[i]
+                    if starts.size:
+                        node_starts.append((node, starts))
+            else:
+                for position, node in enumerate(nodes):
+                    sampler = ModulatedWeibullArrivals(
+                        base_rate=node_base_rate(position, node),
+                        shape=config.tbf_shape,
+                        profile=self._profile,
+                        start=node.production_start,
+                        end=node.production_end,
+                        grid=node_grid(node.production_start, node.production_end),
+                    )
+                    starts = np.asarray(
+                        sampler.sample(
+                            self._root.spawn_generator(
+                                "system",
+                                sys_label,
+                                "node",
+                                str(node.node_id),
+                                "arrivals",
+                            )
+                        )
+                    )
+                    if starts.size:
+                        node_starts.append((node, starts))
+            arrivals_span.set("nodes", len(nodes))
+            arrivals_span.add(
+                "events", int(sum(len(starts) for _, starts in node_starts))
+            )
 
         # --- Mark stage: per-node block draws, system-level resolve --
-        parts_start: List[np.ndarray] = []
-        parts_node: List[np.ndarray] = []
-        parts_workload: List[np.ndarray] = []
-        marks_u_cause: List[np.ndarray] = []
-        marks_u_lost: List[np.ndarray] = []
-        marks_u_detail: List[np.ndarray] = []
-        marks_u_tail: List[np.ndarray] = []
-        marks_z: List[np.ndarray] = []
-        for node, starts in node_starts:
-            n_events = len(starts)
-            marks_generator = self._root.spawn_generator(
-                "system", sys_label, "node", str(node.node_id), "marks"
-            )
-            marks_u_cause.append(marks_generator.random(n_events))
-            marks_u_lost.append(marks_generator.random(n_events))
-            marks_u_detail.append(marks_generator.random(n_events))
-            marks_u_tail.append(marks_generator.random(n_events))
-            marks_z.append(marks_generator.standard_normal(n_events))
-            parts_start.append(starts)
-            parts_node.append(np.full(n_events, node.node_id, dtype=np.int64))
-            parts_workload.append(
-                np.full(n_events, workloads[node.node_id], dtype=object)
-            )
-        if not parts_start:
-            columns = _empty_columns(system_id)
-        else:
-            starts_all = np.concatenate(parts_start)
-            u_cause = np.concatenate(marks_u_cause)
-            u_lost = np.concatenate(marks_u_lost)
-            u_detail = np.concatenate(marks_u_detail)
-            u_tail = np.concatenate(marks_u_tail)
-            z = np.concatenate(marks_z)
-            ages = starts_all - system_start
-            if engine == "vectorized":
-                cause_idx, detail_idx = cause_model.resolve_batch(
-                    u_cause, u_lost, u_detail, ages
+        with obs.span(
+            "synth.marks", system=system_id, engine=engine
+        ) as marks_span:
+            parts_start: List[np.ndarray] = []
+            parts_node: List[np.ndarray] = []
+            parts_workload: List[np.ndarray] = []
+            marks_u_cause: List[np.ndarray] = []
+            marks_u_lost: List[np.ndarray] = []
+            marks_u_detail: List[np.ndarray] = []
+            marks_u_tail: List[np.ndarray] = []
+            marks_z: List[np.ndarray] = []
+            for node, starts in node_starts:
+                n_events = len(starts)
+                marks_generator = self._root.spawn_generator(
+                    "system", sys_label, "node", str(node.node_id), "marks"
                 )
-                repairs = repair_sampler.resolve_seconds(u_tail, z, cause_idx)
+                marks_u_cause.append(marks_generator.random(n_events))
+                marks_u_lost.append(marks_generator.random(n_events))
+                marks_u_detail.append(marks_generator.random(n_events))
+                marks_u_tail.append(marks_generator.random(n_events))
+                marks_z.append(marks_generator.standard_normal(n_events))
+                parts_start.append(starts)
+                parts_node.append(np.full(n_events, node.node_id, dtype=np.int64))
+                parts_workload.append(
+                    np.full(n_events, workloads[node.node_id], dtype=object)
+                )
+            if not parts_start:
+                columns = _empty_columns(system_id)
             else:
-                cause_idx, detail_idx = cause_model.resolve_batch_scalar(
-                    u_cause, u_lost, u_detail, ages
+                starts_all = np.concatenate(parts_start)
+                u_cause = np.concatenate(marks_u_cause)
+                u_lost = np.concatenate(marks_u_lost)
+                u_detail = np.concatenate(marks_u_detail)
+                u_tail = np.concatenate(marks_u_tail)
+                z = np.concatenate(marks_z)
+                ages = starts_all - system_start
+                if engine == "vectorized":
+                    cause_idx, detail_idx = cause_model.resolve_batch(
+                        u_cause, u_lost, u_detail, ages
+                    )
+                    repairs = repair_sampler.resolve_seconds(u_tail, z, cause_idx)
+                else:
+                    cause_idx, detail_idx = cause_model.resolve_batch_scalar(
+                        u_cause, u_lost, u_detail, ages
+                    )
+                    repairs = repair_sampler.resolve_seconds_scalar(
+                        u_tail, z, cause_idx
+                    )
+                columns = _SystemColumns(
+                    system_id=system_id,
+                    start=starts_all,
+                    end=starts_all + repairs,
+                    node_id=np.concatenate(parts_node),
+                    cause=cause_model.resolve_causes(cause_idx),
+                    detail=cause_model.resolve_details(cause_idx, detail_idx),
+                    workload=np.concatenate(parts_workload),
                 )
-                repairs = repair_sampler.resolve_seconds_scalar(
-                    u_tail, z, cause_idx
-                )
-            columns = _SystemColumns(
-                system_id=system_id,
-                start=starts_all,
-                end=starts_all + repairs,
-                node_id=np.concatenate(parts_node),
-                cause=cause_model.resolve_causes(cause_idx),
-                detail=cause_model.resolve_details(cause_idx, detail_idx),
-                workload=np.concatenate(parts_workload),
-            )
+            marks_span.add("records", len(columns))
         if config.bursts_enabled and system_id in config.burst_systems:
-            burst_stream = self._root.child("system", sys_label, "bursts")
-            records = inject_bursts(
-                _records_from_columns(columns),
-                nodes,
-                workloads,
-                system_start,
-                hardware_type,
-                config,
-                self._repair_model,
-                burst_stream.generator,
-            )
-            columns = _columns_from_records(system_id, records)
+            with obs.span("synth.bursts", system=system_id) as bursts_span:
+                burst_stream = self._root.child("system", sys_label, "bursts")
+                records = inject_bursts(
+                    _records_from_columns(columns),
+                    nodes,
+                    workloads,
+                    system_start,
+                    hardware_type,
+                    config,
+                    self._repair_model,
+                    burst_stream.generator,
+                )
+                bursts_span.add("added", len(records) - len(columns))
+                columns = _columns_from_records(system_id, records)
         return columns

@@ -1,0 +1,119 @@
+"""Profiling views: tree reconstruction, self-time, hotspot ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    build_span_tree,
+    format_hotspots,
+    format_span_tree,
+    hotspots,
+)
+
+
+def _span(span_id, parent, name, depth, wall, cpu=0.0, status="ok", **extra):
+    event = {
+        "type": "span", "id": span_id, "parent": parent, "name": name,
+        "depth": depth, "wall_s": wall, "cpu_s": cpu, "status": status,
+        "attrs": {}, "counters": {},
+    }
+    event.update(extra)
+    return event
+
+
+class TestBuildSpanTree:
+    def test_reconstructs_nesting_from_flat_events(self):
+        tracer = obs.Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        roots = build_span_tree(tracer.to_events())
+        assert [root.name for root in roots] == ["root"]
+        assert [c.name for c in roots[0].children] == ["child"]
+        assert [g.name for g in roots[0].children[0].children] == ["grandchild"]
+
+    def test_missing_parent_becomes_root_not_dropped(self):
+        events = [_span("main:5", "main:0", "orphan", 1, 0.1)]
+        roots = build_span_tree(events)
+        assert [root.name for root in roots] == ["orphan"]
+
+    def test_self_wall_subtracts_children_and_floors_at_zero(self):
+        events = [
+            _span("main:1", "main:0", "child", 1, 0.4),
+            _span("main:0", None, "root", 0, 1.0),
+            # Cross-process overlap: child wall exceeds parent wall.
+            _span("w:1", "w:0", "inner", 1, 2.0),
+            _span("w:0", None, "outer", 0, 1.0),
+        ]
+        roots = {root.name: root for root in build_span_tree(events)}
+        assert roots["root"].self_wall == 0.6
+        assert roots["outer"].self_wall == 0.0
+
+
+class TestHotspots:
+    def test_ranked_by_self_time(self):
+        events = [
+            _span("main:1", "main:0", "fast", 1, 0.1),
+            _span("main:2", "main:0", "slow", 1, 0.7),
+            _span("main:0", None, "root", 0, 1.0),
+        ]
+        ranked = hotspots(events)
+        assert [entry["name"] for entry in ranked] == ["slow", "root", "fast"]
+        root = next(e for e in ranked if e["name"] == "root")
+        assert root["self_s"] == pytest.approx(0.2)  # 1.0 - 0.1 - 0.7
+        assert root["wall_s"] == 1.0
+        total_share = sum(entry["share"] for entry in ranked)
+        assert abs(total_share - 1.0) < 1e-9
+
+    def test_aggregates_repeated_names(self):
+        events = [
+            _span("main:1", "main:0", "shard.attempt", 1, 0.3),
+            _span("main:2", "main:0", "shard.attempt", 1, 0.2),
+            _span("main:0", None, "root", 0, 1.0),
+        ]
+        entry = next(
+            e for e in hotspots(events) if e["name"] == "shard.attempt"
+        )
+        assert entry["calls"] == 2
+        assert entry["wall_s"] == 0.5
+
+    def test_top_truncates(self):
+        events = [_span(f"main:{i}", None, f"s{i}", 0, 1.0) for i in range(5)]
+        assert len(hotspots(events, top=2)) == 2
+        assert len(hotspots(events, top=0)) == 5
+
+
+class TestFormatting:
+    def test_tree_rendering_includes_errors_and_counters(self):
+        tracer = obs.Tracer()
+        try:
+            with tracer.span("root", seed=1) as span:
+                span.add("records", 12)
+                raise ValueError("bad shard")
+        except ValueError:
+            pass
+        text = format_span_tree(tracer.to_events())
+        assert "root" in text and "seed=1" in text
+        assert "records=12" in text
+        assert "ERROR: ValueError: bad shard" in text
+
+    def test_max_depth_prunes(self):
+        tracer = obs.Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+        text = format_span_tree(tracer.to_events(), max_depth=1)
+        assert "child" in text and "grandchild" not in text
+
+    def test_empty_trace_renders_placeholder(self):
+        assert "no spans" in format_span_tree([])
+        assert "no spans" in format_hotspots([])
+
+    def test_hotspot_table_renders(self):
+        events = [_span("main:0", None, "root", 0, 1.0, cpu=0.5)]
+        text = format_hotspots(events)
+        assert "root" in text and "100.0%" in text

@@ -1,0 +1,151 @@
+"""Trace JSONL schema validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.schema import (
+    read_trace_file,
+    validate_events,
+    validate_trace_file,
+)
+
+
+def _valid_events():
+    tracer = obs.Tracer(run_id="t")
+    registry = obs.MetricsRegistry()
+    registry.counter("rows").add(1)
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    return tracer.to_events(registry)
+
+
+class TestValidateEvents:
+    def test_real_trace_is_clean(self):
+        assert validate_events(_valid_events()) == []
+
+    def test_empty_trace(self):
+        assert validate_events([]) == ["trace is empty (no header line)"]
+
+    def test_missing_header(self):
+        events = _valid_events()[1:]
+        problems = validate_events(events)
+        assert any("not a header" in problem for problem in problems)
+
+    def test_wrong_kind_and_schema(self):
+        events = _valid_events()
+        events[0] = dict(events[0], kind="other", schema=99)
+        problems = validate_events(events)
+        assert any("kind" in problem for problem in problems)
+        assert any("schema" in problem for problem in problems)
+
+    def test_duplicate_span_id(self):
+        events = _valid_events()
+        events.insert(2, dict(events[1]))
+        assert any(
+            "duplicate span id" in problem
+            for problem in validate_events(events)
+        )
+
+    def test_unresolved_parent(self):
+        events = _valid_events()
+        span = next(e for e in events if e.get("parent") is not None)
+        span["parent"] = "main:999"
+        assert any(
+            "not found" in problem for problem in validate_events(events)
+        )
+
+    def test_depth_mismatch(self):
+        events = _valid_events()
+        child = next(e for e in events if e.get("parent") is not None)
+        child["depth"] = 7
+        assert any(
+            "depth" in problem for problem in validate_events(events)
+        )
+
+    def test_root_with_nonzero_depth(self):
+        events = _valid_events()
+        root = next(
+            e for e in events
+            if e.get("type") == "span" and e.get("parent") is None
+        )
+        root["depth"] = 3
+        assert any(
+            "expected 0" in problem for problem in validate_events(events)
+        )
+
+    def test_span_after_metric_rejected(self):
+        events = _valid_events()
+        metric = events.pop()
+        span = events.pop()
+        events.extend([metric, span])
+        assert any(
+            "after metric" in problem for problem in validate_events(events)
+        )
+
+    def test_error_span_needs_message(self):
+        events = _valid_events()
+        span = next(e for e in events if e.get("type") == "span")
+        span["status"] = "error"
+        assert any(
+            "missing 'error'" in problem
+            for problem in validate_events(events)
+        )
+
+    def test_negative_wall_rejected(self):
+        events = _valid_events()
+        span = next(e for e in events if e.get("type") == "span")
+        span["wall_s"] = -0.5
+        assert any(
+            "negative" in problem for problem in validate_events(events)
+        )
+
+    def test_bool_depth_rejected(self):
+        events = _valid_events()
+        root = next(
+            e for e in events
+            if e.get("type") == "span" and e.get("parent") is None
+        )
+        root["depth"] = False
+        assert any(
+            "field 'depth'" in problem for problem in validate_events(events)
+        )
+
+    def test_unknown_event_type(self):
+        events = _valid_events() + [{"type": "mystery"}]
+        assert any(
+            "unknown event type" in problem
+            for problem in validate_events(events)
+        )
+
+    def test_bad_metric_kind(self):
+        events = _valid_events()
+        events[-1] = dict(events[-1], kind="timer")
+        assert any(
+            "metric kind" in problem for problem in validate_events(events)
+        )
+
+
+class TestTraceFiles:
+    def test_roundtrip(self, tmp_path):
+        tracer = obs.Tracer()
+        with tracer.span("root"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write(path)
+        assert validate_trace_file(path) == []
+        assert len(read_trace_file(path)) == 2
+
+    def test_corrupt_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "header"}\nnot-json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace_file(path)
+        problems = validate_trace_file(path)
+        assert problems and "line 2" in problems[0]
+
+    def test_missing_file_is_a_problem_not_a_crash(self, tmp_path):
+        problems = validate_trace_file(tmp_path / "absent.jsonl")
+        assert len(problems) == 1
