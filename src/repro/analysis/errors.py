@@ -5,24 +5,16 @@ of variation needs a nonzero mean, a correlation needs three points, a
 dispersion index needs enough events to fill its windows.  On a
 degenerate slice (a single-failure system, an empty era) those used to
 surface as bare ``ValueError``/``ZeroDivisionError``/NaN leaking into
-report tables.  They now raise :class:`DegenerateSampleError`, which
+report tables.  They now raise :class:`DegenerateSampleError`.
 
-* subclasses ``ValueError``, so existing ``except ValueError`` callers
-  (including the report layer's per-section isolation) keep working;
-* is catchable *specifically*, so callers can distinguish "this slice
-  is too thin to analyze" from a genuine bug.
+The class itself lives in :mod:`repro.stats.errors` (the lowest layer
+that raises it — the fitters classify degenerate samples too); this
+module re-exports it so analysis-layer imports keep working and both
+spellings name the same class.
 """
 
 from __future__ import annotations
 
+from repro.stats.errors import DegenerateSampleError
+
 __all__ = ["DegenerateSampleError"]
-
-
-class DegenerateSampleError(ValueError):
-    """The input sample is too degenerate for the requested statistic.
-
-    Raised for zero-mean samples (undefined coefficient of variation /
-    variance-to-mean ratio), single-observation or otherwise
-    too-small samples, and slices where a required participant never
-    appears.  The message always states the requirement that failed.
-    """

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.records.trace import FailureTrace
 from repro.stats.distributions import Weibull
 from repro.stats.empirical import EmpiricalDistribution
@@ -91,7 +92,7 @@ def interarrival_study(trace: FailureTrace, label: str = "") -> InterarrivalStud
     """Fit the four standard distributions to a trace's interarrivals."""
     gaps = trace.interarrival_times()
     if len(gaps) < 8:
-        raise ValueError(
+        raise DegenerateSampleError(
             f"only {len(gaps)} interarrivals in {label or 'trace'}; need >= 8"
         )
     zero_fraction = float(np.mean(gaps == 0.0))

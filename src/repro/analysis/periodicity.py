@@ -14,6 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.records.timeutils import day_of_week, hour_of_day
 from repro.records.trace import FailureTrace
 
@@ -84,7 +85,7 @@ def periodicity_study(trace: FailureTrace) -> PeriodicityStudy:
     hourly = failures_by_hour(trace)
     weekday = failures_by_weekday(trace)
     if hourly.min() == 0 or weekday.min() == 0:
-        raise ValueError("trace too small for a periodicity study (empty bins)")
+        raise DegenerateSampleError("trace too small for a periodicity study (empty bins)")
     weekday_mean = float(np.mean(weekday[:5]))
     weekend_mean = float(np.mean(weekday[5:]))
     return PeriodicityStudy(

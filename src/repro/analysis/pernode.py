@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.records.record import Workload
 from repro.records.trace import FailureTrace
 from repro.stats.empirical import EmpiricalDistribution
@@ -45,7 +46,7 @@ def node_share(trace: FailureTrace, system_id: int, node_ids: Sequence[int]) -> 
     counts = failures_per_node(trace, system_id)
     total = sum(counts.values())
     if total == 0:
-        raise ValueError(f"system {system_id} has no failures")
+        raise DegenerateSampleError(f"system {system_id} has no failures")
     return sum(counts.get(node_id, 0) for node_id in node_ids) / total
 
 

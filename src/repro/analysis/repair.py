@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.records.record import RootCause
 from repro.records.trace import FailureTrace
 from repro.stats.empirical import EmpiricalDistribution
@@ -82,7 +83,9 @@ def repair_statistics_by_cause(trace: FailureTrace) -> List[RepairByCauseRow]:
             rows.append(_row(cause, minutes))
     all_minutes = trace.repair_minutes()
     if len(all_minutes) < 2:
-        raise ValueError("trace has too few records for repair statistics")
+        raise DegenerateSampleError(
+            "trace has too few records for repair statistics"
+        )
     rows.append(_row(None, all_minutes))
     return rows
 
@@ -96,7 +99,7 @@ def repair_fit_study(trace: FailureTrace) -> Tuple[FitResult, ...]:
     """
     minutes = trace.repair_minutes()
     if len(minutes) < 8:
-        raise ValueError(f"only {len(minutes)} repairs; need >= 8")
+        raise DegenerateSampleError(f"only {len(minutes)} repairs; need >= 8")
     return tuple(fit_all(minutes, zero_policy="clamp", epsilon=0.1))
 
 

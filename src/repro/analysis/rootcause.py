@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.records.record import HIGH_LEVEL_CAUSES, LowLevelCause, RootCause
 from repro.records.system import HardwareType
 from repro.records.trace import FailureTrace
@@ -63,7 +64,7 @@ class CauseBreakdown:
 def _breakdown(label: str, weights: Dict[RootCause, float]) -> CauseBreakdown:
     total = sum(weights.values())
     if total <= 0:
-        raise ValueError(f"group {label!r} has no failures")
+        raise DegenerateSampleError(f"group {label!r} has no failures")
     percentages = {
         cause: 100.0 * weights.get(cause, 0.0) / total for cause in HIGH_LEVEL_CAUSES
     }

@@ -11,6 +11,7 @@ import datetime as _dt
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.analysis.errors import DegenerateSampleError
 from repro.analysis.interarrival import (
     InterarrivalStudy,
     interarrival_study,
@@ -99,7 +100,7 @@ def summarize(
     rates = tuple(failure_rates(trace))
     nonzero = [rate.per_year for rate in rates if rate.failures > 0]
     if not nonzero:
-        raise ValueError("trace has no failures")
+        raise DegenerateSampleError("trace has no failures")
     lifecycle_shapes: Dict[int, LifecycleShape] = {}
     for system_id in sorted(trace.systems.keys()):
         curve = monthly_failures(trace, system_id)

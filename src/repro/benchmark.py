@@ -28,6 +28,7 @@ __all__ = [
     "run_benchmark",
     "check_against_baseline",
     "measure_obs_overhead",
+    "measure_fsfaults_overhead",
     "QUICK_SYSTEMS",
 ]
 
@@ -182,6 +183,79 @@ def measure_obs_overhead(
         "systems": system_ids,
         "spans_per_generate": spans_per_generate,
         "noop_span_cost_ns": round(noop_cost * 1e9, 1),
+        "disabled_seconds": round(disabled_seconds, 4),
+        "overhead_fraction": round(overhead, 6),
+        "threshold": threshold,
+        "ok": overhead <= threshold,
+    }
+
+
+def measure_fsfaults_overhead(
+    seed: int = 1,
+    systems: Sequence[int] = QUICK_SYSTEMS,
+    threshold: float = 0.02,
+) -> Dict[str, Any]:
+    """Bound the cost of the *disabled* filesystem-fault shim.
+
+    Same measurement strategy as :func:`measure_obs_overhead`: count
+    the fault-hook sites a representative workload (a journaled quick
+    generate plus a CSV and a JSONL trace write) actually hits — via
+    the shim's passive ``count`` operator — multiply by the measured
+    cost of one disabled :func:`~repro.resilience.atomic.fs_fault_hook`
+    call, and express the product as a fraction of the workload's
+    disabled wall time.  Each factor is individually stable, so the
+    guard doesn't flap on machine noise.
+
+    Returns a dict with the measurements and ``ok`` (overhead within
+    ``threshold``, default 2%).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import fsfaults
+    from repro.io.csv_format import write_lanl_csv
+    from repro.io.jsonl_format import write_jsonl
+    from repro.resilience.atomic import fs_fault_hook
+    from repro.resilience.journal import ShardJournal
+
+    generator = TraceGenerator(seed=seed)
+    system_ids = list(systems)
+
+    def workload(base: Path) -> None:
+        journal = ShardJournal(
+            base / "run", meta=generator.journal_meta(), resume=False
+        )
+        trace = generator.generate(system_ids, journal=journal)
+        write_lanl_csv(trace, base / "trace.csv")
+        write_jsonl(trace, base / "trace.jsonl")
+
+    with tempfile.TemporaryDirectory(prefix="repro-fsguard-") as tmp:
+        workload(Path(tmp) / "warm")  # warm caches/imports
+        start = time.perf_counter()
+        workload(Path(tmp) / "timed")
+        disabled_seconds = time.perf_counter() - start
+
+        fsfaults.reset_counts()
+        with fsfaults.fsfaults_env(fsfaults.FsFaults(operator="count")):
+            workload(Path(tmp) / "counted")
+        sites_per_run = fsfaults.call_count()
+        fsfaults.reset_counts()
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        fs_fault_hook("bench.noop", "bench")
+    noop_cost = (time.perf_counter() - start) / calls
+
+    overhead = (
+        sites_per_run * noop_cost / disabled_seconds
+        if disabled_seconds > 0
+        else 0.0
+    )
+    return {
+        "systems": system_ids,
+        "sites_per_run": sites_per_run,
+        "noop_hook_cost_ns": round(noop_cost * 1e9, 1),
         "disabled_seconds": round(disabled_seconds, 4),
         "overhead_fraction": round(overhead, 6),
         "threshold": threshold,

@@ -16,10 +16,33 @@ provides the offense for that defense:
   survival;
 * :mod:`~repro.faults.process_ops` — *process-level* chaos (kill,
   hang, slow, fail worker processes) for drilling the supervised
-  generation path in :mod:`repro.resilience`.
+  generation path in :mod:`repro.resilience`;
+* :mod:`~repro.faults.fsfaults` — *filesystem/resource* faults
+  (ENOSPC, torn writes, fsync failure, slow I/O) injected at the
+  atomic-write, journal-append, and trace-writer sites;
+* :mod:`~repro.faults.campaign` — the deterministic chaos-campaign
+  engine composing all three fault classes over real workflows and
+  verifying recovery invariants into a robustness scorecard.
 """
 
+from repro.faults.campaign import (
+    CampaignResult,
+    PRESETS,
+    Scenario,
+    ScenarioOutcome,
+    run_campaign,
+)
 from repro.faults.chaos import ChaosReport, chaos_roundtrip
+from repro.faults.fsfaults import (
+    FS_FAULTS_ENV_VAR,
+    FS_OPERATORS,
+    FS_SITES,
+    FsFaultError,
+    FsFaults,
+    TornWriteError,
+    fsfaults_env,
+    make_fsfaults,
+)
 from repro.faults.injector import CorruptionInjector, CorruptionResult
 from repro.faults.process_ops import (
     CHAOS_ENV_VAR,
@@ -71,4 +94,17 @@ __all__ = [
     "chaos_env",
     "make_chaos",
     "maybe_inject",
+    "FS_FAULTS_ENV_VAR",
+    "FS_OPERATORS",
+    "FS_SITES",
+    "FsFaultError",
+    "FsFaults",
+    "TornWriteError",
+    "fsfaults_env",
+    "make_fsfaults",
+    "CampaignResult",
+    "PRESETS",
+    "Scenario",
+    "ScenarioOutcome",
+    "run_campaign",
 ]

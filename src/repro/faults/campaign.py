@@ -1,0 +1,703 @@
+"""Deterministic chaos campaigns: compose every fault class, verify recovery.
+
+A *campaign* runs a matrix of scenarios — {process chaos x data
+corruption x filesystem faults} x {workflows: generate, resumable
+generate, trace write, ingest, report} — each in a fresh directory, and
+verifies **recovery invariants** after every drill:
+
+* the recovered trace is byte-identical to an unfaulted serial run
+  (the RNG-stream contract survives retries, resumes and degradation);
+* no partial/temporary artifacts remain on disk;
+* the shard journal's meta/journal/payload consistency holds;
+* report sections degrade (never crash) under corrupted input.
+
+Results aggregate into a ``robustness_scorecard.json`` artifact written
+atomically.  The scorecard is a pure function of ``(preset, seed)``:
+wall-clock timings go to a separate ``campaign_timings.json`` sidecar
+and every recorded error message is scrubbed of filesystem paths, so
+two runs of the same campaign produce byte-identical scorecards — the
+file can be committed, diffed, and gated on in CI.
+
+This is the standing harness new storage/serving subsystems must pass:
+add a scenario per new write path and the invariants come for free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.faults.chaos import chaos_roundtrip
+from repro.faults.fsfaults import FsFaults, fsfaults_env
+from repro.faults.process_ops import ProcessChaos, chaos_env
+from repro.io.csv_format import write_lanl_csv
+from repro.io.jsonl_format import write_jsonl
+from repro.records.trace import FailureTrace
+from repro.resilience.atomic import atomic_write_json
+from repro.resilience.journal import ShardJournal
+from repro.synth.generator import SupervisionConfig, TraceGenerator
+
+__all__ = [
+    "Scenario",
+    "InvariantCheck",
+    "ScenarioOutcome",
+    "CampaignResult",
+    "PRESETS",
+    "run_campaign",
+]
+
+SCORECARD_NAME = "robustness_scorecard.json"
+TIMINGS_NAME = "campaign_timings.json"
+
+#: Workflows a scenario can drill.
+WORKFLOWS = ("generate", "write-csv", "write-jsonl", "ingest", "report")
+
+#: Fault classes a scenario can arm (``none`` = clean baseline).
+FAULT_KINDS = ("none", "fs", "process", "corruption")
+
+#: Ceiling on generate attempts (first try + resumes) per scenario.
+MAX_ATTEMPTS = 4
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the campaign matrix.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier; keys the scorecard and names the scenario's
+        directory.
+    workflow:
+        One of :data:`WORKFLOWS`.
+    fault:
+        One of :data:`FAULT_KINDS`.
+    operator:
+        The fault operator (an fsfaults operator for ``fault="fs"``, a
+        process operator for ``fault="process"``; unused otherwise).
+    sites / path_contains / times / skip:
+        Forwarded to :class:`~repro.faults.fsfaults.FsFaults`.
+    rate:
+        Corruption rate for ``fault="corruption"`` scenarios.
+    mode:
+        Ingest mode for corruption scenarios.
+    systems:
+        System IDs the workflow generates (small ones keep drills fast).
+    workers:
+        Worker processes for the generate workflow.
+    supervised:
+        Run generation under :class:`SupervisionConfig` (retry ladder);
+        required for process-chaos scenarios, whose injected failures
+        must be absorbed rather than propagated.
+    """
+
+    name: str
+    workflow: str
+    fault: str = "none"
+    operator: str = ""
+    sites: Tuple[str, ...] = field(default_factory=tuple)
+    path_contains: str = ""
+    times: int = 1
+    skip: int = 0
+    rate: float = 0.05
+    mode: str = "lenient"
+    systems: Tuple[int, ...] = (2, 13)
+    workers: int = 1
+    supervised: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workflow not in WORKFLOWS:
+            raise ValueError(
+                f"workflow must be one of {WORKFLOWS}, got {self.workflow!r}"
+            )
+        if self.fault not in FAULT_KINDS:
+            raise ValueError(
+                f"fault must be one of {FAULT_KINDS}, got {self.fault!r}"
+            )
+        if self.fault in ("fs", "process") and not self.operator:
+            raise ValueError(f"scenario {self.name}: fault {self.fault} needs an operator")
+        object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(self, "systems", tuple(self.systems))
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One recovery invariant's verdict for one scenario."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """What happened when one scenario was drilled."""
+
+    scenario: Scenario
+    attempts: int
+    completed: bool
+    injections: int
+    error: str = ""
+    invariants: Tuple[InvariantCheck, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and all(check.passed for check in self.invariants)
+
+    def failed_invariants(self) -> List[str]:
+        return [check.name for check in self.invariants if not check.passed]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """A full campaign run: per-scenario outcomes plus rollups."""
+
+    preset: str
+    seed: int
+    outcomes: Tuple[ScenarioOutcome, ...]
+    wall_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def scorecard(self) -> dict:
+        """The deterministic scorecard payload (no paths, no timings)."""
+        scenarios = []
+        for outcome in self.outcomes:
+            scenario = outcome.scenario
+            scenarios.append(
+                {
+                    "name": scenario.name,
+                    "workflow": scenario.workflow,
+                    "fault": scenario.fault,
+                    "operator": scenario.operator,
+                    "systems": list(scenario.systems),
+                    "attempts": outcome.attempts,
+                    "completed": outcome.completed,
+                    "injections": outcome.injections,
+                    "error": outcome.error,
+                    "ok": outcome.ok,
+                    "invariants": [
+                        {
+                            "name": check.name,
+                            "passed": check.passed,
+                            "detail": check.detail,
+                        }
+                        for check in outcome.invariants
+                    ],
+                }
+            )
+        checks = [c for o in self.outcomes for c in o.invariants]
+        return {
+            "kind": "repro-robustness-scorecard",
+            "preset": self.preset,
+            "seed": self.seed,
+            "ok": self.ok,
+            "scenarios": scenarios,
+            "summary": {
+                "scenarios": len(self.outcomes),
+                "scenarios_ok": sum(1 for o in self.outcomes if o.ok),
+                "invariants": len(checks),
+                "invariants_failed": sum(1 for c in checks if not c.passed),
+                "total_injections": sum(o.injections for o in self.outcomes),
+            },
+        }
+
+    def describe(self) -> str:
+        """Human-readable campaign summary (one line per scenario)."""
+        lines = [
+            f"chaos campaign '{self.preset}' (seed {self.seed}): "
+            f"{sum(1 for o in self.outcomes if o.ok)}/{len(self.outcomes)} "
+            "scenarios ok"
+        ]
+        for outcome in self.outcomes:
+            status = "ok" if outcome.ok else "FAILED"
+            detail = ""
+            if not outcome.ok:
+                failed = outcome.failed_invariants()
+                detail = (
+                    f" [{', '.join(failed)}]" if failed else f" [{outcome.error}]"
+                )
+            lines.append(
+                f"  {outcome.scenario.name:<24} {status:<6} "
+                f"attempts={outcome.attempts} injections={outcome.injections}"
+                + detail
+            )
+        lines.append("ALL INVARIANTS HOLD" if self.ok else "INVARIANT FAILURES")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+_SMOKE = (
+    Scenario("baseline-clean", "generate"),
+    Scenario(
+        "fs-enospc-journal", "generate", fault="fs", operator="enospc",
+        sites=("journal.append",),
+    ),
+    Scenario(
+        "fs-torn-payload", "generate", fault="fs", operator="torn-write",
+        sites=("atomic.bytes",), path_contains=".pkl",
+    ),
+    Scenario(
+        "fs-fsync-payload", "generate", fault="fs", operator="fsync-fail",
+        sites=("atomic.fsync",), path_contains=".pkl",
+    ),
+    Scenario(
+        "proc-flaky-shard", "generate", fault="process",
+        operator="flaky-shard", supervised=True,
+    ),
+    Scenario(
+        "fs-enospc-csv", "write-csv", fault="fs", operator="enospc",
+        sites=("io.csv",),
+    ),
+    Scenario(
+        "fs-torn-csv", "write-csv", fault="fs", operator="torn-write",
+        sites=("atomic.text",),
+    ),
+    Scenario(
+        "fs-slow-jsonl", "write-jsonl", fault="fs", operator="slow-io",
+        sites=("io.jsonl",),
+    ),
+    Scenario("corrupt-ingest", "ingest", fault="corruption", rate=0.05),
+    Scenario("corrupt-report", "report", fault="corruption", rate=0.10),
+)
+
+_FULL = _SMOKE + (
+    Scenario(
+        "fs-enospc-meta", "generate", fault="fs", operator="enospc",
+        sites=("atomic.text",), path_contains="meta.json",
+    ),
+    Scenario(
+        "fs-torn-journal", "generate", fault="fs", operator="torn-write",
+        sites=("journal.append",),
+    ),
+    Scenario(
+        "fs-enospc-second-shard", "generate", fault="fs", operator="enospc",
+        sites=("atomic.bytes",), path_contains=".pkl", skip=1,
+    ),
+    Scenario(
+        "fs-double-enospc", "generate", fault="fs", operator="enospc",
+        sites=("journal.append", "atomic.bytes"), times=2,
+    ),
+    Scenario(
+        "proc-kill-worker", "generate", fault="process",
+        operator="kill-worker", workers=2, supervised=True,
+        systems=(2, 13, 20),
+    ),
+    Scenario(
+        "fs-enospc-jsonl", "write-jsonl", fault="fs", operator="enospc",
+        sites=("io.jsonl",),
+    ),
+    Scenario(
+        "corrupt-repair-heavy", "report", fault="corruption", rate=0.20,
+        mode="repair",
+    ),
+)
+
+PRESETS: Dict[str, Tuple[Scenario, ...]] = {
+    "smoke": _SMOKE,
+    "full": _FULL,
+}
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+def _scrub(text: str, root: Path) -> str:
+    """Make an error message path-free so scorecards stay deterministic."""
+    return text.replace(str(root), "<campaign>")
+
+
+def _no_partials(directory: Path) -> InvariantCheck:
+    """No staged temp files may survive a drill, failed writes included."""
+    leftovers = sorted(
+        str(p.relative_to(directory)) for p in directory.rglob("*.tmp")
+    )
+    return InvariantCheck(
+        "no-partial-artifacts",
+        not leftovers,
+        "" if not leftovers else f"leftover temp files: {', '.join(leftovers)}",
+    )
+
+
+def _reference_csv(
+    seed: int, systems: Tuple[int, ...], cache: Dict[Tuple[int, ...], bytes],
+    workdir: Path,
+) -> bytes:
+    """Unfaulted serial reference trace as CSV bytes (cached per inventory)."""
+    if systems not in cache:
+        trace = TraceGenerator(seed=seed).generate(list(systems))
+        path = workdir / f"reference-{'-'.join(map(str, systems))}.csv"
+        write_lanl_csv(trace, path)
+        cache[systems] = path.read_bytes()
+    return cache[systems]
+
+
+def _make_fs_spec(scenario: Scenario, seed: int, state_dir: Path) -> FsFaults:
+    return FsFaults(
+        operator=scenario.operator,
+        times=scenario.times,
+        state_dir=str(state_dir),
+        sites=scenario.sites,
+        path_contains=scenario.path_contains,
+        skip=scenario.skip,
+        seed=seed,
+        slow_seconds=0.01,
+    )
+
+
+def _run_generate(
+    scenario: Scenario, seed: int, scenario_dir: Path, reference: bytes
+) -> ScenarioOutcome:
+    """Drill a journaled generate run: fault, crash, resume, verify."""
+    run_dir = scenario_dir / "run"
+    state_dir = scenario_dir / "fault-state"
+    generator = TraceGenerator(seed=seed)
+    meta = generator.journal_meta()
+    supervision = SupervisionConfig() if scenario.supervised else None
+
+    fs_spec = process_spec = None
+    if scenario.fault == "fs":
+        fs_spec = _make_fs_spec(scenario, seed, state_dir)
+    elif scenario.fault == "process":
+        process_spec = ProcessChaos(
+            operator=scenario.operator,
+            times=scenario.times,
+            state_dir=str(state_dir),
+        )
+
+    trace: Optional[FailureTrace] = None
+    errors: List[str] = []
+    attempts = 0
+    with fsfaults_env(fs_spec), chaos_env(process_spec):
+        while trace is None and attempts < MAX_ATTEMPTS:
+            attempts += 1
+            resume = (run_dir / "meta.json").exists()
+            try:
+                journal = ShardJournal(run_dir, meta=meta, resume=resume)
+                trace = generator.generate(
+                    list(scenario.systems),
+                    workers=scenario.workers,
+                    supervision=supervision,
+                    journal=journal,
+                )
+            except Exception as exc:
+                errors.append(
+                    _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+                )
+
+    injections = 0
+    if fs_spec is not None:
+        injections = fs_spec.injections()
+    elif process_spec is not None:
+        injections = process_spec.injections()
+
+    invariants = [_no_partials(scenario_dir)]
+    if scenario.fault != "none":
+        invariants.append(
+            InvariantCheck(
+                "fault-injected",
+                injections >= 1,
+                "" if injections else "armed fault never fired",
+            )
+        )
+    journal_problems: List[str] = []
+    try:
+        journal_problems = ShardJournal(run_dir, meta=meta, resume=True).verify()
+    except Exception as exc:
+        journal_problems = [
+            _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+        ]
+    invariants.append(
+        InvariantCheck(
+            "journal-consistent",
+            not journal_problems,
+            "; ".join(journal_problems),
+        )
+    )
+    if trace is not None:
+        # The armed env is restored by now, so this write cannot fault.
+        trace_path = scenario_dir / "trace.csv"
+        write_lanl_csv(trace, trace_path)
+        identical = trace_path.read_bytes() == reference
+        invariants.append(
+            InvariantCheck(
+                "trace-identical",
+                identical,
+                "" if identical else "recovered trace differs from "
+                "unfaulted serial reference",
+            )
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        attempts=attempts,
+        completed=trace is not None,
+        injections=injections,
+        error="" if trace is not None else "; ".join(errors),
+        invariants=tuple(invariants),
+    )
+
+
+def _run_write(
+    scenario: Scenario, seed: int, scenario_dir: Path, reference: bytes
+) -> ScenarioOutcome:
+    """Drill a trace-writer overwrite: the original must survive a fault."""
+    trace = TraceGenerator(seed=seed).generate(list(scenario.systems))
+    write = write_lanl_csv if scenario.workflow == "write-csv" else write_jsonl
+    target = scenario_dir / (
+        "trace.csv" if scenario.workflow == "write-csv" else "trace.jsonl"
+    )
+    write(trace, target)  # pre-existing artifact the fault must not damage
+    original = target.read_bytes()
+
+    state_dir = scenario_dir / "fault-state"
+    fs_spec = _make_fs_spec(scenario, seed, state_dir)
+    attempts = 0
+    errors: List[str] = []
+    completed = False
+    original_survived = True
+    with fsfaults_env(fs_spec):
+        while not completed and attempts < MAX_ATTEMPTS:
+            attempts += 1
+            try:
+                write(trace, target)
+                completed = True
+            except Exception as exc:
+                errors.append(
+                    _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+                )
+                if target.read_bytes() != original:
+                    original_survived = False
+
+    injections = fs_spec.injections()
+    invariants = [
+        _no_partials(scenario_dir),
+        InvariantCheck(
+            "fault-injected",
+            injections >= 1,
+            "" if injections else "armed fault never fired",
+        ),
+        InvariantCheck(
+            "original-untouched",
+            original_survived,
+            "" if original_survived else "a failed write damaged the "
+            "pre-existing artifact",
+        ),
+    ]
+    if completed:
+        identical = target.read_bytes() == (
+            original if scenario.workflow == "write-jsonl" else reference
+        )
+        invariants.append(
+            InvariantCheck(
+                "trace-identical",
+                identical,
+                "" if identical else "rewritten artifact differs from the "
+                "unfaulted write",
+            )
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        attempts=attempts,
+        completed=completed,
+        injections=injections,
+        error="" if completed else "; ".join(errors),
+        invariants=tuple(invariants),
+    )
+
+
+def _run_corruption(
+    scenario: Scenario, seed: int, scenario_dir: Path
+) -> ScenarioOutcome:
+    """Drill corrupt -> ingest (-> report): degrade, never crash."""
+    trace = TraceGenerator(seed=seed).generate(list(scenario.systems))
+    run_report = scenario.workflow == "report"
+    try:
+        report = chaos_roundtrip(
+            trace,
+            seed=seed,
+            rate=scenario.rate,
+            mode=scenario.mode,
+            workdir=scenario_dir / "roundtrip",
+            run_report=run_report,
+        )
+    except Exception as exc:
+        return ScenarioOutcome(
+            scenario=scenario,
+            attempts=1,
+            completed=False,
+            injections=0,
+            error=_scrub(f"{type(exc).__name__}: {exc}", scenario_dir),
+            invariants=(_no_partials(scenario_dir),),
+        )
+
+    invariants = [
+        _no_partials(scenario_dir),
+        InvariantCheck(
+            "fault-injected",
+            report.corruption.n_corrupted >= 1,
+            "" if report.corruption.n_corrupted else "injector corrupted "
+            "zero rows",
+        ),
+        InvariantCheck(
+            "ingest-survives",
+            report.survived,
+            "" if report.survived else "ingest blew its error budget",
+        ),
+    ]
+    if run_report:
+        paper = report.paper
+        crashed = [] if paper is None else [
+            section.name for section in paper.sections
+            if section.status == "failed"
+        ]
+        invariants.append(
+            InvariantCheck(
+                "report-degrades",
+                paper is not None and not crashed,
+                "paper report did not run" if paper is None
+                else ("" if not crashed else f"sections crashed: {', '.join(crashed)}"),
+            )
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        attempts=1,
+        completed=report.survived,
+        injections=report.corruption.n_corrupted,
+        error="",
+        invariants=tuple(invariants),
+    )
+
+
+def run_scenario(
+    scenario: Scenario,
+    seed: int,
+    scenario_dir: Path,
+    reference: bytes = b"",
+) -> ScenarioOutcome:
+    """Drill one scenario under ``scenario_dir``; never raises."""
+    scenario_dir.mkdir(parents=True, exist_ok=True)
+    with obs.span(
+        "campaign.scenario",
+        scenario=scenario.name,
+        workflow=scenario.workflow,
+        fault=scenario.fault,
+    ) as span:
+        try:
+            if scenario.workflow == "generate":
+                outcome = _run_generate(scenario, seed, scenario_dir, reference)
+            elif scenario.workflow in ("write-csv", "write-jsonl"):
+                outcome = _run_write(scenario, seed, scenario_dir, reference)
+            else:
+                outcome = _run_corruption(scenario, seed, scenario_dir)
+        except Exception as exc:  # a drill must never take down the campaign
+            outcome = ScenarioOutcome(
+                scenario=scenario,
+                attempts=1,
+                completed=False,
+                injections=0,
+                error=_scrub(
+                    f"harness error: {type(exc).__name__}: {exc}", scenario_dir
+                ),
+                invariants=(
+                    InvariantCheck("harness", False, "scenario harness raised"),
+                ),
+            )
+        span.add("ok", outcome.ok)
+        span.add("attempts", outcome.attempts)
+    return outcome
+
+
+def run_campaign(
+    preset: str = "smoke",
+    seed: int = 7,
+    root: Optional[Path] = None,
+    scorecard_path: Optional[Path] = None,
+) -> CampaignResult:
+    """Run a named campaign preset; write the scorecard atomically.
+
+    Parameters
+    ----------
+    preset:
+        A key of :data:`PRESETS` (``smoke`` or ``full``).
+    seed:
+        Root seed for generation, corruption, and torn-write fractions;
+        the scorecard is byte-identical for identical ``(preset, seed)``.
+    root:
+        Campaign working directory (one subdirectory per scenario); a
+        temporary directory when omitted.
+    scorecard_path:
+        Where to write ``robustness_scorecard.json``; defaults to
+        ``<root>/robustness_scorecard.json``.  A ``campaign_timings.json``
+        sidecar (wall-clock per scenario; *not* deterministic) is
+        written next to it.
+    """
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    import tempfile
+
+    if root is None:
+        root = Path(tempfile.mkdtemp(prefix="repro-campaign-"))
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    scenarios = PRESETS[preset]
+
+    outcomes: List[ScenarioOutcome] = []
+    wall_times: Dict[str, float] = {}
+    reference_cache: Dict[Tuple[int, ...], bytes] = {}
+    registry = obs.metrics()
+    with obs.span(
+        "campaign", preset=preset, seed=seed, scenarios=len(scenarios)
+    ) as span:
+        for scenario in scenarios:
+            begin = time.perf_counter()
+            reference = b""
+            if scenario.workflow in ("generate", "write-csv"):
+                reference = _reference_csv(
+                    seed, scenario.systems, reference_cache, root
+                )
+            outcome = run_scenario(
+                scenario, seed, root / scenario.name, reference
+            )
+            wall_times[scenario.name] = time.perf_counter() - begin
+            outcomes.append(outcome)
+            registry.counter("campaign.scenarios").add(1)
+            if not outcome.ok:
+                registry.counter("campaign.failures").add(1)
+            registry.counter("campaign.injections").add(outcome.injections)
+        result = CampaignResult(
+            preset=preset,
+            seed=seed,
+            outcomes=tuple(outcomes),
+            wall_times=dict(wall_times),
+        )
+        span.add("ok", result.ok)
+
+    if scorecard_path is None:
+        scorecard_path = root / SCORECARD_NAME
+    scorecard_path = Path(scorecard_path)
+    atomic_write_json(scorecard_path, result.scorecard())
+    atomic_write_json(
+        scorecard_path.parent / TIMINGS_NAME,
+        {
+            "preset": preset,
+            "seed": seed,
+            "wall_times_seconds": {
+                name: round(seconds, 3)
+                for name, seconds in sorted(wall_times.items())
+            },
+            "total_seconds": round(sum(wall_times.values()), 3),
+        },
+    )
+    return result

@@ -19,6 +19,7 @@ import csv
 from repro.io.common import PathLike, atomic_open_text, open_text
 from repro.io.policy import IngestPolicy, IngestReport, RowPipeline
 from repro.io.schema import CSV_COLUMNS, SchemaError
+from repro.resilience.atomic import fs_fault_hook
 from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
 from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
 from repro.records.system import SystemConfig
@@ -169,6 +170,7 @@ def write_lanl_csv(trace: Union[FailureTrace, Iterable[FailureRecord]], path: Pa
     """
     path = Path(path)
     records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
+    fs_fault_hook("io.csv", path)
     with atomic_open_text(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(CSV_COLUMNS)

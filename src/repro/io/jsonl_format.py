@@ -17,6 +17,7 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Union
 from repro.io.common import PathLike, atomic_open_text, open_text
 from repro.io.policy import IngestPolicy, IngestReport, RowPipeline
 from repro.io.schema import SchemaError
+from repro.resilience.atomic import fs_fault_hook
 from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
 from repro.records.record import FailureRecord, LowLevelCause, RootCause, Workload
 from repro.records.system import SystemConfig
@@ -70,6 +71,7 @@ def write_jsonl(trace: Union[FailureTrace, Iterable[FailureRecord]], path: PathL
     """
     path = Path(path)
     records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
+    fs_fault_hook("io.jsonl", path)
     with atomic_open_text(path) as handle:
         for record in records:
             handle.write(json.dumps(_record_to_dict(record), sort_keys=True))

@@ -10,6 +10,8 @@ from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.stats.errors import DegenerateSampleError
+
 __all__ = ["bar_chart", "stacked_bars", "cdf_plot", "series_plot"]
 
 _FULL = "#"
@@ -26,10 +28,10 @@ def bar_chart(
     if len(labels) != len(values):
         raise ValueError("labels and values must have equal length")
     if not labels:
-        raise ValueError("need at least one bar")
+        raise DegenerateSampleError("need at least one bar")
     peak = max(values)
     if peak <= 0:
-        raise ValueError("all values are non-positive")
+        raise DegenerateSampleError("all values are non-positive")
     label_width = max(len(str(label)) for label in labels)
     lines = [title] if title else []
     for label, value in zip(labels, values):
@@ -53,7 +55,7 @@ def stacked_bars(
         sum to ~100 per group.
     """
     if not groups:
-        raise ValueError("need at least one group")
+        raise DegenerateSampleError("need at least one group")
     # One letter per segment, assigned in first-seen order.
     letters: Dict[str, str] = {}
     for segments in groups.values():
@@ -88,17 +90,17 @@ def cdf_plot(
     """
     values = np.sort(np.asarray(data, dtype=float))
     if values.size < 2:
-        raise ValueError("need at least 2 observations")
+        raise DegenerateSampleError("need at least 2 observations")
     positive = values[values > 0]
     if log_x:
         if positive.size < 2:
-            raise ValueError("log_x requires at least 2 positive observations")
+            raise DegenerateSampleError("log_x requires at least 2 positive observations")
         x_low, x_high = positive[0], positive[-1]
         xs = np.geomspace(x_low, x_high, width)
     else:
         x_low, x_high = values[0], values[-1]
         if x_high <= x_low:
-            raise ValueError("degenerate data range")
+            raise DegenerateSampleError("degenerate data range")
         xs = np.linspace(x_low, x_high, width)
     ecdf = np.searchsorted(values, xs, side="right") / values.size
     grid = [[" "] * width for _ in range(height)]
@@ -136,10 +138,10 @@ def series_plot(
     """ASCII line plot of a series (Figure 4 style: failures/month)."""
     series = np.asarray(values, dtype=float)
     if series.size < 2:
-        raise ValueError("need at least 2 points")
+        raise DegenerateSampleError("need at least 2 points")
     peak = series.max()
     if peak <= 0:
-        raise ValueError("all values are non-positive")
+        raise DegenerateSampleError("all values are non-positive")
     columns = np.linspace(0, series.size - 1, min(width, series.size)).astype(int)
     sampled = series[columns]
     grid = [[" "] * len(columns) for _ in range(height)]

@@ -34,6 +34,7 @@ from repro.analysis.rootcause import (
     downtime_breakdown_by_hardware_type,
 )
 from repro.records.record import HIGH_LEVEL_CAUSES
+from repro.stats.errors import DegenerateSampleError
 from repro.records.timeutils import from_datetime
 from repro.records.trace import FailureTrace
 from repro.report.charts import bar_chart, cdf_plot, series_plot, stacked_bars
@@ -304,11 +305,15 @@ class SectionResult:
     name:
         Artifact name (``"table1"``, ``"fig6"``, ...).
     status:
-        ``"ok"`` or ``"failed"``.
+        ``"ok"``; ``"degraded"`` when the section's analysis raised
+        :class:`~repro.stats.errors.DegenerateSampleError` (the data is
+        too thin for this artifact — expected on sparse or corrupted
+        traces); ``"failed"`` for any other exception (a bug or an
+        unanticipated data condition).
     text:
         The rendered artifact when ok, else empty.
     error:
-        ``"ExceptionType: message"`` when failed, else empty.
+        ``"ExceptionType: message"`` when not ok, else empty.
     """
 
     name: str
@@ -320,6 +325,16 @@ class SectionResult:
     def ok(self) -> bool:
         """True when the section rendered."""
         return self.status == "ok"
+
+    @property
+    def degraded(self) -> bool:
+        """True when the section's data was too thin to render."""
+        return self.status == "degraded"
+
+    @property
+    def crashed(self) -> bool:
+        """True when the section failed for a non-degenerate reason."""
+        return self.status == "failed"
 
 
 @dataclass(frozen=True)
@@ -335,8 +350,18 @@ class PaperReport:
 
     @property
     def failed(self) -> Tuple[SectionResult, ...]:
-        """The sections that failed to render."""
+        """The sections that did not render (degraded and crashed)."""
         return tuple(section for section in self.sections if not section.ok)
+
+    @property
+    def degraded(self) -> Tuple[SectionResult, ...]:
+        """The sections skipped because their data was too thin."""
+        return tuple(section for section in self.sections if section.degraded)
+
+    @property
+    def crashed(self) -> Tuple[SectionResult, ...]:
+        """The sections that failed for a non-degenerate reason."""
+        return tuple(section for section in self.sections if section.crashed)
 
     def diagnostics(self) -> str:
         """One line per section: ok, or the failure it degraded with."""
@@ -344,6 +369,10 @@ class PaperReport:
         for section in self.sections:
             if section.ok:
                 lines.append(f"{section.name:<8} ok")
+            elif section.degraded:
+                lines.append(
+                    f"{section.name:<8} DEGRADED (thin data): {section.error}"
+                )
             else:
                 lines.append(f"{section.name:<8} FAILED: {section.error}")
         return "\n".join(lines)
@@ -392,6 +421,14 @@ def run_paper_report(trace: FailureTrace) -> PaperReport:
                     sections.append(
                         SectionResult(name=name, status="ok", text=renderer())
                     )
+            except DegenerateSampleError as exc:
+                sections.append(
+                    SectionResult(
+                        name=name,
+                        status="degraded",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
             except Exception as exc:  # noqa: BLE001 — isolation is the point
                 sections.append(
                     SectionResult(

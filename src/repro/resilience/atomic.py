@@ -14,6 +14,14 @@ truncated hybrid.  The recipe is the classic POSIX one:
 
 A ``.gz`` target suffix writes gzip-compressed text, mirroring
 :func:`repro.io.common.open_text`.
+
+Failure semantics (drilled by ``repro chaos campaign`` through the
+:mod:`repro.faults.fsfaults` shim): on *any* error — a failed body
+write, ENOSPC on flush/close, a failed fsync — the staged temporary
+file is removed and the original target is left untouched, and a
+secondary error from the cleanup itself (closing a handle whose buffer
+cannot flush, unlinking on a sick filesystem) never masks the original
+error.
 """
 
 from __future__ import annotations
@@ -24,16 +32,53 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator, Union
+from typing import Any, Iterator, Optional, Union
 
 __all__ = [
     "atomic_open_text",
     "atomic_write_text",
     "atomic_write_bytes",
     "atomic_write_json",
+    "fs_fault_hook",
 ]
 
 PathLike = Union[str, Path]
+
+# Mirrors repro.faults.fsfaults.FS_FAULTS_ENV_VAR.  Duplicated as a
+# plain constant so the disabled fast path is one dict lookup with no
+# import: repro.faults must not load at repro.io/resilience import time
+# (it pulls in the report stack), and tests pin the two constants equal.
+_FS_FAULTS_ENV_VAR = "REPRO_FS_FAULTS"
+
+
+def fs_fault_hook(
+    site: str,
+    path: PathLike,
+    tmp: Optional[PathLike] = None,
+    write: Optional[Any] = None,
+    data: Optional[Any] = None,
+) -> None:
+    """Filesystem fault-injection site (no-op unless armed via env).
+
+    The single entry point every instrumented write path calls; see
+    :mod:`repro.faults.fsfaults` for the spec format and operators.
+    When ``write``/``data`` are given the hook owns performing the
+    write, so the torn-write operator can leave a genuine partial
+    write behind; otherwise it may raise or sleep before the caller's
+    own I/O proceeds.  Imported lazily at fault time only.
+    """
+    if not os.environ.get(_FS_FAULTS_ENV_VAR):
+        if write is not None:
+            write(data)
+        return
+    from repro.faults import fsfaults
+
+    if write is not None:
+        fsfaults.fault_write(site, str(path), write, data)
+    else:
+        fsfaults.maybe_fault(
+            site, path=str(path), tmp=str(tmp) if tmp is not None else None
+        )
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -48,6 +93,22 @@ def _fsync_dir(directory: Path) -> None:
         pass
     finally:
         os.close(fd)
+
+
+def _unlink_staged(tmp: Path) -> None:
+    """Remove a staged temp file during error cleanup.
+
+    Only ``OSError`` from the unlink itself is suppressed — the caller
+    re-raises the *original* error immediately after, so a sick
+    filesystem (the very thing that likely caused the failure) cannot
+    replace the real diagnosis with a cleanup complaint.
+    """
+    try:
+        tmp.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:  # pragma: no cover - cleanup on a failing filesystem
+        pass
 
 
 @contextlib.contextmanager
@@ -72,17 +133,25 @@ def atomic_open_text(path: PathLike, newline: str = "") -> Iterator[Any]:
             handle = open(tmp, "w", newline=newline, encoding="utf-8")
         try:
             yield handle
-        finally:
-            handle.close()
+        except BaseException:
+            # The body failed; close without letting a secondary error
+            # (flushing buffered data to the same full disk) mask it.
+            with contextlib.suppress(Exception):
+                handle.close()
+            raise
+        # A close on the success path is NOT cleanup: it flushes the
+        # final buffer, so its errors (ENOSPC) must propagate.
+        handle.close()
+        fs_fault_hook("atomic.text", path, tmp=tmp)
         # Re-open to fsync the bytes the (possibly gzip-layered) handle
         # wrote; simpler and safer than plumbing raw fds through gzip.
         with open(tmp, "rb") as sync_handle:
+            fs_fault_hook("atomic.fsync", path)
             os.fsync(sync_handle.fileno())
         os.replace(tmp, path)
         _fsync_dir(directory)
     except BaseException:
-        with contextlib.suppress(OSError):
-            tmp.unlink()
+        _unlink_staged(tmp)
         raise
 
 
@@ -101,21 +170,28 @@ def atomic_write_bytes(path: PathLike, data: bytes) -> None:
     )
     tmp = Path(tmp_name)
     try:
-        try:
+        def write_all(chunk: bytes) -> None:
             # os.write may write fewer bytes than asked (large shard
             # payloads); loop so the temp file is complete before the
             # fsync + rename publish it.
-            view = memoryview(data)
+            view = memoryview(chunk)
             while view:
-                view = view[os.write(fd, view) :]
+                view = view[os.write(fd, view):]
+
+        try:
+            fs_fault_hook("atomic.bytes", path, write=write_all, data=data)
+            fs_fault_hook("atomic.fsync", path)
             os.fsync(fd)
-        finally:
-            os.close(fd)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.close(fd)
+            raise
+        # Success-path close: errors must propagate, it is not cleanup.
+        os.close(fd)
         os.replace(tmp, path)
         _fsync_dir(directory)
     except BaseException:
-        with contextlib.suppress(OSError):
-            tmp.unlink()
+        _unlink_staged(tmp)
         raise
 
 

@@ -30,7 +30,11 @@ import re
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
-from repro.resilience.atomic import atomic_write_bytes, atomic_write_json
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    fs_fault_hook,
+)
 
 __all__ = ["ShardJournal", "JournalError"]
 
@@ -186,8 +190,71 @@ class ShardJournal:
         }
         if extra:
             entry.update(extra)
-        with self.journal_path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        with self.journal_path.open("a+", encoding="utf-8") as handle:
+            # Self-heal a torn tail: a crash mid-append (torn write, an
+            # ENOSPC that landed half a line) leaves the file without a
+            # trailing newline; appending straight after it would glue
+            # this entry onto the garbage and lose *both* lines.
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(handle.tell() - 1)
+                if handle.read(1) != "\n":
+                    handle.write("\n")
+            fs_fault_hook(
+                "journal.append",
+                self.journal_path,
+                write=handle.write,
+                data=json.dumps(entry, sort_keys=True) + "\n",
+            )
             handle.flush()
             os.fsync(handle.fileno())
         self._entries[key] = entry
+
+    # -- verification --------------------------------------------------
+
+    def verify(self) -> list:
+        """Deep-check meta/journal/payload consistency; list of problems.
+
+        Every journal entry's payload file must exist and match its
+        recorded sha256, and ``meta.json`` must still parse and match
+        the identity this journal was opened with.  An *orphan* payload
+        (payload file with no journal line — the signature of a crash
+        between the payload write and the journal append) is reported
+        as recoverable, prefixed ``orphan:``, because a resume simply
+        regenerates and overwrites it; callers that want a strict check
+        can treat any non-empty return as a failure.
+        """
+        problems = []
+        try:
+            stored = json.loads(self.meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"meta.json unreadable: {type(exc).__name__}: {exc}")
+            stored = None
+        if stored is not None and self.meta and stored != self.meta:
+            problems.append("meta.json does not match this journal's identity")
+        recorded_files = set()
+        for key, entry in sorted(self._entries.items()):
+            path = self.shards_dir / entry["file"]
+            recorded_files.add(entry["file"])
+            try:
+                blob = path.read_bytes()
+            except OSError as exc:
+                problems.append(
+                    f"shard {key}: payload missing ({type(exc).__name__})"
+                )
+                continue
+            digest = hashlib.sha256(blob).hexdigest()
+            if digest != entry.get("sha256"):
+                problems.append(
+                    f"shard {key}: payload sha256 mismatch "
+                    f"({digest[:12]}... != {str(entry.get('sha256'))[:12]}...)"
+                )
+            elif entry.get("bytes") not in (None, len(blob)):
+                problems.append(
+                    f"shard {key}: payload is {len(blob)} bytes, journal "
+                    f"recorded {entry.get('bytes')}"
+                )
+        for stray in sorted(self.shards_dir.glob("*.pkl")):
+            if stray.name not in recorded_files:
+                problems.append(f"orphan: payload {stray.name} has no journal entry")
+        return problems

@@ -29,7 +29,9 @@ from repro.stats.distributions import (
     Poisson,
     Weibull,
 )
+from repro.stats.errors import DegenerateSampleError
 from repro.stats.fitting import (
+    DegenerateFitError,
     FitError,
     FitOutcome,
     FitResult,
@@ -77,6 +79,8 @@ __all__ = [
     "LogNormal",
     "Normal",
     "Poisson",
+    "DegenerateFitError",
+    "DegenerateSampleError",
     "FitError",
     "FitOutcome",
     "FitResult",

@@ -1,0 +1,34 @@
+"""Typed sample-quality errors shared by the stats and analysis layers.
+
+:class:`DegenerateSampleError` is the single vocabulary for "this data
+is too thin/flat/empty for the requested statistic" across the stack —
+distribution fitting (:mod:`repro.stats.fitting`), the analysis studies
+(:mod:`repro.analysis`), and the text charts (:mod:`repro.report.charts`)
+all raise it, and the report layer maps it to a *degraded* (not
+*failed*) section so robustness scorecards can distinguish thin data
+from genuine bugs.
+
+It lives in ``repro.stats`` because that is the lowest layer that needs
+it; :mod:`repro.analysis.errors` re-exports it for backward
+compatibility, so ``except DegenerateSampleError`` catches the same
+class no matter which module it was imported from.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DegenerateSampleError"]
+
+
+class DegenerateSampleError(ValueError):
+    """The input sample is too degenerate for the requested statistic.
+
+    Raised for zero-mean samples (undefined coefficient of variation /
+    variance-to-mean ratio), single-observation or otherwise
+    too-small samples, all-equal samples (zero spread), and slices
+    where a required participant never appears.  The message always
+    states the requirement that failed.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    (including the report layer's per-section isolation) keep working,
+    while remaining catchable specifically.
+    """

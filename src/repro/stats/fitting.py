@@ -34,6 +34,7 @@ from typing import Dict, List, Literal, Sequence, Tuple, Union
 import numpy as np
 from scipy import special
 
+from repro.stats.errors import DegenerateSampleError
 from repro.stats.distributions import (
     Distribution,
     Exponential,
@@ -47,6 +48,7 @@ from repro.stats.gof import aic, bic, ks_statistic
 
 __all__ = [
     "FitError",
+    "DegenerateFitError",
     "FitResult",
     "FitOutcome",
     "prepare_positive",
@@ -67,7 +69,19 @@ ZeroPolicy = Literal["error", "drop", "clamp"]
 
 
 class FitError(ValueError):
-    """Raised when a sample cannot be fitted (too small, degenerate...)."""
+    """Raised when a sample cannot be fitted."""
+
+
+class DegenerateFitError(FitError, DegenerateSampleError):
+    """The sample is too thin or flat to fit — a data condition, not a bug.
+
+    Raised for too-few observations, all-equal values (zero spread),
+    and non-positive sample means.  Being both a :class:`FitError` and
+    a :class:`~repro.stats.errors.DegenerateSampleError`, it is caught
+    by existing ``except FitError`` handlers while letting the report
+    layer and robustness scorecards classify the failure as *degraded*
+    (thin data) rather than *failed* (bug).
+    """
 
 
 @dataclass(frozen=True)
@@ -114,7 +128,7 @@ def _as_clean_array(data: ArrayLike, minimum_size: int = 2) -> np.ndarray:
     if values.ndim != 1:
         values = values.ravel()
     if values.size < minimum_size:
-        raise FitError(
+        raise DegenerateFitError(
             f"need at least {minimum_size} observations, got {values.size}"
         )
     if not np.all(np.isfinite(values)):
@@ -157,7 +171,9 @@ def prepare_positive(
     if zero_policy == "drop":
         remaining = values[~nonpositive]
         if remaining.size < 2:
-            raise FitError("fewer than 2 positive observations after dropping zeros")
+            raise DegenerateFitError(
+                "fewer than 2 positive observations after dropping zeros"
+            )
         return remaining
     if zero_policy == "clamp":
         if epsilon <= 0:
@@ -190,7 +206,7 @@ def fit_exponential(data: ArrayLike) -> FitResult:
         raise FitError("exponential requires non-negative data")
     mean = float(np.mean(values))
     if mean <= 0:
-        raise FitError("exponential requires positive sample mean")
+        raise DegenerateFitError("exponential requires positive sample mean")
     return _make_result(Exponential(scale=mean), values)
 
 
@@ -208,7 +224,7 @@ def fit_lognormal(data: ArrayLike) -> FitResult:
     mu = float(np.mean(logs))
     sigma = float(np.std(logs))  # ddof=0: MLE convention
     if sigma <= 0:
-        raise FitError("degenerate sample (all values equal)")
+        raise DegenerateFitError("degenerate sample (all values equal)")
     return _make_result(LogNormal(mu=mu, sigma=sigma), values)
 
 
@@ -217,7 +233,7 @@ def fit_normal(data: ArrayLike) -> FitResult:
     values = _as_clean_array(data)
     sigma = float(np.std(values))  # ddof=0: MLE convention
     if sigma <= 0:
-        raise FitError("degenerate sample (all values equal)")
+        raise DegenerateFitError("degenerate sample (all values equal)")
     return _make_result(Normal(mu=float(np.mean(values)), sigma=sigma), values)
 
 
@@ -228,7 +244,7 @@ def fit_poisson(data: ArrayLike) -> FitResult:
         raise FitError("Poisson requires non-negative integer counts")
     rate = float(np.mean(values))
     if rate <= 0:
-        raise FitError("Poisson requires a positive sample mean")
+        raise DegenerateFitError("Poisson requires a positive sample mean")
     return _make_result(Poisson(rate=rate), values)
 
 
@@ -267,7 +283,7 @@ def fit_weibull(
     mean_log = float(np.mean(logs))
     std_log = float(np.std(logs))  # ddof=0: MLE convention
     if std_log <= 0:
-        raise FitError("degenerate sample (all values equal)")
+        raise DegenerateFitError("degenerate sample (all values equal)")
     k = 1.2 / std_log
 
     low, high = 1e-3, 1e3
@@ -313,7 +329,7 @@ def fit_gamma(
     # sends Minka's initialization to k ~ 1/(2s) and underflows the
     # Newton derivative — treat it as degenerate too.
     if s <= 1e-12:
-        raise FitError("degenerate sample (zero log-spread)")
+        raise DegenerateFitError("degenerate sample (zero log-spread)")
     # Minka's initialization.
     k = (3.0 - s + math.sqrt((s - 3.0) ** 2 + 24.0 * s)) / (12.0 * s)
     for _ in range(max_iterations):
@@ -351,19 +367,35 @@ COUNT_FITTERS = {
 }
 
 
+def _raise_no_candidate(errors: List[FitError]) -> None:
+    """Raise the right "no candidate" error for the collected failures.
+
+    Degenerate only when *every* candidate failed on a degenerate
+    sample: one non-degenerate failure means something other than thin
+    data went wrong, and that must not be reported as "data too thin".
+    """
+    if errors and all(
+        isinstance(error, DegenerateSampleError) for error in errors
+    ):
+        raise DegenerateFitError("no candidate distribution could be fitted")
+    raise FitError("no candidate distribution could be fitted")
+
+
 def _fit_ranked(
     fitters: Dict[str, object], values: np.ndarray
 ) -> List[FitResult]:
     results = []
+    errors: List[FitError] = []
     for name, fitter in fitters.items():
         try:
             results.append(fitter(values))
-        except FitError:
+        except FitError as exc:
             # A candidate that cannot be fitted (e.g. lognormal on data
             # with zeros) is simply excluded from the ranking.
+            errors.append(exc)
             continue
     if not results:
-        raise FitError("no candidate distribution could be fitted")
+        _raise_no_candidate(errors)
     results.sort(key=lambda result: result.nll)
     return results
 
@@ -418,12 +450,14 @@ class FitOutcome:
     Attributes
     ----------
     status:
-        ``"ok"`` when at least one candidate was fitted, else
-        ``"failed"``.
+        ``"ok"`` when at least one candidate was fitted;
+        ``"degenerate"`` when fitting failed because the sample is too
+        thin/flat (:class:`DegenerateFitError` — a data condition, not
+        a bug); ``"failed"`` for every other :class:`FitError`.
     fits:
-        Ranked fits (empty when failed).
+        Ranked fits (empty when not ok).
     error:
-        The :class:`FitError` message when failed, else ``None``.
+        The :class:`FitError` message when not ok, else ``None``.
     """
 
     status: str
@@ -436,15 +470,27 @@ class FitOutcome:
         return self.status == "ok"
 
     @property
+    def degenerate(self) -> bool:
+        """True when fitting failed because the data is too thin."""
+        return self.status == "degenerate"
+
+    @property
     def best(self) -> Union[FitResult, None]:
         """The winning fit, or ``None`` when fitting failed."""
         return self.fits[0] if self.fits else None
 
     def describe(self) -> str:
         """One line per fit, or the failure reason."""
+        if self.degenerate:
+            return f"fit failed (degenerate sample): {self.error}"
         if not self.ok:
             return f"fit failed: {self.error}"
         return "\n".join(fit.describe() for fit in self.fits)
+
+
+def _failed_outcome(exc: FitError) -> FitOutcome:
+    status = "degenerate" if isinstance(exc, DegenerateSampleError) else "failed"
+    return FitOutcome(status=status, error=str(exc))
 
 
 def fit_all_safe(
@@ -456,7 +502,7 @@ def fit_all_safe(
     try:
         return FitOutcome(status="ok", fits=tuple(fit_all(data, zero_policy, epsilon)))
     except FitError as exc:
-        return FitOutcome(status="failed", error=str(exc))
+        return _failed_outcome(exc)
 
 
 def fit_all_discrete_safe(data: ArrayLike) -> FitOutcome:
@@ -464,7 +510,7 @@ def fit_all_discrete_safe(data: ArrayLike) -> FitOutcome:
     try:
         return FitOutcome(status="ok", fits=tuple(fit_all_discrete(data)))
     except FitError as exc:
-        return FitOutcome(status="failed", error=str(exc))
+        return _failed_outcome(exc)
 
 
 def fit_all_discrete(data: ArrayLike) -> List[FitResult]:
@@ -476,15 +522,17 @@ def fit_all_discrete(data: ArrayLike) -> List[FitResult]:
     """
     values = _as_clean_array(data)
     results = []
+    errors: List[FitError] = []
     for name, fitter in COUNT_FITTERS.items():
         try:
             if name == "lognormal":
                 results.append(fitter(prepare_positive(values, zero_policy="drop")))
             else:
                 results.append(fitter(values))
-        except FitError:
+        except FitError as exc:
+            errors.append(exc)
             continue
     if not results:
-        raise FitError("no candidate distribution could be fitted")
+        _raise_no_candidate(errors)
     results.sort(key=lambda result: result.nll)
     return results

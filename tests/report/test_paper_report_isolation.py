@@ -38,9 +38,22 @@ class TestRunPaperReport:
         assert by_name["fig1"].ok
         assert by_name["table3"].ok
 
+    def test_thin_data_classified_degraded_not_failed(self, degraded):
+        # A missing system is thin data, not a bug: the section must be
+        # "degraded" (DegenerateSampleError), and nothing may be
+        # "failed" on a merely-sparse trace.
+        by_name = {section.name: section for section in degraded.sections}
+        assert by_name["fig6"].status == "degraded"
+        assert by_name["fig6"].degraded
+        assert not by_name["fig6"].crashed
+        assert degraded.crashed == ()
+        assert {section.name for section in degraded.degraded} == {
+            section.name for section in degraded.failed
+        }
+
     def test_failed_sections_carry_typed_errors(self, degraded):
         for section in degraded.failed:
-            assert section.status == "failed"
+            assert section.status in ("failed", "degraded")
             assert section.text == ""
             assert ":" in section.error  # "ExceptionType: message"
 
@@ -48,7 +61,7 @@ class TestRunPaperReport:
         diagnostics = degraded.diagnostics()
         for name in SECTION_NAMES:
             assert name in diagnostics
-        assert "FAILED" in diagnostics
+        assert "DEGRADED (thin data)" in diagnostics
 
     def test_render_substitutes_placeholders(self, degraded):
         text = degraded.render()

@@ -1,0 +1,223 @@
+"""Atomic writers under injected filesystem faults (cleanup-path audit).
+
+Drills the claims in :mod:`repro.resilience.atomic`'s failure
+semantics: on any error the staged temp file is removed, the original
+target is untouched, and cleanup errors never mask the original one.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.faults.fsfaults import (
+    FS_FAULTS_ENV_VAR,
+    FsFaultError,
+    FsFaults,
+    TornWriteError,
+    fsfaults_env,
+)
+from repro.resilience import atomic
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fs_fault_hook,
+)
+
+
+def _no_tmp_litter(directory):
+    return [name for name in os.listdir(directory) if ".tmp" in name] == []
+
+
+@pytest.fixture()
+def arm(tmp_path):
+    """Arm an operator against the atomic writers; returns the spec."""
+
+    def _arm(operator, sites=(), **kwargs):
+        return FsFaults(
+            operator=operator, state_dir=str(tmp_path / "fault-state"),
+            sites=tuple(sites), seed=7, **kwargs,
+        )
+
+    return _arm
+
+
+class TestEnvConstantPinned:
+    def test_duplicated_env_var_matches_shim(self):
+        # atomic.py duplicates the constant to keep its disabled fast
+        # path import-free; the two must never drift.
+        assert atomic._FS_FAULTS_ENV_VAR == FS_FAULTS_ENV_VAR
+
+
+class TestTextWriterUnderFaults:
+    def test_enospc_leaves_original_untouched(self, tmp_path, arm):
+        target = tmp_path / "report.json"
+        target.write_text("previous complete artifact")
+        with fsfaults_env(arm("enospc", sites=("atomic.text",))):
+            with pytest.raises(FsFaultError) as err:
+                atomic_write_text(target, "new content")
+        assert err.value.errno is not None
+        assert target.read_text() == "previous complete artifact"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_enospc_with_no_preexisting_file_creates_nothing(
+        self, tmp_path, arm
+    ):
+        target = tmp_path / "never.txt"
+        with fsfaults_env(arm("enospc", sites=("atomic.text",))):
+            with pytest.raises(FsFaultError):
+                atomic_write_text(target, "x")
+        assert not target.exists()
+        assert _no_tmp_litter(tmp_path)
+
+    def test_fsync_failure_cleans_up(self, tmp_path, arm):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with fsfaults_env(arm("fsync-fail", sites=("atomic.fsync",))):
+            with pytest.raises(FsFaultError):
+                atomic_write_text(target, "new")
+        assert target.read_text() == "old"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_torn_write_never_publishes_the_torn_prefix(self, tmp_path, arm):
+        # The staged tmp is truncated to a torn prefix before the error
+        # fires — atomicity means that prefix must never reach the
+        # target.
+        target = tmp_path / "out.txt"
+        target.write_text("intact")
+        with fsfaults_env(arm("torn-write", sites=("atomic.text",))):
+            with pytest.raises(TornWriteError):
+                atomic_write_text(target, "0123456789" * 100)
+        assert target.read_text() == "intact"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_slow_io_completes_successfully(self, tmp_path, arm):
+        target = tmp_path / "out.txt"
+        spec = arm("slow-io", sites=("atomic.text",), slow_seconds=0.01)
+        with fsfaults_env(spec):
+            atomic_write_text(target, "delayed but fine")
+        assert target.read_text() == "delayed but fine"
+
+
+class TestBytesWriterUnderFaults:
+    def test_enospc_leaves_original_untouched(self, tmp_path, arm):
+        target = tmp_path / "shard.pkl"
+        target.write_bytes(b"previous payload")
+        with fsfaults_env(arm("enospc", sites=("atomic.bytes",))):
+            with pytest.raises(FsFaultError):
+                atomic_write_bytes(target, b"new payload")
+        assert target.read_bytes() == b"previous payload"
+        assert _no_tmp_litter(tmp_path)
+
+    def test_torn_write_leaves_no_partial_target(self, tmp_path, arm):
+        target = tmp_path / "shard.pkl"
+        with fsfaults_env(arm("torn-write", sites=("atomic.bytes",))):
+            with pytest.raises(TornWriteError):
+                atomic_write_bytes(target, b"\x01" * 4096)
+        assert not target.exists()
+        assert _no_tmp_litter(tmp_path)
+
+    def test_fsync_failure_cleans_up(self, tmp_path, arm):
+        target = tmp_path / "shard.pkl"
+        with fsfaults_env(arm("fsync-fail", sites=("atomic.fsync",))):
+            with pytest.raises(FsFaultError):
+                atomic_write_bytes(target, b"payload")
+        assert not target.exists()
+        assert _no_tmp_litter(tmp_path)
+
+
+class TestCleanupNeverMasksOriginal:
+    def test_unlink_failure_does_not_mask_body_error(
+        self, tmp_path, monkeypatch
+    ):
+        # A sick filesystem failing the cleanup unlink must not replace
+        # the original diagnosis.
+        target = tmp_path / "out.txt"
+
+        def sick_unlink(self):
+            raise OSError("unlink failed: filesystem is sick")
+
+        from pathlib import Path
+
+        monkeypatch.setattr(Path, "unlink", sick_unlink)
+        with pytest.raises(RuntimeError, match="original failure"):
+            with atomic.atomic_open_text(target) as handle:
+                handle.write("x")
+                raise RuntimeError("original failure")
+
+    def test_close_failure_on_error_path_does_not_mask(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "out.txt"
+        real_open = open
+
+        class ExplodingClose:
+            def __init__(self, handle):
+                self._handle = handle
+
+            def write(self, text):
+                return self._handle.write(text)
+
+            def close(self):
+                self._handle.close()
+                raise OSError("flush failed: disk full")
+
+            def __getattr__(self, name):
+                return getattr(self._handle, name)
+
+        def patched_open(*args, **kwargs):
+            return ExplodingClose(real_open(*args, **kwargs))
+
+        monkeypatch.setattr("builtins.open", patched_open)
+        with pytest.raises(RuntimeError, match="body failed first"):
+            with atomic.atomic_open_text(target) as handle:
+                handle.write("x")
+                raise RuntimeError("body failed first")
+
+    def test_success_path_close_error_propagates(self, tmp_path, arm):
+        # The final flush-and-close is not cleanup: an ENOSPC there is
+        # the primary failure and must surface (drilled via the hook
+        # that fires at the same point in the sequence).
+        target = tmp_path / "out.txt"
+        with fsfaults_env(arm("enospc", sites=("atomic.text",))):
+            with pytest.raises(FsFaultError):
+                atomic_write_json(target, {"k": "v"})
+        assert not target.exists()
+        assert _no_tmp_litter(tmp_path)
+
+
+class TestIoWritersUnderFaults:
+    def test_csv_writer_enospc_leaves_no_partial_file(self, tmp_path, arm):
+        from repro.io.csv_format import write_lanl_csv
+
+        target = tmp_path / "trace.csv"
+        with fsfaults_env(arm("enospc", sites=("io.csv",))):
+            with pytest.raises(FsFaultError):
+                write_lanl_csv([], target)
+        assert not target.exists()
+        assert _no_tmp_litter(tmp_path)
+
+    def test_jsonl_writer_enospc_leaves_no_partial_file(self, tmp_path, arm):
+        from repro.io.jsonl_format import write_jsonl
+
+        target = tmp_path / "trace.jsonl"
+        with fsfaults_env(arm("enospc", sites=("io.jsonl",))):
+            with pytest.raises(FsFaultError):
+                write_jsonl([], target)
+        assert not target.exists()
+        assert _no_tmp_litter(tmp_path)
+
+
+class TestDisabledFastPath:
+    def test_hook_is_noop_when_disarmed(self, tmp_path):
+        fs_fault_hook("atomic.text", tmp_path / "x")
+
+    def test_hook_performs_write_when_disarmed(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with target.open("w") as handle:
+            fs_fault_hook(
+                "journal.append", target, write=handle.write, data="line\n"
+            )
+        assert target.read_text() == "line\n"

@@ -1,0 +1,157 @@
+"""ShardJournal recovery drills: torn payloads, stale meta, deep verify.
+
+Corruption that a resume cannot safely absorb must fail *loudly*
+(:class:`JournalError`), never silently return damaged shard data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resilience import JournalError, ShardJournal
+
+META = {"kind": "trace", "seed": 7, "engine": "vectorized"}
+
+
+def _payload_path(journal, key):
+    return journal.shards_dir / journal.completed[key]["file"]
+
+
+class TestTornPayloadRecovery:
+    def test_torn_payload_fails_loudly_on_load(self, tmp_path):
+        # The crash signature the journal's write ordering should make
+        # impossible (payload is atomic, journal line comes second) —
+        # but if a disk tears the payload *after* the fact, the sha256
+        # in the journal line must catch it.
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", {"rows": list(range(100))})
+        payload = _payload_path(journal, "system-2")
+        blob = payload.read_bytes()
+        payload.write_bytes(blob[: len(blob) // 2])
+
+        resumed = ShardJournal(tmp_path / "run", meta=META, resume=True)
+        assert resumed.has("system-2")  # the journal line is intact...
+        with pytest.raises(JournalError, match="corrupt"):
+            resumed.load("system-2")  # ...but the payload must not lie
+
+    def test_missing_payload_fails_loudly(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1, 2, 3])
+        _payload_path(journal, "system-2").unlink()
+        resumed = ShardJournal(tmp_path / "run", meta=META, resume=True)
+        with pytest.raises(JournalError, match="unreadable"):
+            resumed.load("system-2")
+
+    def test_bitflipped_payload_fails_loudly(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1, 2, 3])
+        payload = _payload_path(journal, "system-2")
+        blob = bytearray(payload.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        payload.write_bytes(bytes(blob))
+        resumed = ShardJournal(tmp_path / "run", meta=META, resume=True)
+        with pytest.raises(JournalError, match="corrupt"):
+            resumed.load("system-2")
+
+    def test_truncated_final_journal_line_is_dropped(self, tmp_path):
+        # A crash mid-append leaves a torn trailing line; resume must
+        # drop that entry (the shard regenerates) and keep the rest.
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1])
+        journal.record("system-13", [2])
+        text = journal.journal_path.read_text()
+        lines = text.splitlines(keepends=True)
+        journal.journal_path.write_text(lines[0] + lines[1][: len(lines[1]) // 2])
+
+        resumed = ShardJournal(tmp_path / "run", meta=META, resume=True)
+        assert resumed.has("system-2")
+        assert not resumed.has("system-13")
+        assert resumed.load("system-2") == [1]
+
+    def test_append_after_torn_tail_self_heals(self, tmp_path):
+        # Appending after a torn tail must not glue the new entry onto
+        # the garbage half-line and lose both records.
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1])
+        with journal.journal_path.open("a") as handle:
+            handle.write('{"shard": "system-9", "file":')  # torn, no newline
+        journal.record("system-13", [2])
+
+        resumed = ShardJournal(tmp_path / "run", meta=META, resume=True)
+        assert resumed.has("system-2")
+        assert resumed.has("system-13")
+        assert resumed.load("system-13") == [2]
+
+
+class TestStaleMetaRecovery:
+    def test_resume_with_changed_identity_fails_loudly(self, tmp_path):
+        ShardJournal(tmp_path / "run", meta=META).record("system-2", [1])
+        with pytest.raises(JournalError, match="identity changed"):
+            ShardJournal(tmp_path / "run", meta=dict(META, seed=8), resume=True)
+
+    def test_identity_error_names_the_changed_fields(self, tmp_path):
+        ShardJournal(tmp_path / "run", meta=META)
+        changed = dict(META, seed=8, engine="scalar")
+        with pytest.raises(JournalError, match="engine, seed"):
+            ShardJournal(tmp_path / "run", meta=changed, resume=True)
+
+    def test_resume_without_meta_fails_loudly(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        (run_dir / "journal.jsonl").write_text("")
+        with pytest.raises(JournalError, match="cannot resume"):
+            ShardJournal(run_dir, meta=META, resume=True)
+
+    def test_stale_meta_beside_newer_journal_detected_by_verify(self, tmp_path):
+        # Simulate meta.json reverting to an older identity (restored
+        # from backup, say) under a journal recorded with a newer one.
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1])
+        journal.meta_path.write_text(json.dumps(dict(META, seed=99)))
+        resumed = ShardJournal(tmp_path / "run", meta=None, resume=True)
+        resumed.meta = dict(META)
+        problems = resumed.verify()
+        assert any("does not match" in problem for problem in problems)
+
+
+class TestVerify:
+    def test_clean_journal_verifies_empty(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1])
+        journal.record("system-13", [2])
+        assert journal.verify() == []
+
+    def test_verify_reports_torn_payload(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1, 2, 3])
+        payload = _payload_path(journal, "system-2")
+        payload.write_bytes(payload.read_bytes()[:-4])
+        problems = journal.verify()
+        assert len(problems) == 1
+        assert "sha256 mismatch" in problems[0]
+
+    def test_verify_reports_missing_payload(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1])
+        _payload_path(journal, "system-2").unlink()
+        problems = journal.verify()
+        assert any("payload missing" in problem for problem in problems)
+
+    def test_verify_flags_orphan_payload_as_recoverable(self, tmp_path):
+        # Crash between the payload write and the journal append: the
+        # payload exists, no journal line.  Recoverable — the resume
+        # regenerates the shard — so it is prefixed, not fatal.
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.record("system-2", [1])
+        (journal.shards_dir / "system-9-deadbeef.pkl").write_bytes(b"stray")
+        problems = journal.verify()
+        assert len(problems) == 1
+        assert problems[0].startswith("orphan:")
+
+    def test_verify_reports_unreadable_meta(self, tmp_path):
+        journal = ShardJournal(tmp_path / "run", meta=META)
+        journal.meta_path.write_text("{not json")
+        problems = journal.verify()
+        assert any("meta.json unreadable" in problem for problem in problems)

@@ -29,10 +29,28 @@ class TestFitAllSafe:
     def test_degenerate_sample_fails_without_raising(self):
         outcome = fit_all_safe([5.0])
         assert not outcome.ok
-        assert outcome.status == "failed"
+        assert outcome.status == "degenerate"
+        assert outcome.degenerate
         assert outcome.fits == ()
         assert outcome.best is None
         assert outcome.error
+
+    def test_non_degenerate_failure_stays_failed(self):
+        # Negative values are a data-integrity problem, not thin data.
+        outcome = fit_all_safe([1.0, -2.0, 3.0])
+        assert outcome.status == "failed"
+        assert not outcome.degenerate
+
+    def test_degenerate_error_type(self):
+        from repro.stats import DegenerateFitError, DegenerateSampleError
+        from repro.stats.fitting import fit_lognormal
+
+        with pytest.raises(DegenerateFitError):
+            fit_all([5.0])  # too few observations
+        with pytest.raises(DegenerateSampleError):
+            fit_lognormal([5.0, 5.0, 5.0])  # zero spread
+        assert issubclass(DegenerateFitError, FitError)
+        assert issubclass(DegenerateFitError, DegenerateSampleError)
 
     def test_failure_message_matches_fit_error(self):
         with pytest.raises(FitError) as err:

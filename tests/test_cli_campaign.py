@@ -1,0 +1,112 @@
+"""CLI tests for ``repro chaos campaign`` (the chaos-campaign command)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.campaign import PRESETS, SCORECARD_NAME, TIMINGS_NAME
+
+
+class TestChaosCampaignCommand:
+    @pytest.fixture(scope="class")
+    def smoke_run(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-campaign")
+        code = main(
+            ["chaos", "campaign", "--preset", "smoke", "--seed", "7",
+             "--root", str(root)]
+        )
+        return root, code
+
+    def test_exit_zero_when_invariants_hold(self, smoke_run, capsys):
+        _, code = smoke_run
+        assert code == 0
+
+    def test_writes_scorecard_and_timings(self, smoke_run):
+        root, _ = smoke_run
+        scorecard = json.loads((root / SCORECARD_NAME).read_text())
+        assert scorecard["ok"] is True
+        assert scorecard["preset"] == "smoke"
+        assert scorecard["seed"] == 7
+        assert len(scorecard["scenarios"]) == len(PRESETS["smoke"])
+        assert (root / TIMINGS_NAME).exists()
+
+    def test_two_token_spelling_equals_registered_name(self, tmp_path, capsys):
+        # "chaos campaign" and "chaos-campaign" are the same command.
+        code = main(
+            ["chaos-campaign", "--preset", "smoke", "--seed", "7",
+             "--root", str(tmp_path)]
+        )
+        assert code == 0
+        assert "chaos campaign 'smoke'" in capsys.readouterr().out
+
+    def test_summary_lists_scenarios(self, tmp_path, capsys):
+        code = main(
+            ["chaos", "campaign", "--preset", "smoke", "--seed", "7",
+             "--root", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALL INVARIANTS HOLD" in out
+        for scenario in PRESETS["smoke"]:
+            assert scenario.name in out
+
+    def test_json_output_is_the_scorecard(self, tmp_path, capsys):
+        code = main(
+            ["chaos", "campaign", "--preset", "smoke", "--seed", "7",
+             "--root", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-robustness-scorecard"
+        assert payload == json.loads((tmp_path / SCORECARD_NAME).read_text())
+
+    def test_out_flag_redirects_scorecard(self, tmp_path, capsys):
+        out = tmp_path / "artifacts" / "card.json"
+        out.parent.mkdir()
+        code = main(
+            ["chaos", "campaign", "--preset", "smoke", "--seed", "7",
+             "--root", str(tmp_path / "work"), "--out", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_determinism_across_cli_runs(self, smoke_run, tmp_path):
+        first_root, _ = smoke_run
+        code = main(
+            ["chaos", "campaign", "--preset", "smoke", "--seed", "7",
+             "--root", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / SCORECARD_NAME).read_bytes() == (
+            first_root / SCORECARD_NAME
+        ).read_bytes()
+
+    def test_bad_preset_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "campaign", "--preset", "hurricane"])
+
+
+class TestLegacyChaosUnaffected:
+    def test_legacy_chaos_synthetic_still_works(self, capsys):
+        code = main(
+            ["chaos", "--synthetic", "--seed", "5", "--systems", "2,13",
+             "--rate", "0.05", "--no-report"]
+        )
+        assert code == 0
+        assert "SURVIVED" in capsys.readouterr().out
+
+    def test_legacy_chaos_still_requires_trace_or_synthetic(self):
+        with pytest.raises(SystemExit):
+            main(["chaos"])
+
+
+class TestBenchFsfaultsGuard:
+    def test_guard_passes_and_reports(self, capsys):
+        code = main(["bench", "--fsfaults-guard"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "fs-faults" in out
+        assert "overhead" in out

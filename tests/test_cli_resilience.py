@@ -155,7 +155,7 @@ class TestReportAll:
         assert "table1" in out
         assert code in (0, 1)
         if code == 1:
-            assert "FAILED" in out
+            assert "FAILED" in out or "DEGRADED" in out
 
     def test_artifact_all_without_system20(self, tmp_path, capsys):
         from repro.synth import TraceGenerator
@@ -164,8 +164,9 @@ class TestReportAll:
         write_lanl_csv(TraceGenerator(seed=5).generate([2, 13]), path)
         code = main(["report", str(path), "--artifact", "all"])
         out = capsys.readouterr().out
-        # fig6 needs system 20, absent here: diagnostics, exit 1.
+        # fig6 needs system 20, absent here: thin data, not a bug —
+        # the diagnostics classify it DEGRADED, exit 1.
         assert code == 1
         assert "fig6" in out
-        assert "FAILED" in out
+        assert "DEGRADED" in out
         assert "unavailable on this trace" in out
