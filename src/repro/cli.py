@@ -6,6 +6,13 @@
     python -m repro generate --systems 19,20 --format jsonl --out g.jsonl
     python -m repro generate --workers 4 --run-dir runs/full --out trace.csv
     python -m repro generate --resume --run-dir runs/full --out trace.csv
+    python -m repro generate --store columnar --scale 35 --out runs/big-store
+    python -m repro store info runs/big-store
+    python -m repro store verify runs/big-store
+    python -m repro store analyze runs/big-store --systems 20 --json
+    python -m repro store export runs/big-store trace.csv
+    python -m repro store import trace.csv runs/imported-store
+    python -m repro report runs/big-store --artifact fig6
     python -m repro report trace.csv --artifact fig6
     python -m repro report --synthetic --artifact all
     python -m repro summary trace.csv
@@ -19,8 +26,9 @@
     python -m repro profile --trace trace.jsonl --validate
     python -m repro schema
 
-Every subcommand that reads a trace accepts either a CSV/JSONL path or
-``--synthetic`` (with ``--seed``) to generate the LANL trace in-process.
+Every subcommand that reads a trace accepts a CSV/JSONL path, a
+columnar store directory, or ``--synthetic`` (with ``--seed``) to
+generate the LANL trace in-process.
 
 Any uncaught error exits with status 1 and a one-line message; pass
 ``--verbose`` (before or after the subcommand) to re-raise with the
@@ -69,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", type=str, required=True, help="output path")
     generate.add_argument(
         "--format", choices=("csv", "jsonl"), default="csv", help="output format"
+    )
+    generate.add_argument(
+        "--store", choices=("records", "columnar"), default="records",
+        help="output layout: 'records' writes --format to --out; "
+             "'columnar' writes a sharded columnar store directory at "
+             "--out (out-of-core; --format is ignored)",
+    )
+    generate.add_argument(
+        "--scale", type=float, default=1.0, metavar="FACTOR",
+        help="scale every system's node count by this factor "
+             "(e.g. 35 ~ a million records)",
+    )
+    generate.add_argument(
+        "--shard-rows", type=int, default=None, metavar="ROWS",
+        help="rows per shard for --store columnar (default 131072)",
     )
     generate.add_argument(
         "--engine", choices=("vectorized", "scalar"), default=None,
@@ -313,10 +336,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the trace against the schema (exit 1 on problems)",
     )
 
+    store = sub.add_parser(
+        "store", help="inspect, verify, convert a columnar trace store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_info = store_sub.add_parser(
+        "info", help="print a store's manifest summary"
+    )
+    store_info.add_argument("root", help="store directory")
+    store_info.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+
+    store_verify = store_sub.add_parser(
+        "verify", help="check column files against the manifest"
+    )
+    store_verify.add_argument("root", help="store directory")
+    store_verify.add_argument(
+        "--shallow", action="store_true",
+        help="skip content checksums, statistics and sort checks "
+             "(existence, shape and dtype only)",
+    )
+
+    store_analyze = store_sub.add_parser(
+        "analyze",
+        help="streaming summary over the store (bounded memory, "
+             "predicate pushdown)",
+    )
+    store_analyze.add_argument("root", help="store directory")
+    store_analyze.add_argument(
+        "--since", type=float, default=None, metavar="TS",
+        help="keep rows with start_time >= TS (epoch seconds)",
+    )
+    store_analyze.add_argument(
+        "--until", type=float, default=None, metavar="TS",
+        help="keep rows with start_time < TS (epoch seconds)",
+    )
+    store_analyze.add_argument(
+        "--systems", type=str, default="",
+        help="comma-separated system IDs to keep",
+    )
+    store_analyze.add_argument(
+        "--batch-rows", type=int, default=None, metavar="ROWS",
+        help="rows per read chunk (default 65536)",
+    )
+    store_analyze.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+
+    store_export = store_sub.add_parser(
+        "export", help="stream a store to a CSV/JSONL trace file"
+    )
+    store_export.add_argument("root", help="store directory")
+    store_export.add_argument("out", help="output path (.csv/.jsonl[.gz])")
+    store_export.add_argument(
+        "--format", choices=("csv", "jsonl"), default=None,
+        help="output format (default: from the file suffix)",
+    )
+    store_export.add_argument(
+        "--since", type=float, default=None, metavar="TS",
+        help="keep rows with start_time >= TS",
+    )
+    store_export.add_argument(
+        "--until", type=float, default=None, metavar="TS",
+        help="keep rows with start_time < TS",
+    )
+    store_export.add_argument(
+        "--systems", type=str, default="",
+        help="comma-separated system IDs to keep",
+    )
+
+    store_import = store_sub.add_parser(
+        "import", help="import a CSV/JSONL trace file into a store"
+    )
+    store_import.add_argument("trace", help="CSV/JSONL path, optionally gzipped")
+    store_import.add_argument("root", help="store directory to create")
+    store_import.add_argument(
+        "--shard-rows", type=int, default=None, metavar="ROWS",
+        help="rows per shard (default 131072)",
+    )
+
     sub.add_parser("schema", help="print the trace CSV schema")
     # --verbose is accepted before or after the subcommand; SUPPRESS
     # keeps a subparser without the flag from clobbering the root value.
     for subparser in sub.choices.values():
+        subparser.add_argument(
+            "--verbose", action="store_true", default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
+    for subparser in store_sub.choices.values():
         subparser.add_argument(
             "--verbose", action="store_true", default=argparse.SUPPRESS,
             help=argparse.SUPPRESS,
@@ -331,6 +440,12 @@ def _load_trace(args: argparse.Namespace) -> FailureTrace:
         return TraceGenerator(seed=args.seed).generate()
     if not args.trace:
         raise SystemExit("error: provide a trace path or --synthetic")
+    from pathlib import Path
+
+    if Path(args.trace).is_dir():
+        from repro.store import ColumnarStore
+
+        return ColumnarStore(args.trace).to_trace()
     from repro.io import detect_format, read_jsonl, read_lanl_csv
 
     if detect_format(args.trace) == "jsonl":
@@ -360,7 +475,12 @@ def _command_generate(args: argparse.Namespace) -> int:
     system_ids = None
     if args.systems:
         system_ids = [int(part) for part in args.systems.split(",") if part]
-    generator = TraceGenerator(seed=args.seed)
+    systems = None
+    if args.scale != 1.0:
+        from repro.synth.scenario import scaled_lanl_systems
+
+        systems = scaled_lanl_systems(args.scale)
+    generator = TraceGenerator(seed=args.seed, systems=systems)
     run_dir = Path(args.run_dir) if args.run_dir else None
     if args.resume and run_dir is None:
         raise SystemExit("error: --resume requires --run-dir")
@@ -417,20 +537,43 @@ def _command_generate(args: argparse.Namespace) -> int:
                     out=args.out,
                 )
             )
-        with chaos:
-            trace = generator.generate(
-                system_ids,
-                workers=args.workers,
-                engine=args.engine,
-                supervision=supervision,
-                journal=journal,
+        if args.store == "columnar":
+            from repro.store.writer import DEFAULT_SHARD_ROWS
+
+            with chaos:
+                manifest = generator.generate_store(
+                    args.out,
+                    system_ids,
+                    workers=args.workers,
+                    engine=args.engine,
+                    supervision=supervision,
+                    journal=journal,
+                    shard_rows=(
+                        args.shard_rows
+                        if args.shard_rows is not None
+                        else DEFAULT_SHARD_ROWS
+                    ),
+                )
+            count = manifest.row_count
+            print(
+                f"wrote {count} records in {len(manifest.shards)} "
+                f"shard(s) to {args.out}"
             )
-        with obs.span("io.write", path=args.out, format=args.format):
-            if args.format == "jsonl":
-                count = write_jsonl(trace, args.out)
-            else:
-                count = write_lanl_csv(trace, args.out)
-    print(f"wrote {count} records to {args.out}")
+        else:
+            with chaos:
+                trace = generator.generate(
+                    system_ids,
+                    workers=args.workers,
+                    engine=args.engine,
+                    supervision=supervision,
+                    journal=journal,
+                )
+            with obs.span("io.write", path=args.out, format=args.format):
+                if args.format == "jsonl":
+                    count = write_jsonl(trace, args.out)
+                else:
+                    count = write_lanl_csv(trace, args.out)
+            print(f"wrote {count} records to {args.out}")
     if tracer is not None and args.trace:
         lines = tracer.write(args.trace, metrics=registry)
         print(f"wrote trace ({lines} events) to {args.trace}")
@@ -803,6 +946,115 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_predicate(args: argparse.Namespace):
+    from repro.store import Predicate
+
+    systems = None
+    if args.systems:
+        systems = [int(part) for part in args.systems.split(",") if part]
+    predicate = Predicate.build(
+        t_min=args.since, t_max=args.until, systems=systems
+    )
+    return None if predicate.is_null() else predicate
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.store_command == "info":
+        from repro.store import ColumnarStore
+
+        info = ColumnarStore(args.root).info()
+        if args.json:
+            print(_json.dumps(info, indent=2, sort_keys=True))
+        else:
+            print(f"columnar store at {info['root']}")
+            print(
+                f"  rows: {info['rows']} in {info['shards']} shard(s), "
+                f"{info['bytes']} bytes"
+            )
+            print(f"  record ids: {info['record_ids']}")
+            print(f"  systems: {','.join(str(s) for s in info['systems'])}")
+            print(f"  schema: {info['schema_sha256'][:12]} "
+                  f"(format v{info['format_version']})")
+            print(
+                f"  window: [{info['data_start']!r}, {info['data_end']!r}]"
+            )
+            for key, value in info["meta"].items():
+                print(f"  meta.{key}: {value}")
+        return 0
+
+    if args.store_command == "verify":
+        from repro.store import verify_store
+
+        problems = verify_store(args.root, deep=not args.shallow)
+        if problems:
+            for problem in problems:
+                print(problem)
+            print(f"CORRUPT: {len(problems)} problem(s)")
+            return 1
+        mode = "shallow" if args.shallow else "deep"
+        print(f"OK: store verifies clean ({mode})")
+        return 0
+
+    if args.store_command == "analyze":
+        from repro.store import ColumnarStore, summarize_store
+        from repro.store.reader import DEFAULT_BATCH_ROWS
+
+        store = ColumnarStore(args.root)
+        predicate = _store_predicate(args)
+        summary = summarize_store(
+            store,
+            predicate=predicate,
+            batch_rows=(
+                args.batch_rows
+                if args.batch_rows is not None
+                else DEFAULT_BATCH_ROWS
+            ),
+        )
+        if args.json:
+            print(_json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        else:
+            if predicate is not None:
+                print(f"filter: {predicate.describe()}")
+            print(summary.describe())
+        return 0
+
+    if args.store_command == "export":
+        from repro.store import ColumnarStore, export_store
+
+        store = ColumnarStore(args.root)
+        count = export_store(
+            store,
+            args.out,
+            fmt=args.format,
+            predicate=_store_predicate(args),
+        )
+        print(f"exported {count} records to {args.out}")
+        return 0
+
+    if args.store_command == "import":
+        from repro.store import store_from_file
+        from repro.store.writer import DEFAULT_SHARD_ROWS
+
+        manifest = store_from_file(
+            args.trace,
+            args.root,
+            shard_rows=(
+                args.shard_rows
+                if args.shard_rows is not None
+                else DEFAULT_SHARD_ROWS
+            ),
+        )
+        print(
+            f"imported {manifest.row_count} records in "
+            f"{len(manifest.shards)} shard(s) to {args.root}"
+        )
+        return 0
+
+    raise SystemExit(f"error: unknown store command {args.store_command!r}")
+
+
 def _command_schema(_args: argparse.Namespace) -> int:
     from repro.io import describe_schema
 
@@ -839,6 +1091,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos-campaign": _command_chaos_campaign,
         "bench": _command_bench,
         "profile": _command_profile,
+        "store": _command_store,
         "schema": _command_schema,
     }
     try:

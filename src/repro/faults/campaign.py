@@ -2,8 +2,9 @@
 
 A *campaign* runs a matrix of scenarios — {process chaos x data
 corruption x filesystem faults} x {workflows: generate, resumable
-generate, trace write, ingest, report} — each in a fresh directory, and
-verifies **recovery invariants** after every drill:
+generate, trace write, columnar-store write, ingest, report} — each in
+a fresh directory, and verifies **recovery invariants** after every
+drill:
 
 * the recovered trace is byte-identical to an unfaulted serial run
   (the RNG-stream contract survives retries, resumes and degradation);
@@ -53,7 +54,9 @@ SCORECARD_NAME = "robustness_scorecard.json"
 TIMINGS_NAME = "campaign_timings.json"
 
 #: Workflows a scenario can drill.
-WORKFLOWS = ("generate", "write-csv", "write-jsonl", "ingest", "report")
+WORKFLOWS = (
+    "generate", "write-csv", "write-jsonl", "write-store", "ingest", "report",
+)
 
 #: Fault classes a scenario can arm (``none`` = clean baseline).
 FAULT_KINDS = ("none", "fs", "process", "corruption")
@@ -265,6 +268,15 @@ _SMOKE = (
         "fs-slow-jsonl", "write-jsonl", fault="fs", operator="slow-io",
         sites=("io.jsonl",),
     ),
+    Scenario(
+        "fs-enospc-store-column", "write-store", fault="fs",
+        operator="enospc", sites=("store.column",),
+    ),
+    Scenario(
+        "fs-torn-store-manifest", "write-store", fault="fs",
+        operator="torn-write", sites=("atomic.text",),
+        path_contains="manifest.json",
+    ),
     Scenario("corrupt-ingest", "ingest", fault="corruption", rate=0.05),
     Scenario("corrupt-report", "report", fault="corruption", rate=0.10),
 )
@@ -294,6 +306,14 @@ _FULL = _SMOKE + (
     Scenario(
         "fs-enospc-jsonl", "write-jsonl", fault="fs", operator="enospc",
         sites=("io.jsonl",),
+    ),
+    Scenario(
+        "fs-fsync-store-column", "write-store", fault="fs",
+        operator="fsync-fail", sites=("atomic.fsync",), path_contains=".npy",
+    ),
+    Scenario(
+        "fs-enospc-store-manifest", "write-store", fault="fs",
+        operator="enospc", sites=("store.manifest",),
     ),
     Scenario(
         "corrupt-repair-heavy", "report", fault="corruption", rate=0.20,
@@ -515,6 +535,126 @@ def _run_write(
     )
 
 
+def _run_write_store(
+    scenario: Scenario, seed: int, scenario_dir: Path, reference: bytes
+) -> ScenarioOutcome:
+    """Drill a journaled columnar-store write: fault, resume, verify.
+
+    The recovery invariants are the store's crash-safety contract: a
+    faulted write never publishes a manifest over missing shards
+    (``store verify`` comes back clean after recovery), and the
+    resumed store exports byte-identically to an unfaulted serial run.
+    """
+    from repro.store import ColumnarStore, export_store, verify_store
+
+    run_dir = scenario_dir / "run"
+    store_dir = scenario_dir / "store"
+    state_dir = scenario_dir / "fault-state"
+    generator = TraceGenerator(seed=seed)
+    meta = generator.journal_meta()
+    supervision = SupervisionConfig() if scenario.supervised else None
+
+    fs_spec = process_spec = None
+    if scenario.fault == "fs":
+        fs_spec = _make_fs_spec(scenario, seed, state_dir)
+    elif scenario.fault == "process":
+        process_spec = ProcessChaos(
+            operator=scenario.operator,
+            times=scenario.times,
+            state_dir=str(state_dir),
+        )
+
+    manifest = None
+    errors: List[str] = []
+    attempts = 0
+    with fsfaults_env(fs_spec), chaos_env(process_spec):
+        while manifest is None and attempts < MAX_ATTEMPTS:
+            attempts += 1
+            resume = (run_dir / "meta.json").exists()
+            try:
+                journal = ShardJournal(run_dir, meta=meta, resume=resume)
+                manifest = generator.generate_store(
+                    store_dir,
+                    list(scenario.systems),
+                    workers=scenario.workers,
+                    supervision=supervision,
+                    journal=journal,
+                )
+            except Exception as exc:
+                errors.append(
+                    _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+                )
+                # A faulted attempt must never present a complete store:
+                # either no manifest was published, or — when the fault
+                # hit a column file of an already-manifested directory —
+                # verification must catch the damage.
+                problems = verify_store(store_dir, deep=True)
+                if not problems:
+                    errors.append(
+                        "faulted store verified clean before recovery"
+                    )
+                    break
+
+    injections = 0
+    if fs_spec is not None:
+        injections = fs_spec.injections()
+    elif process_spec is not None:
+        injections = process_spec.injections()
+
+    invariants = [_no_partials(scenario_dir)]
+    if scenario.fault != "none":
+        invariants.append(
+            InvariantCheck(
+                "fault-injected",
+                injections >= 1,
+                "" if injections else "armed fault never fired",
+            )
+        )
+    journal_problems: List[str] = []
+    try:
+        journal_problems = ShardJournal(run_dir, meta=meta, resume=True).verify()
+    except Exception as exc:
+        journal_problems = [
+            _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+        ]
+    invariants.append(
+        InvariantCheck(
+            "journal-consistent",
+            not journal_problems,
+            "; ".join(journal_problems),
+        )
+    )
+    if manifest is not None:
+        problems = verify_store(store_dir, deep=True)
+        invariants.append(
+            InvariantCheck(
+                "store-verifies",
+                not problems,
+                "; ".join(_scrub(p, scenario_dir) for p in problems),
+            )
+        )
+        # The armed env is restored by now, so this export cannot fault.
+        export_path = scenario_dir / "trace.csv"
+        export_store(ColumnarStore(store_dir), export_path)
+        identical = export_path.read_bytes() == reference
+        invariants.append(
+            InvariantCheck(
+                "trace-identical",
+                identical,
+                "" if identical else "recovered store exports differently "
+                "from the unfaulted serial reference",
+            )
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        attempts=attempts,
+        completed=manifest is not None,
+        injections=injections,
+        error="" if manifest is not None else "; ".join(errors),
+        invariants=tuple(invariants),
+    )
+
+
 def _run_corruption(
     scenario: Scenario, seed: int, scenario_dir: Path
 ) -> ScenarioOutcome:
@@ -597,6 +737,10 @@ def run_scenario(
                 outcome = _run_generate(scenario, seed, scenario_dir, reference)
             elif scenario.workflow in ("write-csv", "write-jsonl"):
                 outcome = _run_write(scenario, seed, scenario_dir, reference)
+            elif scenario.workflow == "write-store":
+                outcome = _run_write_store(
+                    scenario, seed, scenario_dir, reference
+                )
             else:
                 outcome = _run_corruption(scenario, seed, scenario_dir)
         except Exception as exc:  # a drill must never take down the campaign
@@ -663,7 +807,7 @@ def run_campaign(
         for scenario in scenarios:
             begin = time.perf_counter()
             reference = b""
-            if scenario.workflow in ("generate", "write-csv"):
+            if scenario.workflow in ("generate", "write-csv", "write-store"):
                 reference = _reference_csv(
                     seed, scenario.systems, reference_cache, root
                 )

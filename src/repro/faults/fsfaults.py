@@ -28,6 +28,10 @@ site                      where it fires
                           write (:meth:`repro.resilience.journal.ShardJournal.record`)
 ``io.csv``                entry of :func:`repro.io.csv_format.write_lanl_csv`
 ``io.jsonl``              entry of :func:`repro.io.jsonl_format.write_jsonl`
+``store.column``          before each per-shard column ``.npy`` write
+                          (:meth:`repro.store.writer.StoreWriter._write_shard`)
+``store.manifest``        before the store manifest publish
+                          (:meth:`repro.store.manifest.Manifest.save`)
 ========================  ====================================================
 
 Operators:
@@ -92,6 +96,8 @@ FS_SITES = (
     "journal.append",
     "io.csv",
     "io.jsonl",
+    "store.column",
+    "store.manifest",
 )
 
 #: Operators that only observe (no state directory / budget required).

@@ -167,10 +167,15 @@ def write_lanl_csv(trace: Union[FailureTrace, Iterable[FailureRecord]], path: Pa
     exactly; a ``.gz`` suffix writes gzip-compressed text.  The write
     is atomic: an interrupt leaves the previous file (or nothing), not
     a truncated trace.
+
+    A non-trace iterable is consumed lazily, one record at a time —
+    exporting a million-record columnar store never materializes the
+    records (the RSS-capped out-of-core tests rely on this).
     """
     path = Path(path)
-    records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
+    records = trace.records if isinstance(trace, FailureTrace) else trace
     fs_fault_hook("io.csv", path)
+    count = 0
     with atomic_open_text(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(CSV_COLUMNS)
@@ -187,4 +192,5 @@ def write_lanl_csv(trace: Union[FailureTrace, Iterable[FailureRecord]], path: Pa
                     record.low_level_cause.value if record.low_level_cause else "",
                 )
             )
-    return len(records)
+            count += 1
+    return count

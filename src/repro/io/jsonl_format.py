@@ -68,15 +68,20 @@ def write_jsonl(trace: Union[FailureTrace, Iterable[FailureRecord]], path: PathL
 
     A ``.gz`` suffix writes gzip-compressed text.  The write is atomic
     (tmp + fsync + rename), so an interrupt cannot truncate the file.
+
+    A non-trace iterable is consumed lazily, one record at a time, so
+    streaming sources (e.g. a columnar store) export in bounded memory.
     """
     path = Path(path)
-    records = trace.records if isinstance(trace, FailureTrace) else tuple(trace)
+    records = trace.records if isinstance(trace, FailureTrace) else trace
     fs_fault_hook("io.jsonl", path)
+    count = 0
     with atomic_open_text(path) as handle:
         for record in records:
             handle.write(json.dumps(_record_to_dict(record), sort_keys=True))
             handle.write("\n")
-    return len(records)
+            count += 1
+    return count
 
 
 def read_jsonl(

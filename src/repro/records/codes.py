@@ -1,0 +1,47 @@
+"""Canonical integer codes for the categorical record vocabulary.
+
+Columnar encodings (the generator's internal columns and the on-disk
+store of :mod:`repro.store`) represent :class:`RootCause`,
+:class:`LowLevelCause` and :class:`Workload` as small integers.  The
+code of a member is its position in *enum definition order* — a stable,
+documented contract: appending a new member is backward compatible,
+reordering is a format break (and changes the store's schema digest).
+
+``-1`` is reserved as the "absent" code for the optional low-level
+cause; it never collides with a real member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.records.record import LowLevelCause, RootCause, Workload
+
+__all__ = [
+    "CAUSE_VOCAB",
+    "DETAIL_VOCAB",
+    "WORKLOAD_VOCAB",
+    "CAUSE_CODE",
+    "DETAIL_CODE",
+    "WORKLOAD_CODE",
+    "NO_DETAIL",
+]
+
+#: Code for "no low-level cause" (``low_level_cause is None``).
+NO_DETAIL = -1
+
+#: Decode tables: ``VOCAB[code]`` is the enum member for ``code``.
+CAUSE_VOCAB: Tuple[RootCause, ...] = tuple(RootCause)
+DETAIL_VOCAB: Tuple[LowLevelCause, ...] = tuple(LowLevelCause)
+WORKLOAD_VOCAB: Tuple[Workload, ...] = tuple(Workload)
+
+#: Encode tables: ``CODE[member]`` is the integer code of ``member``.
+CAUSE_CODE: Dict[RootCause, int] = {
+    cause: code for code, cause in enumerate(CAUSE_VOCAB)
+}
+DETAIL_CODE: Dict[LowLevelCause, int] = {
+    detail: code for code, detail in enumerate(DETAIL_VOCAB)
+}
+WORKLOAD_CODE: Dict[Workload, int] = {
+    workload: code for code, workload in enumerate(WORKLOAD_VOCAB)
+}

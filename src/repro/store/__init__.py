@@ -1,0 +1,74 @@
+"""A memory-mapped, sharded columnar trace store.
+
+The store lays a failure trace out as per-shard, per-column ``.npy``
+files plus a trailing ``manifest.json`` carrying the schema digest and
+per-shard min/max statistics for predicate pushdown.  Writes go
+through the repo's atomic machinery (crash-safe, chaos-testable);
+reads are memory-mapped and chunked, so analyses run out-of-core over
+traces far larger than RAM.
+
+Entry points:
+
+* :meth:`repro.synth.generator.TraceGenerator.generate_store` — write
+  a generated trace straight to a store (``repro generate --store
+  columnar``).
+* :class:`ColumnarStore` — open, scan, verify
+  (``repro store info|verify|analyze``).
+* :func:`store_from_trace` / :func:`store_from_file` /
+  :func:`export_store` — convert to and from traces and CSV/JSONL
+  (``repro store import|export``).
+
+Format and semantics are documented in ``docs/columnar.md``.
+"""
+
+from repro.store.analytics import StoreSummary, summarize_store
+from repro.store.convert import export_store, store_from_file, store_from_trace
+from repro.store.manifest import (
+    MANIFEST_NAME,
+    SHARDS_DIR,
+    Manifest,
+    Predicate,
+    ShardInfo,
+    StoreError,
+)
+from repro.store.reader import ColumnarStore, ScanStats, verify_store
+from repro.store.schema import (
+    COLUMN_NAMES,
+    COLUMNS,
+    FORMAT_VERSION,
+    ColumnBatch,
+    batch_from_records,
+    concat_batches,
+    empty_batch,
+    records_from_batch,
+    schema_digest,
+)
+from repro.store.writer import DEFAULT_SHARD_ROWS, StoreWriter
+
+__all__ = [
+    "COLUMNS",
+    "COLUMN_NAMES",
+    "FORMAT_VERSION",
+    "DEFAULT_SHARD_ROWS",
+    "MANIFEST_NAME",
+    "SHARDS_DIR",
+    "ColumnBatch",
+    "ColumnarStore",
+    "Manifest",
+    "Predicate",
+    "ScanStats",
+    "ShardInfo",
+    "StoreError",
+    "StoreSummary",
+    "StoreWriter",
+    "batch_from_records",
+    "concat_batches",
+    "empty_batch",
+    "export_store",
+    "records_from_batch",
+    "schema_digest",
+    "store_from_file",
+    "store_from_trace",
+    "summarize_store",
+    "verify_store",
+]

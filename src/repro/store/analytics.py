@@ -1,0 +1,162 @@
+"""Out-of-core analytics over a columnar store.
+
+:func:`summarize_store` computes the headline aggregates — failure
+counts by system and by root cause, downtime by cause, repair-time
+statistics — in one bounded-memory pass over
+:meth:`~repro.store.reader.ColumnarStore.iter_batches`, with predicate
+pushdown pruning shards first.  Peak memory is one chunk, independent
+of the trace size; the RSS-capped CI job runs exactly this path over a
+million-record store.
+
+This is intentionally *not* the full paper analysis
+(:func:`repro.analysis.summary.summarize` wants a materialized
+:class:`~repro.records.trace.FailureTrace`); it is the streaming
+subset that makes sense per-row without global context.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.records.codes import CAUSE_VOCAB
+from repro.store.manifest import Predicate
+from repro.store.reader import DEFAULT_BATCH_ROWS, ColumnarStore, ScanStats
+
+__all__ = ["StoreSummary", "summarize_store"]
+
+#: Columns the streaming summary needs per chunk.
+_SUMMARY_COLUMNS = (
+    "start_time", "end_time", "system_id", "root_cause",
+)
+
+
+@dataclass
+class StoreSummary:
+    """Aggregates from one streaming pass over a store."""
+
+    rows: int = 0
+    counts_by_system: Dict[int, int] = field(default_factory=dict)
+    counts_by_cause: Dict[str, int] = field(default_factory=dict)
+    downtime_by_cause: Dict[str, float] = field(default_factory=dict)
+    repair_mean: float = 0.0
+    repair_min: float = math.inf
+    repair_max: float = -math.inf
+    start_min: float = math.inf
+    start_max: float = -math.inf
+    scan: ScanStats = field(default_factory=ScanStats)
+
+    def to_dict(self) -> dict:
+        """A JSON-able view for ``repro store analyze --json``."""
+        return {
+            "rows": self.rows,
+            "counts_by_system": {
+                str(k): v for k, v in sorted(self.counts_by_system.items())
+            },
+            "counts_by_cause": dict(sorted(self.counts_by_cause.items())),
+            "downtime_hours_by_cause": {
+                cause: seconds / 3600.0
+                for cause, seconds in sorted(self.downtime_by_cause.items())
+            },
+            "repair_minutes": (
+                {
+                    "mean": self.repair_mean / 60.0,
+                    "min": self.repair_min / 60.0,
+                    "max": self.repair_max / 60.0,
+                }
+                if self.rows
+                else None
+            ),
+            "start_time_range": (
+                [self.start_min, self.start_max] if self.rows else None
+            ),
+            "scan": {
+                "shards_scanned": self.scan.shards_scanned,
+                "shards_pruned": self.scan.shards_pruned,
+                "rows_scanned": self.scan.rows_scanned,
+                "rows_matched": self.scan.rows_matched,
+            },
+        }
+
+    def describe(self) -> str:
+        lines = [f"rows: {self.rows}"]
+        if self.rows:
+            lines.append(
+                "repair minutes: "
+                f"mean={self.repair_mean / 60.0:.1f} "
+                f"min={self.repair_min / 60.0:.1f} "
+                f"max={self.repair_max / 60.0:.1f}"
+            )
+            lines.append("counts by cause:")
+            for cause, count in sorted(self.counts_by_cause.items()):
+                hours = self.downtime_by_cause[cause] / 3600.0
+                lines.append(
+                    f"  {cause:<12} {count:>9}  ({hours:.1f} downtime hours)"
+                )
+            lines.append("counts by system:")
+            for system_id, count in sorted(self.counts_by_system.items()):
+                lines.append(f"  system {system_id:>2}: {count}")
+        lines.append(f"pushdown: {self.scan.describe()}")
+        return "\n".join(lines)
+
+
+def summarize_store(
+    store: ColumnarStore,
+    predicate: Optional[Predicate] = None,
+    batch_rows: int = DEFAULT_BATCH_ROWS,
+) -> StoreSummary:
+    """One streaming pass of headline aggregates over ``store``.
+
+    The store handle's scan counters are reset first, so the returned
+    summary's ``scan`` reflects exactly this pass (the CI job asserts
+    ``shards_pruned >= 1`` from it).
+    """
+    store.reset_scan_stats()
+    n_causes = len(CAUSE_VOCAB)
+    cause_counts = np.zeros(n_causes, dtype=np.int64)
+    cause_downtime = np.zeros(n_causes, dtype=np.float64)
+    system_counts: Dict[int, int] = {}
+    summary = StoreSummary()
+    repair_total = 0.0
+    with obs.span("store.summarize"):
+        for chunk in store.iter_batches(
+            columns=_SUMMARY_COLUMNS,
+            predicate=predicate,
+            batch_rows=batch_rows,
+        ):
+            n = len(chunk)
+            if not n:
+                continue
+            summary.rows += n
+            starts = chunk["start_time"]
+            repairs = chunk["end_time"] - starts
+            causes = chunk["root_cause"].astype(np.int64)
+            cause_counts += np.bincount(causes, minlength=n_causes)
+            cause_downtime += np.bincount(
+                causes, weights=repairs, minlength=n_causes
+            )
+            repair_total += float(repairs.sum())
+            summary.repair_min = min(summary.repair_min, float(repairs.min()))
+            summary.repair_max = max(summary.repair_max, float(repairs.max()))
+            summary.start_min = min(summary.start_min, float(starts.min()))
+            summary.start_max = max(summary.start_max, float(starts.max()))
+            ids, counts = np.unique(chunk["system_id"], return_counts=True)
+            for system_id, count in zip(ids.tolist(), counts.tolist()):
+                system_counts[system_id] = (
+                    system_counts.get(system_id, 0) + count
+                )
+    summary.counts_by_system = system_counts
+    for code, cause in enumerate(CAUSE_VOCAB):
+        if cause_counts[code]:
+            summary.counts_by_cause[cause.value] = int(cause_counts[code])
+            summary.downtime_by_cause[cause.value] = float(
+                cause_downtime[code]
+            )
+    summary.repair_mean = repair_total / summary.rows if summary.rows else 0.0
+    summary.scan = store.scan
+    obs.metrics().counter("store.rows_summarized").add(summary.rows)
+    return summary

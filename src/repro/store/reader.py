@@ -1,0 +1,431 @@
+"""Reading a sharded columnar store out-of-core.
+
+:class:`ColumnarStore` memory-maps per-shard column files and yields
+bounded-size :class:`~repro.store.schema.ColumnBatch` chunks, pruning
+whole shards whose manifest statistics cannot satisfy the predicate
+(*pushdown*).  Peak memory is one chunk's worth of columns, never the
+trace — the out-of-core contract the RSS-capped tests enforce.
+
+Record order: shards hold one system each, sorted by
+``(start_time, node_id)``.  :meth:`ColumnarStore.iter_records` k-way
+merges the admitted shards on ``(start_time, system_id, node_id,
+shard, row)``, which reproduces the generator's global
+``lexsort((node, system, start))`` order exactly — including the
+stable tie-breaks — so a store round-trip is record-for-record
+``repr``-identical to the list-backed path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.records.codes import CAUSE_VOCAB, DETAIL_VOCAB, WORKLOAD_VOCAB
+from repro.records.record import FailureRecord
+from repro.records.trace import FailureTrace
+from repro.store.manifest import (
+    MANIFEST_NAME,
+    SHARDS_DIR,
+    Manifest,
+    Predicate,
+    ShardInfo,
+    StoreError,
+)
+from repro.store.schema import (
+    COLUMN_DTYPES,
+    COLUMN_NAMES,
+    NO_RECORD_ID,
+    ColumnBatch,
+    schema_digest,
+)
+from repro.store.writer import column_file_name
+
+__all__ = ["ColumnarStore", "ScanStats", "verify_store"]
+
+#: Default rows per read chunk (~2 MB across the full row footprint).
+DEFAULT_BATCH_ROWS = 65536
+
+#: Columns a predicate needs to evaluate its row mask.
+_PREDICATE_COLUMNS = ("start_time", "system_id")
+
+
+@dataclass
+class ScanStats:
+    """Pushdown accounting for one scan (and the CLI's proof of it)."""
+
+    shards_scanned: int = 0
+    shards_pruned: int = 0
+    rows_scanned: int = 0
+    rows_matched: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"shards scanned={self.shards_scanned} "
+            f"pruned={self.shards_pruned}; "
+            f"rows scanned={self.rows_scanned} "
+            f"matched={self.rows_matched}"
+        )
+
+
+@dataclass
+class _ShardCursor:
+    """Lazily-opened memory maps of one shard's column files."""
+
+    shard: ShardInfo
+    paths: Dict[str, Path]
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def column(self, name: str) -> np.ndarray:
+        array = self.arrays.get(name)
+        if array is None:
+            array = np.load(self.paths[name], mmap_mode="r")
+            self.arrays[name] = array
+        return array
+
+
+class ColumnarStore:
+    """A read handle on a store directory.
+
+    Opening validates the manifest's schema digest against the running
+    code — a store whose categorical codes or dtypes mean something
+    else is refused up front (:class:`StoreError`), not misdecoded.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.manifest = Manifest.load(self.root / MANIFEST_NAME)
+        expected = schema_digest()
+        if self.manifest.schema_sha256 != expected:
+            raise StoreError(
+                f"{self.root}: schema digest mismatch "
+                f"(store {self.manifest.schema_sha256[:12]}…, "
+                f"code {expected[:12]}…); the store was written by an "
+                "incompatible version"
+            )
+        #: Cumulative pushdown counters across this handle's scans.
+        self.scan = ScanStats()
+
+    def __len__(self) -> int:
+        return self.manifest.row_count
+
+    def reset_scan_stats(self) -> None:
+        """Zero the pushdown counters (e.g. before a measured scan)."""
+        self.scan = ScanStats()
+
+    def _cursor(self, shard: ShardInfo) -> _ShardCursor:
+        shards_dir = self.root / SHARDS_DIR
+        return _ShardCursor(
+            shard=shard,
+            paths={
+                column: shards_dir / column_file_name(shard.name, column)
+                for column in COLUMN_NAMES
+            },
+        )
+
+    def _admitted(self, predicate: Optional[Predicate]) -> List[ShardInfo]:
+        """Shards surviving pushdown; updates counters and metrics."""
+        admitted: List[ShardInfo] = []
+        for shard in self.manifest.shards:
+            if predicate is not None and not predicate.admits_shard(shard):
+                self.scan.shards_pruned += 1
+            else:
+                admitted.append(shard)
+        self.scan.shards_scanned += len(admitted)
+        registry = obs.metrics()
+        registry.counter("store.shards_scanned").add(len(admitted))
+        registry.counter("store.shards_pruned").add(
+            len(self.manifest.shards) - len(admitted)
+        )
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Batch iteration (the analytics path)
+    # ------------------------------------------------------------------
+
+    def iter_batches(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        predicate: Optional[Predicate] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> Iterator[ColumnBatch]:
+        """Yield bounded column chunks, shard by shard.
+
+        ``columns`` projects (default: all); the predicate's own
+        columns are read regardless so the row mask can be applied.
+        Chunks arrive in shard order — per-shard sorted, *not* globally
+        merged (use :meth:`iter_records` for global order).
+        """
+        if batch_rows < 1:
+            raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
+        wanted = tuple(columns) if columns is not None else COLUMN_NAMES
+        unknown = set(wanted) - set(COLUMN_NAMES)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        needed = tuple(
+            dict.fromkeys(
+                tuple(wanted)
+                + (_PREDICATE_COLUMNS if predicate is not None else ())
+            )
+        )
+        for shard in self._admitted(predicate):
+            cursor = self._cursor(shard)
+            for offset in range(0, shard.rows, batch_rows):
+                chunk = ColumnBatch(
+                    {
+                        column: np.asarray(
+                            cursor.column(column)[offset:offset + batch_rows]
+                        )
+                        for column in needed
+                    }
+                )
+                self.scan.rows_scanned += len(chunk)
+                if predicate is not None:
+                    mask = predicate.mask(chunk)
+                    matched = int(np.count_nonzero(mask))
+                    self.scan.rows_matched += matched
+                    if not matched:
+                        continue
+                    chunk = chunk.take(mask)
+                else:
+                    self.scan.rows_matched += len(chunk)
+                if set(wanted) != set(needed):
+                    chunk = ColumnBatch(
+                        {column: chunk[column] for column in wanted}
+                    )
+                yield chunk
+
+    # ------------------------------------------------------------------
+    # Record iteration (the equivalence path)
+    # ------------------------------------------------------------------
+
+    def _shard_tuples(
+        self,
+        seq: int,
+        shard: ShardInfo,
+        predicate: Optional[Predicate],
+        batch_rows: int,
+    ) -> Iterator[Tuple]:
+        """One shard's rows as sortable key/value tuples, in order."""
+        cursor = self._cursor(shard)
+        for offset in range(0, shard.rows, batch_rows):
+            chunk = {
+                column: np.asarray(
+                    cursor.column(column)[offset:offset + batch_rows]
+                )
+                for column in COLUMN_NAMES
+            }
+            n = len(chunk["start_time"])
+            self.scan.rows_scanned += n
+            indices = range(n)
+            if predicate is not None:
+                mask = predicate.mask(
+                    ColumnBatch(
+                        {c: chunk[c] for c in _PREDICATE_COLUMNS}
+                    )
+                )
+                matched = int(np.count_nonzero(mask))
+                self.scan.rows_matched += matched
+                if not matched:
+                    continue
+                indices = np.nonzero(mask)[0]
+            else:
+                self.scan.rows_matched += n
+            starts = chunk["start_time"].tolist()
+            ends = chunk["end_time"].tolist()
+            systems = chunk["system_id"].tolist()
+            nodes = chunk["node_id"].tolist()
+            causes = chunk["root_cause"].tolist()
+            details = chunk["low_level_cause"].tolist()
+            workloads = chunk["workload"].tolist()
+            record_ids = chunk["record_id"].tolist()
+            for i in indices:
+                yield (
+                    (starts[i], systems[i], nodes[i], seq, offset + i),
+                    ends[i],
+                    causes[i],
+                    details[i],
+                    workloads[i],
+                    record_ids[i],
+                )
+
+    def iter_records(
+        self,
+        predicate: Optional[Predicate] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> Iterator[FailureRecord]:
+        """Yield records in global trace order, lazily.
+
+        Record IDs: an ``explicit`` store yields the stored IDs; an
+        ``implicit`` store yields the global read position — identical
+        to the generator's numbering — unless a predicate filters rows,
+        in which case IDs are ``None`` (positions in the *filtered*
+        stream would silently disagree with the full trace's).
+        """
+        if predicate is not None and predicate.is_null():
+            predicate = None
+        admitted = self._admitted(predicate)
+        streams = [
+            self._shard_tuples(seq, shard, predicate, batch_rows)
+            for seq, shard in enumerate(admitted)
+        ]
+        implicit = self.manifest.record_ids == "implicit"
+        number_rows = implicit and predicate is None
+        for position, item in enumerate(heapq.merge(*streams)):
+            key, end, cause, detail, workload, record_id = item
+            start, system_id, node_id = key[0], key[1], key[2]
+            if number_rows:
+                resolved: Optional[int] = position
+            elif implicit:
+                resolved = None
+            else:
+                resolved = None if record_id == NO_RECORD_ID else record_id
+            yield FailureRecord(
+                start_time=start,
+                end_time=end,
+                system_id=system_id,
+                node_id=node_id,
+                root_cause=CAUSE_VOCAB[cause],
+                low_level_cause=DETAIL_VOCAB[detail] if detail >= 0 else None,
+                workload=WORKLOAD_VOCAB[workload],
+                record_id=resolved,
+            )
+
+    def to_trace(self, predicate: Optional[Predicate] = None) -> FailureTrace:
+        """Materialize a :class:`FailureTrace` (the list-backed bridge)."""
+        return FailureTrace(
+            list(self.iter_records(predicate)),
+            systems=self.manifest.systems or None,
+            data_start=self.manifest.data_start,
+            data_end=self.manifest.data_end,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def info(self) -> Dict[str, object]:
+        """A JSON-able summary for ``repro store info``."""
+        manifest = self.manifest
+        size = 0
+        for shard in manifest.shards:
+            for column in COLUMN_NAMES:
+                path = (
+                    self.root / SHARDS_DIR / column_file_name(shard.name, column)
+                )
+                if path.exists():
+                    size += path.stat().st_size
+        return {
+            "root": str(self.root),
+            "rows": manifest.row_count,
+            "shards": len(manifest.shards),
+            "columns": list(manifest.columns),
+            "record_ids": manifest.record_ids,
+            "schema_sha256": manifest.schema_sha256,
+            "format_version": manifest.format_version,
+            "systems": sorted(manifest.systems),
+            "data_start": manifest.data_start,
+            "data_end": manifest.data_end,
+            "bytes": size,
+            "meta": dict(sorted(manifest.meta.items())),
+        }
+
+    def verify(self, deep: bool = True) -> List[str]:
+        """Check the store against its manifest; return problems.
+
+        Shallow: every column file exists with the manifest's row count
+        and the schema dtype (catches truncation — a torn ``.npy`` has
+        the wrong byte length for its header, or a header shorter than
+        the manifest's rows).  Deep adds content sha256 verification,
+        min/max statistics recomputation, and the per-shard sort
+        invariant.
+        """
+        problems: List[str] = []
+        total = 0
+        for shard in self.manifest.shards:
+            total += shard.rows
+            cursor = self._cursor(shard)
+            for column in COLUMN_NAMES:
+                path = cursor.paths[column]
+                if not path.exists():
+                    problems.append(f"shard {shard.name}: missing {path.name}")
+                    continue
+                try:
+                    array = np.load(path, mmap_mode="r")
+                except Exception as exc:
+                    problems.append(
+                        f"shard {shard.name}: unreadable {path.name}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                if array.shape != (shard.rows,):
+                    problems.append(
+                        f"shard {shard.name}: {path.name} has shape "
+                        f"{array.shape}, manifest says ({shard.rows},)"
+                    )
+                    continue
+                if array.dtype != COLUMN_DTYPES[column]:
+                    problems.append(
+                        f"shard {shard.name}: {path.name} has dtype "
+                        f"{array.dtype}, schema says {COLUMN_DTYPES[column]}"
+                    )
+                    continue
+                if deep:
+                    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                    expected = shard.checksums.get(column)
+                    if expected is not None and digest != expected:
+                        problems.append(
+                            f"shard {shard.name}: {path.name} content "
+                            "sha256 mismatch (torn or modified)"
+                        )
+            if deep and not problems:
+                starts = np.asarray(cursor.column("start_time"))
+                nodes = np.asarray(cursor.column("node_id"))
+                systems = np.asarray(cursor.column("system_id"))
+                for column, array in (
+                    ("start_time", starts),
+                    ("end_time", np.asarray(cursor.column("end_time"))),
+                    ("system_id", systems),
+                    ("node_id", nodes),
+                ):
+                    low, high = shard.stats[column]
+                    if len(array) and (
+                        array.min() != low or array.max() != high
+                    ):
+                        problems.append(
+                            f"shard {shard.name}: {column} bounds "
+                            f"[{array.min()}, {array.max()}] disagree with "
+                            f"manifest [{low}, {high}]"
+                        )
+                if len(systems) and systems.min() != systems.max():
+                    problems.append(
+                        f"shard {shard.name}: spans multiple systems "
+                        f"({systems.min()}..{systems.max()})"
+                    )
+                if len(starts) > 1:
+                    order = np.lexsort((nodes, starts))
+                    if not np.array_equal(order, np.arange(len(starts))):
+                        problems.append(
+                            f"shard {shard.name}: rows are not sorted by "
+                            "(start_time, node_id)"
+                        )
+        if total != self.manifest.row_count:
+            problems.append(
+                f"manifest row_count {self.manifest.row_count} != "
+                f"sum of shard rows {total}"
+            )
+        return problems
+
+
+def verify_store(root, deep: bool = True) -> List[str]:
+    """Open-and-verify helper that also catches manifest-level damage."""
+    try:
+        store = ColumnarStore(root)
+    except StoreError as exc:
+        return [str(exc)]
+    return store.verify(deep=deep)

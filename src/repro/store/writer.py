@@ -1,0 +1,182 @@
+"""Writing a sharded columnar store.
+
+:class:`StoreWriter` turns column batches into per-shard ``.npy``
+column files plus a trailing :class:`~repro.store.manifest.Manifest`.
+Every file goes through the repo's atomic-write machinery (tmp + fsync
++ rename) behind the ``store.column`` / ``store.manifest`` fault
+sites, and the manifest is written *last*: a crash mid-store leaves
+orphan column files but never a manifest describing shards that don't
+fully exist.  Re-running the writer over the same directory atomically
+replaces every file, which is what makes a journaled
+``generate --resume`` into a store byte-identical to an unfaulted run.
+
+Ordering contract (what the reader's merge relies on): each *group*
+appended holds one system's rows sorted by ``(start_time, node_id)``,
+groups arrive in ascending system order, and a group is split into
+consecutive shards of at most ``shard_rows`` rows — so every shard is
+single-system and internally sorted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.records.system import SystemConfig
+from repro.resilience.atomic import atomic_write_bytes, fs_fault_hook
+from repro.store.manifest import (
+    MANIFEST_NAME,
+    SHARDS_DIR,
+    Manifest,
+    ShardInfo,
+    shard_stats_from_batch,
+)
+from repro.store.schema import (
+    COLUMN_NAMES,
+    FORMAT_VERSION,
+    ColumnBatch,
+    schema_digest,
+)
+
+__all__ = ["StoreWriter", "DEFAULT_SHARD_ROWS", "column_file_name"]
+
+#: Default rows per shard (~3.6 MB across the 31-byte row footprint).
+DEFAULT_SHARD_ROWS = 131072
+
+
+def column_file_name(shard: str, column: str) -> str:
+    """File name of one shard's column inside ``shards/``."""
+    return f"{shard}-{column}.npy"
+
+
+def _npy_bytes(array: np.ndarray) -> bytes:
+    """Serialize an array to ``.npy`` bytes (written atomically later)."""
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+class StoreWriter:
+    """Stream column batches into a store directory.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created if missing; existing files replaced).
+    systems:
+        Inventory recorded into the manifest (analysis needs node
+        counts and production windows for rates).
+    data_start / data_end:
+        Observation window recorded into the manifest.
+    record_ids:
+        ``"implicit"`` — the record_id column is all ``-1`` and IDs are
+        assigned by global read position (generated stores);
+        ``"explicit"`` — IDs are stored per row (imported traces).
+    shard_rows:
+        Maximum rows per shard.
+    meta:
+        Free-form provenance merged into the manifest's ``meta``.
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        systems: Optional[Mapping[int, SystemConfig]] = None,
+        data_start: float = 0.0,
+        data_end: float = 0.0,
+        record_ids: str = "implicit",
+        shard_rows: int = DEFAULT_SHARD_ROWS,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if shard_rows < 1:
+            raise ValueError(f"shard_rows must be >= 1, got {shard_rows}")
+        if record_ids not in ("implicit", "explicit"):
+            raise ValueError(
+                f"record_ids must be 'implicit' or 'explicit', "
+                f"got {record_ids!r}"
+            )
+        self.root = Path(root)
+        self.shards_dir = self.root / SHARDS_DIR
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+        self.shard_rows = int(shard_rows)
+        self.record_ids = record_ids
+        self._systems = dict(systems) if systems is not None else {}
+        self._data_start = float(data_start)
+        self._data_end = float(data_end)
+        self._meta = dict(meta) if meta is not None else {}
+        self._shards: List[ShardInfo] = []
+        self._rows = 0
+        self._finalized = False
+
+    def append_group(self, batch: ColumnBatch) -> None:
+        """Write one group (a single system's sorted rows) as shards.
+
+        The group boundary is a shard boundary: rows of different
+        systems never share a shard, so per-shard ``system_id`` stats
+        stay exact and the reader's per-shard iterators each yield a
+        non-decreasing key sequence.
+        """
+        if self._finalized:
+            raise RuntimeError("StoreWriter already finalized")
+        if batch.names != COLUMN_NAMES:
+            missing = set(COLUMN_NAMES) - set(batch.names)
+            raise ValueError(f"group batch is missing columns {sorted(missing)}")
+        for offset in range(0, len(batch), self.shard_rows):
+            chunk = batch.slice(offset, offset + self.shard_rows)
+            if len(chunk):
+                self._write_shard(chunk)
+
+    def _write_shard(self, batch: ColumnBatch) -> None:
+        name = f"{len(self._shards):05d}"
+        checksums: Dict[str, str] = {}
+        for column in COLUMN_NAMES:
+            payload = _npy_bytes(batch[column])
+            path = self.shards_dir / column_file_name(name, column)
+            fs_fault_hook("store.column", path)
+            atomic_write_bytes(path, payload)
+            checksums[column] = hashlib.sha256(payload).hexdigest()
+        self._shards.append(
+            ShardInfo(
+                name=name,
+                rows=len(batch),
+                stats=shard_stats_from_batch(batch),
+                checksums=checksums,
+            )
+        )
+        self._rows += len(batch)
+
+    def finalize(self) -> Manifest:
+        """Write the manifest and return it (call exactly once)."""
+        if self._finalized:
+            raise RuntimeError("StoreWriter already finalized")
+        manifest = Manifest(
+            schema_sha256=schema_digest(),
+            format_version=FORMAT_VERSION,
+            columns=COLUMN_NAMES,
+            record_ids=self.record_ids,
+            row_count=self._rows,
+            shards=tuple(self._shards),
+            data_start=self._data_start,
+            data_end=self._data_end,
+            systems=self._systems,
+            meta=self._meta,
+        )
+        # Drop stale shard files from an earlier, differently-sharded
+        # write of this directory before publishing the manifest: a
+        # finalized store contains exactly the files its manifest lists.
+        expected = {
+            column_file_name(shard.name, column)
+            for shard in self._shards
+            for column in COLUMN_NAMES
+        }
+        for path in self.shards_dir.glob("*.npy"):
+            if path.name not in expected:
+                path.unlink()
+        manifest.save(self.root / MANIFEST_NAME)
+        self._finalized = True
+        return manifest

@@ -55,6 +55,15 @@ import numpy as np
 
 from repro import obs
 
+from repro.records.codes import (
+    CAUSE_CODE,
+    CAUSE_VOCAB,
+    DETAIL_CODE,
+    DETAIL_VOCAB,
+    NO_DETAIL,
+    WORKLOAD_CODE,
+    WORKLOAD_VOCAB,
+)
 from repro.records.inventory import DATA_END, DATA_START, LANL_SYSTEMS
 from repro.records.record import FailureRecord, Workload
 from repro.records.system import SystemConfig
@@ -102,16 +111,20 @@ class _SystemColumns:
 
     The hot path works on arrays; :class:`FailureRecord` objects are
     only materialized lazily at emission time, which is what bounds
-    memory for scaled-inventory runs.
+    memory for scaled-inventory runs.  Categorical columns are int8
+    codes (:mod:`repro.records.codes`), never object arrays: worker
+    handoff and journal payloads pickle six numeric buffers instead of
+    per-element enum references, and the columnar store can write them
+    straight to disk.
     """
 
     system_id: int
-    start: np.ndarray       # float64, node-major order
-    end: np.ndarray         # float64
-    node_id: np.ndarray     # int64
-    cause: np.ndarray       # object (RootCause)
-    detail: np.ndarray      # object (LowLevelCause or None)
-    workload: np.ndarray    # object (Workload)
+    start: np.ndarray          # float64, node-major order
+    end: np.ndarray            # float64
+    node_id: np.ndarray        # int64
+    cause_code: np.ndarray     # int8, index into CAUSE_VOCAB
+    detail_code: np.ndarray    # int8, index into DETAIL_VOCAB, -1 = None
+    workload_code: np.ndarray  # int8, index into WORKLOAD_VOCAB
 
     def __len__(self) -> int:
         return len(self.start)
@@ -123,9 +136,9 @@ def _empty_columns(system_id: int) -> _SystemColumns:
         start=np.empty(0),
         end=np.empty(0),
         node_id=np.empty(0, dtype=np.int64),
-        cause=np.empty(0, dtype=object),
-        detail=np.empty(0, dtype=object),
-        workload=np.empty(0, dtype=object),
+        cause_code=np.empty(0, dtype=np.int8),
+        detail_code=np.empty(0, dtype=np.int8),
+        workload_code=np.empty(0, dtype=np.int8),
     )
 
 
@@ -133,18 +146,21 @@ def _records_from_columns(columns: _SystemColumns) -> List[FailureRecord]:
     """Materialize a system's columns as (un-numbered) records."""
     # FailureRecord.__post_init__ coerces numeric fields, so NumPy
     # scalars can be passed straight through.
-    return [
-        FailureRecord(
-            start_time=columns.start[i],
-            end_time=columns.end[i],
-            system_id=columns.system_id,
-            node_id=columns.node_id[i],
-            root_cause=columns.cause[i],
-            low_level_cause=columns.detail[i],
-            workload=columns.workload[i],
+    records = []
+    for i in range(len(columns)):
+        detail = int(columns.detail_code[i])
+        records.append(
+            FailureRecord(
+                start_time=columns.start[i],
+                end_time=columns.end[i],
+                system_id=columns.system_id,
+                node_id=columns.node_id[i],
+                root_cause=CAUSE_VOCAB[columns.cause_code[i]],
+                low_level_cause=DETAIL_VOCAB[detail] if detail >= 0 else None,
+                workload=WORKLOAD_VOCAB[columns.workload_code[i]],
+            )
         )
-        for i in range(len(columns))
-    ]
+    return records
 
 
 def _columns_from_records(
@@ -158,9 +174,20 @@ def _columns_from_records(
         start=np.array([r.start_time for r in records]),
         end=np.array([r.end_time for r in records]),
         node_id=np.array([r.node_id for r in records], dtype=np.int64),
-        cause=np.array([r.root_cause for r in records], dtype=object),
-        detail=np.array([r.low_level_cause for r in records], dtype=object),
-        workload=np.array([r.workload for r in records], dtype=object),
+        cause_code=np.array(
+            [CAUSE_CODE[r.root_cause] for r in records], dtype=np.int8
+        ),
+        detail_code=np.array(
+            [
+                NO_DETAIL if r.low_level_cause is None
+                else DETAIL_CODE[r.low_level_cause]
+                for r in records
+            ],
+            dtype=np.int8,
+        ),
+        workload_code=np.array(
+            [WORKLOAD_CODE[r.workload] for r in records], dtype=np.int8
+        ),
     )
 
 
@@ -376,9 +403,9 @@ class TraceGenerator:
         starts = np.concatenate([c.start for c in columns])
         ends = np.concatenate([c.end for c in columns])
         node_ids = np.concatenate([c.node_id for c in columns])
-        causes = np.concatenate([c.cause for c in columns])
-        details = np.concatenate([c.detail for c in columns])
-        workloads = np.concatenate([c.workload for c in columns])
+        cause_codes = np.concatenate([c.cause_code for c in columns])
+        detail_codes = np.concatenate([c.detail_code for c in columns])
+        workload_codes = np.concatenate([c.workload_code for c in columns])
         sys_ids = np.concatenate(
             [np.full(len(c), c.system_id, dtype=np.int64) for c in columns]
         )
@@ -386,16 +413,18 @@ class TraceGenerator:
         # record-object sort the per-record pipeline used.
         with obs.span("generate.sort", records=int(starts.size)):
             order = np.lexsort((node_ids, sys_ids, starts))
-        # __post_init__ coerces the NumPy scalars to Python floats/ints.
+        # __post_init__ coerces the NumPy scalars to Python floats/ints;
+        # categorical codes decode through the canonical vocab tables.
         for record_id, i in enumerate(order):
+            detail = int(detail_codes[i])
             yield FailureRecord(
                 start_time=starts[i],
                 end_time=ends[i],
                 system_id=sys_ids[i],
                 node_id=node_ids[i],
-                root_cause=causes[i],
-                low_level_cause=details[i],
-                workload=workloads[i],
+                root_cause=CAUSE_VOCAB[cause_codes[i]],
+                low_level_cause=DETAIL_VOCAB[detail] if detail >= 0 else None,
+                workload=WORKLOAD_VOCAB[workload_codes[i]],
                 record_id=record_id,
             )
 
@@ -405,6 +434,99 @@ class TraceGenerator:
         """Generate (unsorted, un-numbered) records for one system."""
         engine = self._resolve_engine(engine)
         return _records_from_columns(self._system_columns(system_id, engine))
+
+    def generate_store(
+        self,
+        root: "os.PathLike",
+        system_ids: Optional[Sequence[int]] = None,
+        *,
+        workers: int = 1,
+        engine: Optional[str] = None,
+        supervision: Optional[SupervisionConfig] = None,
+        journal: Optional[ShardJournal] = None,
+        shard_rows: Optional[int] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ):
+        """Generate straight into a columnar store directory.
+
+        The engines' column batches are written to per-shard ``.npy``
+        column files under ``root`` without ever materializing
+        :class:`FailureRecord` objects — the out-of-core path for
+        scaled-inventory runs.  ``workers``, ``supervision`` and
+        ``journal`` behave exactly as in :meth:`generate`; reading the
+        store back (:meth:`repro.store.ColumnarStore.iter_records`)
+        yields the same records, in the same order, with the same
+        record IDs as :meth:`iter_records`.
+
+        Returns the store's :class:`~repro.store.manifest.Manifest`.
+        """
+        from repro.store.schema import ColumnBatch
+        from repro.store.writer import DEFAULT_SHARD_ROWS, StoreWriter
+
+        if system_ids is None:
+            system_ids = sorted(self.systems.keys())
+        system_ids = list(system_ids)
+        engine = self._resolve_engine(engine)
+        with obs.span(
+            "store.generate",
+            engine=engine,
+            workers=workers,
+            systems=len(system_ids),
+            seed=self.seed,
+        ) as span:
+            columns = self._all_columns(
+                system_ids, workers, engine, supervision, journal
+            )
+            columns = [c for c in columns if len(c)]
+            total = int(sum(len(c) for c in columns))
+            span.add("records", total)
+            store_meta: Dict[str, object] = {
+                "generator": "repro-synth",
+                "seed": self.seed,
+                "engine": engine,
+            }
+            if meta:
+                store_meta.update(meta)
+            writer = StoreWriter(
+                root,
+                systems=self.systems,
+                data_start=self.data_start,
+                data_end=self.data_end,
+                record_ids="implicit",
+                shard_rows=(
+                    shard_rows if shard_rows is not None else DEFAULT_SHARD_ROWS
+                ),
+                meta=store_meta,
+            )
+            with obs.span("store.write", records=total):
+                # One group per system, ascending: each shard holds one
+                # system's rows sorted by (start, node) — the layout the
+                # reader's k-way merge and predicate pushdown rely on.
+                for c in sorted(columns, key=lambda c: c.system_id):
+                    order = np.lexsort((c.node_id, c.start))
+                    writer.append_group(
+                        ColumnBatch(
+                            {
+                                "start_time": c.start[order],
+                                "end_time": c.end[order],
+                                "system_id": np.full(
+                                    len(c), c.system_id, dtype=np.int32
+                                ),
+                                "node_id": c.node_id[order].astype(np.int32),
+                                "root_cause": c.cause_code[order],
+                                "low_level_cause": c.detail_code[order],
+                                "workload": c.workload_code[order],
+                                "record_id": np.full(
+                                    len(c), -1, dtype=np.int64
+                                ),
+                            }
+                        )
+                    )
+            manifest = writer.finalize()
+        registry = obs.metrics()
+        registry.counter("store.records_written").add(total)
+        registry.counter("store.shards_written").add(len(manifest.shards))
+        return manifest
 
     # ------------------------------------------------------------------
     # Internals
@@ -434,6 +556,10 @@ class TraceGenerator:
         ).hexdigest()
         return {
             "kind": "repro-generate",
+            # Journal payloads are pickled _SystemColumns; bump when the
+            # shard payload layout changes so a --resume against an old
+            # run directory fails loudly instead of unpickling garbage.
+            "payload": "columns-v2",
             "seed": self.seed,
             "engine": engine,
             "systems_sha256": systems_digest,
@@ -859,7 +985,11 @@ class TraceGenerator:
                 parts_start.append(starts)
                 parts_node.append(np.full(n_events, node.node_id, dtype=np.int64))
                 parts_workload.append(
-                    np.full(n_events, workloads[node.node_id], dtype=object)
+                    np.full(
+                        n_events,
+                        WORKLOAD_CODE[workloads[node.node_id]],
+                        dtype=np.int8,
+                    )
                 )
             if not parts_start:
                 columns = _empty_columns(system_id)
@@ -888,9 +1018,11 @@ class TraceGenerator:
                     start=starts_all,
                     end=starts_all + repairs,
                     node_id=np.concatenate(parts_node),
-                    cause=cause_model.resolve_causes(cause_idx),
-                    detail=cause_model.resolve_details(cause_idx, detail_idx),
-                    workload=np.concatenate(parts_workload),
+                    cause_code=cause_model.resolve_cause_codes(cause_idx),
+                    detail_code=cause_model.resolve_detail_codes(
+                        cause_idx, detail_idx
+                    ),
+                    workload_code=np.concatenate(parts_workload),
                 )
             marks_span.add("records", len(columns))
         if config.bursts_enabled and system_id in config.burst_systems:

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.records.codes import CAUSE_CODE, DETAIL_CODE, NO_DETAIL
 from repro.records.record import LowLevelCause, RootCause
 from repro.records.system import HardwareType
 from repro.records.timeutils import SECONDS_PER_MONTH
@@ -64,6 +65,18 @@ class CauseModel:
             for cause, (details, probs) in self._detail_tables.items()
             if cause in self._causes
         }
+        # Canonical-code alphabets: map this model's *internal* batch
+        # indices (mixture order) to the stable codes of
+        # :mod:`repro.records.codes` (enum definition order).
+        self._cause_code_alphabet = np.array(
+            [CAUSE_CODE[cause] for cause in self._causes], dtype=np.int8
+        )
+        self._detail_code_tables: Dict[int, np.ndarray] = {}
+        for index in self._detail_cdfs:
+            details, _probs = self._detail_tables[self._causes[index]]
+            self._detail_code_tables[index] = np.array(
+                [DETAIL_CODE[detail] for detail in details], dtype=np.int8
+            )
 
     @property
     def causes(self) -> Tuple[RootCause, ...]:
@@ -224,6 +237,24 @@ class CauseModel:
                     len(detail_cdf) - 1,
                 )
         return cause_idx, detail_idx
+
+    def resolve_cause_codes(self, cause_idx: np.ndarray) -> np.ndarray:
+        """Map a cause-index array to canonical int8 cause codes."""
+        return self._cause_code_alphabet[cause_idx]
+
+    def resolve_detail_codes(
+        self, cause_idx: np.ndarray, detail_idx: np.ndarray
+    ) -> np.ndarray:
+        """Map (cause, detail) index arrays to canonical int8 detail codes.
+
+        ``NO_DETAIL`` (-1) where the cause carries no low-level detail.
+        """
+        out = np.full(len(cause_idx), NO_DETAIL, dtype=np.int8)
+        for index, table in self._detail_code_tables.items():
+            mask = (cause_idx == index) & (detail_idx >= 0)
+            if mask.any():
+                out[mask] = table[detail_idx[mask]]
+        return out
 
     def resolve_causes(self, cause_idx: np.ndarray) -> np.ndarray:
         """Map a cause-index array to an object array of RootCause."""

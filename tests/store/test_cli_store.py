@@ -1,0 +1,132 @@
+"""CLI tests for ``repro generate --store columnar`` and ``repro store``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-store") / "st"
+    code = main([
+        "generate", "--seed", "5", "--systems", "2,13",
+        "--store", "columnar", "--out", str(root),
+        "--shard-rows", "150",
+    ])
+    assert code == 0
+    return root
+
+
+class TestGenerateStore:
+    def test_writes_manifest_and_shards(self, store_dir):
+        assert (store_dir / "manifest.json").exists()
+        assert list((store_dir / "shards").glob("*.npy"))
+
+    def test_matches_records_output(self, store_dir, tmp_path, capsys):
+        csv_out = tmp_path / "list.csv"
+        main([
+            "generate", "--seed", "5", "--systems", "2,13",
+            "--out", str(csv_out),
+        ])
+        export = tmp_path / "store.csv"
+        code = main(["store", "export", str(store_dir), str(export)])
+        assert code == 0
+        assert export.read_bytes() == csv_out.read_bytes()
+
+    def test_scale_grows_the_trace(self, tmp_path):
+        small = tmp_path / "small"
+        big = tmp_path / "big"
+        main(["generate", "--seed", "5", "--systems", "2",
+              "--store", "columnar", "--out", str(small)])
+        main(["generate", "--seed", "5", "--systems", "2", "--scale", "4",
+              "--store", "columnar", "--out", str(big)])
+        small_rows = json.loads(
+            (small / "manifest.json").read_text()
+        )["row_count"]
+        big_rows = json.loads((big / "manifest.json").read_text())["row_count"]
+        assert big_rows > 2 * small_rows
+
+
+class TestStoreCommands:
+    def test_info(self, store_dir, capsys):
+        assert main(["store", "info", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "columnar store" in out
+        assert "record ids: implicit" in out
+
+    def test_info_json(self, store_dir, capsys):
+        assert main(["store", "info", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] > 0
+        assert payload["record_ids"] == "implicit"
+
+    def test_verify_ok(self, store_dir, capsys):
+        assert main(["store", "verify", str(store_dir)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_catches_damage(self, store_dir, tmp_path, capsys):
+        import shutil
+
+        damaged = tmp_path / "damaged"
+        shutil.copytree(store_dir, damaged)
+        victim = next((damaged / "shards").glob("*-start_time.npy"))
+        victim.write_bytes(victim.read_bytes()[:-8])
+        assert main(["store", "verify", str(damaged)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_analyze_pushdown_counters(self, store_dir, capsys):
+        assert main([
+            "store", "analyze", str(store_dir), "--systems", "13", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts_by_system"].keys() == {"13"}
+        assert payload["scan"]["shards_pruned"] >= 1
+
+    def test_analyze_plain_output(self, store_dir, capsys):
+        assert main(["store", "analyze", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pushdown:" in out
+        assert "counts by cause:" in out
+
+    def test_import_then_export_round_trip(self, store_dir, tmp_path, capsys):
+        csv_path = tmp_path / "t.csv"
+        main(["store", "export", str(store_dir), str(csv_path)])
+        imported = tmp_path / "imported"
+        assert main([
+            "store", "import", str(csv_path), str(imported),
+        ]) == 0
+        back = tmp_path / "back.csv"
+        assert main(["store", "export", str(imported), str(back)]) == 0
+        assert back.read_bytes() == csv_path.read_bytes()
+
+    def test_export_filtered(self, store_dir, tmp_path):
+        out = tmp_path / "sys2.csv"
+        assert main([
+            "store", "export", str(store_dir), str(out), "--systems", "2",
+        ]) == 0
+        text = out.read_text()
+        assert ",13," not in text
+
+    def test_error_boundary_on_missing_store(self, tmp_path, capsys):
+        assert main(["store", "info", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreAsTraceInput:
+    def test_report_reads_a_store_directory(self, store_dir, capsys):
+        code = main(["report", str(store_dir), "--artifact", "fig1"])
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_summary_matches_csv_input(self, store_dir, tmp_path, capsys):
+        assert main(["validate", str(store_dir)]) == 0
+        store_out = capsys.readouterr().out
+        csv_path = tmp_path / "t.csv"
+        main(["store", "export", str(store_dir), str(csv_path)])
+        capsys.readouterr()
+        assert main(["validate", str(csv_path)]) == 0
+        assert capsys.readouterr().out == store_out

@@ -1,0 +1,90 @@
+"""Golden regression test for the store manifest's schema and layout.
+
+The manifest's *identity surface* — the schema sha256 (which pins the
+byte-level meaning of every column and the categorical vocabularies),
+the format version, the column order, and the exact key layout of each
+manifest section — is frozen as JSON under ``tests/store/golden/``.
+Any change to the on-disk format must show up as an explicit golden
+diff plus a ``FORMAT_VERSION`` bump, never as a silent re-encode that
+old stores would misdecode.
+
+Data-dependent values (row counts, timestamps, checksums) are *not*
+frozen — they vary with inventory and platform, and the writer/reader
+tests pin their semantics instead.
+
+To regenerate after an intentional format change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/store/test_manifest_golden.py
+
+then commit the rewritten file together with the FORMAT_VERSION bump.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import atomic_write_text
+from repro.synth import TraceGenerator
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_JSON = GOLDEN_DIR / "manifest_shape.json"
+
+
+def _regen_requested() -> bool:
+    return bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+@pytest.fixture(scope="module")
+def manifest_payload(tmp_path_factory):
+    root = tmp_path_factory.mktemp("golden") / "store"
+    TraceGenerator(seed=5).generate_store(root, [2, 13], shard_rows=100)
+    return json.loads((root / "manifest.json").read_text(encoding="utf-8"))
+
+
+def manifest_shape(payload: dict) -> dict:
+    """The manifest's identity surface, stripped of data-dependent values."""
+    shard = payload["shards"][0]
+    system = next(iter(payload["systems"].values()))
+    return {
+        "kind": payload["kind"],
+        "format_version": payload["format_version"],
+        "schema_sha256": payload["schema_sha256"],
+        "columns": payload["columns"],
+        "record_ids_modes": ["implicit", "explicit"],
+        "top_level_keys": sorted(payload),
+        "shard_keys": sorted(shard),
+        "shard_stat_columns": sorted(shard["stats"]),
+        "shard_checksum_columns": sorted(shard["checksums"]),
+        "system_entry_keys": sorted(system),
+        "category_keys": sorted(system["categories"][0]),
+        "meta_keys_generated": sorted(payload["meta"]),
+    }
+
+
+def test_manifest_shape_matches_golden(manifest_payload):
+    shape = manifest_shape(manifest_payload)
+    if _regen_requested():
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        atomic_write_text(
+            GOLDEN_JSON, json.dumps(shape, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {GOLDEN_JSON}")
+    assert GOLDEN_JSON.exists(), (
+        f"missing golden file {GOLDEN_JSON}; regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_JSON.read_text(encoding="utf-8"))
+    assert shape == golden, (
+        "manifest schema/layout changed; if intentional, bump "
+        "FORMAT_VERSION in repro.store.schema and regenerate with "
+        "REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_shard_names_are_zero_padded_sequence(manifest_payload):
+    names = [shard["name"] for shard in manifest_payload["shards"]]
+    assert names == [f"{i:05d}" for i in range(len(names))]

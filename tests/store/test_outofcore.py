@@ -1,0 +1,188 @@
+"""Out-of-core analytics: a million-record store under a hard memory cap.
+
+The store's reason to exist: analysis over traces that do not fit in
+memory.  These tests generate a scaled LANL inventory (>= 1M failure
+records), then run the streaming analytics in a *subprocess* whose
+address space is capped with ``resource.setrlimit(RLIMIT_AS, ...)`` —
+an enforced ceiling, not an honor-system assertion.  A negative
+control proves the cap is binding: materializing the same store into
+``FailureRecord`` objects dies with ``MemoryError`` under the very
+limit the streaming path sails through.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.store import ColumnarStore, Predicate, summarize_store
+from repro.synth import TraceGenerator
+from repro.synth.scenario import scaled_lanl_systems
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+# Node counts x38 pushes the 27.8k-record LANL trace past one million
+# records (~33 MB on disk) while keeping generation under ~20 s.
+SCALE = float(os.environ.get("REPRO_OUTOFCORE_SCALE", "38"))
+SEED = 7
+# Streaming analytics peak near ~90 MB RSS regardless of store size;
+# materializing 1M records needs >400 MB.  384 MB separates the two
+# with margin on both sides.
+CAP_MB = 384
+
+pytestmark = pytest.mark.skipif(
+    sys.platform != "linux", reason="RLIMIT_AS semantics are Linux-specific"
+)
+
+
+@pytest.fixture(scope="module")
+def big_store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("outofcore") / "store"
+    generator = TraceGenerator(seed=SEED, systems=scaled_lanl_systems(SCALE))
+    manifest = generator.generate_store(root)
+    assert manifest.row_count >= 1_000_000, (
+        f"scale {SCALE} produced only {manifest.row_count} records; "
+        "raise REPRO_OUTOFCORE_SCALE"
+    )
+    return root
+
+
+def _run_capped(store_root: Path, body: str) -> subprocess.CompletedProcess:
+    """Run ``body`` in a child python with RLIMIT_AS capped."""
+    script = textwrap.dedent(
+        f"""
+        import resource, sys
+        cap = {CAP_MB} * 1024 * 1024
+        resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+        sys.path.insert(0, {str(REPO_ROOT / "src")!r})
+        root = {str(store_root)!r}
+        """
+    ) + textwrap.dedent(body)
+    return subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+
+
+class TestUnderMemoryCap:
+    def test_full_summary_streams_under_cap(self, big_store):
+        result = _run_capped(
+            big_store,
+            """
+            import json
+            from repro.store import ColumnarStore, summarize_store
+            summary = summarize_store(ColumnarStore(root))
+            print(json.dumps(summary.to_dict()))
+            """,
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["rows"] >= 1_000_000
+        assert payload["scan"]["shards_pruned"] == 0
+
+    def test_pushdown_analysis_under_cap(self, big_store):
+        result = _run_capped(
+            big_store,
+            """
+            import json
+            from repro.store import ColumnarStore, Predicate, summarize_store
+            store = ColumnarStore(root)
+            summary = summarize_store(
+                store, predicate=Predicate.build(systems=[19, 20])
+            )
+            print(json.dumps(summary.to_dict()))
+            """,
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert set(payload["counts_by_system"]) == {"19", "20"}
+        # single-system shards: every other system's shards get pruned
+        assert payload["scan"]["shards_pruned"] >= 1
+        assert (
+            payload["scan"]["shards_scanned"]
+            + payload["scan"]["shards_pruned"]
+            == len(ColumnarStore(big_store).manifest.shards)
+        )
+        # capped-subprocess numbers must equal the uncapped in-process
+        # ones: the cap changes nothing but peak memory
+        reference = summarize_store(
+            ColumnarStore(big_store),
+            predicate=Predicate.build(systems=[19, 20]),
+        )
+        assert payload == reference.to_dict()
+
+    def test_streaming_export_under_cap(self, big_store, tmp_path):
+        out = tmp_path / "slice.csv"
+        result = _run_capped(
+            big_store,
+            f"""
+            from repro.store import ColumnarStore, Predicate, export_store
+            count = export_store(
+                ColumnarStore(root), {str(out)!r},
+                predicate=Predicate.build(systems=[19]),
+            )
+            print(count)
+            """,
+        )
+        assert result.returncode == 0, result.stderr
+        exported = int(result.stdout)
+        assert exported > 0
+        with open(out, "r", encoding="utf-8") as handle:
+            lines = sum(1 for _ in handle)
+        assert lines == exported + 1  # header
+
+
+class TestCapIsBinding:
+    def test_materializing_records_dies_under_same_cap(self, big_store):
+        """Negative control: the limit streaming passes is one the
+        materializing path cannot."""
+        result = _run_capped(
+            big_store,
+            """
+            from repro.store import ColumnarStore
+            trace = ColumnarStore(root).to_trace()
+            print(len(trace.records))
+            """,
+        )
+        assert result.returncode != 0
+        assert "MemoryError" in result.stderr
+
+
+class TestScaleCorrectness:
+    def test_summary_consistent_with_manifest(self, big_store):
+        store = ColumnarStore(big_store)
+        summary = summarize_store(store)
+        assert summary.rows == store.manifest.row_count
+        assert sum(summary.counts_by_system.values()) == summary.rows
+        assert sum(summary.counts_by_cause.values()) == summary.rows
+        assert summary.start_min >= store.manifest.data_start
+        assert summary.start_max < store.manifest.data_end
+
+    def test_batch_rows_do_not_change_the_answer(self, big_store):
+        store = ColumnarStore(big_store)
+        predicate = Predicate.build(systems=[5])
+        small = summarize_store(store, predicate=predicate, batch_rows=1_000)
+        large = summarize_store(
+            store, predicate=predicate, batch_rows=1_000_000
+        )
+        assert small.rows == large.rows
+        assert small.counts_by_system == large.counts_by_system
+        assert small.counts_by_cause == large.counts_by_cause
+        assert small.start_min == large.start_min
+        assert small.start_max == large.start_max
+        # float accumulators are summed in chunk order, so allow for
+        # reassociation at batch boundaries
+        assert small.repair_mean == pytest.approx(
+            large.repair_mean, rel=1e-9
+        )
+        for cause, hours in small.downtime_by_cause.items():
+            assert hours == pytest.approx(
+                large.downtime_by_cause[cause], rel=1e-9
+            )

@@ -1,0 +1,149 @@
+"""Schema, codes, and ColumnBatch encode/decode contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.records.codes import (
+    CAUSE_CODE,
+    CAUSE_VOCAB,
+    DETAIL_CODE,
+    DETAIL_VOCAB,
+    NO_DETAIL,
+    WORKLOAD_CODE,
+    WORKLOAD_VOCAB,
+)
+from repro.records.record import (
+    FailureRecord,
+    LowLevelCause,
+    RootCause,
+    Workload,
+)
+from repro.store.schema import (
+    COLUMN_DTYPES,
+    COLUMN_NAMES,
+    COLUMNS,
+    ColumnBatch,
+    batch_from_records,
+    concat_batches,
+    empty_batch,
+    records_from_batch,
+    schema_digest,
+)
+
+
+class TestCodes:
+    def test_vocabs_cover_every_enum_member(self):
+        assert set(CAUSE_VOCAB) == set(RootCause)
+        assert set(DETAIL_VOCAB) == set(LowLevelCause)
+        assert set(WORKLOAD_VOCAB) == set(Workload)
+
+    def test_codes_are_dense_and_invertible(self):
+        for vocab, codes in (
+            (CAUSE_VOCAB, CAUSE_CODE),
+            (DETAIL_VOCAB, DETAIL_CODE),
+            (WORKLOAD_VOCAB, WORKLOAD_CODE),
+        ):
+            assert sorted(codes.values()) == list(range(len(vocab)))
+            for value, code in codes.items():
+                assert vocab[code] is value
+
+    def test_no_detail_sentinel_is_not_a_valid_code(self):
+        assert NO_DETAIL not in DETAIL_CODE.values()
+
+    def test_codes_fit_int8(self):
+        assert len(DETAIL_VOCAB) < 128
+        assert len(CAUSE_VOCAB) < 128
+        assert len(WORKLOAD_VOCAB) < 128
+
+
+class TestSchemaDigest:
+    def test_digest_is_stable_across_calls(self):
+        assert schema_digest() == schema_digest()
+
+    def test_digest_length_and_charset(self):
+        digest = schema_digest()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_columns_are_little_endian_or_single_byte(self):
+        # dtype.str keeps the explicit byte order the schema declares
+        # (dtype.byteorder normalizes to "=" on native-endian hosts).
+        for name, dtype in COLUMNS:
+            assert np.dtype(dtype).str[0] in ("<", "|"), (name, dtype)
+
+
+class TestColumnBatch:
+    def test_rejects_unknown_column(self):
+        with pytest.raises(KeyError):
+            ColumnBatch({"bogus": np.zeros(3)})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ColumnBatch(
+                {
+                    "start_time": np.zeros(3),
+                    "end_time": np.zeros(4),
+                }
+            )
+
+    def test_rejects_empty_mapping_and_2d(self):
+        with pytest.raises(ValueError):
+            ColumnBatch({})
+        with pytest.raises(ValueError):
+            ColumnBatch({"start_time": np.zeros((2, 2))})
+
+    def test_coerces_to_schema_dtype(self):
+        batch = ColumnBatch({"system_id": [1, 2, 3]})
+        assert batch["system_id"].dtype == COLUMN_DTYPES["system_id"]
+
+    def test_names_in_schema_order(self):
+        batch = ColumnBatch(
+            {"node_id": [1], "start_time": [0.0], "record_id": [5]}
+        )
+        assert batch.names == ("start_time", "node_id", "record_id")
+
+    def test_slice_and_take(self):
+        batch = ColumnBatch({"system_id": [1, 2, 3, 4]})
+        assert batch.slice(1, 3)["system_id"].tolist() == [2, 3]
+        mask = np.array([True, False, True, False])
+        assert batch.take(mask)["system_id"].tolist() == [1, 3]
+
+    def test_concat(self):
+        a = ColumnBatch({"system_id": [1, 2]})
+        b = ColumnBatch({"system_id": [3]})
+        assert concat_batches([a, b])["system_id"].tolist() == [1, 2, 3]
+        assert len(concat_batches([])) == 0
+        with pytest.raises(ValueError):
+            concat_batches([a, ColumnBatch({"node_id": [0]})])
+
+    def test_empty_batch_has_all_columns(self):
+        batch = empty_batch()
+        assert batch.names == COLUMN_NAMES
+        assert len(batch) == 0
+
+
+class TestRecordRoundTrip:
+    def test_round_trip_is_repr_identical(self, small_trace):
+        batch = batch_from_records(small_trace.records)
+        out = list(records_from_batch(batch))
+        assert len(out) == len(small_trace.records)
+        for decoded, original in zip(out, small_trace.records):
+            assert repr(decoded) == repr(original)
+
+    def test_none_record_id_and_detail_round_trip(self):
+        record = FailureRecord(
+            start_time=10.5,
+            end_time=99.25,
+            system_id=3,
+            node_id=7,
+            root_cause=RootCause.UNKNOWN,
+            low_level_cause=None,
+            workload=Workload.COMPUTE,
+            record_id=None,
+        )
+        (decoded,) = records_from_batch(batch_from_records([record]))
+        assert decoded.record_id is None
+        assert decoded.low_level_cause is None
+        assert repr(decoded) == repr(record)

@@ -1,0 +1,172 @@
+"""Property-based tests for the columnar store's core invariants.
+
+Three contracts, hunted with adversarial inputs:
+
+1. records -> columns -> records is ``repr``-identical (including the
+   ``None`` sentinels and float bit patterns);
+2. every shard's manifest min/max bounds cover its rows exactly;
+3. predicate pushdown never prunes a shard containing a matching row —
+   with boundary values drawn *from the stored timestamps themselves*,
+   so the inclusive-min/exclusive-max edges are hit constantly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.records.record import (
+    FailureRecord,
+    LOW_LEVEL_PARENT,
+    LowLevelCause,
+    RootCause,
+    Workload,
+)
+from repro.store.manifest import Predicate, shard_stats_from_batch
+from repro.store.schema import (
+    STAT_COLUMNS,
+    batch_from_records,
+    records_from_batch,
+)
+
+CAUSES = list(RootCause)
+WORKLOADS = list(Workload)
+DETAILS_BY_CAUSE = {
+    cause: [d for d, parent in LOW_LEVEL_PARENT.items() if parent is cause]
+    for cause in RootCause
+}
+
+
+@st.composite
+def records(draw):
+    start = draw(
+        st.floats(
+            min_value=0.0, max_value=3.0e8, allow_nan=False,
+            allow_infinity=False,
+        )
+    )
+    duration = draw(st.floats(min_value=0.0, max_value=1e6))
+    cause = draw(st.sampled_from(CAUSES))
+    details = DETAILS_BY_CAUSE[cause]
+    detail = (
+        draw(st.sampled_from(details + [None])) if details else None
+    )
+    return FailureRecord(
+        start_time=start,
+        end_time=start + duration,
+        system_id=draw(st.integers(min_value=1, max_value=22)),
+        node_id=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        root_cause=cause,
+        low_level_cause=detail,
+        workload=draw(st.sampled_from(WORKLOADS)),
+        record_id=draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=2**40))
+        ),
+    )
+
+
+record_lists = st.lists(records(), min_size=1, max_size=50)
+
+
+@settings(max_examples=80, deadline=None)
+@given(record_lists)
+def test_columns_round_trip_is_repr_identical(items):
+    decoded = list(records_from_batch(batch_from_records(items)))
+    assert [repr(r) for r in decoded] == [repr(r) for r in items]
+
+
+@settings(max_examples=80, deadline=None)
+@given(record_lists)
+def test_shard_stats_bound_every_row(items):
+    batch = batch_from_records(items)
+    stats = shard_stats_from_batch(batch)
+    for column in STAT_COLUMNS:
+        low, high = stats[column]
+        values = batch[column]
+        assert low <= values.min() and values.max() <= high
+        # exact, not merely covering: bounds come from the data
+        assert low == values.min() and high == values.max()
+
+
+@st.composite
+def shard_and_predicate(draw):
+    """A shard's rows plus a predicate biased toward its exact bounds."""
+    items = draw(record_lists)
+    starts = sorted(r.start_time for r in items)
+    # Boundary hunting: draw window edges from the stored timestamps
+    # themselves (plus arbitrary floats), so t_min == max(start) and
+    # t_max == min(start) cases occur constantly.
+    edge = st.one_of(
+        st.sampled_from(starts),
+        st.floats(
+            min_value=0.0, max_value=4.0e8, allow_nan=False,
+            allow_infinity=False,
+        ),
+        st.none(),
+    )
+    t_min = draw(edge)
+    t_max = draw(edge)
+    if t_min is not None and t_max is not None and t_max < t_min:
+        t_min, t_max = t_max, t_min
+    systems = draw(
+        st.one_of(
+            st.none(),
+            st.sets(st.integers(min_value=1, max_value=22), min_size=1),
+        )
+    )
+    return items, Predicate.build(t_min=t_min, t_max=t_max, systems=systems)
+
+
+@settings(max_examples=120, deadline=None)
+@given(shard_and_predicate())
+def test_pushdown_never_prunes_a_matching_row(case):
+    items, predicate = case
+    batch = batch_from_records(items)
+    from repro.store.manifest import ShardInfo
+
+    shard = ShardInfo(
+        name="00000", rows=len(batch), stats=shard_stats_from_batch(batch)
+    )
+    mask = predicate.mask(batch)
+    if mask.any():
+        # a shard with at least one matching row must be admitted
+        assert predicate.admits_shard(shard)
+
+
+@settings(max_examples=120, deadline=None)
+@given(shard_and_predicate())
+def test_mask_agrees_with_per_record_semantics(case):
+    items, predicate = case
+    batch = batch_from_records(items)
+    mask = predicate.mask(batch)
+    for keep, record in zip(mask.tolist(), items):
+        expected = True
+        if predicate.t_min is not None:
+            expected &= record.start_time >= predicate.t_min
+        if predicate.t_max is not None:
+            expected &= record.start_time < predicate.t_max
+        if predicate.systems is not None:
+            expected &= record.system_id in predicate.systems
+        assert keep == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(record_lists)
+def test_exact_boundary_shards(items):
+    """Half-open edges: a shard ending at t_min stays, one starting at
+    t_max goes."""
+    batch = batch_from_records(items)
+    from repro.store.manifest import ShardInfo
+
+    stats = shard_stats_from_batch(batch)
+    shard = ShardInfo(name="00000", rows=len(batch), stats=stats)
+    start_lo, start_hi = stats["start_time"]
+    # t_min exactly at the shard's max start: the max row matches
+    # (inclusive lower bound) -> must be admitted.
+    assert Predicate.build(t_min=start_hi).admits_shard(shard)
+    # t_max exactly at the shard's min start: no row can match
+    # (exclusive upper bound) -> must be pruned.
+    assert not Predicate.build(t_max=start_lo).admits_shard(shard)
+    # One ULP above min start admits the min row again.
+    bumped = np.nextafter(start_lo, np.inf)
+    assert Predicate.build(t_max=float(bumped)).admits_shard(shard)
