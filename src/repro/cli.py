@@ -12,6 +12,10 @@
     python -m repro store analyze runs/big-store --systems 20 --json
     python -m repro store export runs/big-store trace.csv
     python -m repro store import trace.csv runs/imported-store
+    python -m repro store scrub runs/big-store --fix-stats
+    python -m repro store repair runs/big-store --from trace.csv
+    python -m repro store append runs/big-store extra.csv
+    python -m repro store merge runs/merged runs/store-a runs/store-b
     python -m repro report runs/big-store --artifact fig6
     python -m repro report trace.csv --artifact fig6
     python -m repro report --synthetic --artifact all
@@ -151,6 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="use the synthetic trace instead of a file",
         )
         command.add_argument("--seed", type=int, default=1, help="synthetic seed")
+        command.add_argument(
+            "--on-damage", choices=("raise", "skip"), default="raise",
+            help="columnar-store traces only: 'raise' fails on a damaged "
+                 "shard; 'skip' runs a degraded read over the healthy "
+                 "shards and warns on stderr",
+        )
         if name == "report":
             command.add_argument(
                 "--artifact", choices=ARTIFACTS, required=True,
@@ -358,6 +368,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip content checksums, statistics and sort checks "
              "(existence, shape and dtype only)",
     )
+    store_verify.add_argument(
+        "--json", action="store_true",
+        help="print {problems, summary} as JSON (exit codes unchanged: "
+             "0 clean, 1 problems)",
+    )
+
+    store_scrub = store_sub.add_parser(
+        "scrub",
+        help="classify damage, quarantine bad shards, repair safe drift",
+    )
+    store_scrub.add_argument("root", help="store directory")
+    store_scrub.add_argument(
+        "--fix-stats", action="store_true",
+        help="recompute drifted manifest statistics from verified "
+             "column data (instead of just reporting the drift)",
+    )
+    store_scrub.add_argument(
+        "--json", action="store_true", help="print the scrub report as JSON"
+    )
+
+    store_repair = store_sub.add_parser(
+        "repair",
+        help="re-materialize quarantined shards from a reference trace "
+             "or store, proving byte identity against the manifest",
+    )
+    store_repair.add_argument("root", help="store directory")
+    store_repair.add_argument(
+        "--from", dest="source", required=True, metavar="REFERENCE",
+        help="reference to rebuild from: a CSV/JSONL trace file or "
+             "another store directory holding the same records",
+    )
+    store_repair.add_argument(
+        "--json", action="store_true", help="print the repair report as JSON"
+    )
+
+    store_append = store_sub.add_parser(
+        "append",
+        help="append a trace's records to an existing store (crash-safe: "
+             "staged shards, atomic manifest publish)",
+    )
+    store_append.add_argument("root", help="existing store directory")
+    store_append.add_argument(
+        "source", help="CSV/JSONL trace file or store directory to append"
+    )
+    store_append.add_argument(
+        "--shard-rows", type=int, default=None, metavar="ROWS",
+        help="rows per new shard (default: the store's largest shard)",
+    )
+
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="merge several traces/stores into a new store "
+             "(globally re-sorted, crash-safe manifest publish)",
+    )
+    store_merge.add_argument("out", help="store directory to create")
+    store_merge.add_argument(
+        "sources", nargs="+",
+        help="two or more CSV/JSONL trace files or store directories",
+    )
+    store_merge.add_argument(
+        "--shard-rows", type=int, default=None, metavar="ROWS",
+        help="rows per shard (default 131072)",
+    )
+    store_merge.add_argument(
+        "--on-damage", choices=("raise", "skip"), default="raise",
+        help="'skip' reads damaged source stores degraded instead of "
+             "failing the merge",
+    )
 
     store_analyze = store_sub.add_parser(
         "analyze",
@@ -383,6 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_analyze.add_argument(
         "--json", action="store_true", help="print the summary as JSON"
+    )
+    store_analyze.add_argument(
+        "--on-damage", choices=("raise", "skip"), default="raise",
+        help="'raise' fails on a damaged shard; 'skip' summarizes the "
+             "healthy shards and reports the skipped ones",
     )
 
     store_export = store_sub.add_parser(
@@ -433,11 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_trace(args: argparse.Namespace) -> FailureTrace:
+def _load_trace(args: argparse.Namespace):
+    """Load the command's trace; returns ``(trace, degraded)``.
+
+    ``degraded`` is a :class:`repro.store.DegradedReadReport` when the
+    trace came from a columnar store opened with ``--on-damage skip``
+    and shards were skipped, else ``None``.  A degraded load warns on
+    stderr so piped stdout stays clean.
+    """
     if args.synthetic:
         from repro.synth import TraceGenerator
 
-        return TraceGenerator(seed=args.seed).generate()
+        return TraceGenerator(seed=args.seed).generate(), None
     if not args.trace:
         raise SystemExit("error: provide a trace path or --synthetic")
     from pathlib import Path
@@ -445,12 +535,25 @@ def _load_trace(args: argparse.Namespace) -> FailureTrace:
     if Path(args.trace).is_dir():
         from repro.store import ColumnarStore
 
-        return ColumnarStore(args.trace).to_trace()
+        store = ColumnarStore(
+            args.trace, on_damage=getattr(args, "on_damage", "raise")
+        )
+        trace = store.to_trace()
+        degraded = store.degraded if store.degraded else None
+        if degraded is not None:
+            print(
+                f"warning: degraded read: skipped "
+                f"{len(degraded.shards_skipped)} shard(s) "
+                f"({degraded.rows_skipped} rows); run `repro store "
+                f"scrub {args.trace}`",
+                file=sys.stderr,
+            )
+        return trace, degraded
     from repro.io import detect_format, read_jsonl, read_lanl_csv
 
     if detect_format(args.trace) == "jsonl":
-        return read_jsonl(args.trace)
-    return read_lanl_csv(args.trace)
+        return read_jsonl(args.trace), None
+    return read_lanl_csv(args.trace), None
 
 
 def _parse_chaos(spec: str, run_dir) -> "object":
@@ -604,9 +707,9 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_report(args: argparse.Namespace) -> int:
     from repro import report
 
-    trace = _load_trace(args)
+    trace, degraded = _load_trace(args)
     if args.artifact == "all":
-        paper = report.run_paper_report(trace)
+        paper = report.run_paper_report(trace, degraded_read=degraded)
         print(paper.render())
         print("\n" + "=" * 78 + "\n")
         print(paper.diagnostics())
@@ -631,7 +734,7 @@ def _command_summary(args: argparse.Namespace) -> int:
     from repro.analysis import summarize
     from repro.records.record import RootCause
 
-    trace = _load_trace(args)
+    trace, _ = _load_trace(args)
     summary = summarize(trace)
     print(f"records: {summary.n_records}")
     low, high = summary.rate_range
@@ -664,7 +767,7 @@ def _command_availability(args: argparse.Namespace) -> int:
     from repro.analysis import availability_report
     from repro.report import format_table
 
-    trace = _load_trace(args)
+    trace, _ = _load_trace(args)
     rows = [
         (
             system_id,
@@ -686,7 +789,7 @@ def _command_availability(args: argparse.Namespace) -> int:
 def _command_validate(args: argparse.Namespace) -> int:
     from repro.records.validation import validate_trace
 
-    trace = _load_trace(args)
+    trace, _ = _load_trace(args)
     problems = validate_trace(trace)
     if problems:
         for problem in problems:
@@ -701,7 +804,7 @@ def _command_outliers(args: argparse.Namespace) -> int:
     from repro.analysis import find_node_outliers
     from repro.report import format_table
 
-    trace = _load_trace(args)
+    trace, _ = _load_trace(args)
     outliers, bulk = find_node_outliers(trace, args.system, threshold=args.threshold)
     print(f"bulk model: {bulk.describe()} (median {bulk.median:.0f} failures/node)")
     if not outliers:
@@ -988,20 +1091,87 @@ def _command_store(args: argparse.Namespace) -> int:
         from repro.store import verify_store
 
         problems = verify_store(args.root, deep=not args.shallow)
+        mode = "shallow" if args.shallow else "deep"
+        if args.json:
+            # Exit codes are pinned for scripting: 0 clean, 1 problems.
+            print(_json.dumps(
+                {
+                    "problems": problems,
+                    "summary": {
+                        "ok": not problems,
+                        "count": len(problems),
+                        "mode": mode,
+                        "root": args.root,
+                    },
+                },
+                indent=2, sort_keys=True,
+            ))
+            return 1 if problems else 0
         if problems:
             for problem in problems:
                 print(problem)
             print(f"CORRUPT: {len(problems)} problem(s)")
             return 1
-        mode = "shallow" if args.shallow else "deep"
         print(f"OK: store verifies clean ({mode})")
+        return 0
+
+    if args.store_command == "scrub":
+        from repro.store import scrub_store
+
+        report = scrub_store(args.root, fix_stats=args.fix_stats)
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.describe())
+        return 0 if report.ok else 1
+
+    if args.store_command == "repair":
+        from repro.store import repair_store
+
+        report = repair_store(args.root, args.source)
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.describe())
+        return 0 if report.ok else 1
+
+    if args.store_command == "append":
+        from repro.store import append_trace
+
+        manifest = append_trace(
+            args.root, args.source, shard_rows=args.shard_rows
+        )
+        print(
+            f"store now holds {manifest.row_count} records in "
+            f"{len(manifest.shards)} shard(s) at {args.root}"
+        )
+        return 0
+
+    if args.store_command == "merge":
+        from repro.store import merge_stores
+        from repro.store.writer import DEFAULT_SHARD_ROWS
+
+        manifest = merge_stores(
+            args.out,
+            args.sources,
+            shard_rows=(
+                args.shard_rows
+                if args.shard_rows is not None
+                else DEFAULT_SHARD_ROWS
+            ),
+            on_damage=args.on_damage,
+        )
+        print(
+            f"merged {len(args.sources)} source(s): {manifest.row_count} "
+            f"records in {len(manifest.shards)} shard(s) at {args.out}"
+        )
         return 0
 
     if args.store_command == "analyze":
         from repro.store import ColumnarStore, summarize_store
         from repro.store.reader import DEFAULT_BATCH_ROWS
 
-        store = ColumnarStore(args.root)
+        store = ColumnarStore(args.root, on_damage=args.on_damage)
         predicate = _store_predicate(args)
         summary = summarize_store(
             store,

@@ -2,9 +2,9 @@
 
 A *campaign* runs a matrix of scenarios — {process chaos x data
 corruption x filesystem faults} x {workflows: generate, resumable
-generate, trace write, columnar-store write, ingest, report} — each in
-a fresh directory, and verifies **recovery invariants** after every
-drill:
+generate, trace write, columnar-store write, store scrub/repair,
+store merge, ingest, report} — each in a fresh directory, and verifies
+**recovery invariants** after every drill:
 
 * the recovered trace is byte-identical to an unfaulted serial run
   (the RNG-stream contract survives retries, resumes and degradation);
@@ -55,7 +55,8 @@ TIMINGS_NAME = "campaign_timings.json"
 
 #: Workflows a scenario can drill.
 WORKFLOWS = (
-    "generate", "write-csv", "write-jsonl", "write-store", "ingest", "report",
+    "generate", "write-csv", "write-jsonl", "write-store",
+    "scrub-store", "merge-store", "ingest", "report",
 )
 
 #: Fault classes a scenario can arm (``none`` = clean baseline).
@@ -277,6 +278,14 @@ _SMOKE = (
         operator="torn-write", sites=("atomic.text",),
         path_contains="manifest.json",
     ),
+    Scenario(
+        "scrub-enospc-ledger", "scrub-store", fault="fs", operator="enospc",
+        sites=("store.scrub.ledger",),
+    ),
+    Scenario(
+        "merge-enospc-manifest", "merge-store", fault="fs",
+        operator="enospc", sites=("store.merge.manifest",),
+    ),
     Scenario("corrupt-ingest", "ingest", fault="corruption", rate=0.05),
     Scenario("corrupt-report", "report", fault="corruption", rate=0.10),
 )
@@ -314,6 +323,15 @@ _FULL = _SMOKE + (
     Scenario(
         "fs-enospc-store-manifest", "write-store", fault="fs",
         operator="enospc", sites=("store.manifest",),
+    ),
+    Scenario(
+        "scrub-torn-ledger", "scrub-store", fault="fs",
+        operator="torn-write", sites=("atomic.text",),
+        path_contains="ledger.jsonl",
+    ),
+    Scenario(
+        "merge-enospc-column", "merge-store", fault="fs",
+        operator="enospc", sites=("store.column",),
     ),
     Scenario(
         "corrupt-repair-heavy", "report", fault="corruption", rate=0.20,
@@ -655,6 +673,244 @@ def _run_write_store(
     )
 
 
+def _run_scrub_store(
+    scenario: Scenario, seed: int, scenario_dir: Path, reference: bytes
+) -> ScenarioOutcome:
+    """Drill the self-healing loop under filesystem faults.
+
+    Build a store, damage two shards deterministically (deleted column
+    file + bit flip), scrub under the armed fault until the quarantine
+    ledger lands, then assert the contract: a degraded read completes
+    with exact skipped-row accounting even mid-heal, and repair from
+    the source trace restores the store to a byte-identical,
+    deep-verifying state.
+    """
+    from repro.store import (
+        ColumnarStore,
+        export_store,
+        repair_store,
+        scrub_store,
+        store_from_trace,
+        summarize_store,
+        verify_store,
+    )
+
+    trace = TraceGenerator(seed=seed).generate(list(scenario.systems))
+    store_dir = scenario_dir / "store"
+    store_from_trace(trace, store_dir, shard_rows=100)
+    shards = sorted(
+        p.name for p in (store_dir / "shards").glob("*-start_time.npy")
+    )
+    first = shards[0].split("-")[0]
+    second = shards[1].split("-")[0] if len(shards) > 1 else first
+    (store_dir / "shards" / f"{first}-node_id.npy").unlink()
+    victim = store_dir / "shards" / f"{second}-root_cause.npy"
+    payload = bytearray(victim.read_bytes())
+    payload[-1] ^= 0x01
+    victim.write_bytes(bytes(payload))
+    damaged = sorted({first, second})
+
+    state_dir = scenario_dir / "fault-state"
+    fs_spec = _make_fs_spec(scenario, seed, state_dir)
+    attempts = 0
+    errors: List[str] = []
+    scrub_report = None
+    with fsfaults_env(fs_spec):
+        while scrub_report is None and attempts < MAX_ATTEMPTS:
+            attempts += 1
+            try:
+                scrub_report = scrub_store(store_dir)
+            except Exception as exc:
+                errors.append(
+                    _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+                )
+
+    injections = fs_spec.injections()
+    invariants = [_no_partials(scenario_dir)]
+    if scenario.fault != "none":
+        invariants.append(
+            InvariantCheck(
+                "fault-injected",
+                injections >= 1,
+                "" if injections else "armed fault never fired",
+            )
+        )
+    # Even between a crashed scrub and its retry, a degraded read must
+    # complete and account for exactly the rows it could not reach.
+    degraded_ok = False
+    degraded_detail = ""
+    try:
+        handle = ColumnarStore(store_dir, on_damage="skip")
+        summary = summarize_store(handle)
+        degraded_ok = (
+            summary.rows + handle.degraded.rows_skipped
+            == handle.manifest.row_count
+        )
+        if not degraded_ok:
+            degraded_detail = (
+                f"rows {summary.rows} + skipped "
+                f"{handle.degraded.rows_skipped} != manifest "
+                f"{handle.manifest.row_count}"
+            )
+    except Exception as exc:
+        degraded_detail = _scrub(
+            f"{type(exc).__name__}: {exc}", scenario_dir
+        )
+    invariants.append(
+        InvariantCheck("degraded-read-completes", degraded_ok, degraded_detail)
+    )
+    if scrub_report is not None:
+        quarantined_ok = sorted(scrub_report.quarantined) == damaged
+        invariants.append(
+            InvariantCheck(
+                "damage-quarantined",
+                quarantined_ok,
+                "" if quarantined_ok else (
+                    f"expected shards {damaged} quarantined, got "
+                    f"{sorted(scrub_report.quarantined)}"
+                ),
+            )
+        )
+        roundtrip_ok = False
+        roundtrip_detail = ""
+        try:
+            repair = repair_store(store_dir, trace)
+            if not repair.ok:
+                roundtrip_detail = "repair left shards quarantined"
+            else:
+                problems = verify_store(store_dir, deep=True)
+                if problems:
+                    roundtrip_detail = "; ".join(
+                        _scrub(p, scenario_dir) for p in problems
+                    )
+                else:
+                    export_path = scenario_dir / "trace.csv"
+                    export_store(ColumnarStore(store_dir), export_path)
+                    roundtrip_ok = export_path.read_bytes() == reference
+                    if not roundtrip_ok:
+                        roundtrip_detail = (
+                            "repaired store exports differently from the "
+                            "unfaulted serial reference"
+                        )
+        except Exception as exc:
+            roundtrip_detail = _scrub(
+                f"{type(exc).__name__}: {exc}", scenario_dir
+            )
+        invariants.append(
+            InvariantCheck(
+                "quarantine-repair-roundtrip", roundtrip_ok, roundtrip_detail
+            )
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        attempts=attempts,
+        completed=scrub_report is not None,
+        injections=injections,
+        error="" if scrub_report is not None else "; ".join(errors),
+        invariants=tuple(invariants),
+    )
+
+
+def _run_merge_store(
+    scenario: Scenario, seed: int, scenario_dir: Path, reference: bytes
+) -> ScenarioOutcome:
+    """Drill a federated merge under filesystem faults.
+
+    Two single-system source stores merge into a new one while faults
+    tear column writes or the manifest publish.  The publish invariant
+    is checked after every failed attempt: if a manifest exists at all,
+    it must not reference missing shard files.  After recovery the
+    merged store must deep-verify and export byte-identically to the
+    unfaulted serial reference of the combined inventory.
+    """
+    from repro.store import (
+        ColumnarStore,
+        export_store,
+        merge_stores,
+        store_from_trace,
+        verify_store,
+    )
+
+    trace = TraceGenerator(seed=seed).generate(list(scenario.systems))
+    sources = []
+    for index, system_id in enumerate(scenario.systems):
+        source_dir = scenario_dir / f"source-{index}"
+        store_from_trace(
+            trace.filter_systems([system_id]), source_dir, shard_rows=100
+        )
+        sources.append(source_dir)
+    merged_dir = scenario_dir / "merged"
+
+    state_dir = scenario_dir / "fault-state"
+    fs_spec = _make_fs_spec(scenario, seed, state_dir)
+    attempts = 0
+    errors: List[str] = []
+    manifest = None
+    publish_ok = True
+    publish_detail = ""
+    with fsfaults_env(fs_spec):
+        while manifest is None and attempts < MAX_ATTEMPTS:
+            attempts += 1
+            try:
+                manifest = merge_stores(merged_dir, sources, shard_rows=100)
+            except Exception as exc:
+                errors.append(
+                    _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+                )
+                if (merged_dir / "manifest.json").exists():
+                    missing = [
+                        p
+                        for p in verify_store(merged_dir, deep=False)
+                        if "missing" in p
+                    ]
+                    if missing:
+                        publish_ok = False
+                        publish_detail = "; ".join(
+                            _scrub(p, scenario_dir) for p in missing
+                        )
+
+    injections = fs_spec.injections()
+    invariants = [
+        _no_partials(scenario_dir),
+        InvariantCheck(
+            "fault-injected",
+            injections >= 1,
+            "" if injections else "armed fault never fired",
+        ),
+        InvariantCheck(
+            "publish-never-references-missing", publish_ok, publish_detail
+        ),
+    ]
+    if manifest is not None:
+        problems = verify_store(merged_dir, deep=True)
+        invariants.append(
+            InvariantCheck(
+                "store-verifies",
+                not problems,
+                "; ".join(_scrub(p, scenario_dir) for p in problems),
+            )
+        )
+        export_path = scenario_dir / "trace.csv"
+        export_store(ColumnarStore(merged_dir), export_path)
+        identical = export_path.read_bytes() == reference
+        invariants.append(
+            InvariantCheck(
+                "trace-identical",
+                identical,
+                "" if identical else "merged store exports differently "
+                "from the unfaulted serial reference",
+            )
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        attempts=attempts,
+        completed=manifest is not None,
+        injections=injections,
+        error="" if manifest is not None else "; ".join(errors),
+        invariants=tuple(invariants),
+    )
+
+
 def _run_corruption(
     scenario: Scenario, seed: int, scenario_dir: Path
 ) -> ScenarioOutcome:
@@ -741,6 +997,14 @@ def run_scenario(
                 outcome = _run_write_store(
                     scenario, seed, scenario_dir, reference
                 )
+            elif scenario.workflow == "scrub-store":
+                outcome = _run_scrub_store(
+                    scenario, seed, scenario_dir, reference
+                )
+            elif scenario.workflow == "merge-store":
+                outcome = _run_merge_store(
+                    scenario, seed, scenario_dir, reference
+                )
             else:
                 outcome = _run_corruption(scenario, seed, scenario_dir)
         except Exception as exc:  # a drill must never take down the campaign
@@ -807,7 +1071,10 @@ def run_campaign(
         for scenario in scenarios:
             begin = time.perf_counter()
             reference = b""
-            if scenario.workflow in ("generate", "write-csv", "write-store"):
+            if scenario.workflow in (
+                "generate", "write-csv", "write-store",
+                "scrub-store", "merge-store",
+            ):
                 reference = _reference_csv(
                     seed, scenario.systems, reference_cache, root
                 )

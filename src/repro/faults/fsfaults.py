@@ -32,6 +32,12 @@ site                      where it fires
                           (:meth:`repro.store.writer.StoreWriter._write_shard`)
 ``store.manifest``        before the store manifest publish
                           (:meth:`repro.store.manifest.Manifest.save`)
+``store.scrub.ledger``    before the quarantine ledger rewrite
+                          (:func:`repro.store.manifest.write_ledger`)
+``store.merge.manifest``  before a federation (append/merge) manifest
+                          publish (:func:`repro.store.manifest.publish_manifest`,
+                          :meth:`repro.store.writer.StoreWriter.finalize`
+                          with ``manifest_site="store.merge.manifest"``)
 ========================  ====================================================
 
 Operators:
@@ -98,6 +104,8 @@ FS_SITES = (
     "io.jsonl",
     "store.column",
     "store.manifest",
+    "store.scrub.ledger",
+    "store.merge.manifest",
 )
 
 #: Operators that only observe (no state directory / budget required).

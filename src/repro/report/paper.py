@@ -390,7 +390,7 @@ class PaperReport:
         return divider.join(parts)
 
 
-def run_paper_report(trace: FailureTrace) -> PaperReport:
+def run_paper_report(trace: FailureTrace, degraded_read=None) -> PaperReport:
     """Render every paper artifact, isolating failures per section.
 
     On curated data this is equivalent to calling each ``render_*`` in
@@ -398,6 +398,12 @@ def run_paper_report(trace: FailureTrace) -> PaperReport:
     data) a section whose analysis cannot run — a degenerate fit, an
     empty era, a missing system — yields a diagnostics entry instead of
     aborting the whole report.
+
+    ``degraded_read`` is the :class:`repro.store.DegradedReadReport`
+    from a store opened with ``on_damage="skip"`` (or ``None``).  When
+    truthy, *any* section exception classifies as ``degraded`` rather
+    than ``failed``: the trace is known-incomplete, so a section that
+    cannot cope is a data gap, not a report bug.
     """
     renderers = (
         ("table1", lambda: render_table1(trace)),
@@ -433,7 +439,7 @@ def run_paper_report(trace: FailureTrace) -> PaperReport:
                 sections.append(
                     SectionResult(
                         name=name,
-                        status="failed",
+                        status="degraded" if degraded_read else "failed",
                         error=f"{type(exc).__name__}: {exc}",
                     )
                 )

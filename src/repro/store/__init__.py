@@ -17,21 +17,46 @@ Entry points:
 * :func:`store_from_trace` / :func:`store_from_file` /
   :func:`export_store` — convert to and from traces and CSV/JSONL
   (``repro store import|export``).
+* :func:`scrub_store` / :func:`repair_store` — self-healing: classify
+  and quarantine damage, re-materialize provably byte-identical shards
+  from a reference (``repro store scrub|repair``).
+* :func:`append_trace` / :func:`merge_stores` — crash-safe federation
+  of multiple traces into one store (``repro store append|merge``).
 
 Format and semantics are documented in ``docs/columnar.md``.
 """
 
 from repro.store.analytics import StoreSummary, summarize_store
 from repro.store.convert import export_store, store_from_file, store_from_trace
+from repro.store.federate import append_trace, merge_stores
 from repro.store.manifest import (
+    LEDGER_NAME,
     MANIFEST_NAME,
+    PREV_MANIFEST_NAME,
+    QUARANTINE_DIR,
     SHARDS_DIR,
+    STAGING_DIR,
     Manifest,
     Predicate,
     ShardInfo,
     StoreError,
+    load_ledger,
+    publish_manifest,
+    write_ledger,
 )
-from repro.store.reader import ColumnarStore, ScanStats, verify_store
+from repro.store.reader import (
+    ColumnarStore,
+    DegradedReadReport,
+    ScanStats,
+    diagnose_shard,
+    verify_store,
+)
+from repro.store.scrub import (
+    RepairReport,
+    ScrubReport,
+    repair_store,
+    scrub_store,
+)
 from repro.store.schema import (
     COLUMN_NAMES,
     COLUMNS,
@@ -50,25 +75,40 @@ __all__ = [
     "COLUMN_NAMES",
     "FORMAT_VERSION",
     "DEFAULT_SHARD_ROWS",
+    "LEDGER_NAME",
     "MANIFEST_NAME",
+    "PREV_MANIFEST_NAME",
+    "QUARANTINE_DIR",
     "SHARDS_DIR",
+    "STAGING_DIR",
     "ColumnBatch",
     "ColumnarStore",
+    "DegradedReadReport",
     "Manifest",
     "Predicate",
+    "RepairReport",
     "ScanStats",
+    "ScrubReport",
     "ShardInfo",
     "StoreError",
     "StoreSummary",
     "StoreWriter",
+    "append_trace",
     "batch_from_records",
     "concat_batches",
+    "diagnose_shard",
     "empty_batch",
     "export_store",
+    "load_ledger",
+    "merge_stores",
+    "publish_manifest",
     "records_from_batch",
+    "repair_store",
     "schema_digest",
+    "scrub_store",
     "store_from_file",
     "store_from_trace",
     "summarize_store",
     "verify_store",
+    "write_ledger",
 ]

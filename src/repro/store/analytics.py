@@ -49,6 +49,8 @@ class StoreSummary:
     start_min: float = math.inf
     start_max: float = -math.inf
     scan: ScanStats = field(default_factory=ScanStats)
+    #: Populated (dict form) when a degraded read skipped shards.
+    degraded: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """A JSON-able view for ``repro store analyze --json``."""
@@ -80,6 +82,7 @@ class StoreSummary:
                 "rows_scanned": self.scan.rows_scanned,
                 "rows_matched": self.scan.rows_matched,
             },
+            "degraded": self.degraded,
         }
 
     def describe(self) -> str:
@@ -101,6 +104,13 @@ class StoreSummary:
             for system_id, count in sorted(self.counts_by_system.items()):
                 lines.append(f"  system {system_id:>2}: {count}")
         lines.append(f"pushdown: {self.scan.describe()}")
+        if self.degraded:
+            lines.append(
+                "DEGRADED: skipped "
+                f"{len(self.degraded.get('shards_skipped', []))} shard(s), "
+                f"{self.degraded.get('rows_skipped', 0)} row(s) "
+                "(see `repro store scrub`)"
+            )
         return "\n".join(lines)
 
 
@@ -158,5 +168,7 @@ def summarize_store(
             )
     summary.repair_mean = repair_total / summary.rows if summary.rows else 0.0
     summary.scan = store.scan
+    if store.degraded:
+        summary.degraded = store.degraded.to_dict()
     obs.metrics().counter("store.rows_summarized").add(summary.rows)
     return summary

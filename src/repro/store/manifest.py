@@ -28,24 +28,50 @@ from repro.records.system import (
     HardwareType,
     SystemConfig,
 )
-from repro.resilience.atomic import atomic_write_json, fs_fault_hook
+from repro.resilience.atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    fs_fault_hook,
+)
 from repro.store.schema import STAT_COLUMNS, ColumnBatch
 
 __all__ = [
     "MANIFEST_NAME",
+    "PREV_MANIFEST_NAME",
+    "QUARANTINE_DIR",
+    "STAGING_DIR",
+    "LEDGER_NAME",
     "ShardInfo",
     "Predicate",
     "Manifest",
     "StoreError",
     "systems_to_payload",
     "systems_from_payload",
+    "load_ledger",
+    "write_ledger",
+    "publish_manifest",
 ]
 
 #: File name of the manifest inside a store directory.
 MANIFEST_NAME = "manifest.json"
 
+#: Rollback generation kept by :func:`publish_manifest` — the previous
+#: ``manifest.json``, so a bad publish can be undone by hand.
+PREV_MANIFEST_NAME = "manifest.prev.json"
+
 #: Subdirectory holding the per-shard column files.
 SHARDS_DIR = "shards"
+
+#: Subdirectory where the scrub engine moves damaged shard files.
+QUARANTINE_DIR = "quarantine"
+
+#: Subdirectory where federation (append/merge) stages new shard files
+#: before the atomic manifest publish makes them live.
+STAGING_DIR = "staging"
+
+#: JSONL ledger inside ``quarantine/`` recording what was quarantined
+#: and why (one JSON object per line, sorted by key, written atomically).
+LEDGER_NAME = "ledger.jsonl"
 
 
 class StoreError(Exception):
@@ -194,7 +220,14 @@ def systems_to_payload(
                 {
                     "node_count": category.node_count,
                     "procs_per_node": category.procs_per_node,
-                    "memory_gb": category.memory_gb,
+                    # Canonical: integral values serialize as ints, so a
+                    # load -> save round trip is byte-stable regardless
+                    # of whether the inventory carried 16 or 16.0.
+                    "memory_gb": (
+                        int(category.memory_gb)
+                        if float(category.memory_gb).is_integer()
+                        else float(category.memory_gb)
+                    ),
                     "nics": category.nics,
                     "production_start": category.production_start,
                     "production_end": category.production_end,
@@ -287,10 +320,10 @@ class Manifest:
             meta=dict(payload.get("meta", {})),
         )
 
-    def save(self, path) -> None:
-        """Atomically write the manifest (fault site ``store.manifest``)."""
+    def save(self, path, site: str = "store.manifest") -> None:
+        """Atomically write the manifest (fault site ``site``)."""
         path = Path(path)
-        fs_fault_hook("store.manifest", path)
+        fs_fault_hook(site, path)
         atomic_write_json(path, self.to_dict())
 
     @classmethod
@@ -310,6 +343,91 @@ class Manifest:
     def shard_stats(self, shard: ShardInfo, column: str) -> Tuple[float, float]:
         """Convenience accessor for a shard's (min, max) of ``column``."""
         return shard.stats[column]
+
+
+# ----------------------------------------------------------------------
+# Quarantine ledger and manifest publishing
+# ----------------------------------------------------------------------
+
+
+def load_ledger(root) -> Dict[str, dict]:
+    """Read the quarantine ledger, keyed by shard (or orphan file) name.
+
+    Tolerates a torn trailing line — the ledger is rewritten whole on
+    every scrub, so a partial last line only loses that one entry, and
+    the files it described are still sitting in ``quarantine/`` where
+    the next scrub re-discovers them.  Returns ``{}`` when no ledger
+    exists.
+    """
+    path = Path(root) / QUARANTINE_DIR / LEDGER_NAME
+    entries: Dict[str, dict] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue                     # torn tail
+                if isinstance(entry, dict) and "shard" in entry:
+                    entries[str(entry["shard"])] = entry
+    except FileNotFoundError:
+        pass
+    return entries
+
+
+def write_ledger(root, entries: Mapping[str, dict]) -> None:
+    """Atomically rewrite the quarantine ledger (site ``store.scrub.ledger``).
+
+    An empty mapping removes the ledger — and the ``quarantine/``
+    directory itself when nothing else is left in it — so a fully
+    repaired store's tree is indistinguishable from one that was never
+    damaged.
+    """
+    root = Path(root)
+    quarantine = root / QUARANTINE_DIR
+    path = quarantine / LEDGER_NAME
+    if not entries:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            quarantine.rmdir()
+        except OSError:
+            pass                                  # non-empty or absent
+        return
+    quarantine.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(entries[key], sort_keys=True)
+        for key in sorted(entries)
+    ]
+    text = "\n".join(lines) + "\n"
+    fs_fault_hook("store.scrub.ledger", path)
+    atomic_write_text(path, text)
+
+
+def publish_manifest(root, manifest: Manifest,
+                     site: str = "store.merge.manifest") -> None:
+    """Replace the store's manifest, keeping a rollback generation.
+
+    The current ``manifest.json`` (if any) is first copied to
+    ``manifest.prev.json``, then the new manifest atomically replaces
+    it.  A crash at any point leaves either the old manifest or the
+    new one in place — never a missing or partial ``manifest.json`` —
+    so readers always see a complete store generation.
+    """
+    root = Path(root)
+    current = root / MANIFEST_NAME
+    try:
+        previous_text = current.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        previous_text = None
+    if previous_text is not None:
+        atomic_write_text(root / PREV_MANIFEST_NAME, previous_text)
+    manifest.save(current, site=site)
 
 
 def shard_stats_from_batch(batch: ColumnBatch) -> Dict[str, Tuple[float, float]]:

@@ -36,6 +36,7 @@ from repro.store.manifest import (
     Predicate,
     ShardInfo,
     StoreError,
+    load_ledger,
 )
 from repro.store.schema import (
     COLUMN_DTYPES,
@@ -46,7 +47,13 @@ from repro.store.schema import (
 )
 from repro.store.writer import column_file_name
 
-__all__ = ["ColumnarStore", "ScanStats", "verify_store"]
+__all__ = [
+    "ColumnarStore",
+    "DegradedReadReport",
+    "ScanStats",
+    "diagnose_shard",
+    "verify_store",
+]
 
 #: Default rows per read chunk (~2 MB across the full row footprint).
 DEFAULT_BATCH_ROWS = 65536
@@ -74,6 +81,74 @@ class ScanStats:
 
 
 @dataclass
+class DegradedReadReport:
+    """What a degraded (``on_damage="skip"``) read had to skip.
+
+    ``system_rows_total`` is pre-populated from the manifest when the
+    store opens, so :meth:`coverage` is meaningful even before any
+    shard is skipped; skipped shards accumulate via :meth:`record`,
+    which deduplicates by shard name across repeated scans on the same
+    handle.
+    """
+
+    shards_skipped: List[str] = field(default_factory=list)
+    rows_skipped: int = 0
+    reasons: Dict[str, str] = field(default_factory=dict)
+    system_rows_total: Dict[int, int] = field(default_factory=dict)
+    system_rows_skipped: Dict[int, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return bool(self.shards_skipped)
+
+    def record(self, shard: ShardInfo, reason: str) -> bool:
+        """Note a skipped shard; returns False if already recorded."""
+        if shard.name in self.reasons:
+            return False
+        self.reasons[shard.name] = reason
+        self.shards_skipped.append(shard.name)
+        self.rows_skipped += shard.rows
+        system_id = int(shard.stats["system_id"][0])
+        self.system_rows_skipped[system_id] = (
+            self.system_rows_skipped.get(system_id, 0) + shard.rows
+        )
+        return True
+
+    def coverage(self) -> Dict[int, float]:
+        """Fraction of each system's manifest rows still readable."""
+        out: Dict[int, float] = {}
+        for system_id in sorted(self.system_rows_total):
+            total = self.system_rows_total[system_id]
+            skipped = self.system_rows_skipped.get(system_id, 0)
+            out[system_id] = 1.0 if not total else (total - skipped) / total
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "shards_skipped": sorted(self.shards_skipped),
+            "rows_skipped": self.rows_skipped,
+            "reasons": dict(sorted(self.reasons.items())),
+            "coverage": {
+                str(system_id): fraction
+                for system_id, fraction in self.coverage().items()
+            },
+        }
+
+    def describe(self) -> str:
+        if not self:
+            return "degraded read: nothing skipped"
+        partial = [
+            f"system {system_id} {fraction:.1%}"
+            for system_id, fraction in self.coverage().items()
+            if fraction < 1.0
+        ]
+        return (
+            f"degraded read: skipped {len(self.shards_skipped)} shard(s), "
+            f"{self.rows_skipped} row(s)"
+            + (f"; coverage {', '.join(partial)}" if partial else "")
+        )
+
+
+@dataclass
 class _ShardCursor:
     """Lazily-opened memory maps of one shard's column files."""
 
@@ -89,16 +164,135 @@ class _ShardCursor:
         return array
 
 
+def diagnose_shard(root, shard: ShardInfo, deep: bool = True) -> List[Tuple[str, str]]:
+    """Classify one shard's damage against its manifest entry.
+
+    Returns ``(damage_class, message)`` pairs; an empty list means the
+    shard is healthy at the requested depth.  File-level classes:
+    ``missing-file``, ``unreadable``, ``truncated``, ``dtype-mismatch``,
+    and (deep only) ``checksum-mismatch``.  When — and only when — the
+    shard has no file-level damage, the deep pass also recomputes the
+    manifest statistics and ordering invariants, adding ``stat-drift``,
+    ``multi-system``, and ``sort-violation``.  The gate is per-shard:
+    damage in one shard never suppresses diagnosis of another.
+    """
+    shards_dir = Path(root) / SHARDS_DIR
+    findings: List[Tuple[str, str]] = []
+    arrays: Dict[str, np.ndarray] = {}
+    for column in COLUMN_NAMES:
+        path = shards_dir / column_file_name(shard.name, column)
+        if not path.exists():
+            findings.append(
+                ("missing-file", f"shard {shard.name}: missing {path.name}")
+            )
+            continue
+        try:
+            array = np.load(path, mmap_mode="r")
+        except Exception as exc:
+            findings.append(
+                (
+                    "unreadable",
+                    f"shard {shard.name}: unreadable {path.name}: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        if array.shape != (shard.rows,):
+            findings.append(
+                (
+                    "truncated",
+                    f"shard {shard.name}: {path.name} has shape "
+                    f"{array.shape}, manifest says ({shard.rows},)",
+                )
+            )
+            continue
+        if array.dtype != COLUMN_DTYPES[column]:
+            findings.append(
+                (
+                    "dtype-mismatch",
+                    f"shard {shard.name}: {path.name} has dtype "
+                    f"{array.dtype}, schema says {COLUMN_DTYPES[column]}",
+                )
+            )
+            continue
+        if deep:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            expected = shard.checksums.get(column)
+            if expected is not None and digest != expected:
+                findings.append(
+                    (
+                        "checksum-mismatch",
+                        f"shard {shard.name}: {path.name} content "
+                        "sha256 mismatch (torn or modified)",
+                    )
+                )
+                continue
+        arrays[column] = array
+    if deep and not findings:
+        starts = np.asarray(arrays["start_time"])
+        nodes = np.asarray(arrays["node_id"])
+        systems = np.asarray(arrays["system_id"])
+        for column, array in (
+            ("start_time", starts),
+            ("end_time", np.asarray(arrays["end_time"])),
+            ("system_id", systems),
+            ("node_id", nodes),
+        ):
+            low, high = shard.stats[column]
+            if len(array) and (array.min() != low or array.max() != high):
+                findings.append(
+                    (
+                        "stat-drift",
+                        f"shard {shard.name}: {column} bounds "
+                        f"[{array.min()}, {array.max()}] disagree with "
+                        f"manifest [{low}, {high}]",
+                    )
+                )
+        if len(systems) and systems.min() != systems.max():
+            findings.append(
+                (
+                    "multi-system",
+                    f"shard {shard.name}: spans multiple systems "
+                    f"({systems.min()}..{systems.max()})",
+                )
+            )
+        if len(starts) > 1:
+            order = np.lexsort((nodes, starts))
+            if not np.array_equal(order, np.arange(len(starts))):
+                findings.append(
+                    (
+                        "sort-violation",
+                        f"shard {shard.name}: rows are not sorted by "
+                        "(start_time, node_id)",
+                    )
+                )
+    return findings
+
+
 class ColumnarStore:
     """A read handle on a store directory.
 
     Opening validates the manifest's schema digest against the running
     code — a store whose categorical codes or dtypes mean something
     else is refused up front (:class:`StoreError`), not misdecoded.
+
+    ``on_damage`` governs reads over a damaged store: ``"raise"`` (the
+    default) raises :class:`StoreError` the moment a quarantined or
+    damaged shard would be read; ``"skip"`` reads around it and
+    accounts for every skipped shard in :attr:`degraded`, a
+    :class:`DegradedReadReport`.  The skip-mode probe catches missing,
+    unreadable, truncated, and mis-typed column files plus anything
+    already quarantined; silent bit rot needs the checksummed scrub
+    pass (``repro store scrub``) to be detected.
     """
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, on_damage: str = "raise") -> None:
+        if on_damage not in ("raise", "skip"):
+            raise ValueError(
+                f"on_damage must be 'raise' or 'skip', got {on_damage!r}"
+            )
         self.root = Path(root)
+        self.on_damage = on_damage
         self.manifest = Manifest.load(self.root / MANIFEST_NAME)
         expected = schema_digest()
         if self.manifest.schema_sha256 != expected:
@@ -108,15 +302,28 @@ class ColumnarStore:
                 f"code {expected[:12]}…); the store was written by an "
                 "incompatible version"
             )
+        self._ledger = load_ledger(self.root)
         #: Cumulative pushdown counters across this handle's scans.
         self.scan = ScanStats()
+        #: Skipped-shard accounting for ``on_damage="skip"`` reads.
+        self.degraded = self._new_degraded()
 
     def __len__(self) -> int:
         return self.manifest.row_count
 
+    def _new_degraded(self) -> DegradedReadReport:
+        report = DegradedReadReport()
+        for shard in self.manifest.shards:
+            system_id = int(shard.stats["system_id"][0])
+            report.system_rows_total[system_id] = (
+                report.system_rows_total.get(system_id, 0) + shard.rows
+            )
+        return report
+
     def reset_scan_stats(self) -> None:
         """Zero the pushdown counters (e.g. before a measured scan)."""
         self.scan = ScanStats()
+        self.degraded = self._new_degraded()
 
     def _cursor(self, shard: ShardInfo) -> _ShardCursor:
         shards_dir = self.root / SHARDS_DIR
@@ -143,6 +350,53 @@ class ColumnarStore:
             len(self.manifest.shards) - len(admitted)
         )
         return admitted
+
+    def _shard_damage(self, shard: ShardInfo) -> Optional[str]:
+        """Cheap pre-read probe: why this shard cannot be read, or None.
+
+        Header-level only (existence, readability, shape, dtype) plus
+        quarantine-ledger membership — no checksum work, so the probe
+        stays O(shards) per scan.  Bit rot that keeps a valid header is
+        invisible here by design; scrub's checksums own that class.
+        """
+        if shard.name in self._ledger:
+            damage = self._ledger[shard.name].get("damage") or ["unknown"]
+            return f"quarantined ({', '.join(damage)})"
+        shards_dir = self.root / SHARDS_DIR
+        for column in COLUMN_NAMES:
+            path = shards_dir / column_file_name(shard.name, column)
+            if not path.exists():
+                return f"missing {path.name}"
+            try:
+                array = np.load(path, mmap_mode="r")
+            except Exception as exc:
+                return f"unreadable {path.name}: {type(exc).__name__}"
+            if array.shape != (shard.rows,):
+                return f"{path.name} has shape {array.shape}, expected ({shard.rows},)"
+            if array.dtype != COLUMN_DTYPES[column]:
+                return f"{path.name} has dtype {array.dtype}"
+        return None
+
+    def _healthy(self, shards: Sequence[ShardInfo]) -> List[ShardInfo]:
+        """Filter damaged shards per ``on_damage``; skip-mode accounts."""
+        healthy: List[ShardInfo] = []
+        for shard in shards:
+            damage = self._shard_damage(shard)
+            if damage is None:
+                healthy.append(shard)
+                continue
+            if self.on_damage == "raise":
+                raise StoreError(
+                    f"{self.root}: shard {shard.name} is damaged "
+                    f"({damage}); run `repro store scrub` / "
+                    "`repro store repair`, or open with "
+                    "on_damage='skip' for a degraded read"
+                )
+            if self.degraded.record(shard, damage):
+                registry = obs.metrics()
+                registry.counter("store.shards_skipped_damaged").add(1)
+                registry.counter("store.rows_skipped_damaged").add(shard.rows)
+        return healthy
 
     # ------------------------------------------------------------------
     # Batch iteration (the analytics path)
@@ -173,7 +427,7 @@ class ColumnarStore:
                 + (_PREDICATE_COLUMNS if predicate is not None else ())
             )
         )
-        for shard in self._admitted(predicate):
+        for shard in self._healthy(self._admitted(predicate)):
             cursor = self._cursor(shard)
             for offset in range(0, shard.rows, batch_rows):
                 chunk = ColumnBatch(
@@ -263,19 +517,23 @@ class ColumnarStore:
 
         Record IDs: an ``explicit`` store yields the stored IDs; an
         ``implicit`` store yields the global read position — identical
-        to the generator's numbering — unless a predicate filters rows,
-        in which case IDs are ``None`` (positions in the *filtered*
-        stream would silently disagree with the full trace's).
+        to the generator's numbering — unless a predicate filters rows
+        or a degraded read skips shards, in which case IDs are ``None``
+        (positions in the *partial* stream would silently disagree
+        with the full trace's).
         """
         if predicate is not None and predicate.is_null():
             predicate = None
         admitted = self._admitted(predicate)
+        healthy = self._healthy(admitted)
         streams = [
             self._shard_tuples(seq, shard, predicate, batch_rows)
-            for seq, shard in enumerate(admitted)
+            for seq, shard in enumerate(healthy)
         ]
         implicit = self.manifest.record_ids == "implicit"
-        number_rows = implicit and predicate is None
+        number_rows = (
+            implicit and predicate is None and len(healthy) == len(admitted)
+        )
         for position, item in enumerate(heapq.merge(*streams)):
             key, end, cause, detail, workload, record_id = item
             start, system_id, node_id = key[0], key[1], key[2]
@@ -341,79 +599,29 @@ class ColumnarStore:
         Shallow: every column file exists with the manifest's row count
         and the schema dtype (catches truncation — a torn ``.npy`` has
         the wrong byte length for its header, or a header shorter than
-        the manifest's rows).  Deep adds content sha256 verification,
-        min/max statistics recomputation, and the per-shard sort
-        invariant.
+        the manifest's rows).  Deep adds content sha256 verification
+        and — per shard, gated only on *that shard's* file-level
+        health — min/max statistics recomputation and the sort
+        invariant, so one damaged shard never suppresses deep checks
+        on its neighbours.  Quarantined shards are reported as a
+        single problem each, pointing at ``store repair``.
         """
         problems: List[str] = []
         total = 0
         for shard in self.manifest.shards:
             total += shard.rows
-            cursor = self._cursor(shard)
-            for column in COLUMN_NAMES:
-                path = cursor.paths[column]
-                if not path.exists():
-                    problems.append(f"shard {shard.name}: missing {path.name}")
-                    continue
-                try:
-                    array = np.load(path, mmap_mode="r")
-                except Exception as exc:
-                    problems.append(
-                        f"shard {shard.name}: unreadable {path.name}: "
-                        f"{type(exc).__name__}: {exc}"
-                    )
-                    continue
-                if array.shape != (shard.rows,):
-                    problems.append(
-                        f"shard {shard.name}: {path.name} has shape "
-                        f"{array.shape}, manifest says ({shard.rows},)"
-                    )
-                    continue
-                if array.dtype != COLUMN_DTYPES[column]:
-                    problems.append(
-                        f"shard {shard.name}: {path.name} has dtype "
-                        f"{array.dtype}, schema says {COLUMN_DTYPES[column]}"
-                    )
-                    continue
-                if deep:
-                    digest = hashlib.sha256(path.read_bytes()).hexdigest()
-                    expected = shard.checksums.get(column)
-                    if expected is not None and digest != expected:
-                        problems.append(
-                            f"shard {shard.name}: {path.name} content "
-                            "sha256 mismatch (torn or modified)"
-                        )
-            if deep and not problems:
-                starts = np.asarray(cursor.column("start_time"))
-                nodes = np.asarray(cursor.column("node_id"))
-                systems = np.asarray(cursor.column("system_id"))
-                for column, array in (
-                    ("start_time", starts),
-                    ("end_time", np.asarray(cursor.column("end_time"))),
-                    ("system_id", systems),
-                    ("node_id", nodes),
-                ):
-                    low, high = shard.stats[column]
-                    if len(array) and (
-                        array.min() != low or array.max() != high
-                    ):
-                        problems.append(
-                            f"shard {shard.name}: {column} bounds "
-                            f"[{array.min()}, {array.max()}] disagree with "
-                            f"manifest [{low}, {high}]"
-                        )
-                if len(systems) and systems.min() != systems.max():
-                    problems.append(
-                        f"shard {shard.name}: spans multiple systems "
-                        f"({systems.min()}..{systems.max()})"
-                    )
-                if len(starts) > 1:
-                    order = np.lexsort((nodes, starts))
-                    if not np.array_equal(order, np.arange(len(starts))):
-                        problems.append(
-                            f"shard {shard.name}: rows are not sorted by "
-                            "(start_time, node_id)"
-                        )
+            if shard.name in self._ledger:
+                damage = self._ledger[shard.name].get("damage") or ["unknown"]
+                problems.append(
+                    f"shard {shard.name}: quarantined "
+                    f"({', '.join(damage)}); run `repro store repair` "
+                    "to re-materialize it from a reference"
+                )
+                continue
+            problems.extend(
+                message
+                for _, message in diagnose_shard(self.root, shard, deep=deep)
+            )
         if total != self.manifest.row_count:
             problems.append(
                 f"manifest row_count {self.manifest.row_count} != "

@@ -80,6 +80,10 @@ class StoreWriter:
         Maximum rows per shard.
     meta:
         Free-form provenance merged into the manifest's ``meta``.
+    manifest_site:
+        Fault-injection site fired when the manifest is written
+        (``store.manifest`` by default; ``store.merge.manifest`` when
+        the writer is publishing a federated merge).
     """
 
     def __init__(
@@ -92,6 +96,7 @@ class StoreWriter:
         record_ids: str = "implicit",
         shard_rows: int = DEFAULT_SHARD_ROWS,
         meta: Optional[Dict[str, object]] = None,
+        manifest_site: str = "store.manifest",
     ) -> None:
         if shard_rows < 1:
             raise ValueError(f"shard_rows must be >= 1, got {shard_rows}")
@@ -109,6 +114,7 @@ class StoreWriter:
         self._data_start = float(data_start)
         self._data_end = float(data_end)
         self._meta = dict(meta) if meta is not None else {}
+        self._manifest_site = manifest_site
         self._shards: List[ShardInfo] = []
         self._rows = 0
         self._finalized = False
@@ -177,6 +183,6 @@ class StoreWriter:
         for path in self.shards_dir.glob("*.npy"):
             if path.name not in expected:
                 path.unlink()
-        manifest.save(self.root / MANIFEST_NAME)
+        manifest.save(self.root / MANIFEST_NAME, site=self._manifest_site)
         self._finalized = True
         return manifest

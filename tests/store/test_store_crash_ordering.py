@@ -1,0 +1,107 @@
+"""Crash-ordering drills: tearing between shard writes and publish.
+
+``generate --store columnar`` must never leave a readable-but-wrong
+store: a fault anywhere between the shard payload writes and the
+manifest publish leaves either no store at all or the previous
+generation, with no ``*.tmp`` or ``staging/`` litter, and a resumed or
+retried run converges to the byte-identical clean result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.faults.fsfaults import FsFaults, fsfaults_env
+from repro.store import ColumnarStore, StoreError, verify_store
+
+SEED = 5
+SYSTEMS = "2,13"
+
+
+def _store_bytes(root):
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def _generate(root, run_dir=None, resume=False):
+    argv = [
+        "generate", "--seed", str(SEED), "--systems", SYSTEMS,
+        "--store", "columnar", "--out", str(root), "--shard-rows", "100",
+    ]
+    if run_dir is not None:
+        argv += ["--run-dir", str(run_dir)]
+    if resume:
+        argv += ["--resume"]
+    return main(argv)
+
+
+@pytest.fixture(scope="module")
+def clean_reference(tmp_path_factory):
+    root = tmp_path_factory.mktemp("crash-ref") / "st"
+    assert _generate(root) == 0
+    return root
+
+
+class TestTearBeforePublish:
+    def test_enospc_on_manifest_leaves_no_store(
+        self, tmp_path, clean_reference
+    ):
+        root = tmp_path / "st"
+        run_dir = tmp_path / "run"
+        spec = FsFaults(
+            operator="enospc", state_dir=str(tmp_path / "state"),
+            sites=("store.manifest",),
+        )
+        with fsfaults_env(spec):
+            assert _generate(root, run_dir=run_dir) == 1
+        assert spec.injections() >= 1
+        # shards landed but the manifest did not: not a store, and the
+        # error says so rather than serving wrong data
+        with pytest.raises(StoreError):
+            ColumnarStore(root)
+        assert not list(root.rglob("*.tmp"))
+        assert not (root / "staging").exists()
+        # resume finishes the run byte-identically to a clean one
+        assert _generate(root, run_dir=run_dir, resume=True) == 0
+        assert verify_store(root, deep=True) == []
+        assert _store_bytes(root) == _store_bytes(clean_reference)
+
+    def test_torn_manifest_write_leaves_no_store(
+        self, tmp_path, clean_reference
+    ):
+        root = tmp_path / "st"
+        run_dir = tmp_path / "run"
+        spec = FsFaults(
+            operator="torn-write", state_dir=str(tmp_path / "state"),
+            sites=("atomic.text",), path_contains="manifest.json", seed=3,
+        )
+        with fsfaults_env(spec):
+            assert _generate(root, run_dir=run_dir) == 1
+        assert spec.injections() >= 1
+        # the torn manifest went to a temp file that was cleaned up: no
+        # partial manifest.json is visible
+        with pytest.raises(StoreError):
+            ColumnarStore(root)
+        assert not list(root.rglob("*.tmp"))
+        assert _generate(root, run_dir=run_dir, resume=True) == 0
+        assert _store_bytes(root) == _store_bytes(clean_reference)
+
+    def test_torn_column_then_retry_is_byte_identical(
+        self, tmp_path, clean_reference
+    ):
+        root = tmp_path / "st"
+        spec = FsFaults(
+            operator="torn-write", state_dir=str(tmp_path / "state"),
+            sites=("atomic.bytes",), path_contains=".npy", seed=7,
+        )
+        with fsfaults_env(spec):
+            assert _generate(root) == 1
+            # budget spent: the retry inside the same armed env succeeds
+            assert _generate(root) == 0
+        assert spec.injections() == 1
+        assert verify_store(root, deep=True) == []
+        assert _store_bytes(root) == _store_bytes(clean_reference)

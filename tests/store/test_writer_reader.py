@@ -193,6 +193,26 @@ class TestVerify:
         problems = verify_store(root, deep=True)
         assert any("sha256 mismatch" in p for p in problems)
 
+    def test_deep_checks_scoped_per_shard(self, tmp_path, small_trace):
+        # Regression: the deep pass used to key on the *global* problem
+        # list, so any shallow finding on shard A suppressed the deep
+        # checks (checksums, stats, sort) for every other shard.  With
+        # one shard missing a file AND another bit-flipped, both must
+        # be reported.
+        root = tmp_path / "st"
+        store_from_trace(small_trace, root, shard_rows=100)
+        shards = sorted((root / "shards").glob("*-node_id.npy"))
+        shards[0].unlink()
+        victim = root / "shards" / "00001-root_cause.npy"
+        data = bytearray(victim.read_bytes())
+        data[-1] ^= 0x01
+        victim.write_bytes(bytes(data))
+        problems = verify_store(root, deep=True)
+        assert any("00000" in p and "missing" in p for p in problems)
+        assert any(
+            "00001" in p and "sha256 mismatch" in p for p in problems
+        )
+
     def test_corrupt_manifest_is_a_single_problem(self, tmp_path):
         root = tmp_path / "st"
         root.mkdir()
