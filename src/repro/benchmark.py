@@ -263,6 +263,69 @@ def measure_fsfaults_overhead(
     }
 
 
+def measure_serve_overhead(
+    seed: int = 5,
+    threshold: float = 0.02,
+) -> Dict[str, Any]:
+    """Bound the cost of the disabled fault shim on the *serving* path.
+
+    PR 9 added a read-side hook site (``store.read.column``) so the
+    chaos campaign can drill the analytics service; this guard holds
+    its disabled cost to the same <= 2% bar as the write-side sites.
+    Strategy mirrors :func:`measure_fsfaults_overhead`, but the
+    workload is the one ``repro serve`` executes per query: a full
+    :func:`~repro.store.analytics.summarize_store` scan over a
+    columnar store.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import fsfaults
+    from repro.resilience.atomic import fs_fault_hook
+    from repro.store import ColumnarStore, store_from_trace, summarize_store
+
+    generator = TraceGenerator(seed=seed)
+    trace = generator.generate([2, 13])
+
+    with tempfile.TemporaryDirectory(prefix="repro-serveguard-") as tmp:
+        root = Path(tmp) / "store"
+        store_from_trace(trace, root, shard_rows=500)
+
+        def workload() -> None:
+            summarize_store(ColumnarStore(root))
+
+        workload()  # warm caches/imports
+        start = time.perf_counter()
+        workload()
+        disabled_seconds = time.perf_counter() - start
+
+        fsfaults.reset_counts()
+        with fsfaults.fsfaults_env(fsfaults.FsFaults(operator="count")):
+            workload()
+        sites_per_scan = fsfaults.call_count()
+        fsfaults.reset_counts()
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        fs_fault_hook("bench.noop", "bench")
+    noop_cost = (time.perf_counter() - start) / calls
+
+    overhead = (
+        sites_per_scan * noop_cost / disabled_seconds
+        if disabled_seconds > 0
+        else 0.0
+    )
+    return {
+        "sites_per_scan": sites_per_scan,
+        "noop_hook_cost_ns": round(noop_cost * 1e9, 1),
+        "disabled_seconds": round(disabled_seconds, 4),
+        "overhead_fraction": round(overhead, 6),
+        "threshold": threshold,
+        "ok": overhead <= threshold,
+    }
+
+
 def check_against_baseline(
     report: Dict[str, Any],
     baseline: Dict[str, Any],

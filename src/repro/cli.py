@@ -303,6 +303,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="assert that the disabled filesystem-fault shim costs "
              "<= 2%% of a quick generate + trace write",
     )
+    bench.add_argument(
+        "--serve-guard", action="store_true",
+        help="assert that the disabled read-path fault shim costs "
+             "<= 2%% of a store analytics scan (the serving hot path)",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -498,6 +503,79 @@ def build_parser() -> argparse.ArgumentParser:
     store_import.add_argument(
         "--shard-rows", type=int, default=None, metavar="ROWS",
         help="rows per shard (default 131072)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve store analytics over HTTP until SIGTERM "
+             "(admission control, deadlines, degraded serving)",
+    )
+    serve.add_argument("root", help="columnar store directory to serve")
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=4, metavar="N",
+        help="queries executing simultaneously",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="queries allowed to wait; beyond that requests get 429",
+    )
+    serve.add_argument(
+        "--deadline-seconds", type=float, default=5.0, metavar="S",
+        help="default per-request scan budget (?deadline_ms= overrides)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0, metavar="S",
+        help="open-breaker cooldown before a half-open probe",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="S",
+        help="how long a SIGTERM drain waits for in-flight requests",
+    )
+    serve.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the final metrics snapshot here on drain",
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="load-test the analytics service in-process and report "
+             "latency percentiles and error/degraded rates",
+    )
+    serve_bench.add_argument("root", help="columnar store directory")
+    serve_bench.add_argument(
+        "--requests", type=int, default=200, help="total requests to issue"
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=8, help="concurrent client workers"
+    )
+    serve_bench.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline to attach to every query",
+    )
+    serve_bench.add_argument(
+        "--max-concurrency", type=int, default=4, metavar="N",
+        help="server-side concurrent query limit",
+    )
+    serve_bench.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="server-side admission queue cap",
+    )
+    serve_bench.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="write the JSON report here",
+    )
+    serve_bench.add_argument(
+        "--check-p99", type=float, default=None, metavar="MS",
+        help="fail (exit 1) if p99 latency exceeds this many ms",
+    )
+    serve_bench.add_argument(
+        "--max-error-rate", type=float, default=0.0, metavar="FRAC",
+        help="fail if the 5xx/connection-error rate exceeds this",
     )
 
     sub.add_parser("schema", help="print the trace CSV schema")
@@ -987,7 +1065,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
-    if args.obs_guard or args.fsfaults_guard:
+    if args.obs_guard or args.fsfaults_guard or args.serve_guard:
         code = 0
         if args.obs_guard:
             guard = measure_obs_overhead(seed=args.seed)
@@ -1021,6 +1099,24 @@ def _command_bench(args: argparse.Namespace) -> int:
                 print(
                     "REGRESSION: disabled fs-faults shim overhead above "
                     "threshold"
+                )
+                code = 1
+        if args.serve_guard:
+            from repro.benchmark import measure_serve_overhead
+
+            guard = measure_serve_overhead()
+            print(
+                "serve overhead guard: "
+                f"{guard['sites_per_scan']} read hook sites x "
+                f"{guard['noop_hook_cost_ns']:.0f}ns disabled cost = "
+                f"{100 * guard['overhead_fraction']:.3f}% of a "
+                f"{guard['disabled_seconds']:.3f}s store scan "
+                f"(threshold {100 * guard['threshold']:.0f}%)"
+            )
+            if not guard["ok"]:
+                print(
+                    "REGRESSION: disabled read-path fault shim overhead "
+                    "above threshold"
                 )
                 code = 1
         return code
@@ -1083,6 +1179,22 @@ def _command_store(args: argparse.Namespace) -> int:
             print(
                 f"  window: [{info['data_start']!r}, {info['data_end']!r}]"
             )
+            healing = info["healing"]
+            if healing["quarantined_shards"]:
+                affected = ",".join(
+                    str(s) for s in healing["affected_systems"]
+                )
+                print(
+                    f"  healing: DEGRADED — "
+                    f"{healing['quarantined_shards']} shard(s) "
+                    f"({healing['quarantined_rows']} rows) quarantined; "
+                    f"affected systems: {affected} "
+                    "(run `repro store repair`)"
+                )
+            else:
+                print("  healing: clean (no quarantined shards)")
+            if healing["manifest_prev"]:
+                print("  healing: manifest.prev.json rollback generation present")
             for key, value in info["meta"].items():
                 print(f"  meta.{key}: {value}")
         return 0
@@ -1225,6 +1337,71 @@ def _command_store(args: argparse.Namespace) -> int:
     raise SystemExit(f"error: unknown store command {args.store_command!r}")
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro import obs
+    from repro.serve import AnalyticsServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        deadline_seconds=args.deadline_seconds,
+        breaker_cooldown=args.breaker_cooldown,
+        drain_grace=args.drain_grace,
+        metrics_path=Path(args.metrics_out) if args.metrics_out else None,
+    )
+    server = AnalyticsServer(args.root, config)
+    # Metrics-only observability: the span stack is single-threaded by
+    # design and the serve executor is not (see repro/serve/server.py).
+    with obs.observing(metrics_registry=obs.MetricsRegistry()):
+        return server.run()
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import ServeConfig, check_serve_report, run_serve_bench
+
+    report = run_serve_bench(
+        args.root,
+        requests=args.requests,
+        clients=args.clients,
+        deadline_ms=args.deadline_ms,
+        config=ServeConfig(
+            port=0,
+            max_concurrency=args.max_concurrency,
+            max_queue=args.max_queue,
+        ),
+    )
+    latency = report["latency_ms"]
+    print(
+        f"serve-bench: {report['requests']} requests, "
+        f"{report['clients']} clients -> "
+        f"p50={latency['p50']:.1f}ms p90={latency['p90']:.1f}ms "
+        f"p99={latency['p99']:.1f}ms "
+        f"({report['throughput_rps']:.0f} req/s)"
+    )
+    print(
+        f"  outcomes: {report['outcomes']}  "
+        f"error_rate={report['error_rate']:.4f} "
+        f"degraded_rate={report['degraded_rate']:.4f}"
+    )
+    if args.out:
+        from repro.resilience.atomic import atomic_write_json
+
+        atomic_write_json(args.out, report)
+        print(f"wrote {args.out}")
+    violations = check_serve_report(
+        report, p99_ms=args.check_p99, max_error_rate=args.max_error_rate
+    )
+    for violation in violations:
+        print(f"REGRESSION: {violation}")
+    return 1 if violations else 0
+
+
 def _command_schema(_args: argparse.Namespace) -> int:
     from repro.io import describe_schema
 
@@ -1262,6 +1439,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _command_bench,
         "profile": _command_profile,
         "store": _command_store,
+        "serve": _command_serve,
+        "serve-bench": _command_serve_bench,
         "schema": _command_schema,
     }
     try:

@@ -3,7 +3,8 @@
 A *campaign* runs a matrix of scenarios — {process chaos x data
 corruption x filesystem faults} x {workflows: generate, resumable
 generate, trace write, columnar-store write, store scrub/repair,
-store merge, ingest, report} — each in a fresh directory, and verifies
+store merge, ingest, report, live serving} — each in a fresh
+directory, and verifies
 **recovery invariants** after every drill:
 
 * the recovered trace is byte-identical to an unfaulted serial run
@@ -56,7 +57,7 @@ TIMINGS_NAME = "campaign_timings.json"
 #: Workflows a scenario can drill.
 WORKFLOWS = (
     "generate", "write-csv", "write-jsonl", "write-store",
-    "scrub-store", "merge-store", "ingest", "report",
+    "scrub-store", "merge-store", "ingest", "report", "serve",
 )
 
 #: Fault classes a scenario can arm (``none`` = clean baseline).
@@ -87,7 +88,10 @@ class Scenario:
     rate:
         Corruption rate for ``fault="corruption"`` scenarios.
     mode:
-        Ingest mode for corruption scenarios.
+        Ingest mode for corruption scenarios; for ``serve`` scenarios
+        the mid-traffic drill phase (``quarantine`` damages and scrubs
+        a shard while the service is live, ``repair`` additionally
+        heals it; anything else serves a clean store).
     systems:
         System IDs the workflow generates (small ones keep drills fast).
     workers:
@@ -288,6 +292,12 @@ _SMOKE = (
     ),
     Scenario("corrupt-ingest", "ingest", fault="corruption", rate=0.05),
     Scenario("corrupt-report", "report", fault="corruption", rate=0.10),
+    Scenario("serve-baseline", "serve"),
+    Scenario(
+        "serve-slow-reads", "serve", fault="fs", operator="slow-io",
+        sites=("store.read.column",), times=6,
+    ),
+    Scenario("serve-quarantine-midflight", "serve", mode="quarantine"),
 )
 
 _FULL = _SMOKE + (
@@ -337,6 +347,11 @@ _FULL = _SMOKE + (
         "corrupt-repair-heavy", "report", fault="corruption", rate=0.20,
         mode="repair",
     ),
+    Scenario(
+        "serve-enospc-reads", "serve", fault="fs", operator="enospc",
+        sites=("store.read.column",), times=2, mode="quarantine",
+    ),
+    Scenario("serve-repair-under-traffic", "serve", mode="repair"),
 )
 
 PRESETS: Dict[str, Tuple[Scenario, ...]] = {
@@ -911,6 +926,279 @@ def _run_merge_store(
     )
 
 
+def _run_serve(
+    scenario: Scenario, seed: int, scenario_dir: Path
+) -> ScenarioOutcome:
+    """Drill the analytics service under live traffic.
+
+    Boots a real :class:`~repro.serve.server.ServerThread` over a
+    freshly built store and issues **sequential** HTTP requests (the
+    scorecard is byte-compared in CI, so every invariant must be a
+    deterministic boolean).  The serving contract under test:
+
+    * no request ever gets a 5xx or a hung connection — damage and
+      injected faults surface as degraded/stale answers or honest 429s;
+    * responses on an undamaged store are byte-identical to the
+      equivalent ``repro store analyze --json`` output;
+    * quarantining a shard mid-traffic (``mode="quarantine"``)
+      invalidates the result cache and flips responses to
+      degraded-with-coverage, never errors;
+    * repairing the store mid-traffic (``mode="repair"``) restores
+      complete, byte-identical answers;
+    * the SIGTERM-equivalent drain completes with in-flight work done.
+    """
+    import json as _json
+
+    from repro.serve import ServeConfig, ServerThread
+    from repro.serve.client import get
+    from repro.store import (
+        ColumnarStore,
+        Predicate,
+        repair_store,
+        scrub_store,
+        store_from_trace,
+        summarize_store,
+    )
+
+    trace = TraceGenerator(seed=seed).generate(list(scenario.systems))
+    store_dir = scenario_dir / "store"
+    store_from_trace(trace, store_dir, shard_rows=100)
+
+    def dump(payload: dict) -> str:
+        return _json.dumps(payload, indent=2, sort_keys=True)
+
+    # References computed on the pristine store, before any damage.
+    reference_full = dump(summarize_store(ColumnarStore(store_dir)).to_dict())
+    reference_by_system = {
+        system: dump(
+            summarize_store(
+                ColumnarStore(store_dir),
+                predicate=Predicate.build(systems=[system]),
+            ).to_dict()
+        )
+        for system in scenario.systems
+    }
+
+    fs_spec = None
+    if scenario.fault == "fs":
+        fs_spec = _make_fs_spec(scenario, seed, scenario_dir / "fault-state")
+
+    # A long breaker cooldown keeps half-open probes (wall-clock
+    # dependent) out of the drill window, so the rung each request
+    # lands on is a pure function of the request sequence.
+    config = ServeConfig(
+        port=0, max_concurrency=2, max_queue=8, breaker_cooldown=600.0
+    )
+
+    statuses: List[int] = []
+    hung: List[str] = []
+    wellformed = True
+    baseline_identical = True
+    degraded_with_coverage = False
+    stale_seen = False
+    cache_invalidated = True
+    repaired_identical = True
+    drain_clean = True
+
+    def query_paths() -> List[Tuple[str, str]]:
+        """(path, reference) pairs covering the full and per-system views."""
+        pairs = [("/v1/summary", reference_full)]
+        pairs.extend(
+            (f"/v1/analyze?system={system}", reference_by_system[system])
+            for system in scenario.systems
+        )
+        return pairs
+
+    try:
+        with ServerThread(store_dir, config) as handle:
+            def request(path: str):
+                try:
+                    response = get(handle.host, handle.port, path, timeout=60.0)
+                except OSError as exc:
+                    hung.append(
+                        _scrub(f"{type(exc).__name__}: {exc}", scenario_dir)
+                    )
+                    return None
+                statuses.append(response.status)
+                return response
+
+            def check_meta(response) -> None:
+                nonlocal wellformed, degraded_with_coverage, stale_seen
+                meta = response.meta()
+                if not all(
+                    key in meta for key in ("degraded", "stale", "coverage")
+                ):
+                    wellformed = False
+                    return
+                if meta["stale"]:
+                    stale_seen = True
+                if meta["degraded"] and isinstance(meta["coverage"], dict):
+                    if any(value < 1.0 for value in meta["coverage"].values()):
+                        degraded_with_coverage = True
+
+            # Phase A: clean traffic; warms the cache and the last-good
+            # stale fallback, and proves byte-identity with the batch path.
+            request("/healthz")
+            request("/readyz")
+            for path, reference in query_paths():
+                response = request(path)
+                if response is None or response.status != 200:
+                    baseline_identical = False
+                    continue
+                check_meta(response)
+                if dump(response.body.get("data", {})) != reference:
+                    baseline_identical = False
+
+            # Mid-traffic damage: quarantine the first shard while the
+            # service keeps answering.
+            if scenario.mode in ("quarantine", "repair"):
+                victim = sorted(
+                    (store_dir / "shards").glob("*-node_id.npy")
+                )[0]
+                victim.unlink()
+                scrub_store(store_dir)
+
+            # Phase B: drilled traffic (fault armed if the scenario has
+            # one).  Two passes over the query mix exercise the ladder
+            # past the breaker threshold.
+            def drilled_paths(pass_index: int) -> List[str]:
+                if scenario.mode in ("quarantine", "repair"):
+                    # Re-issue the warmed queries: the rewritten ledger
+                    # must invalidate them, and the stale fallback needs
+                    # matching keys.
+                    return [path for path, _ in query_paths()]
+                # Clean store, unchanged generation: bust the cache with
+                # an all-admitting time window that varies per pass, so
+                # every request really scans (and hits the armed fault).
+                window = f"t_min={-1.0 - pass_index:g}"
+                return [f"/v1/analyze?{window}"] + [
+                    f"/v1/analyze?system={system}&{window}"
+                    for system in scenario.systems
+                ]
+
+            def drilled_traffic() -> None:
+                nonlocal cache_invalidated
+                first = True
+                for pass_index in range(2):
+                    for path in drilled_paths(pass_index):
+                        response = request(path)
+                        if response is None or response.status not in (200, 429):
+                            continue
+                        if response.status == 200:
+                            check_meta(response)
+                            if (
+                                first
+                                and scenario.mode in ("quarantine", "repair")
+                                and response.meta().get("cache") == "hit"
+                            ):
+                                # Quarantine rewrote the ledger, so the
+                                # pre-damage cache entry must not serve.
+                                cache_invalidated = False
+                        first = False
+
+            if fs_spec is not None:
+                with fsfaults_env(fs_spec):
+                    drilled_traffic()
+            else:
+                drilled_traffic()
+
+            # Phase C: heal under live traffic, then answers must be
+            # complete and byte-identical again.
+            if scenario.mode == "repair":
+                repair_store(store_dir, trace)
+                for path, reference in query_paths():
+                    response = request(path)
+                    if response is None or response.status != 200:
+                        repaired_identical = False
+                        continue
+                    meta = response.meta()
+                    if meta.get("degraded") or meta.get("stale"):
+                        repaired_identical = False
+                    elif dump(response.body.get("data", {})) != reference:
+                        repaired_identical = False
+            request("/v1/stats")
+    except Exception as exc:
+        drain_clean = False
+        hung.append(_scrub(f"{type(exc).__name__}: {exc}", scenario_dir))
+
+    injections = fs_spec.injections() if fs_spec is not None else 0
+    bad_statuses = sorted({s for s in statuses if s not in (200, 429)})
+    invariants = [
+        _no_partials(scenario_dir),
+        InvariantCheck(
+            "no-5xx-no-hangs",
+            not bad_statuses and not hung,
+            "" if not bad_statuses and not hung else (
+                f"statuses {bad_statuses}; connection errors: "
+                f"{'; '.join(hung)}"
+            ),
+        ),
+        InvariantCheck(
+            "responses-well-formed",
+            wellformed,
+            "" if wellformed else "a 200 response lacked degraded/stale/"
+            "coverage metadata",
+        ),
+        InvariantCheck(
+            "baseline-identical",
+            baseline_identical,
+            "" if baseline_identical else "pristine-store responses differ "
+            "from the batch analyze output",
+        ),
+        InvariantCheck(
+            "drain-clean",
+            drain_clean,
+            "" if drain_clean else "graceful drain failed: "
+            + "; ".join(hung[-1:]),
+        ),
+    ]
+    if scenario.fault != "none":
+        invariants.append(
+            InvariantCheck(
+                "fault-injected",
+                injections >= 1,
+                "" if injections else "armed fault never fired",
+            )
+        )
+    if scenario.mode in ("quarantine", "repair"):
+        invariants.append(
+            InvariantCheck(
+                "degraded-metadata",
+                degraded_with_coverage or stale_seen,
+                "" if degraded_with_coverage or stale_seen else (
+                    "no response carried degraded coverage or stale "
+                    "metadata after mid-traffic quarantine"
+                ),
+            )
+        )
+        invariants.append(
+            InvariantCheck(
+                "cache-invalidated",
+                cache_invalidated,
+                "" if cache_invalidated else "a pre-quarantine cache entry "
+                "served after the ledger changed",
+            )
+        )
+    if scenario.mode == "repair":
+        invariants.append(
+            InvariantCheck(
+                "repaired-identical",
+                repaired_identical,
+                "" if repaired_identical else "post-repair responses are "
+                "not complete and byte-identical",
+            )
+        )
+    completed = drain_clean and not hung
+    return ScenarioOutcome(
+        scenario=scenario,
+        attempts=1,
+        completed=completed,
+        injections=injections,
+        error="" if completed else "; ".join(hung),
+        invariants=tuple(invariants),
+    )
+
+
 def _run_corruption(
     scenario: Scenario, seed: int, scenario_dir: Path
 ) -> ScenarioOutcome:
@@ -1005,6 +1293,8 @@ def run_scenario(
                 outcome = _run_merge_store(
                     scenario, seed, scenario_dir, reference
                 )
+            elif scenario.workflow == "serve":
+                outcome = _run_serve(scenario, seed, scenario_dir)
             else:
                 outcome = _run_corruption(scenario, seed, scenario_dir)
         except Exception as exc:  # a drill must never take down the campaign

@@ -38,6 +38,11 @@ site                      where it fires
                           publish (:func:`repro.store.manifest.publish_manifest`,
                           :meth:`repro.store.writer.StoreWriter.finalize`
                           with ``manifest_site="store.merge.manifest"``)
+``store.read.column``     before a shard column file is opened for a
+                          *read* (:class:`repro.store.reader._ShardCursor`)
+                          — the serving-path drill site: ``slow-io``
+                          models a slow disk under live queries,
+                          error operators a disk that fails them
 ========================  ====================================================
 
 Operators:
@@ -106,6 +111,7 @@ FS_SITES = (
     "store.manifest",
     "store.scrub.ledger",
     "store.merge.manifest",
+    "store.read.column",
 )
 
 #: Operators that only observe (no state directory / budget required).

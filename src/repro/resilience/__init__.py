@@ -28,7 +28,13 @@ from repro.resilience.atomic import (
     atomic_write_json,
     atomic_write_text,
 )
-from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN_STATE,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import Deadline, DeadlineExceeded
 from repro.resilience.journal import JournalError, ShardJournal
 from repro.resilience.report import RunReport, ShardAttempt, ShardOutcome
 from repro.resilience.retry import RetryPolicy
@@ -39,7 +45,12 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN_STATE",
     "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
     "JournalError",
     "ShardJournal",
     "RunReport",

@@ -1,0 +1,81 @@
+"""Request deadlines: monotonic budgets checked at work boundaries.
+
+The always-on analytics service (``repro serve``) promises that a slow
+scan returns a *partial* result instead of a hung connection.  That
+promise is kept by threading a :class:`Deadline` into the columnar
+store's chunked scans — every chunk boundary calls :meth:`Deadline.check`
+and a blown budget surfaces as :class:`DeadlineExceeded`, which the
+caller converts into an explicit ``partial`` response.
+
+The clock is injectable (default ``time.monotonic``) so tests drive
+expiry deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(Exception):
+    """A deadline budget was exhausted mid-operation.
+
+    Deliberately *not* an ``OSError``: a blown deadline is a policy
+    decision, not an I/O failure, and must never be confused with a
+    damaged store by degraded-read machinery.
+    """
+
+
+class Deadline:
+    """A monotonic time budget for one operation.
+
+    Parameters
+    ----------
+    budget:
+        Seconds allowed from construction (or the explicit ``start``).
+        ``None`` means unbounded — every probe reports time remaining
+        as infinite and :meth:`check` never raises, so call sites can
+        thread a deadline unconditionally.
+    clock:
+        Monotonic clock returning seconds; injectable for tests.
+    start:
+        Override the start instant (defaults to ``clock()`` now).
+    """
+
+    __slots__ = ("budget", "clock", "start")
+
+    def __init__(
+        self,
+        budget: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+        start: Optional[float] = None,
+    ) -> None:
+        if budget is not None and budget <= 0:
+            raise ValueError(f"budget must be > 0 or None, got {budget}")
+        self.budget = budget
+        self.clock = clock
+        self.start = clock() if start is None else start
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline started."""
+        return self.clock() - self.start
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (``inf`` when unbounded)."""
+        if self.budget is None:
+            return float("inf")
+        return self.budget - self.elapsed()
+
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self.budget is not None and self.elapsed() >= self.budget
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.budget:.3f}s deadline "
+                f"({self.elapsed():.3f}s elapsed)"
+            )

@@ -10,6 +10,7 @@ keeps run reports reproducible and lets tests assert exact schedules.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -85,3 +86,29 @@ class RetryPolicy:
         """The full backoff schedule for ``key`` (one delay per retry)."""
         n = self.max_attempts if attempts is None else attempts
         return [self.backoff(key, attempt) for attempt in range(1, n)]
+
+    def sleep(self, key: str, attempt: int) -> float:
+        """Block for :meth:`backoff`'s delay; returns the delay slept.
+
+        The synchronous hook the process supervisor uses; the delay is
+        the same deterministic value :meth:`backoff` computes.
+        """
+        delay = self.backoff(key, attempt)
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    async def sleep_async(self, key: str, attempt: int) -> float:
+        """Await :meth:`backoff`'s delay without blocking the event loop.
+
+        The async-aware hook for long-running asyncio services
+        (``repro serve``): identical deterministic jitter, but the wait
+        yields to the loop via :func:`asyncio.sleep` so other requests
+        keep flowing while one retries.
+        """
+        delay = self.backoff(key, attempt)
+        if delay > 0:
+            import asyncio
+
+            await asyncio.sleep(delay)
+        return delay

@@ -1,0 +1,58 @@
+"""repro.serve — the always-on analytics service over a columnar store.
+
+``repro serve <store-dir>`` exposes the out-of-core analytics of
+:mod:`repro.store` as versioned HTTP query endpoints, engineered to
+the availability posture the paper documents for production HPC
+services: requests carry deadlines, overload is shed at admission, and
+store damage degrades answers (with explicit coverage metadata)
+instead of taking the service down.
+
+Layers, bottom up:
+
+- :mod:`repro.serve.admission` — bounded concurrency + capped queue,
+  HTTP 429 shedding.
+- :mod:`repro.serve.cache` — generation-keyed result cache (manifest +
+  quarantine-ledger digest) with a last-good stale fallback.
+- :mod:`repro.serve.gateway` — the degradation ladder: circuit-broken
+  primary read → skip-read with coverage → stale cache.
+- :mod:`repro.serve.router` — endpoint table and query normalization.
+- :mod:`repro.serve.server` — asyncio HTTP server, deadlines, graceful
+  SIGTERM drain; :class:`~repro.serve.server.ServerThread` for
+  in-process harnesses.
+- :mod:`repro.serve.client` / :mod:`repro.serve.bench` — the tiny
+  HTTP clients and the ``repro serve-bench`` load generator.
+
+The endpoint contract lives in ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionShed
+from repro.serve.bench import check_serve_report, run_serve_bench
+from repro.serve.cache import CachedResult, ResultCache
+from repro.serve.gateway import (
+    Query,
+    QueryResult,
+    StoreGateway,
+    StoreUnavailable,
+)
+from repro.serve.router import ROUTES, BadRequest, Route, resolve
+from repro.serve.server import AnalyticsServer, ServeConfig, ServerThread
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionShed",
+    "AnalyticsServer",
+    "BadRequest",
+    "CachedResult",
+    "Query",
+    "QueryResult",
+    "ResultCache",
+    "Route",
+    "ROUTES",
+    "ServeConfig",
+    "ServerThread",
+    "StoreGateway",
+    "StoreUnavailable",
+    "check_serve_report",
+    "resolve",
+    "run_serve_bench",
+]

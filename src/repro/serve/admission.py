@@ -1,0 +1,98 @@
+"""Bounded-concurrency admission control with a capped wait queue.
+
+The service admits at most ``max_concurrency`` requests into the query
+executor at once; up to ``max_queue`` more may wait their turn.  Beyond
+that the request is *shed* immediately with HTTP 429 — the paper's
+systems survive overload by refusing work early, not by queueing until
+every client times out.
+
+The controller is asyncio-native (the event loop is the only caller);
+counters feed ``/v1/stats`` and the obs metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict
+
+__all__ = ["AdmissionController", "AdmissionShed"]
+
+
+class AdmissionShed(Exception):
+    """The request was refused at admission (concurrency + queue full)."""
+
+
+@dataclass
+class AdmissionController:
+    """Semaphore-bounded admission with an explicit queue cap.
+
+    Parameters
+    ----------
+    max_concurrency:
+        Requests allowed in the execution phase simultaneously.
+    max_queue:
+        Requests allowed to *wait* for an execution slot; one more and
+        :meth:`slot` raises :class:`AdmissionShed` without waiting.
+    """
+
+    max_concurrency: int = 8
+    max_queue: int = 32
+    active: int = 0
+    waiting: int = 0
+    admitted: int = 0
+    shed: int = 0
+    peak_active: int = 0
+    peak_waiting: int = 0
+    _semaphore: asyncio.Semaphore = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {self.max_concurrency}"
+            )
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+
+    @contextlib.asynccontextmanager
+    async def slot(self) -> AsyncIterator[None]:
+        """Hold one execution slot; raises :class:`AdmissionShed` when full.
+
+        The shed decision is made *before* waiting: a request only
+        queues when fewer than ``max_queue`` others already are.
+        """
+        if self.active >= self.max_concurrency and self.waiting >= self.max_queue:
+            self.shed += 1
+            raise AdmissionShed(
+                f"at capacity: {self.active} active, {self.waiting} queued "
+                f"(limits {self.max_concurrency}/{self.max_queue})"
+            )
+        self.waiting += 1
+        self.peak_waiting = max(self.peak_waiting, self.waiting)
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.waiting -= 1
+        self.active += 1
+        self.admitted += 1
+        self.peak_active = max(self.peak_active, self.active)
+        try:
+            yield
+        finally:
+            self.active -= 1
+            self._semaphore.release()
+
+    def to_dict(self) -> Dict[str, int]:
+        """Counters for ``/v1/stats``."""
+        return {
+            "max_concurrency": self.max_concurrency,
+            "max_queue": self.max_queue,
+            "active": self.active,
+            "waiting": self.waiting,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "peak_active": self.peak_active,
+            "peak_waiting": self.peak_waiting,
+        }

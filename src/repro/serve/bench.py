@@ -1,0 +1,174 @@
+"""``repro serve-bench`` — a load generator for the analytics service.
+
+Boots an in-process :class:`~repro.serve.server.ServerThread` on an
+ephemeral port, drives ``requests`` GETs from ``clients`` concurrent
+asyncio workers, and reports latency percentiles plus the error and
+degraded rates the serve-smoke CI job gates on.  Percentiles use
+nearest-rank on the full sample — no reservoir, the sample sizes here
+are small.
+
+The request mix mirrors real probe traffic: mostly ``/v1/analyze``
+cycling through per-system filters (discovered via ``/v1/systems``),
+with a full ``/v1/summary`` every ``summary_every``-th request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+from repro.serve.client import aget, get
+from repro.serve.server import ServeConfig, ServerThread
+
+__all__ = ["run_serve_bench", "check_serve_report", "percentile"]
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty sample."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+def _build_paths(
+    systems: List[int],
+    requests: int,
+    summary_every: int,
+    deadline_ms: Optional[float],
+) -> List[str]:
+    suffix = "" if deadline_ms is None else f"deadline_ms={deadline_ms:g}"
+    paths: List[str] = []
+    for index in range(requests):
+        if summary_every and index % summary_every == 0:
+            path, joiner = "/v1/summary", "?"
+        elif systems:
+            system = systems[index % len(systems)]
+            path, joiner = f"/v1/analyze?system={system}", "&"
+        else:
+            path, joiner = "/v1/analyze", "?"
+        if suffix:
+            path = f"{path}{joiner}{suffix}"
+        paths.append(path)
+    return paths
+
+
+async def _drive(
+    host: str, port: int, paths: List[str], clients: int
+) -> List[dict]:
+    results: List[dict] = []
+    cursor = iter(list(enumerate(paths)))
+
+    async def worker() -> None:
+        for _, path in cursor:
+            start = time.perf_counter()
+            try:
+                response = await aget(host, port, path, timeout=60.0)
+            except (OSError, asyncio.TimeoutError) as error:
+                results.append({
+                    "ms": (time.perf_counter() - start) * 1000.0,
+                    "status": 0,
+                    "outcome": "connection_error",
+                    "error": str(error),
+                })
+                continue
+            meta = response.meta()
+            if response.status == 200:
+                outcome = meta.get("status", "ok")
+            elif response.status == 429:
+                outcome = "shed"
+            else:
+                outcome = "error"
+            results.append({
+                "ms": (time.perf_counter() - start) * 1000.0,
+                "status": response.status,
+                "outcome": outcome,
+            })
+
+    await asyncio.gather(*(worker() for _ in range(max(1, clients))))
+    return results
+
+
+def run_serve_bench(
+    root,
+    requests: int = 200,
+    clients: int = 8,
+    deadline_ms: Optional[float] = None,
+    summary_every: int = 5,
+    config: Optional[ServeConfig] = None,
+) -> dict:
+    """Boot the service over ``root`` and measure a concurrent load."""
+    config = config or ServeConfig(port=0)
+    with ServerThread(root, config) as handle:
+        discovered = get(handle.host, handle.port, "/v1/systems", timeout=30.0)
+        systems = [
+            entry["system"]
+            for entry in discovered.body.get("data", {}).get("systems", [])
+        ]
+        paths = _build_paths(systems, requests, summary_every, deadline_ms)
+        wall_start = time.perf_counter()
+        results = asyncio.run(
+            _drive(handle.host, handle.port, paths, clients)
+        )
+        wall = time.perf_counter() - wall_start
+        stats = get(handle.host, handle.port, "/v1/stats", timeout=30.0).body
+    latencies = [entry["ms"] for entry in results]
+    status_counts: Dict[str, int] = {}
+    outcomes: Dict[str, int] = {}
+    for entry in results:
+        status_counts[str(entry["status"])] = (
+            status_counts.get(str(entry["status"]), 0) + 1
+        )
+        outcomes[entry["outcome"]] = outcomes.get(entry["outcome"], 0) + 1
+    total = len(results)
+    errors = sum(
+        count for status, count in status_counts.items()
+        if status == "0" or status.startswith("5")
+    )
+    degraded = sum(
+        outcomes.get(kind, 0) for kind in ("degraded", "stale", "partial")
+    )
+    return {
+        "requests": total,
+        "clients": clients,
+        "deadline_ms": deadline_ms,
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(total / wall, 2) if wall > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p90": round(percentile(latencies, 0.90), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "max": round(max(latencies), 3) if latencies else 0.0,
+            "mean": (
+                round(sum(latencies) / total, 3) if total else 0.0
+            ),
+        },
+        "status_counts": dict(sorted(status_counts.items())),
+        "outcomes": dict(sorted(outcomes.items())),
+        "error_rate": round(errors / total, 6) if total else 0.0,
+        "degraded_rate": round(degraded / total, 6) if total else 0.0,
+        "server_stats": stats,
+    }
+
+
+def check_serve_report(
+    report: dict,
+    p99_ms: Optional[float] = None,
+    max_error_rate: float = 0.0,
+) -> List[str]:
+    """Gate violations for the CI job; empty list means pass."""
+    violations: List[str] = []
+    if p99_ms is not None and report["latency_ms"]["p99"] > p99_ms:
+        violations.append(
+            f"p99 latency {report['latency_ms']['p99']:.1f}ms "
+            f"exceeds gate {p99_ms:.1f}ms"
+        )
+    if report["error_rate"] > max_error_rate:
+        violations.append(
+            f"error rate {report['error_rate']:.4f} exceeds "
+            f"gate {max_error_rate:.4f} "
+            f"(status counts: {report['status_counts']})"
+        )
+    return violations

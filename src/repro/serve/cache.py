@@ -1,0 +1,106 @@
+"""Generation-keyed result cache with a last-good stale fallback.
+
+Entries are keyed by ``(generation, query_key)`` where *generation* is
+a digest over **both** the store manifest bytes and the quarantine
+ledger bytes.  ``store append``/``merge`` republish the manifest and
+``store repair``/``scrub`` rewrite the ledger, so either mutation
+changes the generation and silently invalidates every cached result —
+no explicit flush protocol to get wrong.
+
+Only *complete* results (not degraded, not deadline-partial) are
+cached; a degraded scan's answer is a property of which shards
+happened to be damaged, not of the query.  Separately, the most recent
+complete result per query is retained as ``last_good`` regardless of
+generation: it is the end of the serving degradation ladder, returned
+with ``stale: true`` when the store cannot answer at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """An immutable cached payload plus the generation that produced it."""
+
+    payload: dict
+    generation: str
+
+
+class ResultCache:
+    """Thread-safe LRU over ``(generation, query_key)`` pairs.
+
+    Query threads in the serve executor share one instance; every
+    public method takes the internal lock.  Payloads are returned
+    as-is — callers must not mutate them.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, str], CachedResult]" = OrderedDict()
+        self._last_good: Dict[str, CachedResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stale_hits = 0
+        self.evictions = 0
+
+    def get(self, generation: str, query_key: str) -> Optional[CachedResult]:
+        """Fresh lookup: same query against the same store generation."""
+        with self._lock:
+            entry = self._entries.get((generation, query_key))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((generation, query_key))
+            self.hits += 1
+            return entry
+
+    def put(self, generation: str, query_key: str, payload: dict) -> None:
+        """Store a *complete* result and refresh ``last_good``.
+
+        Callers are responsible for never passing degraded or partial
+        payloads here (see module docstring).
+        """
+        entry = CachedResult(payload=payload, generation=generation)
+        with self._lock:
+            self._entries[(generation, query_key)] = entry
+            self._entries.move_to_end((generation, query_key))
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            self._last_good[query_key] = entry
+
+    def last_good(self, query_key: str) -> Optional[CachedResult]:
+        """Stale fallback: newest complete result for this query, any generation."""
+        with self._lock:
+            entry = self._last_good.get(query_key)
+            if entry is not None:
+                self.stale_hits += 1
+            return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._last_good.clear()
+
+    def to_dict(self) -> dict:
+        """Counters for ``/v1/stats``."""
+        with self._lock:
+            return {
+                "max_entries": self.max_entries,
+                "entries": len(self._entries),
+                "last_good_entries": len(self._last_good),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale_hits": self.stale_hits,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,145 @@
+"""Request routing and query-string normalization for ``repro serve``.
+
+The route table is deliberately tiny and versioned: ``/healthz`` and
+``/readyz`` for orchestration probes, four ``/v1`` query endpoints.
+Parsing failures raise :class:`BadRequest` with a client-facing
+message; the server maps that to HTTP 400 without touching the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serve.gateway import Query
+
+__all__ = ["BadRequest", "Route", "resolve", "ROUTES"]
+
+
+class BadRequest(Exception):
+    """Malformed request path or query parameters (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved request: endpoint name plus normalized parameters."""
+
+    name: str
+    query: Optional[Query] = None
+    #: Per-request deadline override in seconds (from ``deadline_ms``).
+    deadline_seconds: Optional[float] = None
+
+
+#: Supported endpoints (GET only), for 404 messages and the docs.
+ROUTES = (
+    "/healthz",
+    "/readyz",
+    "/v1/systems",
+    "/v1/summary",
+    "/v1/analyze",
+    "/v1/stats",
+)
+
+#: Query parameters each endpoint accepts; anything else is a 400 so
+#: typos (``?sytem=3``) fail loudly instead of silently scanning all.
+_ALLOWED_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "/healthz": (),
+    "/readyz": (),
+    "/v1/systems": (),
+    "/v1/summary": ("deadline_ms",),
+    "/v1/analyze": ("system", "systems", "t_min", "t_max", "deadline_ms"),
+    "/v1/stats": (),
+}
+
+
+def _float_param(params: Dict[str, List[str]], name: str) -> Optional[float]:
+    values = params.get(name)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise BadRequest(f"parameter {name!r} given {len(values)} times")
+    try:
+        return float(values[0])
+    except ValueError:
+        raise BadRequest(
+            f"parameter {name!r} must be a number, got {values[0]!r}"
+        ) from None
+
+
+def _systems_param(params: Dict[str, List[str]]) -> Optional[List[int]]:
+    raw: List[str] = []
+    for name in ("system", "systems"):
+        for value in params.get(name, []):
+            raw.extend(part for part in value.split(",") if part)
+    if not raw:
+        return None
+    systems: List[int] = []
+    for part in raw:
+        try:
+            systems.append(int(part))
+        except ValueError:
+            raise BadRequest(
+                f"system ids must be integers, got {part!r}"
+            ) from None
+    return systems
+
+
+def _deadline_param(params: Dict[str, List[str]]) -> Optional[float]:
+    values = params.get("deadline_ms")
+    if not values:
+        return None
+    try:
+        millis = float(values[-1])
+    except ValueError:
+        raise BadRequest(
+            f"deadline_ms must be a number, got {values[-1]!r}"
+        ) from None
+    if millis <= 0:
+        raise BadRequest(f"deadline_ms must be > 0, got {millis}")
+    return millis / 1000.0
+
+
+def resolve(method: str, target: str) -> Route:
+    """Map a request line to a :class:`Route` (raises :class:`BadRequest`)."""
+    if method != "GET":
+        raise BadRequest(f"method {method} not allowed (GET only)")
+    parts = urlsplit(target)
+    path = parts.path.rstrip("/") or "/"
+    if path not in _ALLOWED_PARAMS:
+        raise KeyError(path)
+    params: Dict[str, List[str]] = {}
+    for name, value in parse_qsl(parts.query, keep_blank_values=True):
+        params.setdefault(name, []).append(value)
+    allowed = _ALLOWED_PARAMS[path]
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise BadRequest(
+            f"unknown parameter(s) {', '.join(unknown)} for {path} "
+            f"(allowed: {', '.join(allowed) or 'none'})"
+        )
+    deadline_seconds = _deadline_param(params)
+    if path == "/v1/summary":
+        return Route(
+            name=path,
+            query=Query.build(kind="summary"),
+            deadline_seconds=deadline_seconds,
+        )
+    if path == "/v1/analyze":
+        t_min = _float_param(params, "t_min")
+        t_max = _float_param(params, "t_max")
+        if t_min is not None and t_max is not None and t_min >= t_max:
+            raise BadRequest(
+                f"empty window: t_min={t_min} must be < t_max={t_max}"
+            )
+        return Route(
+            name=path,
+            query=Query.build(
+                kind="analyze",
+                systems=_systems_param(params),
+                t_min=t_min,
+                t_max=t_max,
+            ),
+            deadline_seconds=deadline_seconds,
+        )
+    return Route(name=path)

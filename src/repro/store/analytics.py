@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.records.codes import CAUSE_VOCAB
+from repro.resilience.deadline import Deadline, DeadlineExceeded
 from repro.store.manifest import Predicate
 from repro.store.reader import DEFAULT_BATCH_ROWS, ColumnarStore, ScanStats
 
@@ -51,9 +52,22 @@ class StoreSummary:
     scan: ScanStats = field(default_factory=ScanStats)
     #: Populated (dict form) when a degraded read skipped shards.
     degraded: Optional[dict] = None
+    #: Populated when a deadline cut the scan short (``on_deadline="partial"``).
+    partial: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        """A JSON-able view for ``repro store analyze --json``."""
+        """A JSON-able view for ``repro store analyze --json``.
+
+        The ``partial`` key appears only when a deadline truncated the
+        scan, so complete summaries stay byte-identical to pre-deadline
+        output.
+        """
+        payload = self._base_dict()
+        if self.partial is not None:
+            payload["partial"] = self.partial
+        return payload
+
+    def _base_dict(self) -> dict:
         return {
             "rows": self.rows,
             "counts_by_system": {
@@ -104,6 +118,12 @@ class StoreSummary:
             for system_id, count in sorted(self.counts_by_system.items()):
                 lines.append(f"  system {system_id:>2}: {count}")
         lines.append(f"pushdown: {self.scan.describe()}")
+        if self.partial:
+            lines.append(
+                "PARTIAL: deadline exceeded after "
+                f"{self.partial.get('rows_seen', self.rows)} row(s); "
+                "aggregates cover only the scanned prefix"
+            )
         if self.degraded:
             lines.append(
                 "DEGRADED: skipped "
@@ -118,13 +138,27 @@ def summarize_store(
     store: ColumnarStore,
     predicate: Optional[Predicate] = None,
     batch_rows: int = DEFAULT_BATCH_ROWS,
+    deadline: Optional[Deadline] = None,
+    on_deadline: str = "raise",
 ) -> StoreSummary:
     """One streaming pass of headline aggregates over ``store``.
 
     The store handle's scan counters are reset first, so the returned
     summary's ``scan`` reflects exactly this pass (the CI job asserts
     ``shards_pruned >= 1`` from it).
+
+    ``deadline`` bounds the pass's wall time via chunk-boundary checks
+    in :meth:`~repro.store.reader.ColumnarStore.iter_batches`.  With
+    ``on_deadline="raise"`` a blown budget propagates as
+    :class:`~repro.resilience.deadline.DeadlineExceeded`; with
+    ``"partial"`` the pass stops cleanly and the returned summary
+    carries a ``partial`` record describing the truncation — the
+    serving layer's deadline contract: a partial answer, never a hang.
     """
+    if on_deadline not in ("raise", "partial"):
+        raise ValueError(
+            f"on_deadline must be 'raise' or 'partial', got {on_deadline!r}"
+        )
     store.reset_scan_stats()
     n_causes = len(CAUSE_VOCAB)
     cause_counts = np.zeros(n_causes, dtype=np.int64)
@@ -133,32 +167,43 @@ def summarize_store(
     summary = StoreSummary()
     repair_total = 0.0
     with obs.span("store.summarize"):
-        for chunk in store.iter_batches(
-            columns=_SUMMARY_COLUMNS,
-            predicate=predicate,
-            batch_rows=batch_rows,
-        ):
-            n = len(chunk)
-            if not n:
-                continue
-            summary.rows += n
-            starts = chunk["start_time"]
-            repairs = chunk["end_time"] - starts
-            causes = chunk["root_cause"].astype(np.int64)
-            cause_counts += np.bincount(causes, minlength=n_causes)
-            cause_downtime += np.bincount(
-                causes, weights=repairs, minlength=n_causes
-            )
-            repair_total += float(repairs.sum())
-            summary.repair_min = min(summary.repair_min, float(repairs.min()))
-            summary.repair_max = max(summary.repair_max, float(repairs.max()))
-            summary.start_min = min(summary.start_min, float(starts.min()))
-            summary.start_max = max(summary.start_max, float(starts.max()))
-            ids, counts = np.unique(chunk["system_id"], return_counts=True)
-            for system_id, count in zip(ids.tolist(), counts.tolist()):
-                system_counts[system_id] = (
-                    system_counts.get(system_id, 0) + count
+        try:
+            for chunk in store.iter_batches(
+                columns=_SUMMARY_COLUMNS,
+                predicate=predicate,
+                batch_rows=batch_rows,
+                deadline=deadline,
+            ):
+                n = len(chunk)
+                if not n:
+                    continue
+                summary.rows += n
+                starts = chunk["start_time"]
+                repairs = chunk["end_time"] - starts
+                causes = chunk["root_cause"].astype(np.int64)
+                cause_counts += np.bincount(causes, minlength=n_causes)
+                cause_downtime += np.bincount(
+                    causes, weights=repairs, minlength=n_causes
                 )
+                repair_total += float(repairs.sum())
+                summary.repair_min = min(summary.repair_min, float(repairs.min()))
+                summary.repair_max = max(summary.repair_max, float(repairs.max()))
+                summary.start_min = min(summary.start_min, float(starts.min()))
+                summary.start_max = max(summary.start_max, float(starts.max()))
+                ids, counts = np.unique(chunk["system_id"], return_counts=True)
+                for system_id, count in zip(ids.tolist(), counts.tolist()):
+                    system_counts[system_id] = (
+                        system_counts.get(system_id, 0) + count
+                    )
+        except DeadlineExceeded:
+            if on_deadline == "raise":
+                raise
+            summary.partial = {
+                "reason": "deadline-exceeded",
+                "rows_seen": summary.rows,
+                "rows_total": store.manifest.row_count,
+            }
+            obs.metrics().counter("store.scans_deadline_partial").add(1)
     summary.counts_by_system = system_counts
     for code, cause in enumerate(CAUSE_VOCAB):
         if cause_counts[code]:

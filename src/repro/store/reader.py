@@ -29,8 +29,11 @@ from repro import obs
 from repro.records.codes import CAUSE_VOCAB, DETAIL_VOCAB, WORKLOAD_VOCAB
 from repro.records.record import FailureRecord
 from repro.records.trace import FailureTrace
+from repro.resilience.atomic import fs_fault_hook
+from repro.resilience.deadline import Deadline
 from repro.store.manifest import (
     MANIFEST_NAME,
+    PREV_MANIFEST_NAME,
     SHARDS_DIR,
     Manifest,
     Predicate,
@@ -159,6 +162,10 @@ class _ShardCursor:
     def column(self, name: str) -> np.ndarray:
         array = self.arrays.get(name)
         if array is None:
+            # Read-path fault site: lets chaos drills model slow or
+            # failing disks on the *serving* path (one hook per shard
+            # per column — the mmap'd reads themselves stay hook-free).
+            fs_fault_hook("store.read.column", self.paths[name])
             array = np.load(self.paths[name], mmap_mode="r")
             self.arrays[name] = array
         return array
@@ -407,6 +414,7 @@ class ColumnarStore:
         columns: Optional[Sequence[str]] = None,
         predicate: Optional[Predicate] = None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
+        deadline: Optional[Deadline] = None,
     ) -> Iterator[ColumnBatch]:
         """Yield bounded column chunks, shard by shard.
 
@@ -414,6 +422,13 @@ class ColumnarStore:
         columns are read regardless so the row mask can be applied.
         Chunks arrive in shard order — per-shard sorted, *not* globally
         merged (use :meth:`iter_records` for global order).
+
+        ``deadline`` bounds the scan's wall time: the budget is checked
+        at every chunk boundary and a blown budget raises
+        :class:`~repro.resilience.deadline.DeadlineExceeded` before the
+        next chunk is read — a slow scan terminates promptly instead of
+        hanging its caller.  The disabled path is a single ``is None``
+        test per chunk.
         """
         if batch_rows < 1:
             raise ValueError(f"batch_rows must be >= 1, got {batch_rows}")
@@ -430,6 +445,8 @@ class ColumnarStore:
         for shard in self._healthy(self._admitted(predicate)):
             cursor = self._cursor(shard)
             for offset in range(0, shard.rows, batch_rows):
+                if deadline is not None:
+                    deadline.check("store scan")
                 chunk = ColumnBatch(
                     {
                         column: np.asarray(
@@ -568,7 +585,14 @@ class ColumnarStore:
     # ------------------------------------------------------------------
 
     def info(self) -> Dict[str, object]:
-        """A JSON-able summary for ``repro store info``."""
+        """A JSON-able summary for ``repro store info``.
+
+        Includes the store's *self-healing state* — quarantined-shard
+        count, the systems a degraded read would undercount, and
+        whether a ``manifest.prev.json`` rollback generation exists —
+        so readiness probes and operators see degradation without
+        paying for a full scrub.
+        """
         manifest = self.manifest
         size = 0
         for shard in manifest.shards:
@@ -578,7 +602,21 @@ class ColumnarStore:
                 )
                 if path.exists():
                     size += path.stat().st_size
+        by_name = {shard.name: shard for shard in manifest.shards}
+        quarantined = sorted(name for name in self._ledger if name in by_name)
+        affected_systems = sorted(
+            {int(by_name[name].stats["system_id"][0]) for name in quarantined}
+        )
+        quarantined_rows = sum(by_name[name].rows for name in quarantined)
+        healing = {
+            "quarantined_shards": len(quarantined),
+            "quarantined_rows": quarantined_rows,
+            "affected_systems": affected_systems,
+            "ledger_entries": len(self._ledger),
+            "manifest_prev": (self.root / PREV_MANIFEST_NAME).exists(),
+        }
         return {
+            "healing": healing,
             "root": str(self.root),
             "rows": manifest.row_count,
             "shards": len(manifest.shards),

@@ -56,3 +56,90 @@ class TestValidation:
     def test_bad_threshold_rejected(self):
         with pytest.raises(ValueError, match="failure_threshold"):
             CircuitBreaker(failure_threshold=0)
+
+
+class TestTimeBasedRecovery:
+    """Cooldown -> half-open probe -> close/reopen (the serve path)."""
+
+    def _breaker(self, **kwargs):
+        clock = {"now": 0.0}
+        defaults = dict(
+            stages=("primary",),
+            failure_threshold=1,
+            cooldown_seconds=10.0,
+            clock=lambda: clock["now"],
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker(**defaults), clock
+
+    def test_closed_always_allows(self):
+        breaker, _ = self._breaker()
+        assert breaker.state("k") == "closed"
+        assert breaker.allow("k")
+
+    def test_open_blocks_until_cooldown(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure("k")
+        assert breaker.state("k") == "open"
+        assert not breaker.allow("k")
+        clock["now"] = 9.999
+        assert not breaker.allow("k")
+
+    def test_cooldown_admits_single_half_open_probe(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure("k")
+        clock["now"] = 10.0
+        assert breaker.allow("k")
+        assert breaker.state("k") == "half-open"
+        # The probe slot stays admitted while in flight.
+        assert breaker.allow("k")
+
+    def test_probe_success_fully_closes(self):
+        breaker, clock = self._breaker(stages=("a", "b"))
+        breaker.record_failure("k")
+        breaker.record_failure("k")
+        clock["now"] = 10.0
+        assert breaker.allow("k")
+        breaker.record_success("k")
+        assert breaker.state("k") == "closed"
+        assert breaker.stage("k") == "a"  # back to the first ladder stage
+        assert breaker.failures("k") == 0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self._breaker()
+        breaker.record_failure("k")
+        clock["now"] = 10.0
+        assert breaker.allow("k")
+        assert breaker.record_failure("k") == "open"
+        assert breaker.state("k") == "open"
+        # Cooldown restarts from the probe failure, not the first open.
+        clock["now"] = 19.999
+        assert not breaker.allow("k")
+        clock["now"] = 20.0
+        assert breaker.allow("k")
+
+    def test_default_none_keeps_open_forever(self):
+        breaker = CircuitBreaker(stages=("a",), failure_threshold=1)
+        breaker.record_failure("k")
+        assert not breaker.allow("k")
+        breaker.record_success("k")  # legacy: success does NOT reopen stages
+        assert breaker.is_open("k")
+        assert breaker.state("k") == "open"
+
+    def test_legacy_success_semantics_unchanged_when_closed(self):
+        # Byte-identical supervisor behavior: success only clears the
+        # failure streak; it never rewinds a degraded stage.
+        breaker = CircuitBreaker(stages=("a", "b"), failure_threshold=1)
+        breaker.record_failure("k")
+        assert breaker.stage("k") == "b"
+        breaker.record_success("k")
+        assert breaker.stage("k") == "b"
+
+    def test_bad_cooldown_rejected(self):
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            CircuitBreaker(cooldown_seconds=0.0)
+
+    def test_states_exported(self):
+        from repro.resilience import CLOSED, HALF_OPEN, OPEN_STATE
+
+        assert (CLOSED, OPEN_STATE, HALF_OPEN) == ("closed", "open", "half-open")

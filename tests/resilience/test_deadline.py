@@ -1,0 +1,131 @@
+"""Deadline: monotonic per-request budgets checked at chunk boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import Deadline, DeadlineExceeded
+
+
+def make(budget, start=0.0):
+    clock = {"now": start}
+    deadline = Deadline(budget, clock=lambda: clock["now"])
+    return deadline, clock
+
+
+class TestBudget:
+    def test_not_expired_within_budget(self):
+        deadline, clock = make(5.0)
+        clock["now"] = 4.999
+        assert not deadline.expired()
+        deadline.check()  # no raise
+
+    def test_expires_exactly_at_budget(self):
+        deadline, clock = make(5.0)
+        clock["now"] = 5.0
+        assert deadline.expired()
+
+    def test_check_raises_with_context(self):
+        deadline, clock = make(0.25)
+        clock["now"] = 1.0
+        with pytest.raises(DeadlineExceeded, match="store scan"):
+            deadline.check("store scan")
+
+    def test_remaining_counts_down(self):
+        deadline, clock = make(10.0)
+        clock["now"] = 4.0
+        assert deadline.remaining() == pytest.approx(6.0)
+        assert deadline.elapsed() == pytest.approx(4.0)
+
+    def test_unbounded_never_expires(self):
+        deadline, clock = make(None)
+        clock["now"] = 1e9
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+        deadline.check()
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            Deadline(0.0)
+        with pytest.raises(ValueError, match="budget"):
+            Deadline(-1.0)
+
+    def test_not_an_oserror(self):
+        # The serving layer distinguishes store damage (StoreError /
+        # OSError) from blown budgets; a deadline must never be
+        # caught by damage handlers.
+        assert not issubclass(DeadlineExceeded, OSError)
+
+
+class TestStoreScan:
+    def test_scan_stops_at_chunk_boundary(self, tmp_path, small_trace):
+        from repro.store import ColumnarStore, store_from_trace
+
+        root = tmp_path / "store"
+        store_from_trace(small_trace, root, shard_rows=100)
+        store = ColumnarStore(root)
+        deadline, clock = make(1.0)
+        iterator = store.iter_batches(batch_rows=50, deadline=deadline)
+        first = next(iterator)
+        assert len(first)
+        clock["now"] = 2.0  # budget blown between chunks
+        with pytest.raises(DeadlineExceeded):
+            next(iterator)
+
+    def test_summarize_partial_covers_prefix(self, tmp_path, small_trace):
+        from repro.store import ColumnarStore, store_from_trace, summarize_store
+
+        root = tmp_path / "store"
+        store_from_trace(small_trace, root, shard_rows=100)
+        store = ColumnarStore(root)
+        total = store.manifest.row_count
+
+        ticks = {"n": 0}
+
+        def clock():
+            # Each call advances; the scan's per-chunk checks burn the
+            # budget after a few chunks.
+            ticks["n"] += 1
+            return float(ticks["n"])
+
+        deadline = Deadline(3.0, clock=clock)
+        summary = summarize_store(
+            store, batch_rows=50, deadline=deadline, on_deadline="partial"
+        )
+        assert summary.partial is not None
+        assert summary.partial["reason"] == "deadline-exceeded"
+        assert summary.partial["rows_total"] == total
+        assert summary.partial["rows_seen"] == summary.rows < total
+        assert "partial" in summary.to_dict()
+
+    def test_summarize_raise_mode_propagates(self, tmp_path, small_trace):
+        from repro.store import ColumnarStore, store_from_trace, summarize_store
+
+        root = tmp_path / "store"
+        store_from_trace(small_trace, root, shard_rows=100)
+        deadline, clock = make(1.0)
+        clock["now"] = 5.0
+        with pytest.raises(DeadlineExceeded):
+            summarize_store(
+                ColumnarStore(root), batch_rows=50, deadline=deadline
+            )
+
+    def test_complete_summary_dict_has_no_partial_key(
+        self, tmp_path, small_trace
+    ):
+        # Byte-identity contract: `store analyze --json` output for a
+        # complete scan is unchanged by the deadline feature.
+        from repro.store import ColumnarStore, store_from_trace, summarize_store
+
+        root = tmp_path / "store"
+        store_from_trace(small_trace, root, shard_rows=100)
+        payload = summarize_store(ColumnarStore(root)).to_dict()
+        assert "partial" not in payload
+
+    def test_bad_on_deadline_rejected(self, tmp_path, small_trace):
+        from repro.store import ColumnarStore, store_from_trace, summarize_store
+
+        root = tmp_path / "store"
+        store_from_trace(small_trace, root, shard_rows=100)
+        with pytest.raises(ValueError, match="on_deadline"):
+            summarize_store(ColumnarStore(root), on_deadline="ignore")

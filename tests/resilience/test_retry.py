@@ -63,3 +63,50 @@ class TestValidation:
     def test_bad_attempt_rejected(self):
         with pytest.raises(ValueError, match="attempt"):
             RetryPolicy().backoff("k", 0)
+
+
+class TestSleepHooks:
+    """Sync and async sleep helpers share the deterministic schedule."""
+
+    def test_sleep_returns_backoff_delay(self, monkeypatch):
+        slept = []
+        import time as _time
+
+        monkeypatch.setattr(_time, "sleep", lambda s: slept.append(s))
+        policy = RetryPolicy(seed=3, base_delay=0.25, jitter=0.0)
+        delay = policy.sleep("k", 2)
+        assert delay == policy.backoff("k", 2)
+        assert slept == [delay]
+
+    def test_sleep_async_awaits_same_delay(self, monkeypatch):
+        import asyncio
+
+        slept = []
+
+        async def fake_sleep(seconds):
+            slept.append(seconds)
+
+        monkeypatch.setattr(asyncio, "sleep", fake_sleep)
+        policy = RetryPolicy(seed=3, base_delay=0.25, jitter=0.1)
+
+        async def main():
+            return await policy.sleep_async("k", 3)
+
+        delay = asyncio.run(main())
+        assert delay == policy.backoff("k", 3)
+        assert slept == [delay]
+
+    def test_zero_delay_skips_sleeping(self, monkeypatch):
+        import time as _time
+
+        calls = []
+        monkeypatch.setattr(_time, "sleep", lambda s: calls.append(s))
+        policy = RetryPolicy(base_delay=0.0, jitter=0.0)
+        assert policy.sleep("k", 1) == 0.0
+        assert calls == []
+
+    def test_sync_backoff_unchanged_by_hooks(self):
+        # The jittered schedule is the PR-4 contract; adding sleep
+        # helpers must not perturb it.
+        policy = RetryPolicy(seed=7)
+        assert policy.backoff("system-20", 2) == policy.backoff("system-20", 2)

@@ -1,0 +1,15 @@
+"""Shared fixtures for the serving-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import store_from_trace
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory, small_trace):
+    """A pristine multi-shard store shared by read-only tests."""
+    root = tmp_path_factory.mktemp("serve-store") / "store"
+    store_from_trace(small_trace, root, shard_rows=100)
+    return root

@@ -1,0 +1,103 @@
+"""Admission control: bounded concurrency, capped queue, early shed."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import AdmissionController, AdmissionShed
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAdmission:
+    def test_admits_within_concurrency(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=2, max_queue=0)
+            async with controller.slot():
+                async with controller.slot():
+                    assert controller.active == 2
+            assert controller.active == 0
+            assert controller.admitted == 2
+            assert controller.shed == 0
+
+        run(scenario())
+
+    def test_sheds_when_queue_full(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=1, max_queue=0)
+            async with controller.slot():
+                with pytest.raises(AdmissionShed, match="at capacity"):
+                    async with controller.slot():
+                        pass  # pragma: no cover - never admitted
+            assert controller.shed == 1
+            assert controller.admitted == 1
+
+        run(scenario())
+
+    def test_queued_request_waits_then_runs(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=1, max_queue=1)
+            release = asyncio.Event()
+            order = []
+
+            async def holder():
+                async with controller.slot():
+                    order.append("holder")
+                    await release.wait()
+
+            async def waiter():
+                async with controller.slot():
+                    order.append("waiter")
+
+            hold_task = asyncio.ensure_future(holder())
+            await asyncio.sleep(0.01)
+            wait_task = asyncio.ensure_future(waiter())
+            await asyncio.sleep(0.01)
+            assert controller.waiting == 1
+            # A third request exceeds max_queue and is shed immediately.
+            with pytest.raises(AdmissionShed):
+                async with controller.slot():
+                    pass  # pragma: no cover
+            release.set()
+            await asyncio.gather(hold_task, wait_task)
+            assert order == ["holder", "waiter"]
+            assert controller.peak_waiting == 1
+            assert controller.peak_active == 1
+
+        run(scenario())
+
+    def test_slot_released_on_error(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=1, max_queue=0)
+            with pytest.raises(RuntimeError):
+                async with controller.slot():
+                    raise RuntimeError("query blew up")
+            # The slot is free again.
+            async with controller.slot():
+                assert controller.active == 1
+
+        run(scenario())
+
+    def test_counters_exposed(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrency=3, max_queue=5)
+            async with controller.slot():
+                pass
+            stats = controller.to_dict()
+            assert stats["max_concurrency"] == 3
+            assert stats["max_queue"] == 5
+            assert stats["admitted"] == 1
+            assert stats["active"] == 0
+            assert stats["peak_active"] == 1
+
+        run(scenario())
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_concurrency"):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            AdmissionController(max_queue=-1)

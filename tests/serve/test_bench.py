@@ -1,0 +1,59 @@
+"""serve-bench: the load generator and its regression gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, run_serve_bench
+from repro.serve.bench import check_serve_report, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [40.0, 10.0, 30.0, 20.0]
+        assert percentile(samples, 0.5) == 30.0
+        assert percentile(samples, 0.99) == 40.0
+        assert percentile(samples, 0.0) == 10.0
+
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+
+class TestServeBench:
+    @pytest.fixture(scope="class")
+    def report(self, store_root):
+        return run_serve_bench(
+            store_root,
+            requests=24,
+            clients=4,
+            config=ServeConfig(port=0, max_concurrency=2, max_queue=8),
+        )
+
+    def test_report_shape(self, report):
+        assert report["requests"] == 24
+        assert report["clients"] == 4
+        assert report["throughput_rps"] > 0
+        latency = report["latency_ms"]
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+        assert sum(report["status_counts"].values()) == 24
+
+    def test_healthy_store_serves_clean(self, report):
+        assert report["error_rate"] == 0.0
+        assert report["status_counts"].get("200", 0) + report[
+            "status_counts"
+        ].get(200, 0) == 24 - report["outcomes"].get("shed", 0)
+
+    def test_server_stats_captured(self, report):
+        assert report["server_stats"]["requests"] >= 24
+
+    def test_check_passes_generous_gate(self, report):
+        assert check_serve_report(
+            report, p99_ms=60000.0, max_error_rate=0.0
+        ) == []
+
+    def test_check_flags_violations(self, report):
+        violations = check_serve_report(
+            report, p99_ms=0.000001, max_error_rate=0.0
+        )
+        assert violations
+        assert any("p99" in violation for violation in violations)

@@ -1,0 +1,83 @@
+"""Result cache: generation keying, LRU bounds, last-good fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("gen1", "summary") is None
+        cache.put("gen1", "summary", {"rows": 10})
+        entry = cache.get("gen1", "summary")
+        assert entry is not None
+        assert entry.payload == {"rows": 10}
+        assert entry.generation == "gen1"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_generation_change_invalidates(self):
+        cache = ResultCache()
+        cache.put("gen1", "summary", {"rows": 10})
+        # A repaired / appended store presents a new generation; the
+        # old entry simply never matches again.
+        assert cache.get("gen2", "summary") is None
+
+    def test_distinct_queries_distinct_entries(self):
+        cache = ResultCache()
+        cache.put("gen", "a", {"q": "a"})
+        cache.put("gen", "b", {"q": "b"})
+        assert cache.get("gen", "a").payload == {"q": "a"}
+        assert cache.get("gen", "b").payload == {"q": "b"}
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("gen", "a", {})
+        cache.put("gen", "b", {})
+        cache.get("gen", "a")  # refresh a → b is now least recent
+        cache.put("gen", "c", {})
+        assert cache.get("gen", "b") is None
+        assert cache.get("gen", "a") is not None
+        assert cache.get("gen", "c") is not None
+        assert cache.evictions == 1
+
+    def test_last_good_survives_generation_change(self):
+        cache = ResultCache(max_entries=1)
+        cache.put("gen1", "summary", {"rows": 10})
+        cache.put("gen2", "other", {"rows": 3})  # evicts the LRU entry
+        assert cache.get("gen1", "summary") is None
+        stale = cache.last_good("summary")
+        assert stale is not None
+        assert stale.payload == {"rows": 10}
+        assert stale.generation == "gen1"
+        assert cache.stale_hits == 1
+
+    def test_last_good_tracks_newest(self):
+        cache = ResultCache()
+        cache.put("gen1", "summary", {"version": 1})
+        cache.put("gen2", "summary", {"version": 2})
+        assert cache.last_good("summary").payload == {"version": 2}
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.put("gen", "summary", {})
+        cache.clear()
+        assert cache.get("gen", "summary") is None
+        assert cache.last_good("summary") is None
+
+    def test_counters(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("gen", "a", {})
+        cache.get("gen", "a")
+        cache.get("gen", "missing")
+        stats = cache.to_dict()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["last_good_entries"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)

@@ -1,0 +1,132 @@
+"""The ISSUE's chaos acceptance drill, as a test.
+
+With filesystem faults armed (slow-io, then ENOSPC) and a shard
+quarantined mid-run, a 200-request concurrent load must see **zero
+5xx and zero hung connections**: every response is a 200 (possibly
+degraded / stale, with coverage metadata) or a 429 shed.  Separately,
+query results served from an undamaged store must be byte-identical
+to the equivalent ``repro store analyze --json`` batch output.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cli import main as cli_main
+from repro.faults.fsfaults import FsFaults, fsfaults_env
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.client import get
+from repro.store import scrub_store, store_from_trace
+
+TOTAL_REQUESTS = 200
+CLIENTS = 8
+
+
+def dumps(payload):
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def test_served_summary_byte_identical_to_cli(
+    tmp_path, small_trace, capsys
+):
+    root = tmp_path / "store"
+    store_from_trace(small_trace, root, shard_rows=100)
+    assert cli_main(["store", "analyze", str(root), "--json"]) == 0
+    expected = capsys.readouterr().out
+    with ServerThread(root, ServeConfig(port=0)) as served:
+        response = get(served.host, served.port, "/v1/summary")
+    assert response.status == 200
+    assert dumps(response.body["data"]) + "\n" == expected
+
+
+def test_concurrent_load_survives_faults_and_quarantine(
+    tmp_path, small_trace
+):
+    root = tmp_path / "store"
+    store_from_trace(small_trace, root, shard_rows=100)
+    systems = sorted({record.system_id for record in small_trace.records})
+    paths = ["/v1/summary"] + [
+        f"/v1/analyze?system={system}" for system in systems
+    ]
+
+    def fault(operator, times, slow_seconds=0.01):
+        return FsFaults(
+            operator=operator,
+            times=times,
+            sites=("store.read.column",),
+            state_dir=str(tmp_path / f"faults-{operator}"),
+            slow_seconds=slow_seconds,
+        )
+
+    config = ServeConfig(
+        port=0,
+        max_concurrency=2,
+        max_queue=2,
+        deadline_seconds=5.0,
+        breaker_cooldown=600.0,  # no half-open probes mid-drill
+    )
+    outcomes = {"ok": 0, "degraded": 0, "stale": 0, "partial": 0, "shed": 0}
+    failures = []
+
+    with ServerThread(root, config) as served:
+        # Warm phase: every query path gets a complete cached answer,
+        # arming the last-good stale fallback the ladder ends on.
+        for path in paths:
+            response = get(served.host, served.port, path)
+            assert response.status == 200
+            assert response.meta()["status"] == "ok"
+
+        def hit(index):
+            path = paths[index % len(paths)]
+            try:
+                response = get(served.host, served.port, path, timeout=30)
+            except OSError as error:
+                failures.append(f"{path}: hung/dropped connection: {error}")
+                return
+            if response.status == 429:
+                outcomes["shed"] += 1
+                return
+            if response.status != 200:
+                failures.append(f"{path}: HTTP {response.status}")
+                return
+            meta = response.meta()
+            for field in ("degraded", "stale", "coverage", "cache", "breaker"):
+                if field not in meta:
+                    failures.append(f"{path}: meta missing {field!r}")
+                    return
+            if meta["degraded"] and not isinstance(meta["coverage"], dict):
+                failures.append(f"{path}: degraded without coverage map")
+                return
+            outcomes[meta["status"]] = outcomes.get(meta["status"], 0) + 1
+
+        def drive(start, count):
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                list(pool.map(hit, range(start, start + count)))
+
+        # Phase 1: slow reads under concurrency (some requests shed).
+        with fsfaults_env(fault("slow-io", times=64)):
+            drive(0, 80)
+
+        # Mid-run: a shard loses a column and gets quarantined while
+        # traffic continues.
+        (root / "shards" / "00000-node_id.npy").unlink()
+        scrub_store(root)
+
+        # Phase 2: damaged store + ENOSPC on the surviving reads.
+        with fsfaults_env(fault("enospc", times=4)):
+            drive(80, 80)
+
+        # Phase 3: faults disarmed, store still damaged.
+        drive(160, TOTAL_REQUESTS - 160)
+
+        stats = get(served.host, served.port, "/v1/stats").body
+
+    assert not failures, failures[:10]
+    answered = sum(outcomes.values())
+    assert answered == TOTAL_REQUESTS
+    # The damaged phases must actually have exercised the ladder.
+    assert outcomes["degraded"] + outcomes["stale"] > 0
+    assert stats["gateway"]["degraded_reads"] + stats["gateway"]["stale_reads"] > 0
+    assert stats["responses"].get("error", 0) == 0
+    assert stats["responses"].get("unavailable", 0) == 0

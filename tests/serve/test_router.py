@@ -1,0 +1,76 @@
+"""Route resolution and query-string normalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BadRequest, Query, resolve
+from repro.serve.router import ROUTES
+
+
+class TestResolve:
+    def test_plain_endpoints(self):
+        for path in ("/healthz", "/readyz", "/v1/systems", "/v1/stats"):
+            route = resolve("GET", path)
+            assert route.name == path
+            assert route.query is None
+
+    def test_trailing_slash_normalized(self):
+        assert resolve("GET", "/healthz/").name == "/healthz"
+
+    def test_unknown_path_is_key_error(self):
+        with pytest.raises(KeyError):
+            resolve("GET", "/v2/summary")
+
+    def test_non_get_rejected(self):
+        with pytest.raises(BadRequest, match="not allowed"):
+            resolve("POST", "/healthz")
+
+    def test_summary_route(self):
+        route = resolve("GET", "/v1/summary")
+        assert route.query == Query.build(kind="summary")
+        assert route.deadline_seconds is None
+
+    def test_analyze_full_query(self):
+        route = resolve(
+            "GET", "/v1/analyze?system=13&t_min=0.5&t_max=9.5&deadline_ms=250"
+        )
+        assert route.query == Query.build(
+            kind="analyze", systems=[13], t_min=0.5, t_max=9.5
+        )
+        assert route.deadline_seconds == pytest.approx(0.25)
+
+    def test_systems_repeatable_and_comma_lists(self):
+        route = resolve("GET", "/v1/analyze?system=2&systems=13,2&system=7")
+        assert route.query.systems == (2, 7, 13)
+
+    def test_system_order_does_not_change_cache_key(self):
+        first = resolve("GET", "/v1/analyze?system=2&system=13")
+        second = resolve("GET", "/v1/analyze?system=13&system=2")
+        assert first.query.key() == second.query.key()
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(BadRequest, match="sytem"):
+            resolve("GET", "/v1/analyze?sytem=3")
+        with pytest.raises(BadRequest, match="unknown parameter"):
+            resolve("GET", "/healthz?verbose=1")
+
+    def test_non_numeric_values_rejected(self):
+        with pytest.raises(BadRequest, match="t_min"):
+            resolve("GET", "/v1/analyze?t_min=abc")
+        with pytest.raises(BadRequest, match="integers"):
+            resolve("GET", "/v1/analyze?system=one")
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(BadRequest, match="empty window"):
+            resolve("GET", "/v1/analyze?t_min=5&t_max=5")
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(BadRequest, match="deadline_ms"):
+            resolve("GET", "/v1/summary?deadline_ms=0")
+        with pytest.raises(BadRequest, match="deadline_ms"):
+            resolve("GET", "/v1/summary?deadline_ms=soon")
+
+    def test_route_table_is_published(self):
+        assert "/v1/analyze" in ROUTES
+        assert len(ROUTES) == 6

@@ -1,0 +1,212 @@
+"""End-to-end HTTP tests against a live :class:`ServerThread`."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.client import get
+from repro.store import ColumnarStore, store_from_trace, summarize_store
+from repro.store.manifest import Predicate
+
+
+@pytest.fixture(scope="module")
+def served(store_root):
+    config = ServeConfig(port=0, max_concurrency=2, max_queue=4)
+    with ServerThread(store_root, config) as thread:
+        yield thread
+
+
+def dumps(payload):
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        response = get(served.host, served.port, "/healthz")
+        assert response.status == 200
+        assert response.body["status"] == "ok"
+
+    def test_readyz(self, served):
+        response = get(served.host, served.port, "/readyz")
+        assert response.status == 200
+        assert response.body["status"] == "ok"
+        assert response.body["healing"]["quarantined_shards"] == 0
+
+    def test_systems(self, served, small_trace):
+        response = get(served.host, served.port, "/v1/systems")
+        assert response.status == 200
+        data = response.body["data"]
+        assert data["row_count"] == len(small_trace.records)
+        assert {entry["system"] for entry in data["systems"]} == {
+            record.system_id for record in small_trace.records
+        }
+        assert response.meta()["status"] == "ok"
+
+    def test_summary_byte_identical_to_store_analyze(
+        self, served, store_root
+    ):
+        response = get(served.host, served.port, "/v1/summary")
+        assert response.status == 200
+        expected = summarize_store(ColumnarStore(store_root)).to_dict()
+        assert dumps(response.body["data"]) == dumps(expected)
+        meta = response.meta()
+        assert meta["status"] in ("ok",) or meta["cache"] == "hit"
+        assert meta["degraded"] is False
+        assert meta["stale"] is False
+        assert meta["coverage"] == 1.0
+        assert meta["generation"]
+
+    def test_analyze_filter_byte_identical(self, served, store_root):
+        response = get(
+            served.host, served.port, "/v1/analyze?system=13&t_min=0"
+        )
+        assert response.status == 200
+        expected = summarize_store(
+            ColumnarStore(store_root),
+            predicate=Predicate.build(systems=[13], t_min=0.0),
+        ).to_dict()
+        assert dumps(response.body["data"]) == dumps(expected)
+
+    def test_analyze_cache_hit_on_repeat(self, served):
+        path = "/v1/analyze?system=2"
+        first = get(served.host, served.port, path)
+        second = get(served.host, served.port, path)
+        assert first.status == second.status == 200
+        assert second.meta()["cache"] == "hit"
+        assert dumps(second.body["data"]) == dumps(first.body["data"])
+
+    def test_deadline_override_reflected(self, served):
+        response = get(
+            served.host, served.port, "/v1/summary?deadline_ms=30000"
+        )
+        assert response.status == 200
+        meta = response.meta()
+        assert meta["deadline_ms"] == pytest.approx(30000.0)
+        # Small store: the scan finishes well inside the budget.
+        assert meta["status"] in ("ok",)
+
+    def test_stats(self, served):
+        response = get(served.host, served.port, "/v1/stats")
+        assert response.status == 200
+        stats = response.body
+        assert stats["requests"] >= 1
+        assert stats["admission"]["max_concurrency"] == 2
+        assert stats["gateway"]["breaker"] == "closed"
+        assert "cache" in stats["gateway"]
+        assert stats["draining"] is False
+
+    def test_unknown_endpoint_404(self, served):
+        response = get(served.host, served.port, "/v2/summary")
+        assert response.status == 404
+        assert "/v1/summary" in response.body["routes"]
+
+    def test_unknown_parameter_400(self, served):
+        response = get(served.host, served.port, "/v1/analyze?sytem=3")
+        assert response.status == 400
+        assert "sytem" in response.body["error"]
+
+    def test_post_method_405(self, served):
+        connection = http.client.HTTPConnection(
+            served.host, served.port, timeout=10
+        )
+        try:
+            connection.request("POST", "/v1/summary")
+            raw = connection.getresponse()
+            assert raw.status == 405
+        finally:
+            connection.close()
+
+
+class TestOverload:
+    def test_full_queue_sheds_with_429(self, store_root, tmp_path):
+        from repro.faults.fsfaults import FsFaults, fsfaults_env
+
+        config = ServeConfig(port=0, max_concurrency=1, max_queue=0)
+        spec = FsFaults(
+            operator="slow-io",
+            times=1000,
+            sites=("store.read.column",),
+            state_dir=str(tmp_path / "faults"),
+            slow_seconds=0.2,
+        )
+        with ServerThread(store_root, config) as served:
+            with fsfaults_env(spec):
+                slow = {}
+
+                def hold():
+                    slow["response"] = get(
+                        served.host, served.port, "/v1/summary", timeout=60
+                    )
+
+                holder = threading.Thread(target=hold)
+                holder.start()
+                time.sleep(0.3)  # the slow scan is now holding the slot
+                shed = get(served.host, served.port, "/v1/summary")
+                holder.join()
+            assert shed.status == 429
+            assert shed.body["retry_after"] == 1
+            assert slow["response"].status == 200
+            stats = get(served.host, served.port, "/v1/stats").body
+            assert stats["admission"]["shed"] >= 1
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_refuses(
+        self, store_root, tmp_path
+    ):
+        from repro.faults.fsfaults import FsFaults, fsfaults_env
+
+        config = ServeConfig(port=0, max_concurrency=1, max_queue=0)
+        spec = FsFaults(
+            operator="slow-io",
+            times=1000,
+            sites=("store.read.column",),
+            state_dir=str(tmp_path / "faults"),
+            slow_seconds=0.1,
+        )
+        served = ServerThread(store_root, config)
+        with served:
+            with fsfaults_env(spec):
+                slow = {}
+
+                def hold():
+                    slow["response"] = get(
+                        served.host, served.port, "/v1/summary", timeout=60
+                    )
+
+                holder = threading.Thread(target=hold)
+                holder.start()
+                time.sleep(0.2)
+                host, port = served.host, served.port
+                served.stop()  # graceful drain while the scan is in flight
+                holder.join()
+        # The in-flight request was answered, not dropped.
+        assert slow["response"].status == 200
+        # New connections are refused after the drain.
+        with pytest.raises(OSError):
+            get(host, port, "/healthz", timeout=5)
+
+    def test_drain_flushes_metrics(self, store_root, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        config = ServeConfig(port=0, metrics_path=metrics_path)
+        with obs.observing(metrics_registry=obs.MetricsRegistry()):
+            with ServerThread(store_root, config) as served:
+                get(served.host, served.port, "/healthz")
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["gauge"]["serve.requests_total"] == 1
+        assert snapshot["counter"]["serve.requests"] == 1
+
+
+class TestConfigValidation:
+    def test_bad_deadlines_rejected(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            ServeConfig(deadline_seconds=0)
+        with pytest.raises(ValueError, match="max_deadline_seconds"):
+            ServeConfig(deadline_seconds=10.0, max_deadline_seconds=5.0)

@@ -115,6 +115,34 @@ class TestStoreCommands:
         assert main(["store", "info", str(tmp_path / "nope")]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_info_reports_clean_healing(self, store_dir, capsys):
+        assert main(["store", "info", str(store_dir)]) == 0
+        assert "healing: clean (no quarantined shards)" in (
+            capsys.readouterr().out
+        )
+
+    def test_info_reports_degraded_healing(
+        self, store_dir, tmp_path, capsys
+    ):
+        import shutil
+
+        from repro.store import scrub_store
+
+        damaged = tmp_path / "damaged"
+        shutil.copytree(store_dir, damaged)
+        next((damaged / "shards").glob("*-node_id.npy")).unlink()
+        scrub_store(damaged)
+        assert main(["store", "info", str(damaged)]) == 0
+        out = capsys.readouterr().out
+        assert "healing: DEGRADED" in out
+        assert "affected systems:" in out
+        assert "repro store repair" in out
+        assert main(["store", "info", str(damaged), "--json"]) == 0
+        healing = json.loads(capsys.readouterr().out)["healing"]
+        assert healing["quarantined_shards"] == 1
+        assert healing["quarantined_rows"] > 0
+        assert healing["affected_systems"]
+
 
 @pytest.fixture()
 def damaged_dir(store_dir, tmp_path):
