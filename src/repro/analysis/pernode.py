@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.analysis.errors import DegenerateSampleError
 from repro.records.record import Workload
+from repro.records.system import SystemConfig
 from repro.records.trace import FailureTrace
 from repro.stats.empirical import EmpiricalDistribution
 from repro.stats.fitting import FitResult, fit_all_discrete
@@ -26,6 +27,7 @@ __all__ = [
     "node_share",
     "NodeCountStudy",
     "node_count_study",
+    "node_count_study_from_counts",
 ]
 
 
@@ -115,14 +117,46 @@ def node_count_study(
     """
     system_trace = trace.filter_systems([system_id])
     config = trace.systems[system_id]
-    nodes = config.expand_nodes(trace.data_start, trace.data_end)
-    system_window = config.production_window(trace.data_start, trace.data_end)
-    system_length = system_window[1] - system_window[0]
     # Workload per node: from its records if any, else compute.
     node_workloads: Dict[int, Workload] = {}
     for record in system_trace:
         node_workloads.setdefault(record.node_id, record.workload)
     counts = failures_per_node(trace, system_id)
+    return node_count_study_from_counts(
+        config,
+        trace.data_start,
+        trace.data_end,
+        system_id,
+        counts,
+        node_workloads,
+        workload=workload,
+        exclude_nodes=exclude_nodes,
+        min_production_fraction=min_production_fraction,
+    )
+
+
+def node_count_study_from_counts(
+    config: SystemConfig,
+    data_start: float,
+    data_end: float,
+    system_id: int,
+    counts: Dict[int, int],
+    node_workloads: Dict[int, Workload],
+    workload: Workload = Workload.COMPUTE,
+    exclude_nodes: Sequence[int] = (),
+    min_production_fraction: float = 0.5,
+) -> NodeCountStudy:
+    """:func:`node_count_study` from pre-aggregated per-node state.
+
+    The trace-derived inputs — lifetime failure counts per node
+    (zero-filled over the inventory) and each node's first-seen
+    workload — can be streamed from a columnar store, so the out-of-
+    core path shares this exact filtering/fitting core and produces
+    bit-identical studies.
+    """
+    nodes = config.expand_nodes(data_start, data_end)
+    system_window = config.production_window(data_start, data_end)
+    system_length = system_window[1] - system_window[0]
     kept: List[int] = []
     excluded = frozenset(exclude_nodes)
     for node in nodes:

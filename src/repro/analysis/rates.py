@@ -24,6 +24,7 @@ __all__ = [
     "SystemRate",
     "failure_rates",
     "normalized_variability",
+    "variability_from_rates",
     "rate_size_correlation",
 ]
 
@@ -108,7 +109,17 @@ def normalized_variability(trace: FailureTrace) -> Dict[str, float]:
     for raw rates, normalized rates, and normalized rates within each
     hardware type with >= 2 systems.
     """
-    rates = [rate for rate in failure_rates(trace) if rate.failures > 0]
+    return variability_from_rates(failure_rates(trace))
+
+
+def variability_from_rates(all_rates: List[SystemRate]) -> Dict[str, float]:
+    """:func:`normalized_variability` from precomputed per-system rates.
+
+    Split out so the out-of-core path — which builds the same
+    :class:`SystemRate` list from exact streamed counts — produces
+    bit-identical CVs without materializing a trace.
+    """
+    rates = [rate for rate in all_rates if rate.failures > 0]
     if len(rates) < 2:
         raise DegenerateSampleError(
             f"need at least 2 systems with failures, got {len(rates)}"

@@ -16,9 +16,11 @@
     python -m repro store repair runs/big-store --from trace.csv
     python -m repro store append runs/big-store extra.csv
     python -m repro store merge runs/merged runs/store-a runs/store-b
-    python -m repro report runs/big-store --artifact fig6
+    python -m repro report runs/big-store
+    python -m repro report runs/big-store --artifact fig6 --workers 4
     python -m repro report trace.csv --artifact fig6
     python -m repro report --synthetic --artifact all
+    python -m repro store analyze runs/big-store --full
     python -m repro summary trace.csv
     python -m repro availability trace.csv
     python -m repro validate trace.csv
@@ -163,8 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "report":
             command.add_argument(
-                "--artifact", choices=ARTIFACTS, required=True,
-                help="which table/figure to render",
+                "--artifact", choices=ARTIFACTS, default="all",
+                help="which table/figure to render (default: all)",
+            )
+            command.add_argument(
+                "--workers", type=int, default=None, metavar="N",
+                help="store directories only: scan shards with N "
+                     "supervised worker processes (default serial)",
+            )
+            command.add_argument(
+                "--batch-rows", type=int, default=None, metavar="ROWS",
+                help="store directories only: rows per streamed chunk "
+                     "(default 65536)",
             )
         if name == "outliers":
             command.add_argument(
@@ -471,6 +483,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--on-damage", choices=("raise", "skip"), default="raise",
         help="'raise' fails on a damaged shard; 'skip' summarizes the "
              "healthy shards and reports the skipped ones",
+    )
+    store_analyze.add_argument(
+        "--full", action="store_true",
+        help="render the full paper report out-of-core (streaming "
+             "sketches, bounded memory) instead of the summary",
+    )
+    store_analyze.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="with --full: scan shards with N supervised worker "
+             "processes (default serial)",
     )
 
     store_export = store_sub.add_parser(
@@ -782,9 +804,58 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_from_store(args: argparse.Namespace) -> int:
+    """``repro report <store-dir>``: the out-of-core streaming path.
+
+    Renders straight from the columnar store through mergeable sketches
+    — no trace is materialized, so peak memory stays bounded by one
+    read chunk regardless of store size.
+    """
+    from repro.report.streaming import run_store_report
+    from repro.store import ColumnarStore
+    from repro.store.reader import DEFAULT_BATCH_ROWS
+
+    store = ColumnarStore(
+        args.trace, on_damage=getattr(args, "on_damage", "raise")
+    )
+    result = run_store_report(
+        store,
+        workers=args.workers,
+        batch_rows=(
+            args.batch_rows
+            if args.batch_rows is not None
+            else DEFAULT_BATCH_ROWS
+        ),
+    )
+    if result.degraded is not None:
+        print(
+            f"warning: degraded read: skipped "
+            f"{len(result.degraded['shards_skipped'])} shard(s) "
+            f"({result.degraded['rows_skipped']} rows); run "
+            f"`repro store scrub {args.trace}`",
+            file=sys.stderr,
+        )
+    paper = result.report
+    if args.artifact == "all":
+        print(paper.render())
+        print("\n" + "=" * 78 + "\n")
+        print(paper.diagnostics())
+        return 0 if paper.ok else 1
+    section = next(s for s in paper.sections if s.name == args.artifact)
+    if section.ok:
+        print(section.text)
+        return 0
+    print(f"[{args.artifact} unavailable on this store: {section.error}]")
+    return 1
+
+
 def _command_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro import report
 
+    if args.trace and not args.synthetic and Path(args.trace).is_dir():
+        return _report_from_store(args)
     trace, degraded = _load_trace(args)
     if args.artifact == "all":
         paper = report.run_paper_report(trace, degraded_read=degraded)
@@ -1285,6 +1356,39 @@ def _command_store(args: argparse.Namespace) -> int:
 
         store = ColumnarStore(args.root, on_damage=args.on_damage)
         predicate = _store_predicate(args)
+        if args.full:
+            from repro.report.streaming import run_store_report
+
+            if predicate is not None:
+                raise SystemExit(
+                    "error: --full renders the whole-store report and "
+                    "does not compose with --since/--until/--systems"
+                )
+            result = run_store_report(
+                store,
+                workers=args.workers,
+                batch_rows=(
+                    args.batch_rows
+                    if args.batch_rows is not None
+                    else DEFAULT_BATCH_ROWS
+                ),
+            )
+            if args.json:
+                print(_json.dumps(
+                    result.to_dict(), indent=2, sort_keys=True
+                ))
+            else:
+                if result.degraded is not None:
+                    print(
+                        f"warning: degraded read: skipped "
+                        f"{len(result.degraded['shards_skipped'])} "
+                        f"shard(s); run `repro store scrub {args.root}`",
+                        file=sys.stderr,
+                    )
+                print(result.report.render())
+                print("\n" + "=" * 78 + "\n")
+                print(result.report.diagnostics())
+            return 0 if result.report.ok else 1
         summary = summarize_store(
             store,
             predicate=predicate,

@@ -13,7 +13,13 @@ a user can hand to matplotlib instead.
 
 from repro.report.tables import format_table
 from repro.report.markdown import markdown_summary, markdown_table
-from repro.report.charts import bar_chart, cdf_plot, series_plot, stacked_bars
+from repro.report.charts import (
+    bar_chart,
+    cdf_plot,
+    cdf_plot_weighted,
+    series_plot,
+    stacked_bars,
+)
 from repro.report.paper import (
     PaperReport,
     SectionResult,
@@ -29,6 +35,7 @@ from repro.report.paper import (
     render_table2,
     render_table3,
 )
+from repro.report.streaming import StoreReport, run_store_report
 
 __all__ = [
     "format_table",
@@ -36,6 +43,7 @@ __all__ = [
     "markdown_summary",
     "bar_chart",
     "cdf_plot",
+    "cdf_plot_weighted",
     "series_plot",
     "stacked_bars",
     "render_table1",
@@ -51,4 +59,6 @@ __all__ = [
     "PaperReport",
     "SectionResult",
     "run_paper_report",
+    "StoreReport",
+    "run_store_report",
 ]

@@ -12,7 +12,13 @@ import numpy as np
 
 from repro.stats.errors import DegenerateSampleError
 
-__all__ = ["bar_chart", "stacked_bars", "cdf_plot", "series_plot"]
+__all__ = [
+    "bar_chart",
+    "stacked_bars",
+    "cdf_plot",
+    "cdf_plot_weighted",
+    "series_plot",
+]
 
 _FULL = "#"
 
@@ -103,6 +109,64 @@ def cdf_plot(
             raise DegenerateSampleError("degenerate data range")
         xs = np.linspace(x_low, x_high, width)
     ecdf = np.searchsorted(values, xs, side="right") / values.size
+    return _render_cdf(xs, ecdf, models, width, height, x_low, x_high, log_x, title)
+
+
+def cdf_plot_weighted(
+    values: Sequence[float],
+    counts: Sequence[float],
+    models: Mapping[str, object],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """:func:`cdf_plot` over a weighted (histogram) sample.
+
+    ``values`` are ascending distinct sample points (e.g. log-bucket
+    representatives) and ``counts`` their multiplicities; the empirical
+    step function weights each point accordingly.  This is the
+    out-of-core report's plotting path — the ECDF is exact at the
+    bucket boundaries, so the rendered curve matches the materialized
+    one to the sketch's relative-error bound.
+    """
+    points = np.asarray(values, dtype=float)
+    weights = np.asarray(counts, dtype=float)
+    if points.shape != weights.shape:
+        raise ValueError("values and counts must have equal length")
+    n = float(weights.sum())
+    if n < 2:
+        raise DegenerateSampleError("need at least 2 observations")
+    positive = points > 0
+    if log_x:
+        if float(weights[positive].sum()) < 2:
+            raise DegenerateSampleError("log_x requires at least 2 positive observations")
+        kept = points[positive]
+        x_low, x_high = kept[0], kept[-1]
+        xs = np.geomspace(x_low, x_high, width)
+    else:
+        x_low, x_high = points[0], points[-1]
+        if x_high <= x_low:
+            raise DegenerateSampleError("degenerate data range")
+        xs = np.linspace(x_low, x_high, width)
+    cumulative = np.cumsum(weights)
+    index = np.searchsorted(points, xs, side="right")
+    ecdf = np.where(index > 0, cumulative[np.maximum(index - 1, 0)], 0.0) / n
+    return _render_cdf(xs, ecdf, models, width, height, x_low, x_high, log_x, title)
+
+
+def _render_cdf(
+    xs: np.ndarray,
+    ecdf: np.ndarray,
+    models: Mapping[str, object],
+    width: int,
+    height: int,
+    x_low: float,
+    x_high: float,
+    log_x: bool,
+    title: Optional[str],
+) -> str:
+    """Shared grid painter behind both CDF plot variants."""
     grid = [[" "] * width for _ in range(height)]
 
     def paint(curve: np.ndarray, symbol: str) -> None:

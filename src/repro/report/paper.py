@@ -61,11 +61,16 @@ ERA_BOUNDARY = from_datetime(_dt.datetime(2000, 1, 1))
 
 def render_table1(trace: FailureTrace) -> str:
     """Table 1: overview of the systems in the trace's inventory."""
+    return _format_table1(trace.systems)
+
+
+def _format_table1(systems) -> str:
+    """Table 1 text from an inventory mapping (trace- or manifest-fed)."""
     rows = []
     total_nodes = 0
     total_procs = 0
-    for system_id in sorted(trace.systems.keys()):
-        config = trace.systems[system_id]
+    for system_id in sorted(systems.keys()):
+        config = systems[system_id]
         total_nodes += config.node_count
         total_procs += config.processor_count
         for index, category in enumerate(config.categories):
@@ -94,6 +99,11 @@ def render_table1(trace: FailureTrace) -> str:
 
 def render_table2(trace: FailureTrace) -> str:
     """Table 2: repair-time statistics by root cause (minutes)."""
+    return _format_table2(repair_statistics_by_cause(trace))
+
+
+def _format_table2(by_cause) -> str:
+    """Table 2 text from :class:`RepairByCauseRow` rows."""
     rows = [
         (
             row.label,
@@ -103,7 +113,7 @@ def render_table2(trace: FailureTrace) -> str:
             f"{row.std:.0f}",
             f"{row.squared_cv:.0f}",
         )
-        for row in repair_statistics_by_cause(trace)
+        for row in by_cause
     ]
     return format_table(
         ("Root cause", "n", "Mean (min)", "Median (min)", "Std dev (min)", "C^2"),
@@ -136,10 +146,18 @@ def render_table3() -> str:
 
 def render_figure1(trace: FailureTrace) -> str:
     """Figure 1: root-cause breakdown of failures (a) and downtime (b)."""
+    return _format_figure1(
+        breakdown_by_hardware_type(trace),
+        downtime_breakdown_by_hardware_type(trace),
+    )
+
+
+def _format_figure1(failure_breakdowns, downtime_breakdowns) -> str:
+    """Figure 1 text from label -> :class:`CauseBreakdown` mappings."""
     sections = []
     for panel, breakdowns in (
-        ("(a) failures by root cause (%)", breakdown_by_hardware_type(trace)),
-        ("(b) downtime by root cause (%)", downtime_breakdown_by_hardware_type(trace)),
+        ("(a) failures by root cause (%)", failure_breakdowns),
+        ("(b) downtime by root cause (%)", downtime_breakdowns),
     ):
         groups = {
             label: {
@@ -162,7 +180,11 @@ def render_figure1(trace: FailureTrace) -> str:
 
 def render_figure2(trace: FailureTrace) -> str:
     """Figure 2: failures/year per system, raw (a) and per processor (b)."""
-    rates = failure_rates(trace)
+    return _format_figure2(failure_rates(trace), normalized_variability(trace))
+
+
+def _format_figure2(rates, variability) -> str:
+    """Figure 2 text from :class:`SystemRate` rows and CV mapping."""
     chart_a = bar_chart(
         [f"{rate.system_id} ({rate.hardware_type.value})" for rate in rates],
         [rate.per_year for rate in rates],
@@ -174,7 +196,6 @@ def render_figure2(trace: FailureTrace) -> str:
         title="Figure 2(b): failures per year per processor",
         value_format="{:.3f}",
     )
-    variability = normalized_variability(trace)
     footer = "\n".join(
         f"  CV[{name}] = {value:.3f}" for name, value in variability.items()
     )
@@ -186,6 +207,13 @@ def render_figure3(
 ) -> str:
     """Figure 3: failures per node of system 20 and count-CDF fits."""
     counts = failures_per_node(trace, system_id)
+    share = node_share(trace, system_id, graphics_nodes)
+    study = node_count_study(trace, system_id)
+    return _format_figure3(system_id, graphics_nodes, counts, share, study)
+
+
+def _format_figure3(system_id, graphics_nodes, counts, share, study) -> str:
+    """Figure 3 text from per-node counts, share, and the count study."""
     chart = bar_chart(
         [str(node_id) for node_id in sorted(counts.keys())],
         [counts[node_id] for node_id in sorted(counts.keys())],
@@ -193,8 +221,6 @@ def render_figure3(
         title=f"Figure 3(a): failures per node, system {system_id}",
         value_format="{:.0f}",
     )
-    share = node_share(trace, system_id, graphics_nodes)
-    study = node_count_study(trace, system_id)
     fit_lines = "\n".join("  " + fit.describe() for fit in study.fits)
     plot = cdf_plot(
         np.asarray(study.counts, dtype=float),
@@ -213,9 +239,15 @@ def render_figure3(
 
 def render_figure4(trace: FailureTrace, system_ids=(5, 19)) -> str:
     """Figure 4: failures per month vs system age for two systems."""
+    return _format_figure4(
+        [(system_id, monthly_failures(trace, system_id)) for system_id in system_ids]
+    )
+
+
+def _format_figure4(curves) -> str:
+    """Figure 4 text from ``(system_id, LifecycleCurve)`` pairs."""
     sections = []
-    for system_id in system_ids:
-        curve = monthly_failures(trace, system_id)
+    for system_id, curve in curves:
         if sum(curve.totals) == 0:
             sections.append(
                 f"Figure 4: system {system_id} has no failures in this trace"
@@ -242,7 +274,11 @@ def render_figure4(trace: FailureTrace, system_ids=(5, 19)) -> str:
 
 def render_figure5(trace: FailureTrace) -> str:
     """Figure 5: failures by hour of day and day of week."""
-    study = periodicity_study(trace)
+    return _format_figure5(periodicity_study(trace))
+
+
+def _format_figure5(study) -> str:
+    """Figure 5 text from a :class:`PeriodicityStudy`."""
     hours = bar_chart(
         [f"{hour:02d}" for hour in range(24)],
         list(study.hourly),
@@ -282,7 +318,6 @@ def render_figure6(
         ("(c) system view, early era", system_interarrivals(early, system_id)),
         ("(d) system view, late era", system_interarrivals(late, system_id)),
     ):
-        fit_lines = "\n".join("  " + fit.describe() for fit in study.fits)
         gaps = np.maximum(np.asarray(study.gaps), 1.0)  # clamp zeros for log-x
         plot = cdf_plot(
             gaps,
@@ -290,10 +325,25 @@ def render_figure6(
             title=f"Figure 6{panel}: time between failures (s)",
         )
         sections.append(
-            f"Figure 6{panel}: n={study.n}  C^2={study.summary.squared_cv:.2f}  "
-            f"zero gaps={100 * study.zero_fraction:.1f}%\n{fit_lines}\n{plot}"
+            _format_figure6_panel(
+                panel,
+                study.n,
+                study.summary.squared_cv,
+                study.zero_fraction,
+                study.fits,
+                plot,
+            )
         )
     return "\n\n".join(sections)
+
+
+def _format_figure6_panel(panel, n, squared_cv, zero_fraction, fits, plot) -> str:
+    """One Figure 6 panel's text from its summary numbers and plot."""
+    fit_lines = "\n".join("  " + fit.describe() for fit in fits)
+    return (
+        f"Figure 6{panel}: n={n}  C^2={squared_cv:.2f}  "
+        f"zero gaps={100 * zero_fraction:.1f}%\n{fit_lines}\n{plot}"
+    )
 
 
 @dataclass(frozen=True)
@@ -314,12 +364,17 @@ class SectionResult:
         The rendered artifact when ok, else empty.
     error:
         ``"ExceptionType: message"`` when not ok, else empty.
+    partial:
+        True when the section was computed from a deadline-truncated
+        scan (out-of-core path with ``on_deadline="partial"``): the
+        numbers cover only the scanned prefix of the store.
     """
 
     name: str
     status: str
     text: str = ""
     error: str = ""
+    partial: bool = False
 
     @property
     def ok(self) -> bool:
@@ -390,7 +445,16 @@ class PaperReport:
         return divider.join(parts)
 
 
-def run_paper_report(trace: FailureTrace, degraded_read=None) -> PaperReport:
+def run_paper_report(
+    trace: FailureTrace = None,
+    degraded_read=None,
+    *,
+    store=None,
+    deadline=None,
+    on_deadline: str = "raise",
+    workers: int = None,
+    batch_rows: int = None,
+) -> PaperReport:
     """Render every paper artifact, isolating failures per section.
 
     On curated data this is equivalent to calling each ``render_*`` in
@@ -404,7 +468,28 @@ def run_paper_report(trace: FailureTrace, degraded_read=None) -> PaperReport:
     truthy, *any* section exception classifies as ``degraded`` rather
     than ``failed``: the trace is known-incomplete, so a section that
     cannot cope is a data gap, not a report bug.
+
+    Passing ``store`` (a :class:`repro.store.ColumnarStore`) instead of
+    ``trace`` runs the *out-of-core* path: one bounded-memory streaming
+    pass over ``iter_batches`` through mergeable sketches, never
+    materializing a :class:`FailureTrace`.  ``deadline``/``on_deadline``
+    and ``workers``/``batch_rows`` are forwarded to
+    :func:`repro.report.streaming.run_store_report`; use that function
+    directly when you also want the partial/degraded metadata.
     """
+    if store is not None:
+        if trace is not None:
+            raise ValueError("pass either trace or store, not both")
+        from repro.report.streaming import run_store_report
+
+        kwargs = {"deadline": deadline, "on_deadline": on_deadline}
+        if workers is not None:
+            kwargs["workers"] = workers
+        if batch_rows is not None:
+            kwargs["batch_rows"] = batch_rows
+        return run_store_report(store, **kwargs).report
+    if trace is None:
+        raise ValueError("run_paper_report needs a trace or a store")
     renderers = (
         ("table1", lambda: render_table1(trace)),
         ("fig1", lambda: render_figure1(trace)),
@@ -449,14 +534,19 @@ def run_paper_report(trace: FailureTrace, degraded_read=None) -> PaperReport:
 def render_figure7(trace: FailureTrace) -> str:
     """Figure 7: repair-time CDF with fits; mean/median per system."""
     fits = repair_fit_study(trace)
-    fit_lines = "\n".join("  " + fit.describe() for fit in fits)
     minutes = np.maximum(trace.repair_minutes(), 0.1)
     plot = cdf_plot(
         minutes,
         {fit.name: fit.distribution for fit in fits},
         title="Figure 7(a): CDF of repair time (minutes) with fits",
     )
-    per_system = repair_by_system(trace)
+    return _format_figure7(fits, plot, repair_by_system(trace))
+
+
+def _format_figure7(fits, plot, per_system) -> str:
+    """Figure 7 text from ranked fits, a rendered CDF plot, and
+    per-system repair rows."""
+    fit_lines = "\n".join("  " + fit.describe() for fit in fits)
     mean_chart = bar_chart(
         [str(system_id) for system_id in per_system],
         [row.mean for row in per_system.values()],

@@ -198,6 +198,20 @@ class StoreGateway:
         self, query: Query, deadline: Optional[Deadline], on_damage: str
     ):
         store = ColumnarStore(self.root, on_damage=on_damage)
+        if query.kind == "report":
+            # Full out-of-core paper report: same streaming scan
+            # machinery, same ladder/caching semantics (StoreReport
+            # exposes the to_dict()/partial surface this method's
+            # callers rely on).
+            from repro.report.streaming import run_store_report
+
+            result = run_store_report(
+                store,
+                batch_rows=self.batch_rows,
+                deadline=deadline,
+                on_deadline="partial",
+            )
+            return store, result
         summary = summarize_store(
             store,
             predicate=query.predicate(),

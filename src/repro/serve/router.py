@@ -1,7 +1,7 @@
 """Request routing and query-string normalization for ``repro serve``.
 
 The route table is deliberately tiny and versioned: ``/healthz`` and
-``/readyz`` for orchestration probes, four ``/v1`` query endpoints.
+``/readyz`` for orchestration probes, five ``/v1`` query endpoints.
 Parsing failures raise :class:`BadRequest` with a client-facing
 message; the server maps that to HTTP 400 without touching the store.
 """
@@ -38,6 +38,7 @@ ROUTES = (
     "/v1/systems",
     "/v1/summary",
     "/v1/analyze",
+    "/v1/report",
     "/v1/stats",
 )
 
@@ -49,6 +50,7 @@ _ALLOWED_PARAMS: Dict[str, Tuple[str, ...]] = {
     "/v1/systems": (),
     "/v1/summary": ("deadline_ms",),
     "/v1/analyze": ("system", "systems", "t_min", "t_max", "deadline_ms"),
+    "/v1/report": ("deadline_ms",),
     "/v1/stats": (),
 }
 
@@ -123,6 +125,12 @@ def resolve(method: str, target: str) -> Route:
         return Route(
             name=path,
             query=Query.build(kind="summary"),
+            deadline_seconds=deadline_seconds,
+        )
+    if path == "/v1/report":
+        return Route(
+            name=path,
+            query=Query.build(kind="report"),
             deadline_seconds=deadline_seconds,
         )
     if path == "/v1/analyze":

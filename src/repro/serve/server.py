@@ -7,7 +7,8 @@ hangs or crashes the service.*
 
 - **Admission control** (:mod:`repro.serve.admission`): bounded
   concurrency plus a capped wait queue; beyond that, HTTP 429 with
-  ``Retry-After`` — load is shed, not queued to death.
+  ``Retry-After`` — load is shed, not queued to death.  While
+  draining, sheds carry no retry hint (the instance is going away).
 - **Deadlines**: every query carries a
   :class:`~repro.resilience.deadline.Deadline` (default budget, per
   request override via ``?deadline_ms=``, hard cap) that the store
@@ -66,7 +67,7 @@ _REASONS = {
     503: "Service Unavailable",
 }
 #: Endpoints that execute store scans and therefore pass admission.
-_QUERY_ROUTES = ("/v1/systems", "/v1/summary", "/v1/analyze")
+_QUERY_ROUTES = ("/v1/systems", "/v1/summary", "/v1/analyze", "/v1/report")
 
 
 @dataclass
@@ -350,6 +351,14 @@ class AnalyticsServer:
         except AdmissionShed:
             self._count("shed")
             obs.metrics().counter("serve.shed").add(1)
+            if self.draining:
+                # No retry hint while draining: this instance is going
+                # away, so "come back in a second" would steer clients
+                # straight into a dead endpoint.  The body says why.
+                return 429, {
+                    "error": "overloaded: request shed at admission",
+                    "draining": True,
+                }
             return 429, {
                 "error": "overloaded: request shed at admission",
                 "retry_after": 1,
@@ -415,7 +424,7 @@ class AnalyticsServer:
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
-        if status == 429:
+        if status == 429 and not self.draining:
             headers.append("Retry-After: 1")
         writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
         await writer.drain()

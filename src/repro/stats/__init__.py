@@ -17,6 +17,11 @@ special functions (``gammaln``, ``digamma``, ``erf`` and inverses):
 * :mod:`~repro.stats.hazard` — hazard-rate analysis (the decreasing-
   hazard finding is one of the paper's headline results).
 * :mod:`~repro.stats.bootstrap` — nonparametric bootstrap CIs.
+* :mod:`~repro.stats.sketch` — mergeable bounded-memory accumulators
+  (moments, log-bucket quantile histogram, grouped counts/sums,
+  windowed counts) for out-of-core analysis.
+* :mod:`~repro.stats.streamfit` — the same MLE fits computed from
+  sketches instead of materialized samples.
 """
 
 from repro.stats.empirical import EmpiricalDistribution, empirical_cdf
@@ -29,7 +34,7 @@ from repro.stats.distributions import (
     Poisson,
     Weibull,
 )
-from repro.stats.errors import DegenerateSampleError
+from repro.stats.errors import DegenerateSampleError, DegenerateStatisticError
 from repro.stats.fitting import (
     DegenerateFitError,
     FitError,
@@ -64,6 +69,25 @@ from repro.stats.gof import (
     likelihood_ratio_pvalue,
     log_likelihood,
 )
+from repro.stats.sketch import (
+    GroupedCounts,
+    GroupedSums,
+    LogBucketSketch,
+    MomentSketch,
+    QUANTILE_RELATIVE_ERROR,
+    SampleSketch,
+    WindowedCounts,
+)
+from repro.stats.streamfit import (
+    sketch_empirical,
+    sketch_fit_all,
+    sketch_fit_all_safe,
+    sketch_fit_exponential,
+    sketch_fit_gamma,
+    sketch_fit_lognormal,
+    sketch_fit_weibull,
+    sketch_ks,
+)
 from repro.stats.hazard import HazardDirection, empirical_hazard, hazard_direction
 from repro.stats.kaplan_meier import KaplanMeier, kaplan_meier
 from repro.stats.trend import TrendResult, mann_kendall
@@ -81,6 +105,7 @@ __all__ = [
     "Poisson",
     "DegenerateFitError",
     "DegenerateSampleError",
+    "DegenerateStatisticError",
     "FitError",
     "FitOutcome",
     "FitResult",
@@ -116,4 +141,19 @@ __all__ = [
     "empirical_hazard",
     "hazard_direction",
     "bootstrap_ci",
+    "MomentSketch",
+    "LogBucketSketch",
+    "GroupedCounts",
+    "GroupedSums",
+    "WindowedCounts",
+    "SampleSketch",
+    "QUANTILE_RELATIVE_ERROR",
+    "sketch_empirical",
+    "sketch_ks",
+    "sketch_fit_exponential",
+    "sketch_fit_weibull",
+    "sketch_fit_gamma",
+    "sketch_fit_lognormal",
+    "sketch_fit_all",
+    "sketch_fit_all_safe",
 ]

@@ -14,6 +14,8 @@ from typing import Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.stats.errors import DegenerateStatisticError
+
 __all__ = ["EmpiricalDistribution", "empirical_cdf"]
 
 ArrayLike = Union[Sequence[float], np.ndarray]
@@ -88,10 +90,12 @@ class EmpiricalDistribution:
 
         The paper's preferred variability measure: an exponential
         distribution has C² = 1, so C² >> 1 signals heavy tails.
-        Undefined (raises) for zero-mean samples.
+        Undefined for zero-mean samples: raises
+        :class:`~repro.stats.errors.DegenerateStatisticError` (both a
+        :class:`DegenerateSampleError` and a :class:`ZeroDivisionError`).
         """
         if self.mean == 0:
-            raise ZeroDivisionError("C^2 undefined for zero-mean sample")
+            raise DegenerateStatisticError("C^2 undefined for zero-mean sample")
         return self.variance / self.mean**2
 
     @property
@@ -99,10 +103,16 @@ class EmpiricalDistribution:
         """Mean / median ratio — the paper's quick skew indicator.
 
         Table 2 highlights e.g. software repairs where the mean is ~10x
-        the median.  Undefined (raises) for zero-median samples.
+        the median.  Undefined for zero-median samples: raises
+        :class:`~repro.stats.errors.DegenerateStatisticError` (both a
+        :class:`DegenerateSampleError` and a :class:`ZeroDivisionError`),
+        so report sections classify the condition as thin data
+        (DEGRADED), not a crash.
         """
         if self.median == 0:
-            raise ZeroDivisionError("mean/median undefined for zero median")
+            raise DegenerateStatisticError(
+                "mean/median undefined for zero median"
+            )
         return self.mean / self.median
 
     def describe(self, unit: str = "") -> str:

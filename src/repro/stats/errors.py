@@ -16,7 +16,7 @@ class no matter which module it was imported from.
 
 from __future__ import annotations
 
-__all__ = ["DegenerateSampleError"]
+__all__ = ["DegenerateSampleError", "DegenerateStatisticError"]
 
 
 class DegenerateSampleError(ValueError):
@@ -31,4 +31,18 @@ class DegenerateSampleError(ValueError):
     Subclasses ``ValueError`` so existing ``except ValueError`` callers
     (including the report layer's per-section isolation) keep working,
     while remaining catchable specifically.
+    """
+
+
+class DegenerateStatisticError(DegenerateSampleError, ZeroDivisionError):
+    """A ratio statistic is undefined because its denominator is zero.
+
+    Raised by :class:`~repro.stats.empirical.EmpiricalDistribution` for
+    C² of a zero-mean sample and mean/median of a zero-median sample.
+    These used to surface as plain :class:`ZeroDivisionError`, escaping
+    the typed :class:`DegenerateSampleError` classification — a report
+    section hitting one was recorded CRASHED instead of DEGRADED.
+    Subclassing both keeps ``except ZeroDivisionError`` callers working
+    (the same dual-parent pattern as
+    :class:`~repro.stats.fitting.DegenerateFitError`).
     """

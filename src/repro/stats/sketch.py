@@ -1,0 +1,658 @@
+"""Mergeable, bounded-memory statistics ("sketches").
+
+The full paper report needs means, C², medians, ECDFs, per-key counts
+and per-month rates over traces that never fit in memory.  Each class
+here is an *accumulator*: it observes column chunks (NumPy arrays, as
+yielded by :meth:`repro.store.reader.ColumnarStore.iter_batches`) in
+O(chunk) time and O(1) state, and any two accumulators over disjoint
+row sets **merge associatively** into the accumulator over their
+union.  That single property is what makes the out-of-core report
+work: shards are scanned independently (serially or via
+``supervised_map``) and their sketches folded together.
+
+Exact vs approximate
+--------------------
+* :class:`MomentSketch` — count, sum, mean, M2 (population variance),
+  min, max.  Counts/min/max are exact; the float moments use Chan's
+  parallel-update formulas, so they equal a single-pass NumPy result
+  up to last-ulp summation-order differences.
+* :class:`GroupedCounts` / :class:`GroupedSums` — exact per-key
+  integer counts / float sums over small categorical key spaces.
+* :class:`WindowedCounts` — exact integer counts per fixed-width
+  window (the Figure 4 month bins).
+* :class:`LogBucketSketch` — a fixed-log-bucket histogram reusing the
+  ``repro.obs`` metrics convention (edges at ``10**(k/bpd)``),
+  generalized from 4 to a configurable number of buckets per decade.
+  Quantiles read from it carry a *pinned* relative error bound,
+  :data:`QUANTILE_RELATIVE_ERROR` — the half-bucket geometric width.
+* :class:`SampleSketch` — the composite a duration study needs: raw
+  moments, exact non-positive count, and clamped value/log moments
+  plus the histogram (mirroring ``prepare_positive(zero_policy=
+  "clamp")``).
+
+All sketches are plain-attribute objects (picklable across the
+``supervised_map`` process boundary) and support ``to_dict`` /
+``from_dict`` for JSON transport.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.errors import DegenerateSampleError, DegenerateStatisticError
+
+__all__ = [
+    "BUCKETS_PER_DECADE",
+    "QUANTILE_RELATIVE_ERROR",
+    "MomentSketch",
+    "LogBucketSketch",
+    "GroupedCounts",
+    "GroupedSums",
+    "WindowedCounts",
+    "SampleSketch",
+]
+
+#: Default bucket resolution of :class:`LogBucketSketch`.  The obs
+#: metrics histograms use 4 buckets per decade; quantile reads need
+#: finer resolution, so the sketch defaults to 64 (a ~1.8% relative
+#: error bound) while keeping the same edge convention.
+BUCKETS_PER_DECADE = 64
+
+#: Decade span of the default bucket grid: 1e-6 .. 1e9 covers
+#: sub-second interarrivals through multi-decade spans of seconds.
+_MIN_DECADE = -6
+_MAX_DECADE = 9
+
+#: Pinned relative error of a quantile read from the default sketch:
+#: a value is off by at most half a bucket geometrically, i.e. a
+#: factor of ``10**(1/(2*bpd))``.
+QUANTILE_RELATIVE_ERROR = 10.0 ** (1.0 / (2.0 * BUCKETS_PER_DECADE)) - 1.0
+
+_EDGES_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _bucket_edges(buckets_per_decade: int) -> np.ndarray:
+    """Bucket edges ``10**(k/bpd)``, mirroring ``repro.obs.metrics``.
+
+    The metrics registry uses ``[10.0 ** (k / 4.0) for k in
+    range(-24, 37)]``; this is the same grid at configurable
+    resolution and a wider decade span.
+    """
+    edges = _EDGES_CACHE.get(buckets_per_decade)
+    if edges is None:
+        exponents = np.arange(
+            _MIN_DECADE * buckets_per_decade,
+            _MAX_DECADE * buckets_per_decade + 1,
+            dtype=float,
+        )
+        edges = 10.0 ** (exponents / buckets_per_decade)
+        edges.flags.writeable = False
+        _EDGES_CACHE[buckets_per_decade] = edges
+    return edges
+
+
+class MomentSketch:
+    """Mergeable count / sum / mean / M2 / min / max accumulator.
+
+    Means and variances follow the package-wide population (``ddof=0``)
+    convention.  ``merge`` uses Chan's parallel combination of the
+    central second moments, so the merged sketch agrees with a
+    single-pass accumulation up to float summation order.
+    """
+
+    __slots__ = ("count", "total", "mean", "m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, values: np.ndarray) -> None:
+        """Fold a chunk of observations into the sketch (vectorized)."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        if not np.all(np.isfinite(values)):
+            raise ValueError("sketch observed non-finite values")
+        n = int(values.size)
+        chunk_mean = float(np.mean(values))
+        chunk_m2 = float(np.var(values)) * n  # ddof=0: MLE convention
+        self._combine(n, float(np.sum(values)), chunk_mean, chunk_m2,
+                      float(np.min(values)), float(np.max(values)))
+
+    def merge(self, other: "MomentSketch") -> None:
+        """Fold another sketch (over disjoint rows) into this one."""
+        if other.count == 0:
+            return
+        self._combine(other.count, other.total, other.mean, other.m2,
+                      other.minimum, other.maximum)
+
+    def _combine(self, n: int, total: float, mean: float, m2: float,
+                 minimum: float, maximum: float) -> None:
+        if self.count == 0:
+            self.count, self.total, self.mean, self.m2 = n, total, mean, m2
+            self.minimum, self.maximum = minimum, maximum
+            return
+        merged = self.count + n
+        delta = mean - self.mean
+        self.m2 += m2 + delta * delta * self.count * n / merged
+        self.mean += delta * n / merged
+        self.count = merged
+        self.total += total
+        self.minimum = min(self.minimum, minimum)
+        self.maximum = max(self.maximum, maximum)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``ddof=0``)."""
+        if self.count == 0:
+            raise DegenerateSampleError("variance of an empty sketch")
+        return max(self.m2 / self.count, 0.0)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def squared_cv(self) -> float:
+        """Squared coefficient of variation, variance / mean²."""
+        if self.mean == 0:
+            raise DegenerateStatisticError(
+                "C^2 undefined for zero-mean sample"
+            )
+        return self.variance / self.mean**2
+
+    def copy(self) -> "MomentSketch":
+        clone = MomentSketch()
+        clone.merge(self)
+        return clone
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "m2": self.m2,
+            "min": None if self.count == 0 else self.minimum,
+            "max": None if self.count == 0 else self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MomentSketch":
+        sketch = cls()
+        sketch.count = int(payload["count"])
+        sketch.total = float(payload["total"])
+        sketch.mean = float(payload["mean"])
+        sketch.m2 = float(payload["m2"])
+        if sketch.count:
+            sketch.minimum = float(payload["min"])
+            sketch.maximum = float(payload["max"])
+        return sketch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MomentSketch(n={self.count}, mean={self.mean:.4g})"
+
+
+class LogBucketSketch:
+    """Mergeable fixed-log-bucket histogram with quantile/ECDF reads.
+
+    Buckets follow the ``repro.obs`` convention (``bisect_right`` over
+    the edge table): bucket *i* (for ``1 <= i <= len(edges)``) holds
+    values in ``[edges[i-1], edges[i])``; index 0 is the underflow
+    bucket (values below ``edges[0]``, including zeros) and index
+    ``len(edges)`` the overflow bucket.  Exact sample min/max are
+    tracked alongside, so quantile reads clip into the observed range.
+    """
+
+    __slots__ = ("buckets_per_decade", "counts", "minimum", "maximum")
+
+    def __init__(self, buckets_per_decade: int = BUCKETS_PER_DECADE) -> None:
+        if buckets_per_decade < 1:
+            raise ValueError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self.buckets_per_decade = int(buckets_per_decade)
+        self.counts = np.zeros(
+            _bucket_edges(self.buckets_per_decade).size + 1, dtype=np.int64
+        )
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    @property
+    def edges(self) -> np.ndarray:
+        return _bucket_edges(self.buckets_per_decade)
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return int(self.counts.sum())
+
+    @property
+    def relative_error(self) -> float:
+        """Pinned relative error bound of quantile reads."""
+        return 10.0 ** (1.0 / (2.0 * self.buckets_per_decade)) - 1.0
+
+    def observe(self, values: np.ndarray) -> None:
+        """Fold a chunk of non-negative observations into the sketch."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        if not np.all(np.isfinite(values)):
+            raise ValueError("sketch observed non-finite values")
+        if np.any(values < 0):
+            raise ValueError("log-bucket sketch requires non-negative values")
+        edges = self.edges
+        # side="right" is bisect_right — the obs histogram bucketing:
+        # [edges[i-1], edges[i]) maps to index i.
+        indices = np.searchsorted(edges, values, side="right")
+        self.counts += np.bincount(indices, minlength=self.counts.size)
+        self.minimum = min(self.minimum, float(np.min(values)))
+        self.maximum = max(self.maximum, float(np.max(values)))
+
+    def merge(self, other: "LogBucketSketch") -> None:
+        """Fold another sketch (same resolution) into this one."""
+        if other.buckets_per_decade != self.buckets_per_decade:
+            raise ValueError(
+                "cannot merge sketches with different resolutions: "
+                f"{self.buckets_per_decade} != {other.buckets_per_decade}"
+            )
+        self.counts += other.counts
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def _bucket_values(self) -> np.ndarray:
+        """Representative value per bucket (geometric midpoints)."""
+        edges = self.edges
+        values = np.empty(self.counts.size, dtype=float)
+        values[0] = edges[0]
+        values[1:-1] = np.sqrt(edges[:-1] * edges[1:])
+        values[-1] = edges[-1]
+        if math.isfinite(self.minimum):
+            np.clip(values, self.minimum, self.maximum, out=values)
+        return values
+
+    def representatives(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, counts) of the non-empty buckets, ascending.
+
+        The weighted sample these pairs describe stands in for the
+        original data in ECDF/KS computations: each original value is
+        represented within :attr:`relative_error`.
+        """
+        occupied = np.nonzero(self.counts)[0]
+        return self._bucket_values()[occupied], self.counts[occupied]
+
+    def value_at_rank(self, rank: float) -> float:
+        """The value at a (possibly fractional) order-statistic rank.
+
+        Mirrors NumPy's linear quantile interpolation over the bucket
+        representatives; ``rank`` runs from 0 to ``count - 1``.
+        """
+        total = self.count
+        if total == 0:
+            raise DegenerateSampleError("quantile of an empty sketch")
+        rank = min(max(rank, 0.0), total - 1.0)
+        values, counts = self.representatives()
+        cumulative = np.cumsum(counts)
+        lower = int(math.floor(rank))
+        upper = int(math.ceil(rank))
+        lo_value = float(values[np.searchsorted(cumulative, lower, side="right")])
+        if upper == lower:
+            return lo_value
+        hi_value = float(values[np.searchsorted(cumulative, upper, side="right")])
+        fraction = rank - lower
+        return lo_value + (hi_value - lo_value) * fraction
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (NumPy ``linear`` interpolation semantics)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        return self.value_at_rank(q * (self.count - 1))
+
+    @property
+    def median(self) -> float:
+        """The sketched median (relative error ≤ :attr:`relative_error`)."""
+        return self.quantile(0.5)
+
+    def copy(self) -> "LogBucketSketch":
+        clone = LogBucketSketch(self.buckets_per_decade)
+        clone.merge(self)
+        return clone
+
+    def to_dict(self) -> dict:
+        occupied = np.nonzero(self.counts)[0]
+        return {
+            "buckets_per_decade": self.buckets_per_decade,
+            "buckets": {
+                str(int(i)): int(self.counts[i]) for i in occupied
+            },
+            "min": None if not math.isfinite(self.minimum) else self.minimum,
+            "max": None if not math.isfinite(self.maximum) else self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LogBucketSketch":
+        sketch = cls(int(payload["buckets_per_decade"]))
+        for index, count in payload["buckets"].items():
+            sketch.counts[int(index)] = int(count)
+        if payload["min"] is not None:
+            sketch.minimum = float(payload["min"])
+            sketch.maximum = float(payload["max"])
+        return sketch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogBucketSketch(n={self.count}, "
+            f"bpd={self.buckets_per_decade})"
+        )
+
+
+class GroupedCounts:
+    """Exact mergeable integer counts per (small-cardinality) key.
+
+    Keys are ints or tuples of ints — system ids, cause codes,
+    ``(system, cause)`` pairs, node ids.  Updates are vectorized via
+    ``np.unique``; merging adds per key.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[tuple, int] = {}
+
+    def observe(self, *key_columns: np.ndarray) -> None:
+        """Count one row per position across the given key columns."""
+        if not key_columns:
+            raise ValueError("need at least one key column")
+        stacked = np.stack(
+            [np.asarray(column, dtype=np.int64) for column in key_columns]
+        )
+        if stacked.shape[1] == 0:
+            return
+        keys, counts = np.unique(stacked, axis=1, return_counts=True)
+        for column, count in zip(keys.T, counts):
+            key = tuple(int(part) for part in column)
+            self.counts[key] = self.counts.get(key, 0) + int(count)
+
+    def merge(self, other: "GroupedCounts") -> None:
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+
+    def get(self, *key: int) -> int:
+        """The count for a key (0 when never observed)."""
+        return self.counts.get(tuple(int(part) for part in key), 0)
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def copy(self) -> "GroupedCounts":
+        clone = GroupedCounts()
+        clone.counts = dict(self.counts)
+        return clone
+
+    def to_dict(self) -> dict:
+        return {
+            ",".join(str(part) for part in key): count
+            for key, count in sorted(self.counts.items())
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GroupedCounts":
+        grouped = cls()
+        for key, count in payload.items():
+            grouped.counts[tuple(int(p) for p in key.split(","))] = int(count)
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GroupedCounts({len(self.counts)} keys)"
+
+
+class GroupedSums:
+    """Exact-per-key mergeable float sums (e.g. downtime per cause).
+
+    Sums are exact in the counting sense — every row contributes once —
+    while the float additions follow chunk order, so totals agree with
+    a sequential pass up to last-ulp rounding.
+    """
+
+    __slots__ = ("sums",)
+
+    def __init__(self) -> None:
+        self.sums: Dict[tuple, float] = {}
+
+    def observe(self, weights: np.ndarray, *key_columns: np.ndarray) -> None:
+        """Add ``weights[i]`` to the key at each row ``i``."""
+        if not key_columns:
+            raise ValueError("need at least one key column")
+        weights = np.asarray(weights, dtype=float)
+        stacked = np.stack(
+            [np.asarray(column, dtype=np.int64) for column in key_columns]
+        )
+        if stacked.shape[1] == 0:
+            return
+        keys, inverse = np.unique(stacked, axis=1, return_inverse=True)
+        totals = np.bincount(
+            inverse.ravel(), weights=weights, minlength=keys.shape[1]
+        )
+        for column, total in zip(keys.T, totals):
+            key = tuple(int(part) for part in column)
+            self.sums[key] = self.sums.get(key, 0.0) + float(total)
+
+    def merge(self, other: "GroupedSums") -> None:
+        for key, total in other.sums.items():
+            self.sums[key] = self.sums.get(key, 0.0) + total
+
+    def get(self, *key: int) -> float:
+        return self.sums.get(tuple(int(part) for part in key), 0.0)
+
+    def copy(self) -> "GroupedSums":
+        clone = GroupedSums()
+        clone.sums = dict(self.sums)
+        return clone
+
+    def to_dict(self) -> dict:
+        return {
+            ",".join(str(part) for part in key): total
+            for key, total in sorted(self.sums.items())
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GroupedSums":
+        grouped = cls()
+        for key, total in payload.items():
+            grouped.sums[tuple(int(p) for p in key.split(","))] = float(total)
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GroupedSums({len(self.sums)} keys)"
+
+
+class WindowedCounts:
+    """Exact mergeable counts per fixed-width time window.
+
+    The Figure 4 accumulator: ``origin`` is a system's production
+    start, ``width`` one paper month, and events past the last window
+    clamp into it — mirroring
+    :func:`repro.analysis.lifecycle.monthly_failures`.  Events before
+    the origin raise, as :func:`repro.records.timeutils.month_index`
+    does.
+    """
+
+    __slots__ = ("origin", "width", "counts")
+
+    def __init__(self, origin: float, width: float, n_windows: int) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if n_windows < 1:
+            raise ValueError(f"need at least one window, got {n_windows}")
+        self.origin = float(origin)
+        self.width = float(width)
+        self.counts = np.zeros(int(n_windows), dtype=np.int64)
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.counts.size)
+
+    def observe(self, times: np.ndarray) -> None:
+        """Count events into their windows (vectorized)."""
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        deltas = times - self.origin
+        if np.any(deltas < 0):
+            worst = float(np.min(times))
+            raise ValueError(f"time {worst} precedes origin {self.origin}")
+        indices = np.minimum(
+            (deltas // self.width).astype(np.int64), self.n_windows - 1
+        )
+        self.counts += np.bincount(indices, minlength=self.n_windows)
+
+    def merge(self, other: "WindowedCounts") -> None:
+        if (other.origin != self.origin or other.width != self.width
+                or other.n_windows != self.n_windows):
+            raise ValueError("cannot merge windowed counts with "
+                             "different origins, widths or window counts")
+        self.counts += other.counts
+
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def copy(self) -> "WindowedCounts":
+        clone = WindowedCounts(self.origin, self.width, self.n_windows)
+        clone.counts = self.counts.copy()
+        return clone
+
+    def to_dict(self) -> dict:
+        return {
+            "origin": self.origin,
+            "width": self.width,
+            "counts": [int(c) for c in self.counts],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WindowedCounts":
+        counts = payload["counts"]
+        windowed = cls(payload["origin"], payload["width"], len(counts))
+        windowed.counts = np.asarray(counts, dtype=np.int64)
+        return windowed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WindowedCounts({self.n_windows} windows)"
+
+
+class SampleSketch:
+    """The composite sketch a duration study consumes.
+
+    Holds, for one stream of non-negative durations:
+
+    * ``raw`` — moments of the values as observed (zeros included);
+    * ``nonpositive`` — exact count of values ``<= 0``;
+    * ``clamped`` — moments after ``prepare_positive(zero_policy=
+      "clamp", epsilon=...)`` clamping;
+    * ``log_clamped`` — moments of ``log`` of the clamped values
+      (the lognormal/gamma/Weibull sufficient statistics);
+    * ``histogram`` — the clamped values' log-bucket histogram
+      (quantiles, ECDF, Weibull profile sums).
+
+    ``clamp_epsilon`` matches the analysis that consumes the sketch:
+    1.0 s for interarrival gaps, 0.1 min for repair times.
+    """
+
+    __slots__ = ("clamp_epsilon", "raw", "nonpositive", "clamped",
+                 "log_clamped", "histogram")
+
+    def __init__(
+        self,
+        clamp_epsilon: float = 1.0,
+        buckets_per_decade: int = BUCKETS_PER_DECADE,
+    ) -> None:
+        if clamp_epsilon <= 0:
+            raise ValueError(
+                f"clamp_epsilon must be positive, got {clamp_epsilon}"
+            )
+        self.clamp_epsilon = float(clamp_epsilon)
+        self.raw = MomentSketch()
+        self.nonpositive = 0
+        self.clamped = MomentSketch()
+        self.log_clamped = MomentSketch()
+        self.histogram = LogBucketSketch(buckets_per_decade)
+
+    @property
+    def count(self) -> int:
+        return self.raw.count
+
+    @property
+    def zero_fraction(self) -> float:
+        """Exact fraction of non-positive observations."""
+        if self.raw.count == 0:
+            raise DegenerateSampleError("zero fraction of an empty sketch")
+        return self.nonpositive / self.raw.count
+
+    def observe(self, values: np.ndarray) -> None:
+        """Fold a chunk of non-negative durations into the sketch."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            return
+        if np.any(values < 0):
+            raise ValueError("sample sketch requires non-negative values")
+        self.raw.observe(values)
+        nonpositive = values <= 0
+        self.nonpositive += int(np.count_nonzero(nonpositive))
+        clamped = np.where(nonpositive, self.clamp_epsilon, values)
+        self.clamped.observe(clamped)
+        self.log_clamped.observe(np.log(clamped))
+        self.histogram.observe(clamped)
+
+    def merge(self, other: "SampleSketch") -> None:
+        if other.clamp_epsilon != self.clamp_epsilon:
+            raise ValueError(
+                "cannot merge sample sketches with different clamp "
+                f"epsilons: {self.clamp_epsilon} != {other.clamp_epsilon}"
+            )
+        self.raw.merge(other.raw)
+        self.nonpositive += other.nonpositive
+        self.clamped.merge(other.clamped)
+        self.log_clamped.merge(other.log_clamped)
+        self.histogram.merge(other.histogram)
+
+    def copy(self) -> "SampleSketch":
+        clone = SampleSketch(
+            self.clamp_epsilon, self.histogram.buckets_per_decade
+        )
+        clone.merge(self)
+        return clone
+
+    def to_dict(self) -> dict:
+        return {
+            "clamp_epsilon": self.clamp_epsilon,
+            "raw": self.raw.to_dict(),
+            "nonpositive": self.nonpositive,
+            "clamped": self.clamped.to_dict(),
+            "log_clamped": self.log_clamped.to_dict(),
+            "histogram": self.histogram.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SampleSketch":
+        sketch = cls(
+            float(payload["clamp_epsilon"]),
+            int(payload["histogram"]["buckets_per_decade"]),
+        )
+        sketch.raw = MomentSketch.from_dict(payload["raw"])
+        sketch.nonpositive = int(payload["nonpositive"])
+        sketch.clamped = MomentSketch.from_dict(payload["clamped"])
+        sketch.log_clamped = MomentSketch.from_dict(payload["log_clamped"])
+        sketch.histogram = LogBucketSketch.from_dict(payload["histogram"])
+        return sketch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SampleSketch(n={self.count}, "
+            f"eps={self.clamp_epsilon})"
+        )

@@ -68,6 +68,16 @@ class StoreSummary:
         return payload
 
     def _base_dict(self) -> dict:
+        # Guard on durations/timestamps actually observed, not on rows:
+        # a deadline-partial or degraded pass can count rows while the
+        # extrema stay at their ±inf initials, and json.dumps would then
+        # emit non-RFC "Infinity" tokens.
+        has_durations = math.isfinite(self.repair_min) and math.isfinite(
+            self.repair_max
+        )
+        has_window = math.isfinite(self.start_min) and math.isfinite(
+            self.start_max
+        )
         return {
             "rows": self.rows,
             "counts_by_system": {
@@ -84,11 +94,11 @@ class StoreSummary:
                     "min": self.repair_min / 60.0,
                     "max": self.repair_max / 60.0,
                 }
-                if self.rows
+                if has_durations
                 else None
             ),
             "start_time_range": (
-                [self.start_min, self.start_max] if self.rows else None
+                [self.start_min, self.start_max] if has_window else None
             ),
             "scan": {
                 "shards_scanned": self.scan.shards_scanned,
@@ -102,12 +112,15 @@ class StoreSummary:
     def describe(self) -> str:
         lines = [f"rows: {self.rows}"]
         if self.rows:
-            lines.append(
-                "repair minutes: "
-                f"mean={self.repair_mean / 60.0:.1f} "
-                f"min={self.repair_min / 60.0:.1f} "
-                f"max={self.repair_max / 60.0:.1f}"
-            )
+            if math.isfinite(self.repair_min) and math.isfinite(
+                self.repair_max
+            ):
+                lines.append(
+                    "repair minutes: "
+                    f"mean={self.repair_mean / 60.0:.1f} "
+                    f"min={self.repair_min / 60.0:.1f} "
+                    f"max={self.repair_max / 60.0:.1f}"
+                )
             lines.append("counts by cause:")
             for cause, count in sorted(self.counts_by_cause.items()):
                 hours = self.downtime_by_cause[cause] / 3600.0

@@ -1,0 +1,167 @@
+"""Streaming report == materialized report, on the full 22-system trace.
+
+The out-of-core report's contract (ROADMAP: full paper report from a
+store that never fits in memory) splits the ten sections in two:
+
+* **Exactly mergeable** — table1, fig1, fig2, fig3, fig4, fig5, table3
+  are built from counts, sums, and extrema whose chunk-merge is
+  lossless.  These must be *byte-identical* to the materialized
+  report.
+* **Quantile-sketched** — fig6, table2, fig7 involve medians and
+  empirical CDFs, which stream through ``LogBucketSketch``; they must
+  agree within the sketch's pinned relative error.
+
+The suite also proves the two operational properties: a parallel scan
+merges to the same answer as a serial one, and a blown deadline yields
+an honestly-flagged partial report instead of a hang or a crash.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.report import run_paper_report, run_store_report
+from repro.resilience.deadline import Deadline
+from repro.stats.sketch import LogBucketSketch
+from repro.store import ColumnarStore, store_from_trace
+
+EXACT_SECTIONS = ("table1", "fig1", "fig2", "fig3", "fig4", "fig5", "table3")
+EPSILON_SECTIONS = ("fig6", "table2", "fig7")
+
+# Pinned sketch resolution (64 buckets/decade): ~1.8% relative error.
+# Printed values are also rounded, so allow one trailing-digit ULP.
+QUANTILE_REL = LogBucketSketch().relative_error * 2
+_FLOAT = re.compile(r"-?\d+\.?\d*(?:[eE][+-]?\d+)?")
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, full_trace):
+    root = tmp_path_factory.mktemp("equivalence") / "store"
+    store_from_trace(full_trace, root)
+    return ColumnarStore(root)
+
+
+@pytest.fixture(scope="module")
+def streaming(store):
+    return run_store_report(store)
+
+
+@pytest.fixture(scope="module")
+def materialized(store):
+    return run_paper_report(store.to_trace())
+
+
+def _sections(report):
+    return {section.name: section for section in report.sections}
+
+
+class TestSectionParity:
+    def test_same_sections_in_same_order(self, streaming, materialized):
+        assert [s.name for s in streaming.report.sections] == [
+            s.name for s in materialized.sections
+        ]
+
+    def test_all_sections_ok_on_curated_data(self, streaming, materialized):
+        assert streaming.report.ok, streaming.report.diagnostics()
+        assert materialized.ok, materialized.diagnostics()
+        assert streaming.partial is None
+        assert not streaming.report.sections[0].partial
+
+
+class TestExactSections:
+    @pytest.mark.parametrize("name", EXACT_SECTIONS)
+    def test_byte_identical(self, name, streaming, materialized):
+        got = _sections(streaming.report)[name]
+        want = _sections(materialized)[name]
+        assert got.text == want.text
+
+
+class TestSketchedSections:
+    @pytest.mark.parametrize("name", EPSILON_SECTIONS)
+    def test_within_pinned_relative_error(self, name, streaming, materialized):
+        got = _sections(streaming.report)[name].text
+        want = _sections(materialized)[name].text
+        got_lines = got.splitlines()
+        want_lines = want.splitlines()
+        assert len(got_lines) == len(want_lines)
+        for got_line, want_line in zip(got_lines, want_lines):
+            if "|" in want_line:
+                # Plot body: digit glyphs mark curve points, and sketch
+                # representatives may land one column over.  Compare
+                # only the y-axis label left of the frame.
+                got_line = got_line.split("|", 1)[0]
+                want_line = want_line.split("|", 1)[0]
+            got_floats = _FLOAT.findall(got_line)
+            want_floats = _FLOAT.findall(want_line)
+            assert len(got_floats) == len(want_floats), (
+                f"{name}: line shape diverged:\n  {got_line}\n  {want_line}"
+            )
+            for got_token, want_token in zip(got_floats, want_floats):
+                assert float(got_token) == pytest.approx(
+                    float(want_token), rel=QUANTILE_REL, abs=1.5
+                ), f"{name}: {got_token} vs {want_token} in:\n  {want_line}"
+
+    @pytest.mark.parametrize("name", EPSILON_SECTIONS)
+    def test_fit_rankings_identical(self, name, streaming, materialized):
+        # The distribution-fit story (which model wins, per panel) is
+        # the paper's conclusion; the sketch must not change it.
+        def fit_lines(text):
+            return [
+                line.strip().split("(")[0]
+                for line in text.splitlines()
+                if re.match(
+                    r"\s+(LogNormal|Weibull|Gamma|Exponential)\(", line
+                )
+            ]
+
+        got = fit_lines(_sections(streaming.report)[name].text)
+        want = fit_lines(_sections(materialized)[name].text)
+        assert got == want
+        if name != "table2":
+            assert got, f"{name}: no fit lines found"
+
+
+class TestNoMaterialization:
+    def test_streaming_report_never_builds_a_trace(self, store, monkeypatch):
+        def boom(self, *args, **kwargs):
+            raise AssertionError("streaming report materialized a trace")
+
+        monkeypatch.setattr(ColumnarStore, "to_trace", boom)
+        result = run_store_report(store)
+        assert result.report.ok, result.report.diagnostics()
+
+
+class TestParallelScan:
+    def test_parallel_merge_equals_serial(self, store, streaming):
+        parallel = run_store_report(store, workers=3)
+        for serial_section, parallel_section in zip(
+            streaming.report.sections, parallel.report.sections
+        ):
+            assert parallel_section.status == serial_section.status
+            assert parallel_section.text == serial_section.text
+
+
+class TestDeadlinePartial:
+    def test_instant_deadline_yields_flagged_partial(self, store):
+        result = run_store_report(
+            store, deadline=Deadline(1e-9), on_deadline="partial"
+        )
+        assert result.partial is not None
+        assert result.partial["reason"] == "deadline-exceeded"
+        assert result.partial["rows_seen"] < result.partial["rows_total"]
+        assert all(section.partial for section in result.report.sections)
+        # The report still renders end to end: data-dependent sections
+        # degrade, data-free ones (table3) stay ok, nothing crashes.
+        assert _sections(result.report)["table3"].ok
+        assert result.report.render()
+        payload = result.to_dict()
+        assert payload["partial"]["reason"] == "deadline-exceeded"
+        assert all(section["partial"] for section in payload["sections"])
+
+    def test_instant_deadline_raises_by_default(self, store):
+        from repro.resilience.deadline import DeadlineExceeded
+
+        with pytest.raises(DeadlineExceeded):
+            run_store_report(store, deadline=Deadline(1e-9))

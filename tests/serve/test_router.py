@@ -73,4 +73,5 @@ class TestResolve:
 
     def test_route_table_is_published(self):
         assert "/v1/analyze" in ROUTES
-        assert len(ROUTES) == 6
+        assert "/v1/report" in ROUTES
+        assert len(ROUTES) == 7

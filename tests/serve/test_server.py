@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import http.client
 import json
 import threading
@@ -11,7 +13,10 @@ import pytest
 
 from repro import obs
 from repro.serve import ServeConfig, ServerThread
+from repro.serve.admission import AdmissionShed
 from repro.serve.client import get
+from repro.serve.router import resolve
+from repro.serve.server import AnalyticsServer
 from repro.store import ColumnarStore, store_from_trace, summarize_store
 from repro.store.manifest import Predicate
 
@@ -155,6 +160,69 @@ class TestOverload:
             assert slow["response"].status == 200
             stats = get(served.host, served.port, "/v1/stats").body
             assert stats["admission"]["shed"] >= 1
+
+
+class TestDrainAwareShedding:
+    """Regression: a 429 during drain must not advertise a retry.
+
+    The instance is going away, so ``Retry-After: 1`` would steer
+    clients straight back into a dead endpoint.  While serving
+    normally the hint stays (the overload is transient).
+    """
+
+    @staticmethod
+    def _shedding_server(store_root, draining: bool) -> AnalyticsServer:
+        server = AnalyticsServer(store_root, ServeConfig(port=0))
+        server._drain = asyncio.Event()
+        if draining:
+            server._drain.set()
+
+        class _AlwaysShed:
+            @contextlib.asynccontextmanager
+            async def slot(self):
+                raise AdmissionShed("admission queue full")
+                yield  # pragma: no cover
+
+        server.admission = _AlwaysShed()
+        return server
+
+    def test_shed_body_hints_retry_only_while_serving(self, store_root):
+        route = resolve("GET", "/v1/summary")
+
+        async def shed(draining):
+            server = self._shedding_server(store_root, draining)
+            return await server._query(route, time.monotonic())
+
+        status, body = asyncio.run(shed(draining=False))
+        assert status == 429
+        assert body["retry_after"] == 1
+        status, body = asyncio.run(shed(draining=True))
+        assert status == 429
+        assert "retry_after" not in body
+        assert body["draining"] is True
+
+    def test_retry_after_header_dropped_while_draining(self, store_root):
+        class _Writer:
+            def __init__(self):
+                self.data = b""
+
+            def write(self, chunk):
+                self.data += chunk
+
+            async def drain(self):
+                pass
+
+        async def respond(draining):
+            server = AnalyticsServer(store_root, ServeConfig(port=0))
+            server._drain = asyncio.Event()
+            if draining:
+                server._drain.set()
+            writer = _Writer()
+            await server._respond(writer, 429, {"error": "overloaded"})
+            return writer.data.decode()
+
+        assert "Retry-After: 1" in asyncio.run(respond(draining=False))
+        assert "Retry-After" not in asyncio.run(respond(draining=True))
 
 
 class TestDrain:

@@ -1,0 +1,69 @@
+"""Regression: zero-denominator summary stats raise the typed error.
+
+``EmpiricalDistribution.mean_to_median`` on a zero-median sample (and
+``squared_cv`` on a zero-mean one) used to escape as a bare
+``ZeroDivisionError``, which the report layer's per-section isolation
+classified as a CRASH instead of thin data.  They must now raise
+:class:`DegenerateStatisticError` — catchable as *both*
+``DegenerateSampleError`` (so sections degrade) and
+``ZeroDivisionError`` (so legacy handlers keep working).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.empirical import EmpiricalDistribution
+from repro.stats.errors import DegenerateSampleError, DegenerateStatisticError
+
+
+@pytest.fixture
+def zero_median():
+    # Median 0: more than half the sample at zero, but non-zero mean.
+    return EmpiricalDistribution.from_data(np.asarray([0.0, 0.0, 0.0, 4.0]))
+
+
+@pytest.fixture
+def zero_mean():
+    return EmpiricalDistribution.from_data(np.asarray([-1.0, 1.0]))
+
+
+class TestMeanToMedian:
+    def test_raises_typed_error(self, zero_median):
+        with pytest.raises(DegenerateStatisticError, match="zero median"):
+            zero_median.mean_to_median
+
+    def test_catchable_as_degenerate_sample(self, zero_median):
+        with pytest.raises(DegenerateSampleError):
+            zero_median.mean_to_median
+
+    def test_catchable_as_zero_division(self, zero_median):
+        with pytest.raises(ZeroDivisionError):
+            zero_median.mean_to_median
+
+    def test_fine_on_nonzero_median(self):
+        summary = EmpiricalDistribution.from_data(
+            np.asarray([1.0, 2.0, 3.0, 4.0])
+        )
+        assert summary.mean_to_median == pytest.approx(1.0)
+
+
+class TestSquaredCV:
+    def test_raises_typed_error(self, zero_mean):
+        with pytest.raises(DegenerateStatisticError, match="zero-mean"):
+            zero_mean.squared_cv
+
+    def test_catchable_as_both_parents(self, zero_mean):
+        with pytest.raises(DegenerateSampleError):
+            zero_mean.squared_cv
+        with pytest.raises(ZeroDivisionError):
+            zero_mean.squared_cv
+
+
+class TestHierarchy:
+    def test_dual_parentage(self):
+        """Both parents, so sections degrade and legacy handlers work."""
+        assert issubclass(DegenerateStatisticError, DegenerateSampleError)
+        assert issubclass(DegenerateStatisticError, ZeroDivisionError)
+        assert issubclass(DegenerateStatisticError, ValueError)

@@ -1,0 +1,272 @@
+"""Mergeable-sketch laws: merge == single pass, for every sketch type.
+
+The out-of-core report's correctness rests on one algebraic property:
+folding a sample chunk-by-chunk (in any grouping) and merging the
+partial sketches must equal accumulating the whole sample at once.
+Hypothesis drives arbitrary samples and split points through each
+sketch; integer-state sketches must agree exactly, float moments to
+rounding.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.errors import DegenerateSampleError
+from repro.stats.sketch import (
+    GroupedCounts,
+    GroupedSums,
+    LogBucketSketch,
+    MomentSketch,
+    SampleSketch,
+    WindowedCounts,
+)
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+nonnegative = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(finite, min_size=0, max_size=60)
+nonneg_samples = st.lists(nonnegative, min_size=0, max_size=60)
+keys = st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=60)
+
+
+def _split(values, fraction):
+    cut = int(len(values) * fraction)
+    return values[:cut], values[cut:]
+
+
+def _assert_moments_equal(a: MomentSketch, b: MomentSketch) -> None:
+    assert a.count == b.count
+    assert a.minimum == b.minimum
+    assert a.maximum == b.maximum
+    assert math.isclose(a.total, b.total, rel_tol=1e-9, abs_tol=1e-6)
+    assert math.isclose(a.mean, b.mean, rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(a.m2, b.m2, rel_tol=1e-6, abs_tol=1e-3)
+
+
+class TestMomentSketch:
+    @settings(max_examples=100, deadline=None)
+    @given(values=samples, fraction=st.floats(0.0, 1.0))
+    def test_merge_equals_single_pass(self, values, fraction):
+        left, right = _split(values, fraction)
+        a = MomentSketch()
+        a.observe(np.asarray(left))
+        b = MomentSketch()
+        b.observe(np.asarray(right))
+        a.merge(b)
+        whole = MomentSketch()
+        whole.observe(np.asarray(values))
+        _assert_moments_equal(a, whole)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(finite, min_size=1, max_size=40), seed=st.integers(0, 2**16))
+    def test_order_invariance(self, values, seed):
+        shuffled = list(values)
+        np.random.Generator(np.random.PCG64(seed)).shuffle(shuffled)
+        a = MomentSketch()
+        a.observe(np.asarray(values))
+        b = MomentSketch()
+        b.observe(np.asarray(shuffled))
+        _assert_moments_equal(a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=samples)
+    def test_empty_merge_is_identity(self, values):
+        a = MomentSketch()
+        a.observe(np.asarray(values))
+        before = a.to_dict()
+        a.merge(MomentSketch())
+        assert a.to_dict() == before
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(finite, min_size=2, max_size=60))
+    def test_matches_numpy_population_moments(self, values):
+        sketch = MomentSketch()
+        sketch.observe(np.asarray(values))
+        data = np.asarray(values)
+        assert math.isclose(
+            sketch.mean, float(data.mean()), rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert math.isclose(
+            sketch.variance, float(data.var(ddof=0)),
+            rel_tol=1e-6, abs_tol=1e-3,
+        )
+
+    def test_round_trips(self):
+        sketch = MomentSketch()
+        sketch.observe(np.asarray([1.0, 2.0, 5.0]))
+        assert MomentSketch.from_dict(sketch.to_dict()).to_dict() == sketch.to_dict()
+        assert pickle.loads(pickle.dumps(sketch)).to_dict() == sketch.to_dict()
+
+
+class TestLogBucketSketch:
+    @settings(max_examples=100, deadline=None)
+    @given(values=nonneg_samples, fraction=st.floats(0.0, 1.0))
+    def test_merge_equals_single_pass_exactly(self, values, fraction):
+        left, right = _split(values, fraction)
+        a = LogBucketSketch()
+        a.observe(np.asarray(left))
+        b = LogBucketSketch()
+        b.observe(np.asarray(right))
+        a.merge(b)
+        whole = LogBucketSketch()
+        whole.observe(np.asarray(values))
+        assert np.array_equal(a.counts, whole.counts)
+        assert a.minimum == whole.minimum
+        assert a.maximum == whole.maximum
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(
+        st.floats(min_value=1e-3, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=60,
+    ), q=st.floats(0.0, 1.0))
+    def test_quantile_within_pinned_relative_error(self, values, q):
+        sketch = LogBucketSketch()
+        sketch.observe(np.asarray(values))
+        exact = float(np.percentile(np.asarray(values), 100.0 * q))
+        got = sketch.quantile(q)
+        assert got == pytest.approx(exact, rel=sketch.relative_error * 2 + 1e-12)
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(DegenerateSampleError):
+            LogBucketSketch().median
+
+    def test_rejects_negative_values_and_mixed_resolutions(self):
+        sketch = LogBucketSketch()
+        with pytest.raises(ValueError):
+            sketch.observe(np.asarray([-1.0]))
+        with pytest.raises(ValueError):
+            sketch.merge(LogBucketSketch(buckets_per_decade=8))
+
+
+class TestGroupedCounts:
+    @settings(max_examples=100, deadline=None)
+    @given(systems=keys, causes=keys, fraction=st.floats(0.0, 1.0))
+    def test_merge_equals_single_pass(self, systems, causes, fraction):
+        n = min(len(systems), len(causes))
+        systems, causes = systems[:n], causes[:n]
+        cut = int(n * fraction)
+        a = GroupedCounts()
+        a.observe(np.asarray(systems[:cut]), np.asarray(causes[:cut]))
+        b = GroupedCounts()
+        b.observe(np.asarray(systems[cut:]), np.asarray(causes[cut:]))
+        a.merge(b)
+        whole = GroupedCounts()
+        whole.observe(np.asarray(systems), np.asarray(causes))
+        assert a.counts == whole.counts
+        assert a.total() == n
+
+    @settings(max_examples=50, deadline=None)
+    @given(systems=keys)
+    def test_empty_merge_is_identity(self, systems):
+        a = GroupedCounts()
+        a.observe(np.asarray(systems))
+        before = dict(a.counts)
+        a.merge(GroupedCounts())
+        assert a.counts == before
+
+
+class TestGroupedSums:
+    @settings(max_examples=100, deadline=None)
+    @given(weights=nonneg_samples, groups=keys, fraction=st.floats(0.0, 1.0))
+    def test_merge_equals_single_pass(self, weights, groups, fraction):
+        n = min(len(weights), len(groups))
+        weights, groups = weights[:n], groups[:n]
+        cut = int(n * fraction)
+        a = GroupedSums()
+        a.observe(np.asarray(weights[:cut]), np.asarray(groups[:cut]))
+        b = GroupedSums()
+        b.observe(np.asarray(weights[cut:]), np.asarray(groups[cut:]))
+        a.merge(b)
+        whole = GroupedSums()
+        whole.observe(np.asarray(weights), np.asarray(groups))
+        assert set(a.sums) == set(whole.sums)
+        for key in whole.sums:
+            assert a.sums[key] == pytest.approx(
+                whole.sums[key], rel=1e-9, abs=1e-6
+            )
+
+
+class TestWindowedCounts:
+    times = st.lists(
+        st.floats(min_value=0.0, max_value=999.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=0, max_size=60,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(values=times, fraction=st.floats(0.0, 1.0))
+    def test_merge_equals_single_pass_exactly(self, values, fraction):
+        left, right = _split(values, fraction)
+        a = WindowedCounts(0.0, 100.0, 10)
+        a.observe(np.asarray(left))
+        b = WindowedCounts(0.0, 100.0, 10)
+        b.observe(np.asarray(right))
+        a.merge(b)
+        whole = WindowedCounts(0.0, 100.0, 10)
+        whole.observe(np.asarray(values))
+        assert np.array_equal(a.counts, whole.counts)
+        assert a.total() == len(values)
+
+    def test_rejects_preorigin_times_and_mismatched_merge(self):
+        windows = WindowedCounts(100.0, 10.0, 5)
+        with pytest.raises(ValueError, match="precedes origin"):
+            windows.observe(np.asarray([99.0]))
+        with pytest.raises(ValueError):
+            windows.merge(WindowedCounts(0.0, 10.0, 5))
+
+    def test_overflow_clamps_to_last_window(self):
+        windows = WindowedCounts(0.0, 10.0, 3)
+        windows.observe(np.asarray([1e6]))
+        assert windows.counts[-1] == 1
+
+
+class TestSampleSketch:
+    @settings(max_examples=100, deadline=None)
+    @given(values=nonneg_samples, fraction=st.floats(0.0, 1.0))
+    def test_merge_equals_single_pass(self, values, fraction):
+        left, right = _split(values, fraction)
+        a = SampleSketch(clamp_epsilon=0.1)
+        a.observe(np.asarray(left))
+        b = SampleSketch(clamp_epsilon=0.1)
+        b.observe(np.asarray(right))
+        a.merge(b)
+        whole = SampleSketch(clamp_epsilon=0.1)
+        whole.observe(np.asarray(values))
+        assert a.count == whole.count == len(values)
+        assert a.nonpositive == whole.nonpositive
+        assert np.array_equal(a.histogram.counts, whole.histogram.counts)
+        _assert_moments_equal(a.raw, whole.raw)
+        _assert_moments_equal(a.log_clamped, whole.log_clamped)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=nonneg_samples)
+    def test_zero_fraction_counts_nonpositive(self, values):
+        sketch = SampleSketch(clamp_epsilon=1.0)
+        sketch.observe(np.asarray(values))
+        if not values:
+            with pytest.raises(DegenerateSampleError):
+                sketch.zero_fraction
+        else:
+            expected = sum(1 for v in values if v <= 0) / len(values)
+            assert sketch.zero_fraction == expected
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SampleSketch(clamp_epsilon=0.1).observe(np.asarray([-1.0]))
+
+    def test_round_trips(self):
+        sketch = SampleSketch(clamp_epsilon=0.1)
+        sketch.observe(np.asarray([0.0, 1.0, 250.0]))
+        clone = SampleSketch.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        assert pickle.loads(pickle.dumps(sketch)).to_dict() == sketch.to_dict()

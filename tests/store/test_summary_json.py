@@ -1,0 +1,85 @@
+"""Regression: StoreSummary.to_dict must always be strict-JSON safe.
+
+``StoreSummary`` initializes its extrema to ±inf; a scan that observes
+no durations (empty predicate match, instant deadline, all shards
+skipped) used to leak those sentinels into ``to_dict()``, which
+``json.dumps`` renders as non-RFC ``Infinity`` tokens that crash
+strict parsers (and ``repro serve``'s JSON responses).  The guard in
+``_base_dict`` must emit ``None`` for the affected groups instead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.resilience.deadline import Deadline
+from repro.store import (
+    ColumnarStore,
+    Predicate,
+    StoreSummary,
+    store_from_trace,
+    summarize_store,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, small_trace):
+    root = tmp_path_factory.mktemp("summary-json") / "store"
+    store_from_trace(small_trace, root, shard_rows=200)
+    return ColumnarStore(root)
+
+
+def _strict_dumps(summary: StoreSummary) -> str:
+    """Serialize the way ``repro store analyze --json`` must be able to."""
+    return json.dumps(summary.to_dict(), allow_nan=False)
+
+
+class TestInfinityGuards:
+    def test_pristine_summary_is_json_safe(self, store):
+        summary = summarize_store(store)
+        payload = json.loads(_strict_dumps(summary))
+        assert payload["rows"] > 0
+        assert payload["repair_minutes"]["min"] <= payload[
+            "repair_minutes"
+        ]["max"]
+        assert payload["start_time_range"][0] <= payload["start_time_range"][1]
+
+    def test_empty_match_leaves_no_infinities(self, store):
+        # No system 99 exists, so the extrema never move off ±inf.
+        summary = summarize_store(
+            store, predicate=Predicate.build(systems=[99])
+        )
+        assert summary.rows == 0
+        assert math.isinf(summary.repair_min)
+        payload = json.loads(_strict_dumps(summary))
+        assert payload["repair_minutes"] is None
+        assert payload["start_time_range"] is None
+
+    def test_instant_deadline_partial_is_json_safe(self, store):
+        summary = summarize_store(
+            store, deadline=Deadline(1e-9), on_deadline="partial"
+        )
+        assert summary.partial is not None
+        payload = json.loads(_strict_dumps(summary))
+        assert payload["partial"]["reason"] == "deadline-exceeded"
+        # Nothing scanned -> both extrema groups must collapse to None.
+        if summary.rows == 0:
+            assert payload["repair_minutes"] is None
+            assert payload["start_time_range"] is None
+
+    def test_direct_construction_with_rows_but_inf_extrema(self):
+        # The sharp edge: rows counted but extrema untouched (e.g. a
+        # degraded pass that only read count columns).  Guarding on
+        # ``rows`` alone would leak Infinity here.
+        summary = StoreSummary(rows=7)
+        payload = json.loads(_strict_dumps(summary))
+        assert payload["rows"] == 7
+        assert payload["repair_minutes"] is None
+        assert payload["start_time_range"] is None
+
+    def test_describe_never_formats_infinity(self):
+        text = StoreSummary(rows=3).describe()
+        assert "inf" not in text
